@@ -1,0 +1,76 @@
+// Ablation: local sea-surface method choice (the paper compares four and
+// picks the NASA equation). Using ground-truth classification labels (to
+// isolate the estimator itself), measures each method's sea-surface RMS
+// error against the simulator's true sea surface and the resulting
+// freeboard RMS error.
+#include <cmath>
+#include <cstdio>
+
+#include "common.hpp"
+#include "freeboard/freeboard.hpp"
+#include "seasurface/detector.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace is2;
+  using atl03::SurfaceClass;
+  using seasurface::Method;
+
+  core::PipelineConfig config = core::PipelineConfig::small();
+  const auto data = bench::load_or_generate_campaign(config);
+  const core::Campaign campaign(config);
+  const resample::FirstPhotonBiasCorrector fpb(config.instrument.dead_time_m,
+                                               config.instrument.strong_channels);
+
+  std::printf("Ablation: sea-surface detection method (truth labels, %zu pairs)\n",
+              std::size_t{4});
+  util::Table table;
+  table.set_header({"Method", "SSH RMS vs truth (m)", "Freeboard RMS vs truth (m)",
+                    "Mean |step| (m)"});
+
+  const Method methods[] = {Method::MinElevation, Method::AverageElevation,
+                            Method::NearestMinElevation, Method::NasaEquation};
+  for (Method method : methods) {
+    util::RunningStats ssh_err2, fb_err2, steps;
+    for (std::size_t k = 0; k < 4; ++k) {
+      const auto granule = bench::regenerate_granule(data, k);
+      const auto surface = campaign.surface(k);
+      const auto pre = atl03::preprocess_beam(granule, granule.beam(atl03::BeamId::Gt2r),
+                                              campaign.corrections(), config.preprocess);
+      auto segments = resample::resample(pre, config.segmenter);
+      fpb.apply(segments);
+      std::vector<SurfaceClass> truth_labels(segments.size());
+      for (std::size_t i = 0; i < segments.size(); ++i) truth_labels[i] = segments[i].truth;
+
+      const auto profile =
+          seasurface::detect_sea_surface(segments, truth_labels, method, config.seasurface);
+      for (const auto& pt : profile.points()) {
+        const double t_s = granule.epoch_time + pt.s / 6'900.0;
+        const geo::Xy p = surface.track().at(pt.s);
+        const double true_ssh = surface.sea_surface_height(pt.s, t_s) -
+                                campaign.corrections().total(t_s, p.x, p.y);
+        const double e = pt.h_ref - true_ssh;
+        ssh_err2.add(e * e);
+      }
+      for (std::size_t i = 1; i < profile.points().size(); ++i)
+        steps.add(std::abs(profile.points()[i].h_ref - profile.points()[i - 1].h_ref));
+
+      const auto product =
+          freeboard::compute_freeboard(segments, truth_labels, profile, config.freeboard);
+      for (const auto& pt : product.points) {
+        const double true_fb = surface.sample(pt.s).freeboard;
+        const double e = pt.freeboard - true_fb;
+        fb_err2.add(e * e);
+      }
+    }
+    table.add_row({seasurface::method_name(method),
+                   util::Table::fmt(std::sqrt(ssh_err2.mean()), 4),
+                   util::Table::fmt(std::sqrt(fb_err2.mean()), 4),
+                   util::Table::fmt(steps.mean(), 4)});
+  }
+  table.print();
+  std::printf("expected: nasa_equation smoothest and at/near the lowest RMS "
+              "(the paper's choice)\n");
+  return 0;
+}

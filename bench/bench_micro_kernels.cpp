@@ -1,0 +1,163 @@
+// Micro-benchmarks (google-benchmark) for the kernels the pipeline spends
+// its time in: GEMM, LSTM step, focal loss, ring all-reduce, projection,
+// 2m resampling and h5lite (de)serialization.
+#include <benchmark/benchmark.h>
+
+#include <thread>
+
+#include "atl03/photon_sim.hpp"
+#include "atl03/preprocess.hpp"
+#include "dist/comm.hpp"
+#include "geo/polar_stereo.hpp"
+#include "h5lite/granule_io.hpp"
+#include "nn/loss.hpp"
+#include "nn/lstm.hpp"
+#include "nn/model.hpp"
+#include "resample/segmenter.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace is2;
+
+void BM_GemmNt(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(1);
+  nn::Mat a(32, n), b(n, n), c(32, n);
+  for (std::size_t i = 0; i < a.size(); ++i) a.data()[i] = static_cast<float>(rng.uniform());
+  for (std::size_t i = 0; i < b.size(); ++i) b.data()[i] = static_cast<float>(rng.uniform());
+  for (auto _ : state) {
+    nn::gemm_nt(a, b, c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 32 * n * n);
+}
+BENCHMARK(BM_GemmNt)->Arg(16)->Arg(64)->Arg(112);
+
+void BM_LstmForwardBackward(benchmark::State& state) {
+  util::Rng rng(2);
+  nn::Sequential model = nn::make_lstm_model(5, 6, rng);
+  nn::Tensor3 x(32, 5, 6);
+  for (auto& v : x.v) v = static_cast<float>(rng.normal(0.0, 1.0));
+  std::vector<std::uint8_t> y(32, 1);
+  nn::FocalLoss loss(2.0);
+  nn::Mat grad;
+  for (auto _ : state) {
+    const nn::Mat& logits = model.forward(x, true);
+    loss.compute(logits, y, grad);
+    model.backward(grad);
+    benchmark::DoNotOptimize(grad.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 32);
+}
+BENCHMARK(BM_LstmForwardBackward);
+
+void BM_FocalLoss(benchmark::State& state) {
+  util::Rng rng(3);
+  nn::Mat logits(256, 3);
+  for (std::size_t i = 0; i < logits.size(); ++i)
+    logits.data()[i] = static_cast<float>(rng.normal(0.0, 2.0));
+  std::vector<std::uint8_t> y(256);
+  for (auto& v : y) v = static_cast<std::uint8_t>(rng.uniform_int(0, 2));
+  nn::FocalLoss loss(2.0);
+  nn::Mat grad;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(loss.compute(logits, y, grad));
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_FocalLoss);
+
+void BM_RingAllreduce(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  const std::size_t n = 37'000;  // ~LSTM model gradient size
+  for (auto _ : state) {
+    dist::Communicator comm(ranks);
+    std::vector<std::vector<float>> bufs(ranks, std::vector<float>(n, 1.0f));
+    std::vector<std::thread> threads;
+    for (int r = 0; r < ranks; ++r)
+      threads.emplace_back([&, r] { comm.allreduce_mean(r, bufs[static_cast<std::size_t>(r)]); });
+    for (auto& t : threads) t.join();
+    benchmark::DoNotOptimize(bufs[0][0]);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(
+                              dist::Communicator::allreduce_bytes_per_rank(ranks, n)) *
+                          ranks);
+}
+BENCHMARK(BM_RingAllreduce)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_PolarStereoForward(benchmark::State& state) {
+  const auto proj = geo::PolarStereo::epsg3976();
+  util::Rng rng(4);
+  std::vector<geo::LonLat> pts(1024);
+  for (auto& p : pts) p = {rng.uniform(-180.0, -140.0), rng.uniform(-78.0, -70.0)};
+  for (auto _ : state) {
+    for (const auto& p : pts) benchmark::DoNotOptimize(proj.forward(p));
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_PolarStereoForward);
+
+void BM_PolarStereoInverse(benchmark::State& state) {
+  const auto proj = geo::PolarStereo::epsg3976();
+  util::Rng rng(5);
+  std::vector<geo::Xy> pts(1024);
+  for (auto& p : pts) {
+    const geo::LonLat ll{rng.uniform(-180.0, -140.0), rng.uniform(-78.0, -70.0)};
+    p = proj.forward(ll);
+  }
+  for (auto _ : state) {
+    for (const auto& p : pts) benchmark::DoNotOptimize(proj.inverse(p));
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_PolarStereoInverse);
+
+struct SimFixture {
+  geo::GeoCorrections corrections{7};
+  atl03::SurfaceConfig scfg;
+  geo::GroundTrack track{geo::PolarStereo::epsg3976().forward({-170.0, -75.0}), 0.4};
+  atl03::SurfaceModel surface;
+  atl03::Granule granule;
+  atl03::PreprocessedBeam pre;
+
+  SimFixture()
+      : surface((scfg.length_m = 5'000.0, scfg), track, corrections, 9),
+        granule(atl03::PhotonSimulator(atl03::InstrumentConfig{}, 10)
+                    .simulate_granule(surface, "BM", 0.0, {atl03::BeamId::Gt2r})),
+        pre(atl03::preprocess_beam(granule, granule.beams[0], corrections)) {}
+};
+
+void BM_Resample2m(benchmark::State& state) {
+  static const SimFixture fx;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(resample::resample(fx.pre));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(fx.pre.size()));
+}
+BENCHMARK(BM_Resample2m);
+
+void BM_GranuleSerialize(benchmark::State& state) {
+  static const SimFixture fx;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h5::to_file(fx.granule).serialize());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(h5::to_file(fx.granule).payload_bytes()));
+}
+BENCHMARK(BM_GranuleSerialize);
+
+void BM_GranuleDeserialize(benchmark::State& state) {
+  static const SimFixture fx;
+  const auto buf = h5::to_file(fx.granule).serialize();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h5::File::deserialize(buf));
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(buf.size()));
+}
+BENCHMARK(BM_GranuleDeserialize);
+
+}  // namespace
+
+BENCHMARK_MAIN();

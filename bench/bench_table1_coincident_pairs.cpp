@@ -1,0 +1,48 @@
+// Table I: IS2 ATL03 / Sentinel-2 coincident pairs in the Ross Sea,
+// November 2019 — acquisition times, time differences, and the S2 alignment
+// shift. The paper determined the shifts manually; here each pair's drift
+// is *estimated* from the data by the consistency search and printed next
+// to the injected truth, demonstrating the automated alignment.
+#include <cstdio>
+
+#include "common.hpp"
+#include "label/drift.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace is2;
+  // Moderate scene scale: drift estimation needs a few km of track, not 50.
+  core::PipelineConfig config = core::PipelineConfig::small();
+  const auto data = bench::load_or_generate_campaign(config);
+  const core::Campaign campaign(config);
+
+  std::printf("Table I: IS2 ATL03 and S2 coincident pairs (Ross Sea, November 2019)\n");
+  util::Table table;
+  table.set_header({"#", "IS2 acquisition (UTC)", "S2 acquisition (UTC)", "dt (min)",
+                    "Shift of S2 (paper)", "Shift recovered (estimator)", "score"});
+
+  const resample::FirstPhotonBiasCorrector fpb(config.instrument.dead_time_m,
+                                               config.instrument.strong_channels);
+  for (std::size_t k = 0; k < data.pairs.size(); ++k) {
+    const auto& pair = data.pairs[k];
+
+    // Estimate drift from the central strong beam against the cached raster.
+    const auto granule = bench::regenerate_granule(data, k);
+    const auto pre = atl03::preprocess_beam(granule, granule.beam(atl03::BeamId::Gt2r),
+                                            campaign.corrections(), config.preprocess);
+    auto segments = resample::resample(pre, config.segmenter);
+    fpb.apply(segments);
+    const auto baseline = resample::rolling_baseline(segments);
+    const auto est = label::estimate_drift(data.rasters[k], segments, baseline);
+
+    // The estimator returns the shift applied to IS2 positions; the paper
+    // reports the equal-and-opposite shift applied to the S2 image.
+    const geo::Xy s2_shift{-est.shift.x, -est.shift.y};
+    table.add_row({std::to_string(pair.index), pair.is2_time_utc, pair.s2_time_utc,
+                   util::Table::fmt(pair.dt_minutes, 2),
+                   label::describe_shift(pair.s2_shift_applied),
+                   label::describe_shift(s2_shift), util::Table::fmt(est.score, 3)});
+  }
+  table.print();
+  return 0;
+}

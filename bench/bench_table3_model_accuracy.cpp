@@ -1,0 +1,66 @@
+// Table III: DL model sea-ice classification accuracy over the (simulated)
+// IS2 ATL03 Antarctic datasets — MLP vs LSTM with the paper's training
+// protocol: 80/20 split, Adam(0.003), focal loss, dropout 0.2, batch 32,
+// 20 epochs. Also caches the trained LSTM for the downstream figure benches.
+#include <cstdio>
+
+#include "common.hpp"
+#include "h5lite/h5file.hpp"
+#include "nn/serialize.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+int main() {
+  using namespace is2;
+  const auto data = bench::load_or_generate_campaign(core::PipelineConfig::standard());
+
+  std::fprintf(stderr, "[bench] assembling training data from 8 auto-labeled pairs...\n");
+  const auto td = bench::build_training_data(data, 8, 32'000);
+  std::fprintf(stderr, "[bench] train %zu / test %zu windows\n", td.train.size(),
+               td.test.size());
+
+  const auto alpha = nn::FocalLoss::balanced_alpha(td.train.y);
+  nn::FitConfig fit;
+  fit.epochs = 20;
+  fit.batch_size = 32;
+
+  util::Table table("Table III: sea-ice classification accuracy (percent, macro-averaged)");
+  table.set_header({"Model", "Accuracy", "Precision", "Recall", "F1 score", "Train time (s)"});
+
+  nn::Metrics lstm_metrics;
+  nn::Sequential lstm_model;
+  for (const char* name : {"MLP", "LSTM"}) {
+    util::Rng rng(data.config.seed ^ (name[0] == 'M' ? 0x111ull : 0x222ull));
+    nn::Sequential model = name[0] == 'M'
+                               ? nn::make_mlp_model(data.config.sequence_window, 6, rng)
+                               : nn::make_lstm_model(data.config.sequence_window, 6, rng);
+    nn::Adam adam(0.003);
+    nn::FocalLoss loss(2.0, alpha);
+    util::Timer timer;
+    model.fit(td.train, loss, adam, fit);
+    const double train_s = timer.seconds();
+    const nn::Metrics m = model.evaluate(td.test);
+    table.add_row({name, util::Table::fmt(m.accuracy * 100.0, 2),
+                   util::Table::fmt(m.precision * 100.0, 2),
+                   util::Table::fmt(m.recall * 100.0, 2), util::Table::fmt(m.f1 * 100.0, 2),
+                   util::Table::fmt(train_s, 1)});
+    if (name[0] == 'L') {
+      lstm_metrics = m;
+      lstm_model = std::move(model);
+    }
+  }
+  table.print();
+
+  std::printf("\nLSTM per-class recall (Fig. 4 diagonal):\n%s",
+              lstm_metrics.confusion.render().c_str());
+
+  // Cache the trained LSTM + scaler for the figure benches.
+  nn::save_weights(lstm_model, data.cache_dir + "/lstm_weights.h5l");
+  h5::File f;
+  f.put<float>("/scaler/mean",
+               std::span<const float>(td.scaler.mean, resample::FeatureRow::kDim));
+  f.put<float>("/scaler/std",
+               std::span<const float>(td.scaler.std, resample::FeatureRow::kDim));
+  f.save(data.cache_dir + "/scaler.h5l");
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Table IV: distributed DL model training with the Horovod-style framework
+// on thread "GPUs" — time, time/epoch, data/s and speedup for 1, 2, 4, 6, 8
+// ranks, synchronous data parallelism with ring all-reduce, batch 32/rank.
+// Results are cached for bench_fig5_training_curves.
+#include <cstdio>
+
+#include "common.hpp"
+#include "dist/trainer.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace is2;
+  const auto data = bench::load_or_generate_campaign(core::PipelineConfig::standard());
+  const auto td = bench::build_training_data(data, 8, 32'000);
+  std::fprintf(stderr, "[bench] train %zu windows, LSTM, batch 32/rank\n", td.train.size());
+
+  util::Table table("Table IV: distributed LSTM training (ring all-reduce, thread ranks)");
+  table.set_header({"Ranks", "Time (s)", "Time (s)/Epoch", "Data/s", "Speedup"});
+
+  std::vector<std::pair<std::string, double>> cache_kv;
+  double t1 = 0.0;
+  const std::size_t epochs = 8;
+  for (int ranks : {1, 2, 4, 6, 8}) {
+    dist::TrainerConfig cfg;
+    cfg.ranks = ranks;
+    cfg.epochs = epochs;
+    cfg.batch_per_rank = 32;
+    cfg.learning_rate = 0.003;
+    const std::uint64_t seed = data.config.seed;
+    const auto result = dist::train_distributed(
+        [seed] {
+          util::Rng rng(seed ^ 0x222ull);
+          return nn::make_lstm_model(5, 6, rng);
+        },
+        td.train, td.test, cfg);
+    if (ranks == 1) t1 = result.total_time_s;
+    const double speedup = t1 / result.total_time_s;
+    table.add_row({std::to_string(ranks), util::Table::fmt(result.total_time_s, 2),
+                   util::Table::fmt(result.time_per_epoch_s, 3),
+                   util::Table::fmt(result.samples_per_s, 1), util::Table::fmt(speedup, 2)});
+    const std::string p = "r" + std::to_string(ranks) + "_";
+    cache_kv.emplace_back(p + "total_s", result.total_time_s);
+    cache_kv.emplace_back(p + "epoch_s", result.time_per_epoch_s);
+    cache_kv.emplace_back(p + "data_per_s", result.samples_per_s);
+    cache_kv.emplace_back(p + "accuracy", result.test_metrics.accuracy);
+    std::fprintf(stderr, "[bench] ranks=%d  acc=%.4f  floats all-reduced/rank=%zu\n", ranks,
+                 result.test_metrics.accuracy, result.floats_reduced);
+  }
+  table.print();
+  std::printf("(epochs=%zu; paper shape: near-linear speedup with a sub-linear knee at 8)\n",
+              epochs);
+  bench::save_kv(data.cache_dir + "/table4.kv", cache_kv);
+  return 0;
+}

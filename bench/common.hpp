@@ -1,0 +1,71 @@
+// Shared infrastructure for the bench binaries: a disk cache for the
+// generated campaign (granule shards + segmented S2 rasters) so the nine
+// table/figure benches don't each pay the full simulation cost, plus helpers
+// for assembling training data and caching trained model weights.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/campaign.hpp"
+#include "core/config.hpp"
+#include "core/pipeline.hpp"
+#include "nn/model.hpp"
+
+namespace is2::bench {
+
+/// Everything the scaling and product benches need from the campaign.
+struct CampaignData {
+  core::PipelineConfig config;
+  core::ShardSet shards;
+  std::vector<s2::ClassRaster> rasters;      ///< segmented S2 labels per pair
+  std::vector<geo::Xy> drifts;               ///< true drift per pair
+  std::vector<core::CoincidentPair> pairs;
+  std::string cache_dir;
+};
+
+/// Cache root (override with IS2_BENCH_CACHE env var).
+std::string cache_root();
+
+/// Load the campaign from cache or generate + persist it. `n_pairs` limits
+/// the campaign size (Table I has 8; product benches need only specific
+/// pairs but use the same cache).
+CampaignData load_or_generate_campaign(const core::PipelineConfig& config,
+                                       std::size_t n_pairs = 8);
+
+/// Rebuild a full granule for one pair (regenerates from the campaign seed;
+/// cheap relative to scene rendering and avoids caching raw granules twice).
+atl03::Granule regenerate_granule(const CampaignData& data, std::size_t pair_index);
+
+/// Labeled training data assembled from the first `n_pairs` pairs, with
+/// windows capped at `max_windows` by stratified subsampling (training cost
+/// control; the paper's cluster trains on the full set).
+struct BenchTrainingData {
+  nn::Dataset train;
+  nn::Dataset test;
+  resample::FeatureScaler scaler;
+};
+
+BenchTrainingData build_training_data(const CampaignData& data, std::size_t n_pairs,
+                                      std::size_t max_windows, std::uint64_t seed = 7);
+
+/// Load cached LSTM weights trained by bench_table3; train fresh (quietly)
+/// if absent so any bench can run standalone. Returns the model + scaler.
+struct TrainedLstm {
+  nn::Sequential model;
+  resample::FeatureScaler scaler;
+};
+
+TrainedLstm load_or_train_lstm(const CampaignData& data, std::size_t epochs = 20);
+
+/// Serialize / parse a ClassRaster through h5lite.
+void save_raster(const s2::ClassRaster& raster, const std::string& path);
+s2::ClassRaster load_raster(const std::string& path);
+
+/// Simple key=value result cache (Table IV results reused by Fig 5).
+void save_kv(const std::string& path, const std::vector<std::pair<std::string, double>>& kv);
+std::optional<std::vector<std::pair<std::string, double>>> load_kv(const std::string& path);
+
+}  // namespace is2::bench

@@ -1,0 +1,97 @@
+// Polynya monitoring: a domain scenario from the paper's motivation — the
+// Ross Sea's katabatic-wind polynyas (Ross Ice Shelf, Terra Nova Bay,
+// McMurdo Sound) open and close on daily/weekly scales. This example raises
+// the surface model's polynya activity, classifies repeat passes over the
+// same scene across a simulated week, and reports open-water/thin-ice
+// fraction and lead statistics per pass — the weekly-mapping use case of
+// Koo et al. (paper ref [14]) built on the 2m product.
+//
+//   ./examples/polynya_monitoring
+#include <cstdio>
+
+#include "atl03/photon_sim.hpp"
+#include "atl03/preprocess.hpp"
+#include "core/config.hpp"
+#include "geo/polar_stereo.hpp"
+#include "resample/fpb.hpp"
+#include "resample/segmenter.hpp"
+#include "seasurface/detector.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace is2;
+  using atl03::SurfaceClass;
+
+  core::PipelineConfig config = core::PipelineConfig::small();
+  config.surface.polynya_prob = 0.25;  // active polynya regime
+  config.surface.polynya_scale = 20.0;
+  config.surface.mean_lead_m = 160.0;
+
+  const geo::GeoCorrections corrections(config.seed ^ 0xC044ull);
+  const geo::PolarStereo proj = geo::PolarStereo::epsg3976();
+  // Terra Nova Bay-ish corner of the Ross Sea box.
+  const geo::GroundTrack track(proj.forward({-163.0, -75.0}), 1.35);
+
+  std::printf("polynya monitoring: 7 daily passes over an active polynya region\n");
+  util::Table table;
+  table.set_header({"Day", "Open water %", "Thin ice %", "Leads / 10km", "Widest lead (m)",
+                    "Interpolated SSH windows %"});
+
+  const resample::FirstPhotonBiasCorrector fpb(config.instrument.dead_time_m,
+                                               config.instrument.strong_channels);
+  for (int day = 0; day < 7; ++day) {
+    // Each day the pack has rearranged: new surface realization, same regime.
+    atl03::SurfaceConfig scfg = config.surface;
+    scfg.length_m = config.track_length_m;
+    const atl03::SurfaceModel surface(scfg, track, corrections,
+                                      config.seed + static_cast<std::uint64_t>(day) * 131);
+    atl03::PhotonSimulator sim(config.instrument, config.seed + day);
+    const auto granule =
+        sim.simulate_granule(surface, "POLYNYA", day * 86'400.0, {atl03::BeamId::Gt2r});
+    const auto pre =
+        atl03::preprocess_beam(granule, granule.beams[0], corrections, config.preprocess);
+    auto segments = resample::resample(pre, config.segmenter);
+    fpb.apply(segments);
+
+    // Ground-truth classes stand in for the classifier here: the example is
+    // about the product, not the model (see quickstart for training).
+    std::vector<SurfaceClass> classes(segments.size());
+    std::size_t water = 0, thin = 0;
+    for (std::size_t i = 0; i < segments.size(); ++i) {
+      classes[i] = segments[i].truth;
+      if (classes[i] == SurfaceClass::OpenWater) ++water;
+      if (classes[i] == SurfaceClass::ThinIce) ++thin;
+    }
+
+    // Lead census: contiguous open-water runs.
+    std::size_t leads = 0;
+    double widest = 0.0;
+    double run_start = -1.0;
+    for (std::size_t i = 0; i < segments.size(); ++i) {
+      const bool w = classes[i] == SurfaceClass::OpenWater;
+      if (w && run_start < 0.0) run_start = segments[i].s;
+      if (!w && run_start >= 0.0) {
+        ++leads;
+        widest = std::max(widest, segments[i].s - run_start);
+        run_start = -1.0;
+      }
+    }
+
+    const auto profile = seasurface::detect_sea_surface(
+        segments, classes, seasurface::Method::NasaEquation, config.seasurface);
+
+    const double n = static_cast<double>(segments.size());
+    table.add_row({std::to_string(day + 1),
+                   util::Table::fmt(100.0 * static_cast<double>(water) / n, 1),
+                   util::Table::fmt(100.0 * static_cast<double>(thin) / n, 1),
+                   util::Table::fmt(static_cast<double>(leads) /
+                                        (config.track_length_m / 10'000.0),
+                                    1),
+                   util::Table::fmt(widest, 0),
+                   util::Table::fmt(profile.interpolated_fraction() * 100.0, 1)});
+  }
+  table.print();
+  std::printf("active polynyas keep open-water fractions high and the sea-surface "
+              "windows well-constrained (few interpolated windows)\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Quickstart: the whole pipeline on one simulated coincident pair, small
+// scale — simulate ATL03 photons + a Sentinel-2 scene, segment the imagery,
+// auto-label the 2m segments, train the LSTM classifier, detect the local
+// sea surface and compute freeboard.
+//
+//   ./examples/quickstart
+#include <cstdio>
+
+#include "core/campaign.hpp"
+#include "core/config.hpp"
+#include "core/pipeline.hpp"
+#include "freeboard/freeboard.hpp"
+#include "seasurface/detector.hpp"
+
+int main() {
+  using namespace is2;
+
+  // 1. Configure a small Ross Sea scene and generate pair #2 of Table I
+  //    (zero drift, the track the paper plots in Figs 6/8/10).
+  core::PipelineConfig config = core::PipelineConfig::small();
+  core::Campaign campaign(config);
+  std::printf("== generating pair 2: granule %s ==\n",
+              campaign.pairs()[1].granule_id.c_str());
+  const core::PairDataset pair = campaign.generate(1);
+  std::printf("photons: %zu   S2 segmentation accuracy: %.3f\n",
+              pair.granule.total_photons(), pair.segmentation_accuracy);
+
+  // 2. Preprocess, resample to 2m segments and auto-label from the S2 scene.
+  const core::LabeledPair labeled = core::label_pair(pair, campaign.corrections(), config);
+  std::printf("== auto-labeling ==\n");
+  for (std::size_t b = 0; b < labeled.labeled.size(); ++b)
+    std::printf("beam %s: %zu segments, label accuracy %.3f\n",
+                atl03::beam_name(labeled.beams[b].beam), labeled.labeled[b].segments.size(),
+                labeled.labeled[b].label_accuracy());
+
+  // 3. Train the paper's LSTM on the labeled windows (80/20 split).
+  const core::TrainingData data = core::assemble_training_data({labeled}, config);
+  std::printf("== training LSTM on %zu windows ==\n", data.train.size());
+  util::Rng rng(1);
+  nn::Sequential model = nn::make_lstm_model(config.sequence_window, 6, rng);
+  nn::Adam adam(0.003);
+  nn::FocalLoss loss(2.0, nn::FocalLoss::balanced_alpha(data.train.y));
+  nn::FitConfig fit;
+  fit.epochs = 10;
+  fit.batch_size = 32;
+  fit.verbose = true;
+  model.fit(data.train, loss, adam, fit);
+  const nn::Metrics metrics = model.evaluate(data.test);
+  std::printf("test accuracy %.2f%%  F1 %.2f%%\n", metrics.accuracy * 100.0,
+              metrics.f1 * 100.0);
+
+  // 4. Classify a full beam, detect the local sea surface, compute freeboard.
+  const auto& beam = labeled.labeled[0];
+  const auto classes =
+      core::classify_segments(model, data.scaler, beam.features, config.sequence_window);
+  const auto sea_surface = seasurface::detect_sea_surface(
+      beam.segments, classes, seasurface::Method::NasaEquation, config.seasurface);
+  const auto product =
+      freeboard::compute_freeboard(beam.segments, classes, sea_surface, config.freeboard);
+
+  std::printf("== freeboard product (beam gt1r) ==\n");
+  std::printf("%zu points (%.0f per km), mean freeboard %.3f m\n", product.points.size(),
+              product.points_per_km(), product.stats().mean());
+  std::printf("distribution:\n%s", product.distribution(-0.2, 1.0, 24).render(40).c_str());
+  return 0;
+}

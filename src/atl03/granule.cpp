@@ -1,0 +1,41 @@
+#include "atl03/granule.hpp"
+
+#include <stdexcept>
+
+namespace is2::atl03 {
+
+void BeamData::check_consistent() const {
+  const std::size_t n = h.size();
+  if (delta_time.size() != n || lat.size() != n || lon.size() != n ||
+      along_track.size() != n || signal_conf.size() != n ||
+      (!truth_class.empty() && truth_class.size() != n))
+    throw std::invalid_argument("BeamData: per-photon arrays have inconsistent lengths");
+  if (bckgrd_delta_time.size() != bckgrd_rate.size())
+    throw std::invalid_argument("BeamData: background arrays have inconsistent lengths");
+}
+
+const BeamData& Granule::beam(BeamId id) const {
+  for (const auto& b : beams)
+    if (b.beam == id) return b;
+  throw std::out_of_range(std::string("Granule: no beam ") + beam_name(id));
+}
+
+BeamData& Granule::beam(BeamId id) {
+  for (auto& b : beams)
+    if (b.beam == id) return b;
+  throw std::out_of_range(std::string("Granule: no beam ") + beam_name(id));
+}
+
+bool Granule::has_beam(BeamId id) const {
+  for (const auto& b : beams)
+    if (b.beam == id) return true;
+  return false;
+}
+
+std::size_t Granule::total_photons() const {
+  std::size_t n = 0;
+  for (const auto& b : beams) n += b.size();
+  return n;
+}
+
+}  // namespace is2::atl03

@@ -1,0 +1,80 @@
+// Deterministic lattice value-noise: smooth pseudo-random fields queryable at
+// arbitrary coordinates without storing state. Used for ice roughness, snow
+// depth variation, reflectance texture, lead-edge meander and cloud fields.
+// Determinism matters: the surface model and the Sentinel-2 renderer must
+// agree on the scene exactly, and reruns must reproduce bit-for-bit.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+namespace is2::atl03 {
+
+namespace detail {
+inline double lattice_value(std::int64_t i, std::uint64_t seed) {
+  // Hash lattice index to [-1, 1].
+  const std::uint64_t h = util::hash64(static_cast<std::uint64_t>(i) * 0x9E3779B97F4A7C15ull ^ seed);
+  return static_cast<double>(h >> 11) * 0x1.0p-53 * 2.0 - 1.0;
+}
+
+inline double smoothstep(double t) { return t * t * (3.0 - 2.0 * t); }
+}  // namespace detail
+
+/// 1-D value noise in [-1, 1], feature size = `wavelength`.
+inline double noise1d(double x, double wavelength, std::uint64_t seed) {
+  const double u = x / wavelength;
+  const double fl = std::floor(u);
+  const auto i = static_cast<std::int64_t>(fl);
+  const double t = detail::smoothstep(u - fl);
+  const double a = detail::lattice_value(i, seed);
+  const double b = detail::lattice_value(i + 1, seed);
+  return a + (b - a) * t;
+}
+
+/// Fractal (3-octave) 1-D noise in roughly [-1, 1].
+inline double fbm1d(double x, double wavelength, std::uint64_t seed) {
+  double v = 0.0, amp = 0.5333, wl = wavelength;
+  for (int o = 0; o < 3; ++o) {
+    v += amp * noise1d(x, wl, seed + static_cast<std::uint64_t>(o) * 0x51ull);
+    amp *= 0.5;
+    wl *= 0.5;
+  }
+  return v;
+}
+
+/// 2-D value noise in [-1, 1].
+inline double noise2d(double x, double y, double wavelength, std::uint64_t seed) {
+  const double u = x / wavelength;
+  const double v = y / wavelength;
+  const double fu = std::floor(u);
+  const double fv = std::floor(v);
+  const auto i = static_cast<std::int64_t>(fu);
+  const auto j = static_cast<std::int64_t>(fv);
+  const double tu = detail::smoothstep(u - fu);
+  const double tv = detail::smoothstep(v - fv);
+  auto corner = [&](std::int64_t a, std::int64_t b) {
+    return detail::lattice_value(a * 0x1F123BB5ll + b, seed);
+  };
+  const double v00 = corner(i, j);
+  const double v10 = corner(i + 1, j);
+  const double v01 = corner(i, j + 1);
+  const double v11 = corner(i + 1, j + 1);
+  const double top = v00 + (v10 - v00) * tu;
+  const double bot = v01 + (v11 - v01) * tu;
+  return top + (bot - top) * tv;
+}
+
+/// Fractal (3-octave) 2-D noise in roughly [-1, 1].
+inline double fbm2d(double x, double y, double wavelength, std::uint64_t seed) {
+  double acc = 0.0, amp = 0.5333, wl = wavelength;
+  for (int o = 0; o < 3; ++o) {
+    acc += amp * noise2d(x, y, wl, seed + static_cast<std::uint64_t>(o) * 0x51ull);
+    amp *= 0.5;
+    wl *= 0.5;
+  }
+  return acc;
+}
+
+}  // namespace is2::atl03

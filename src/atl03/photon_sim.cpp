@@ -1,0 +1,198 @@
+#include "atl03/photon_sim.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <limits>
+
+#include "atl03/noise.hpp"
+#include "geo/polar_stereo.hpp"
+
+namespace is2::atl03 {
+
+double beam_cross_track_offset(BeamId beam) {
+  switch (beam) {
+    case BeamId::Gt1l: return -3390.0;
+    case BeamId::Gt1r: return -3300.0;
+    case BeamId::Gt2l: return -90.0;
+    case BeamId::Gt2r: return 0.0;
+    case BeamId::Gt3l: return 3210.0;
+    case BeamId::Gt3r: return 3300.0;
+  }
+  return 0.0;
+}
+
+PhotonSimulator::PhotonSimulator(const InstrumentConfig& config, std::uint64_t seed)
+    : config_(config), seed_(seed) {}
+
+BeamData PhotonSimulator::simulate_beam(const SurfaceModel& surface, BeamId beam,
+                                        double epoch_time) const {
+  const auto& cfg = config_;
+  util::Rng rng = util::Rng(seed_).fork(static_cast<std::uint64_t>(beam) ^
+                                        util::hash64(static_cast<std::uint64_t>(epoch_time * 1e3)));
+
+  const geo::GroundTrack beam_track = surface.track().offset(beam_cross_track_offset(beam));
+  const geo::PolarStereo proj = geo::PolarStereo::epsg3976();
+  const double strength = is_strong(beam) ? 1.0 : cfg.weak_beam_factor;
+
+  BeamData out;
+  out.beam = beam;
+
+  const auto n_shots = static_cast<std::size_t>(surface.length() / cfg.shot_spacing_m);
+  out.delta_time.reserve(n_shots * 5);
+  out.h.reserve(n_shots * 5);
+
+  // Scratch per-shot photon buffer: height + is-signal + truth class.
+  struct ShotPhoton {
+    double h;
+    bool signal;
+    SurfaceClass cls;
+  };
+  std::vector<ShotPhoton> shot;
+
+  // Background-rate accumulation state.
+  int bin_shot_count = 0;
+  std::size_t bin_background_photons = 0;
+  double bin_start_time = epoch_time;
+
+  for (std::size_t i = 0; i < n_shots; ++i) {
+    const double s = (static_cast<double>(i) + 0.5) * cfg.shot_spacing_m;
+    const double t = epoch_time + s / cfg.ground_speed_mps;
+    const geo::Xy shot_center = beam_track.at(s);
+
+    const SurfaceSample surf = surface.sample_xy(shot_center);
+    if (surf.cls == SurfaceClass::Unknown) continue;
+    const double s_eff = surface.effective_s(shot_center);
+    const double ssh = surface.sea_surface_height(s_eff, t);
+    const double surface_h = ssh + surf.freeboard;
+
+    shot.clear();
+
+    // --- Signal photons ------------------------------------------------
+    double rate = 0.0, sigma = 0.0;
+    switch (surf.cls) {
+      case SurfaceClass::ThickIce:
+        rate = cfg.rate_thick;
+        sigma = cfg.height_noise_thick;
+        break;
+      case SurfaceClass::ThinIce:
+        rate = cfg.rate_thin;
+        sigma = cfg.height_noise_thin;
+        break;
+      case SurfaceClass::OpenWater:
+        rate = cfg.rate_water;
+        sigma = std::hypot(cfg.height_noise_water,
+                           cfg.wave_coupling * surface.config().wave_sigma);
+        break;
+      default:
+        break;
+    }
+    // Reflectance modulates return strength around the class mean, widening
+    // the per-class rate distributions so they overlap at the class edges.
+    rate *= strength * (0.6 + 0.8 * surf.reflectance);
+    const int n_signal = rng.poisson(rate);
+    for (int k = 0; k < n_signal; ++k) {
+      double h = surface_h + sigma * rng.normal();
+      if (surf.cls == SurfaceClass::OpenWater && rng.bernoulli(cfg.subsurface_prob_water))
+        h -= rng.exponential(1.0 / cfg.subsurface_tau_m);
+      shot.push_back({h, true, surf.cls});
+    }
+
+    // --- Background photons ---------------------------------------------
+    // Window time = 2*halfwidth converted through the two-way travel time.
+    constexpr double c_mps = 299'792'458.0;
+    const double window_s = 2.0 * (2.0 * cfg.window_halfwidth_m) / c_mps;
+    // Solar background scales with surface albedo, but weakly relative to the
+    // class reflectance contrast (most of the background is sky-scattered).
+    const double bg_rate_hz =
+        cfg.background_rate_mhz * 1e6 * (0.75 + 0.5 * surf.reflectance) * strength;
+    const int n_bg = rng.poisson(bg_rate_hz * window_s);
+    for (int k = 0; k < n_bg; ++k) {
+      const double h = surface_h + rng.uniform(-cfg.window_halfwidth_m, cfg.window_halfwidth_m);
+      shot.push_back({h, false, surf.cls});
+    }
+    bin_background_photons += static_cast<std::size_t>(n_bg);
+
+    // --- Detector dead time (first-photon bias source) -------------------
+    // The return fans out over the beam's detector channels; each channel
+    // goes blind for dead_time_m of range after a trigger. Multi-photon
+    // returns mostly survive (different channels), but same-channel
+    // collisions preferentially drop the *later* (lower) photon — the
+    // first-photon bias the resampling stage corrects.
+    std::sort(shot.begin(), shot.end(),
+              [](const ShotPhoton& a, const ShotPhoton& b) { return a.h > b.h; });
+    const int n_channels = is_strong(beam) ? cfg.strong_channels : cfg.weak_channels;
+    std::array<double, 32> blind_until;
+    blind_until.fill(std::numeric_limits<double>::infinity());
+    std::array<bool, 32> blind_active{};
+    for (const ShotPhoton& ph : shot) {
+      const auto ch = static_cast<std::size_t>(
+          rng.uniform_int(0, std::min(n_channels, 32) - 1));
+      if (blind_active[ch] && ph.h > blind_until[ch]) continue;  // swallowed
+      blind_active[ch] = true;
+      blind_until[ch] = ph.h - cfg.dead_time_m;
+
+      // Geolocate with footprint scatter.
+      const double jitter_along = cfg.footprint_sigma_m * rng.normal();
+      const double jitter_cross = cfg.footprint_sigma_m * rng.normal();
+      const geo::Xy p = {shot_center.x +
+                             jitter_along * std::cos(beam_track.heading()) -
+                             jitter_cross * std::sin(beam_track.heading()),
+                         shot_center.y + jitter_along * std::sin(beam_track.heading()) +
+                             jitter_cross * std::cos(beam_track.heading())};
+      const geo::LonLat ll = proj.inverse(p);
+
+      // Confidence flag with signal-finder error rates.
+      SignalConf conf;
+      if (ph.signal) {
+        conf = rng.bernoulli(cfg.conf_drop)
+                   ? (rng.bernoulli(0.5) ? SignalConf::Low : SignalConf::Medium)
+                   : SignalConf::High;
+      } else {
+        if (rng.bernoulli(cfg.conf_noise))
+          conf = rng.bernoulli(0.5) ? SignalConf::Medium : SignalConf::High;
+        else
+          conf = rng.bernoulli(0.3) ? SignalConf::Buffer : SignalConf::Noise;
+      }
+
+      out.delta_time.push_back(t - epoch_time);
+      out.lat.push_back(ll.lat);
+      out.lon.push_back(ll.lon);
+      out.h.push_back(ph.h);
+      out.along_track.push_back(s + jitter_along);
+      out.signal_conf.push_back(static_cast<std::int8_t>(conf));
+      out.truth_class.push_back(static_cast<std::uint8_t>(ph.cls));
+    }
+
+    // --- Background-rate bins (bckgrd_atlas group) ------------------------
+    if (++bin_shot_count == cfg.bckgrd_bin_shots || i + 1 == n_shots) {
+      const double t_end = t;
+      const double dt = std::max(t_end - bin_start_time, 1e-9);
+      out.bckgrd_delta_time.push_back(0.5 * (bin_start_time + t_end) - epoch_time);
+      out.bckgrd_rate.push_back(static_cast<double>(bin_background_photons) / dt);
+      bin_shot_count = 0;
+      bin_background_photons = 0;
+      bin_start_time = t_end;
+    }
+  }
+
+  out.check_consistent();
+  return out;
+}
+
+Granule PhotonSimulator::simulate_granule(const SurfaceModel& surface,
+                                          const std::string& granule_id, double epoch_time,
+                                          const std::vector<BeamId>& beams) const {
+  Granule g;
+  g.id = granule_id;
+  g.epoch_time = epoch_time;
+  g.track_origin = surface.track().origin();
+  g.track_heading = surface.track().heading();
+  g.track_length = surface.length();
+  g.seed = seed_;
+  g.beams.reserve(beams.size());
+  for (BeamId b : beams) g.beams.push_back(simulate_beam(surface, b, epoch_time));
+  return g;
+}
+
+}  // namespace is2::atl03

@@ -1,0 +1,220 @@
+#include "atl03/surface_model.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+#include "atl03/noise.hpp"
+
+namespace is2::atl03 {
+
+namespace {
+
+// Nominal top-of-atmosphere reflectances for the visible bands; thin ice is
+// intermediate between bright snow-covered ice and dark water, which is what
+// makes it the hard class for both S2 segmentation and IS2 classification.
+constexpr double kReflectanceThick = 0.80;
+constexpr double kReflectanceThin = 0.35;
+constexpr double kReflectanceWater = 0.08;
+
+}  // namespace
+
+SurfaceModel::SurfaceModel(const SurfaceConfig& config, const geo::GroundTrack& track,
+                           const geo::GeoCorrections& corrections, std::uint64_t seed)
+    : config_(config), track_(track), corrections_(&corrections), seed_(seed) {
+  if (config_.length_m <= 0.0)
+    throw std::invalid_argument("SurfaceModel: length must be positive");
+
+  util::Rng rng(util::hash64(seed ^ 0x5EA1CEull));
+
+  // Semi-Markov class sequence. Durations are exponential around the class
+  // mean; polynya events stretch water/thin segments by polynya_scale.
+  double s = 0.0;
+  SurfaceClass cls = SurfaceClass::ThickIce;
+  while (s < config_.length_m) {
+    double mean_len = 0.0;
+    switch (cls) {
+      case SurfaceClass::ThickIce: mean_len = config_.mean_floe_m; break;
+      case SurfaceClass::ThinIce: mean_len = config_.mean_thin_m; break;
+      case SurfaceClass::OpenWater: mean_len = config_.mean_lead_m; break;
+      default: throw std::logic_error("SurfaceModel: bad class in generator");
+    }
+    double len = rng.exponential(1.0 / mean_len) + 4.0;  // floor keeps segments resolvable
+    if (cls != SurfaceClass::ThickIce && rng.bernoulli(config_.polynya_prob))
+      len *= config_.polynya_scale;
+
+    SurfaceSegment seg;
+    seg.s_begin = s;
+    seg.s_end = std::min(s + len, config_.length_m);
+    seg.cls = cls;
+    switch (cls) {
+      case SurfaceClass::ThickIce: {
+        // Lognormal-ish floe freeboard, truncated to physical range.
+        const double fb = rng.normal(config_.thick_freeboard_mu, config_.thick_freeboard_sigma);
+        seg.base_freeboard = std::clamp(fb, 0.09, 1.2);
+        seg.snow_depth = std::max(0.0, rng.normal(config_.snow_depth_mean, 0.04));
+        seg.reflectance = std::clamp(kReflectanceThick + rng.normal(0.0, 0.05), 0.55, 0.98);
+        break;
+      }
+      case SurfaceClass::ThinIce: {
+        seg.base_freeboard = rng.uniform(config_.thin_freeboard_lo, config_.thin_freeboard_hi);
+        seg.snow_depth = 0.0;
+        seg.reflectance = std::clamp(kReflectanceThin + rng.normal(0.0, 0.08), 0.15, 0.55);
+        break;
+      }
+      case SurfaceClass::OpenWater: {
+        seg.base_freeboard = 0.0;
+        seg.snow_depth = 0.0;
+        seg.reflectance = std::clamp(kReflectanceWater + rng.normal(0.0, 0.02), 0.02, 0.15);
+        break;
+      }
+      default: break;
+    }
+    segments_.push_back(seg);
+    s = seg.s_end;
+
+    // Transition kernel: thick ice borders either thin ice (refrozen lead
+    // margin) or open water; thin ice usually closes back to thick ice.
+    switch (cls) {
+      case SurfaceClass::ThickIce:
+        cls = rng.bernoulli(0.6) ? SurfaceClass::ThinIce : SurfaceClass::OpenWater;
+        break;
+      case SurfaceClass::ThinIce:
+        cls = rng.bernoulli(0.72) ? SurfaceClass::ThickIce : SurfaceClass::OpenWater;
+        break;
+      case SurfaceClass::OpenWater:
+        cls = rng.bernoulli(0.5) ? SurfaceClass::ThickIce : SurfaceClass::ThinIce;
+        break;
+      default: break;
+    }
+  }
+
+  // Pressure ridges: Poisson-distributed along thick ice.
+  for (const auto& seg : segments_) {
+    if (seg.cls != SurfaceClass::ThickIce) continue;
+    const double len = seg.s_end - seg.s_begin;
+    const int n = rng.poisson(len * config_.ridge_density);
+    for (int i = 0; i < n; ++i) {
+      ridge_positions_.push_back(rng.uniform(seg.s_begin, seg.s_end));
+      ridge_heights_.push_back(rng.exponential(1.0 / config_.ridge_height_mean));
+      ridge_widths_.push_back(rng.uniform(8.0, 40.0));
+    }
+  }
+  // Sort ridges so queries can binary-search a local window.
+  std::vector<std::size_t> order(ridge_positions_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return ridge_positions_[a] < ridge_positions_[b]; });
+  auto permute = [&](std::vector<double>& v) {
+    std::vector<double> out(v.size());
+    for (std::size_t i = 0; i < order.size(); ++i) out[i] = v[order[i]];
+    v = std::move(out);
+  };
+  permute(ridge_positions_);
+  permute(ridge_heights_);
+  permute(ridge_widths_);
+}
+
+const SurfaceSegment& SurfaceModel::segment_at(double s) const {
+  const double q = std::clamp(s, 0.0, config_.length_m - 1e-9);
+  auto it = std::upper_bound(segments_.begin(), segments_.end(), q,
+                             [](double v, const SurfaceSegment& seg) { return v < seg.s_end; });
+  if (it == segments_.end()) return segments_.back();
+  return *it;
+}
+
+SurfaceClass SurfaceModel::class_at(double s) const { return segment_at(s).cls; }
+
+double SurfaceModel::meander(const geo::Xy& p) const {
+  const double u = track_.cross_track(p);
+  // Boundary wobble grows away from the track but stays bounded; exactly on
+  // the track (u == 0) the 2-D field matches the 1-D process by construction.
+  return config_.meander_amp_m * std::tanh(u / 500.0) *
+         fbm1d(track_.along_track(p), config_.meander_wavelength_m, seed_ ^ 0x3EA2ull);
+}
+
+SurfaceClass SurfaceModel::class_at_xy(const geo::Xy& p) const {
+  const double s = effective_s(p);
+  if (s < 0.0 || s > config_.length_m) return SurfaceClass::Unknown;
+  return class_at(s);
+}
+
+double SurfaceModel::effective_s(const geo::Xy& p) const {
+  return track_.along_track(p) + meander(p);
+}
+
+SurfaceSample SurfaceModel::sample_xy(const geo::Xy& p) const {
+  const double s = effective_s(p);
+  if (s < 0.0 || s > config_.length_m) return SurfaceSample{SurfaceClass::Unknown, 0.0, 0.0};
+  return sample(s);
+}
+
+SurfaceSample SurfaceModel::sample(double s) const {
+  const SurfaceSegment& seg = segment_at(s);
+  SurfaceSample out;
+  out.cls = seg.cls;
+
+  switch (seg.cls) {
+    case SurfaceClass::ThickIce: {
+      // Floe-scale texture + snow + ridge sails.
+      double h = seg.base_freeboard + seg.snow_depth;
+      h += 0.05 * fbm1d(s, 35.0, seed_ ^ 0x0F10Eull);
+      h += 0.02 * noise1d(s, 6.0, seed_ ^ 0x0F11Full);
+      // Ridges within ±60 m.
+      auto lo = std::lower_bound(ridge_positions_.begin(), ridge_positions_.end(), s - 60.0);
+      for (auto it = lo; it != ridge_positions_.end() && *it < s + 60.0; ++it) {
+        const auto i = static_cast<std::size_t>(it - ridge_positions_.begin());
+        const double d = (s - ridge_positions_[i]) / ridge_widths_[i];
+        h += ridge_heights_[i] * std::exp(-0.5 * d * d);
+      }
+      out.freeboard = std::max(h, 0.05);
+      out.reflectance =
+          std::clamp(seg.reflectance + 0.04 * noise1d(s, 120.0, seed_ ^ 0xAB1Dull), 0.4, 1.0);
+      break;
+    }
+    case SurfaceClass::ThinIce: {
+      double h = seg.base_freeboard + 0.008 * noise1d(s, 20.0, seed_ ^ 0x7711Cull);
+      out.freeboard = std::max(h, 0.0);
+      // Thin-ice darkness tracks its thickness: thinner = darker.
+      out.reflectance = std::clamp(
+          seg.reflectance + 0.06 * noise1d(s, 150.0, seed_ ^ 0xAB2Dull), 0.12, 0.6);
+      break;
+    }
+    case SurfaceClass::OpenWater: {
+      out.freeboard = 0.0;  // waves enter via the photon simulator's noise
+      out.reflectance =
+          std::clamp(seg.reflectance + 0.015 * noise1d(s, 80.0, seed_ ^ 0xAB3Dull), 0.01, 0.2);
+      break;
+    }
+    default:
+      break;
+  }
+  return out;
+}
+
+double SurfaceModel::ssh_residual(double s) const {
+  // Mesoscale oceanography the geophysical corrections cannot remove; the
+  // sliding-window sea-surface detectors have to track this.
+  return config_.ssh_residual_amp * fbm1d(s, 18'000.0, seed_ ^ 0x55Dull);
+}
+
+double SurfaceModel::sea_surface_height(double s, double t_s) const {
+  const geo::Xy p = track_.at(s);
+  return corrections_->total(t_s, p.x, p.y) + ssh_residual(s);
+}
+
+double SurfaceModel::surface_height(double s, double t_s) const {
+  return sea_surface_height(s, t_s) + sample(s).freeboard;
+}
+
+std::array<double, 3> SurfaceModel::class_fractions() const {
+  std::array<double, 3> len{0.0, 0.0, 0.0};
+  for (const auto& seg : segments_)
+    len[static_cast<std::size_t>(seg.cls)] += seg.s_end - seg.s_begin;
+  const double total = len[0] + len[1] + len[2];
+  for (auto& v : len) v /= total;
+  return len;
+}
+
+}  // namespace is2::atl03

@@ -1,0 +1,119 @@
+// Synthetic Ross Sea sea-ice surface process.
+//
+// The ground-truth scene both the ATL03 photon simulator and the Sentinel-2
+// renderer sample. It is a 1-D semi-Markov process along the reference track
+// (floes of thick ice / patches of thin ice / open-water leads, plus polynya
+// events mimicking katabatic-wind lead openings), extended to 2-D through a
+// smooth cross-track meander of class boundaries. Heights are ellipsoidal:
+// sea surface height (geoid + tide + inverted barometer + mesoscale residual)
+// plus class-dependent freeboard, ridges, snow and roughness.
+//
+// Everything is a deterministic function of (seed, coordinates) so the two
+// instruments observe a consistent scene and experiments reproduce exactly.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "atl03/types.hpp"
+#include "geo/corrections.hpp"
+#include "geo/track.hpp"
+
+namespace is2::atl03 {
+
+struct SurfaceConfig {
+  double length_m = 50'000.0;       ///< along-track extent of the scene
+  double mean_floe_m = 1'800.0;     ///< mean thick-ice floe length
+  double mean_thin_m = 350.0;       ///< mean thin-ice patch length
+  double mean_lead_m = 80.0;        ///< mean open-water lead width
+  double polynya_prob = 0.04;       ///< chance a water/thin segment is a polynya
+  double polynya_scale = 12.0;      ///< polynya length multiplier
+  double thick_freeboard_mu = 0.30; ///< mean thick-ice freeboard [m]
+  double thick_freeboard_sigma = 0.12;
+  double thin_freeboard_lo = 0.0;   ///< thin-ice freeboard range [m] (nilas ~ sea level)
+  double thin_freeboard_hi = 0.12;  ///< upper thin ice blends into young thick ice
+  double snow_depth_mean = 0.08;    ///< mean snow depth on thick ice [m]
+  double ridge_density = 1.0 / 400.0;  ///< ridges per meter of thick ice
+  double ridge_height_mean = 0.6;   ///< mean sail height above floe [m]
+  double wave_sigma = 0.03;         ///< open-water surface roughness [m]
+  double ssh_residual_amp = 0.03;   ///< mesoscale SSH left after corrections [m]
+  double meander_amp_m = 60.0;      ///< cross-track wobble of class boundaries
+  double meander_wavelength_m = 900.0;
+};
+
+/// One ground-truth along-track segment of uniform surface class.
+struct SurfaceSegment {
+  double s_begin = 0.0;
+  double s_end = 0.0;
+  SurfaceClass cls = SurfaceClass::ThickIce;
+  double base_freeboard = 0.0;  ///< segment-level freeboard before texture
+  double reflectance = 0.0;     ///< nominal top-of-atmosphere reflectance
+  double snow_depth = 0.0;      ///< thick ice only
+};
+
+/// Point sample of the surface at a given along-track coordinate.
+struct SurfaceSample {
+  SurfaceClass cls = SurfaceClass::OpenWater;
+  double freeboard = 0.0;      ///< ice+snow surface above local sea surface [m]
+  double reflectance = 0.0;    ///< optical reflectance for the S2 renderer
+};
+
+class SurfaceModel {
+ public:
+  SurfaceModel(const SurfaceConfig& config, const geo::GroundTrack& track,
+               const geo::GeoCorrections& corrections, std::uint64_t seed);
+
+  /// Surface class at along-track coordinate s (1-D truth on the track).
+  SurfaceClass class_at(double s) const;
+
+  /// Surface class at an arbitrary projected point, applying the cross-track
+  /// boundary meander (what the Sentinel-2 renderer sees).
+  SurfaceClass class_at_xy(const geo::Xy& p) const;
+
+  /// Freeboard + reflectance sample; deterministic in s.
+  SurfaceSample sample(double s) const;
+
+  /// Sample at an arbitrary projected point (class + texture via the
+  /// meandered effective along-track coordinate). Off-scene points return
+  /// Unknown with zero freeboard.
+  SurfaceSample sample_xy(const geo::Xy& p) const;
+
+  /// Effective along-track coordinate of a projected point (meander applied).
+  double effective_s(const geo::Xy& p) const;
+
+  /// True local sea surface height (ellipsoidal) at (s, t): corrections field
+  /// plus the mesoscale residual the freeboard stage must recover.
+  double sea_surface_height(double s, double t_s) const;
+
+  /// Residual sea surface after perfect geophysical correction — the target
+  /// of the local sea-surface detectors.
+  double ssh_residual(double s) const;
+
+  /// Ellipsoidal height of the (snow) surface at (s, t), without sensor
+  /// noise: SSH + freeboard.
+  double surface_height(double s, double t_s) const;
+
+  const std::vector<SurfaceSegment>& segments() const { return segments_; }
+  const geo::GroundTrack& track() const { return track_; }
+  const SurfaceConfig& config() const { return config_; }
+  double length() const { return config_.length_m; }
+
+  /// Ground-truth class fractions (thick, thin, water) by length.
+  std::array<double, 3> class_fractions() const;
+
+ private:
+  const SurfaceSegment& segment_at(double s) const;
+  double meander(const geo::Xy& p) const;
+
+  SurfaceConfig config_;
+  geo::GroundTrack track_;
+  const geo::GeoCorrections* corrections_;
+  std::uint64_t seed_;
+  std::vector<SurfaceSegment> segments_;
+  std::vector<double> ridge_positions_;  // along-track ridge centers
+  std::vector<double> ridge_heights_;
+  std::vector<double> ridge_widths_;
+};
+
+}  // namespace is2::atl03

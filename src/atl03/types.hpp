@@ -1,0 +1,61 @@
+// Shared ATL03 / sea-ice domain types.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace is2::atl03 {
+
+/// Surface classes used throughout the pipeline (paper's three targets).
+/// Values are stable: they appear in serialized granules and label files.
+enum class SurfaceClass : std::uint8_t {
+  ThickIce = 0,   // thick / snow-covered sea ice
+  ThinIce = 1,    // nilas, grey ice, newly frozen leads
+  OpenWater = 2,  // leads and polynya open water
+  Unknown = 255,  // unlabeled (cloud-masked or outside S2 coverage)
+};
+
+inline const char* to_string(SurfaceClass c) {
+  switch (c) {
+    case SurfaceClass::ThickIce: return "thick_ice";
+    case SurfaceClass::ThinIce: return "thin_ice";
+    case SurfaceClass::OpenWater: return "open_water";
+    case SurfaceClass::Unknown: return "unknown";
+  }
+  return "?";
+}
+
+/// Number of trainable surface classes (Unknown excluded).
+inline constexpr int kNumClasses = 3;
+
+/// ATL03 photon signal classification confidence (ATBD signal_conf_ph):
+/// 0 noise, 1 buffer, 2 low, 3 medium, 4 high.
+enum class SignalConf : std::int8_t {
+  Noise = 0,
+  Buffer = 1,
+  Low = 2,
+  Medium = 3,
+  High = 4,
+};
+
+/// The six ICESat-2 beams; the paper uses only the three strong beams.
+enum class BeamId : std::uint8_t { Gt1l = 0, Gt1r = 1, Gt2l = 2, Gt2r = 3, Gt3l = 4, Gt3r = 5 };
+
+inline const char* beam_name(BeamId b) {
+  switch (b) {
+    case BeamId::Gt1l: return "gt1l";
+    case BeamId::Gt1r: return "gt1r";
+    case BeamId::Gt2l: return "gt2l";
+    case BeamId::Gt2r: return "gt2r";
+    case BeamId::Gt3l: return "gt3l";
+    case BeamId::Gt3r: return "gt3r";
+  }
+  return "?";
+}
+
+/// In the nominal configuration the right beams of each pair are strong.
+inline bool is_strong(BeamId b) {
+  return b == BeamId::Gt1r || b == BeamId::Gt2r || b == BeamId::Gt3r;
+}
+
+}  // namespace is2::atl03

@@ -1,0 +1,109 @@
+#include "baseline/atl07.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/stats.hpp"
+
+namespace is2::baseline {
+
+using atl03::SurfaceClass;
+
+double Atl07Product::mean_segment_length() const {
+  if (segments.empty()) return 0.0;
+  double s = 0.0;
+  for (const auto& seg : segments) s += seg.length;
+  return s / static_cast<double>(segments.size());
+}
+
+double Atl07Product::classification_accuracy() const {
+  std::size_t n = 0, ok = 0;
+  for (const auto& seg : segments) {
+    if (seg.type == SurfaceClass::Unknown || seg.truth == SurfaceClass::Unknown) continue;
+    ++n;
+    if (seg.type == seg.truth) ++ok;
+  }
+  return n ? static_cast<double>(ok) / static_cast<double>(n) : 0.0;
+}
+
+Atl07Product build_atl07(const atl03::PreprocessedBeam& beam, const Atl07Config& cfg) {
+  Atl07Product product;
+  const std::size_t n = beam.size();
+  if (n == 0) return product;
+
+  // Aggregate fixed photon counts (the ATBD's 150-photon rule).
+  std::vector<double> h;
+  h.reserve(cfg.photons_per_segment);
+  for (std::size_t begin = 0; begin + cfg.photons_per_segment <= n;
+       begin += cfg.photons_per_segment) {
+    const std::size_t end = begin + cfg.photons_per_segment;
+    Atl07Segment seg;
+    h.clear();
+    double t_sum = 0.0, x_sum = 0.0, y_sum = 0.0, bg_sum = 0.0;
+    std::uint32_t counts[3] = {0, 0, 0};
+    for (std::size_t i = begin; i < end; ++i) {
+      h.push_back(beam.h[i]);
+      t_sum += beam.t[i];
+      x_sum += beam.x[i];
+      y_sum += beam.y[i];
+      bg_sum += beam.bckgrd_rate[i];
+      if (!beam.truth_class.empty() && beam.truth_class[i] < 3) ++counts[beam.truth_class[i]];
+    }
+    const auto m = static_cast<double>(cfg.photons_per_segment);
+    seg.s_center = 0.5 * (beam.s[begin] + beam.s[end - 1]);
+    seg.length = std::max(beam.s[end - 1] - beam.s[begin], 1e-6);
+    seg.t = t_sum / m;
+    seg.x = x_sum / m;
+    seg.y = y_sum / m;
+    seg.h = util::mean(h);
+    seg.h_std = util::stddev(h);
+    seg.bckgrd_rate = bg_sum / m;
+    seg.n_photons = static_cast<std::uint32_t>(cfg.photons_per_segment);
+    seg.photon_rate = m / (seg.length / 0.7);  // photons per shot
+    if (!beam.truth_class.empty()) {
+      std::uint32_t best = 0;
+      for (std::uint32_t c = 1; c < 3; ++c)
+        if (counts[c] > counts[best]) best = c;
+      seg.truth = counts[best] > 0 ? static_cast<SurfaceClass>(best) : SurfaceClass::Unknown;
+    }
+    product.segments.push_back(seg);
+  }
+
+  // Rolling sea-level proxy over segment heights (the product classifies on
+  // heights relative to its own local sea surface estimate).
+  std::vector<double> baseline(product.segments.size(), 0.0);
+  {
+    std::size_t lo = 0, hi = 0;
+    std::vector<double> window;
+    for (std::size_t k = 0; k < product.segments.size(); ++k) {
+      const double s = product.segments[k].s_center;
+      while (hi < product.segments.size() &&
+             product.segments[hi].s_center <= s + cfg.baseline_window_m / 2.0)
+        ++hi;
+      while (lo < hi && product.segments[lo].s_center < s - cfg.baseline_window_m / 2.0) ++lo;
+      window.clear();
+      for (std::size_t q = lo; q < hi; ++q) window.push_back(product.segments[q].h);
+      baseline[k] = util::percentile(window, cfg.baseline_percentile);
+    }
+  }
+
+  // ATBD-style surface-type decision tree.
+  for (std::size_t k = 0; k < product.segments.size(); ++k) {
+    Atl07Segment& seg = product.segments[k];
+    const double h_rel = seg.h - baseline[k];
+    if (seg.photon_rate <= cfg.lead_rate_max && seg.h_std <= cfg.lead_std_max &&
+        h_rel <= cfg.water_h_max) {
+      seg.type = SurfaceClass::OpenWater;  // dark, quiet, at sea level: lead
+    } else if (h_rel <= cfg.water_h_max) {
+      seg.type = seg.photon_rate <= cfg.lead_rate_max ? SurfaceClass::OpenWater
+                                                      : SurfaceClass::ThinIce;
+    } else if (h_rel <= cfg.thin_h_max) {
+      seg.type = SurfaceClass::ThinIce;
+    } else {
+      seg.type = SurfaceClass::ThickIce;
+    }
+  }
+  return product;
+}
+
+}  // namespace is2::baseline

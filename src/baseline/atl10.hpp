@@ -1,0 +1,36 @@
+// ATL10 emulator: NASA's sea-ice freeboard product. Builds the reference
+// sea surface from ATL07 lead segments over 10 km swath sections using the
+// ATBD's inverse-variance lead combination (the same equations the paper's
+// method (iv) adopts for 2m data), then freeboard = segment height - local
+// reference. Baseline for Figs 10-11.
+#pragma once
+
+#include <vector>
+
+#include "baseline/atl07.hpp"
+
+namespace is2::baseline {
+
+struct Atl10Config {
+  double swath_length_m = 10'000.0;  ///< nominal ATL10 section length
+  double max_freeboard_m = 10.0;     ///< ATBD sanity cap
+  double lead_sigma_floor = 0.005;   ///< minimum lead height sigma [m]
+};
+
+struct Atl10Freeboard {
+  double s_center = 0.0;
+  double length = 0.0;
+  double freeboard = 0.0;
+  atl03::SurfaceClass type = atl03::SurfaceClass::Unknown;
+};
+
+struct Atl10Product {
+  std::vector<Atl10Freeboard> freeboards;  ///< ice segments with freeboard
+  std::vector<double> section_ref_height;  ///< reference SSH per 10km section
+  std::vector<double> section_center_s;
+  std::size_t sections_without_leads = 0;
+};
+
+Atl10Product build_atl10(const Atl07Product& atl07, const Atl10Config& config = {});
+
+}  // namespace is2::baseline

@@ -1,0 +1,139 @@
+#include "baseline/decision_tree.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <stdexcept>
+
+namespace is2::baseline {
+
+namespace {
+
+double gini(const std::vector<std::size_t>& counts, std::size_t total) {
+  if (total == 0) return 0.0;
+  double g = 1.0;
+  for (std::size_t c : counts) {
+    const double p = static_cast<double>(c) / static_cast<double>(total);
+    g -= p * p;
+  }
+  return g;
+}
+
+}  // namespace
+
+void DecisionTree::fit(const std::vector<float>& x, std::size_t dim,
+                       const std::vector<std::uint8_t>& y, int n_classes,
+                       const TreeConfig& config) {
+  if (dim == 0 || x.size() != y.size() * dim)
+    throw std::invalid_argument("DecisionTree::fit: shape mismatch");
+  if (y.empty()) throw std::invalid_argument("DecisionTree::fit: empty dataset");
+  dim_ = dim;
+  n_classes_ = n_classes;
+  depth_ = 0;
+  nodes_.clear();
+  std::vector<std::size_t> indices(y.size());
+  for (std::size_t i = 0; i < y.size(); ++i) indices[i] = i;
+  build(x, y, indices, 0, y.size(), 0, config);
+}
+
+std::int32_t DecisionTree::build(const std::vector<float>& x, const std::vector<std::uint8_t>& y,
+                                 std::vector<std::size_t>& indices, std::size_t begin,
+                                 std::size_t end, int depth, const TreeConfig& config) {
+  depth_ = std::max(depth_, depth);
+  const std::size_t n = end - begin;
+
+  std::vector<std::size_t> counts(static_cast<std::size_t>(n_classes_), 0);
+  for (std::size_t i = begin; i < end; ++i) ++counts[y[indices[i]]];
+  std::uint8_t majority = 0;
+  for (std::size_t c = 1; c < counts.size(); ++c)
+    if (counts[c] > counts[majority]) majority = static_cast<std::uint8_t>(c);
+
+  const auto make_leaf = [&] {
+    Node leaf;
+    leaf.label = majority;
+    nodes_.push_back(leaf);
+    return static_cast<std::int32_t>(nodes_.size() - 1);
+  };
+
+  const double parent_gini = gini(counts, n);
+  if (depth >= config.max_depth || n < config.min_samples_split || parent_gini == 0.0)
+    return make_leaf();
+
+  // Best split over a quantile threshold grid per feature.
+  int best_feature = -1;
+  float best_threshold = 0.0f;
+  double best_score = parent_gini;
+  std::vector<float> values(n);
+  for (std::size_t f = 0; f < dim_; ++f) {
+    for (std::size_t i = 0; i < n; ++i) values[i] = x[indices[begin + i] * dim_ + f];
+    std::sort(values.begin(), values.end());
+    if (values.front() == values.back()) continue;
+    for (std::size_t t = 1; t <= config.n_thresholds; ++t) {
+      const std::size_t q = t * n / (config.n_thresholds + 1);
+      const float thr = values[std::min(q, n - 1)];
+      if (thr >= values.back()) continue;
+      std::vector<std::size_t> lc(static_cast<std::size_t>(n_classes_), 0);
+      std::size_t ln = 0;
+      for (std::size_t i = begin; i < end; ++i) {
+        if (x[indices[i] * dim_ + f] <= thr) {
+          ++lc[y[indices[i]]];
+          ++ln;
+        }
+      }
+      const std::size_t rn = n - ln;
+      if (ln < config.min_samples_leaf || rn < config.min_samples_leaf) continue;
+      std::vector<std::size_t> rc(static_cast<std::size_t>(n_classes_), 0);
+      for (std::size_t c = 0; c < counts.size(); ++c) rc[c] = counts[c] - lc[c];
+      const double score = (static_cast<double>(ln) * gini(lc, ln) +
+                            static_cast<double>(rn) * gini(rc, rn)) /
+                           static_cast<double>(n);
+      if (score + 1e-9 < best_score) {
+        best_score = score;
+        best_feature = static_cast<int>(f);
+        best_threshold = thr;
+      }
+    }
+  }
+  if (best_feature < 0) return make_leaf();
+
+  // Partition indices in place.
+  const auto mid_it = std::stable_partition(
+      indices.begin() + static_cast<std::ptrdiff_t>(begin),
+      indices.begin() + static_cast<std::ptrdiff_t>(end), [&](std::size_t idx) {
+        return x[idx * dim_ + static_cast<std::size_t>(best_feature)] <= best_threshold;
+      });
+  const auto mid = static_cast<std::size_t>(mid_it - indices.begin());
+
+  const auto node_idx = static_cast<std::int32_t>(nodes_.size());
+  nodes_.emplace_back();
+  nodes_[static_cast<std::size_t>(node_idx)].feature = best_feature;
+  nodes_[static_cast<std::size_t>(node_idx)].threshold = best_threshold;
+  nodes_[static_cast<std::size_t>(node_idx)].label = majority;
+
+  const std::int32_t left = build(x, y, indices, begin, mid, depth + 1, config);
+  const std::int32_t right = build(x, y, indices, mid, end, depth + 1, config);
+  nodes_[static_cast<std::size_t>(node_idx)].left = left;
+  nodes_[static_cast<std::size_t>(node_idx)].right = right;
+  return node_idx;
+}
+
+std::uint8_t DecisionTree::predict(const float* x) const {
+  if (nodes_.empty()) throw std::logic_error("DecisionTree::predict: not trained");
+  std::int32_t node = 0;
+  for (;;) {
+    const Node& nd = nodes_[static_cast<std::size_t>(node)];
+    if (nd.feature < 0) return nd.label;
+    node = x[nd.feature] <= nd.threshold ? nd.left : nd.right;
+  }
+}
+
+std::vector<std::uint8_t> DecisionTree::predict_batch(const std::vector<float>& x) const {
+  if (dim_ == 0 || x.size() % dim_ != 0)
+    throw std::invalid_argument("DecisionTree::predict_batch: shape mismatch");
+  const std::size_t n = x.size() / dim_;
+  std::vector<std::uint8_t> out(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = predict(&x[i * dim_]);
+  return out;
+}
+
+}  // namespace is2::baseline

@@ -1,0 +1,52 @@
+// CART decision tree (Gini impurity, axis-aligned splits) — the class of
+// model NASA's ATL07 surface classification uses and the paper argues
+// against. Serves as the classical baseline for the deep models and as the
+// trainable surface-type classifier inside the ATL07 emulator.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace is2::baseline {
+
+struct TreeConfig {
+  int max_depth = 8;
+  std::size_t min_samples_leaf = 16;
+  std::size_t min_samples_split = 32;
+  /// Candidate thresholds per feature per node (quantile grid).
+  std::size_t n_thresholds = 24;
+};
+
+class DecisionTree {
+ public:
+  /// Fit on row-major features [n * dim] with labels in [0, n_classes).
+  void fit(const std::vector<float>& x, std::size_t dim, const std::vector<std::uint8_t>& y,
+           int n_classes, const TreeConfig& config = {});
+
+  std::uint8_t predict(const float* x) const;
+  std::vector<std::uint8_t> predict_batch(const std::vector<float>& x) const;
+
+  std::size_t node_count() const { return nodes_.size(); }
+  int depth() const { return depth_; }
+  bool trained() const { return !nodes_.empty(); }
+
+ private:
+  struct Node {
+    int feature = -1;        ///< -1 for leaves
+    float threshold = 0.0f;  ///< go left if x[feature] <= threshold
+    std::int32_t left = -1;
+    std::int32_t right = -1;
+    std::uint8_t label = 0;  ///< majority class (used at leaves)
+  };
+
+  std::int32_t build(const std::vector<float>& x, const std::vector<std::uint8_t>& y,
+                     std::vector<std::size_t>& indices, std::size_t begin, std::size_t end,
+                     int depth, const TreeConfig& config);
+
+  std::vector<Node> nodes_;
+  std::size_t dim_ = 0;
+  int n_classes_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace is2::baseline

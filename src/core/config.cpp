@@ -1,0 +1,29 @@
+#include "core/config.hpp"
+
+namespace is2::core {
+
+PipelineConfig PipelineConfig::tiny() {
+  PipelineConfig cfg;
+  cfg.track_length_m = 6'000.0;
+  cfg.chunks_per_beam = 2;
+  cfg.scene.cross_track_halfwidth_m = 4'200.0;
+  cfg.scene.margin_m = 400.0;
+  cfg.segmentation.kmeans_subsample = 40'000;
+  return cfg;
+}
+
+PipelineConfig PipelineConfig::small() {
+  PipelineConfig cfg;
+  cfg.track_length_m = 20'000.0;
+  cfg.chunks_per_beam = 3;
+  return cfg;
+}
+
+PipelineConfig PipelineConfig::standard() {
+  PipelineConfig cfg;
+  cfg.track_length_m = 50'000.0;
+  cfg.chunks_per_beam = 4;
+  return cfg;
+}
+
+}  // namespace is2::core

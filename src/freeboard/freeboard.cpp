@@ -1,0 +1,69 @@
+#include "freeboard/freeboard.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace is2::freeboard {
+
+using atl03::SurfaceClass;
+
+double FreeboardProduct::track_length() const {
+  if (points.size() < 2) return 0.0;
+  return points.back().s - points.front().s;
+}
+
+double FreeboardProduct::points_per_km() const {
+  const double len = track_length();
+  return len > 0.0 ? static_cast<double>(points.size()) / (len / 1000.0) : 0.0;
+}
+
+util::Histogram FreeboardProduct::distribution(double lo, double hi, std::size_t bins) const {
+  util::Histogram h(lo, hi, bins);
+  for (const auto& p : points) h.add(p.freeboard);
+  return h;
+}
+
+util::RunningStats FreeboardProduct::stats() const {
+  util::RunningStats s;
+  for (const auto& p : points) s.add(p.freeboard);
+  return s;
+}
+
+FreeboardProduct compute_freeboard(const std::vector<resample::Segment>& segments,
+                                   const std::vector<atl03::SurfaceClass>& labels,
+                                   const seasurface::SeaSurfaceProfile& sea_surface,
+                                   const FreeboardConfig& cfg) {
+  if (labels.size() != segments.size())
+    throw std::invalid_argument("compute_freeboard: label count mismatch");
+  FreeboardProduct out;
+  if (sea_surface.empty()) return out;
+  out.points.reserve(segments.size());
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    const SurfaceClass cls = labels[i];
+    if (cls == SurfaceClass::Unknown) continue;
+    if (!cfg.include_open_water && cls == SurfaceClass::OpenWater) continue;
+    const double fb = segments[i].h_mean - sea_surface.at(segments[i].s);
+    if (fb < cfg.min_freeboard_m || fb > cfg.max_freeboard_m) continue;
+    out.points.push_back(
+        {segments[i].s, segments[i].x, segments[i].y, fb, cls, segments[i].truth});
+  }
+  return out;
+}
+
+double freeboard_rms_vs_truth(const FreeboardProduct& product,
+                              const std::vector<double>& true_freeboard) {
+  if (true_freeboard.size() != product.points.size())
+    throw std::invalid_argument("freeboard_rms_vs_truth: size mismatch");
+  double s = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < product.points.size(); ++i) {
+    const auto& p = product.points[i];
+    if (p.cls != p.truth) continue;  // evaluate height error, not label error
+    const double d = p.freeboard - true_freeboard[i];
+    s += d * d;
+    ++n;
+  }
+  return n ? std::sqrt(s / static_cast<double>(n)) : 0.0;
+}
+
+}  // namespace is2::freeboard

@@ -1,0 +1,55 @@
+// Freeboard computation (paper §III.D): h_f = h_s - h_ref per 2m segment,
+// against the interpolated local sea surface profile, plus the product
+// statistics the paper's Figs 10-11 compare (distributions, point density
+// vs the ATL07/ATL10 baselines).
+#pragma once
+
+#include <vector>
+
+#include "atl03/types.hpp"
+#include "resample/segmenter.hpp"
+#include "seasurface/detector.hpp"
+#include "util/stats.hpp"
+
+namespace is2::freeboard {
+
+struct FreeboardPoint {
+  double s = 0.0;
+  double x = 0.0, y = 0.0;
+  double freeboard = 0.0;
+  atl03::SurfaceClass cls = atl03::SurfaceClass::Unknown;
+  atl03::SurfaceClass truth = atl03::SurfaceClass::Unknown;
+};
+
+struct FreeboardConfig {
+  double max_freeboard_m = 10.0;   ///< sanity cap (matches ATL10 emulator)
+  double min_freeboard_m = -1.0;
+  bool include_open_water = true;  ///< water points carry ~0 freeboard
+};
+
+struct FreeboardProduct {
+  std::vector<FreeboardPoint> points;
+
+  /// Track length covered [m] (for point-density comparisons).
+  double track_length() const;
+  /// Points per kilometer of track (Fig 10d/11d density comparison).
+  double points_per_km() const;
+  /// Histogram of freeboard values over [lo, hi).
+  util::Histogram distribution(double lo = -0.2, double hi = 1.2, std::size_t bins = 56) const;
+  util::RunningStats stats() const;
+};
+
+/// Compute the 2m freeboard product from classified segments and a sea
+/// surface profile.
+FreeboardProduct compute_freeboard(const std::vector<resample::Segment>& segments,
+                                   const std::vector<atl03::SurfaceClass>& labels,
+                                   const seasurface::SeaSurfaceProfile& sea_surface,
+                                   const FreeboardConfig& config = {});
+
+/// RMS error of computed freeboard against simulator ground truth
+/// (true surface height minus true local sea surface), evaluated on ice
+/// segments whose labels were correct.
+double freeboard_rms_vs_truth(const FreeboardProduct& product,
+                              const std::vector<double>& true_freeboard);
+
+}  // namespace is2::freeboard

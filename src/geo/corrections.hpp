@@ -1,0 +1,80 @@
+// Geophysical height corrections applied to ATL03 photon heights before sea
+// surface work (ATL03 ATBD [25]: ocean tide, solid-earth tide, inverted
+// barometer, geoid/mean-sea-surface). The real products interpolate global
+// model grids; here each term is a smooth parametric field with realistic
+// amplitude and wavelength so the correction code path (and the residual sea
+// surface left *after* correction) behaves like the real data.
+#pragma once
+
+#include <cstdint>
+
+namespace is2::geo {
+
+/// Long-wavelength geoid/mean-sea-surface undulation in projected (x,y)
+/// meters -> undulation meters relative to the WGS84 ellipsoid.
+class GeoidModel {
+ public:
+  explicit GeoidModel(std::uint64_t seed = 1);
+  double undulation(double x, double y) const;
+
+ private:
+  // Superposition of a handful of plane waves (amplitude, kx, ky, phase).
+  static constexpr int kWaves = 6;
+  double amp_[kWaves];
+  double kx_[kWaves];
+  double ky_[kWaves];
+  double phase_[kWaves];
+  double offset_;
+};
+
+/// Ocean tide height from the four dominant constituents (M2, S2, K1, O1)
+/// with spatially varying amplitude and phase.
+class TideModel {
+ public:
+  explicit TideModel(std::uint64_t seed = 2);
+  /// `t_s`: seconds since campaign epoch; (x, y) projected meters.
+  double tide(double t_s, double x, double y) const;
+
+ private:
+  static constexpr int kConstituents = 4;
+  double amp_[kConstituents];
+  double omega_[kConstituents];   // rad/s
+  double phase_x_[kConstituents]; // rad/m — phase advance across the region
+  double phase_y_[kConstituents];
+  double phase0_[kConstituents];
+};
+
+/// Inverted barometer: -9.948 mm per hPa of sea-level-pressure anomaly,
+/// with a slowly moving synoptic pressure field.
+class InvertedBarometerModel {
+ public:
+  explicit InvertedBarometerModel(std::uint64_t seed = 3);
+  double correction(double t_s, double x, double y) const;
+
+ private:
+  double amp_hpa_;
+  double kx_;
+  double ky_;
+  double omega_;
+  double phase_;
+};
+
+/// Bundle used by the preprocessing stage: total height correction to
+/// subtract from ellipsoidal photon heights.
+class GeoCorrections {
+ public:
+  explicit GeoCorrections(std::uint64_t seed = 7);
+
+  double total(double t_s, double x, double y) const;
+
+  const GeoidModel& geoid() const { return geoid_; }
+  const TideModel& tide() const { return tide_; }
+  const InvertedBarometerModel& inverted_barometer() const { return ib_; }
+
+ private:
+  GeoidModel geoid_;
+  TideModel tide_;
+  InvertedBarometerModel ib_;
+};
+
+}  // namespace is2::geo

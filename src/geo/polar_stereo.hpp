@@ -1,0 +1,53 @@
+// Ellipsoidal polar stereographic projection (Snyder 1987, eqs. 15-9, 14-15,
+// 21-33..21-41). The paper projects both IS2 ATL03 photons and Sentinel-2
+// pixels into EPSG:3976 (WGS84 / NSIDC Sea Ice Polar Stereographic South,
+// standard parallel 70°S, central meridian 0°) so the two datasets share a
+// grid for overlay and auto-labeling; epsg3976() builds that instance.
+#pragma once
+
+namespace is2::geo {
+
+/// Projected coordinates in meters.
+struct Xy {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// Geodetic coordinates in degrees.
+struct LonLat {
+  double lon = 0.0;
+  double lat = 0.0;
+};
+
+class PolarStereo {
+ public:
+  enum class Hemisphere { North, South };
+
+  /// `lat_ts_deg`: latitude of true scale (standard parallel), signed.
+  /// `lon0_deg`: central meridian.
+  PolarStereo(Hemisphere hemisphere, double lat_ts_deg, double lon0_deg);
+
+  /// EPSG:3976 — the projection used by the paper for IS2/S2 co-registration.
+  static PolarStereo epsg3976();
+  /// EPSG:3413 — northern-hemisphere counterpart (lat_ts 70N, lon0 -45).
+  static PolarStereo epsg3413();
+
+  Xy forward(const LonLat& ll) const;
+  LonLat inverse(const Xy& xy) const;
+
+  /// Map scale factor at a given latitude (1 at the standard parallel).
+  double scale_factor(double lat_deg) const;
+
+  Hemisphere hemisphere() const { return hemisphere_; }
+
+ private:
+  double t_of_lat(double lat_rad) const;  // Snyder 15-9 (north-aspect latitude)
+
+  Hemisphere hemisphere_;
+  double lon0_rad_;
+  double t_c_;   // t at the standard parallel
+  double m_c_;   // m at the standard parallel
+  double e_;     // first eccentricity
+};
+
+}  // namespace is2::geo

@@ -1,0 +1,39 @@
+#include "geo/track.hpp"
+
+#include <cmath>
+
+namespace is2::geo {
+
+GroundTrack::GroundTrack(Xy origin, double heading_rad)
+    : origin_(origin),
+      heading_(heading_rad),
+      dir_x_(std::cos(heading_rad)),
+      dir_y_(std::sin(heading_rad)) {}
+
+Xy GroundTrack::at(double s) const { return {origin_.x + s * dir_x_, origin_.y + s * dir_y_}; }
+
+double GroundTrack::along_track(const Xy& p) const {
+  return (p.x - origin_.x) * dir_x_ + (p.y - origin_.y) * dir_y_;
+}
+
+double GroundTrack::cross_track(const Xy& p) const {
+  return -(p.x - origin_.x) * dir_y_ + (p.y - origin_.y) * dir_x_;
+}
+
+GroundTrack GroundTrack::offset(double cross_track_m) const {
+  // Left-of-travel normal is (-dir_y, dir_x).
+  return GroundTrack({origin_.x - cross_track_m * dir_y_, origin_.y + cross_track_m * dir_x_},
+                     heading_);
+}
+
+std::vector<double> cumulative_distance(std::span<const Xy> points) {
+  std::vector<double> s(points.size(), 0.0);
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    const double dx = points[i].x - points[i - 1].x;
+    const double dy = points[i].y - points[i - 1].y;
+    s[i] = s[i - 1] + std::hypot(dx, dy);
+  }
+  return s;
+}
+
+}  // namespace is2::geo

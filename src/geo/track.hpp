@@ -1,0 +1,44 @@
+// Reference ground track geometry. ATL03 beams follow near-straight lines in
+// the polar stereographic plane at Ross Sea scales; a track is parameterized
+// by along-track distance s (meters) from its start point.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "geo/polar_stereo.hpp"
+
+namespace is2::geo {
+
+/// Straight reference ground track in projected coordinates.
+class GroundTrack {
+ public:
+  /// `origin`: projected start point; `heading_rad`: direction of travel in
+  /// the projected plane (0 = +x, pi/2 = +y).
+  GroundTrack(Xy origin, double heading_rad);
+
+  /// Projected position at along-track distance s.
+  Xy at(double s) const;
+  /// Along-track distance of the projection of `p` onto the track.
+  double along_track(const Xy& p) const;
+  /// Signed cross-track distance of `p` (positive to the left of travel).
+  double cross_track(const Xy& p) const;
+
+  Xy origin() const { return origin_; }
+  double heading() const { return heading_; }
+
+  /// Offset a track laterally (used for the three strong beams, which sit
+  /// ~3.3 km apart across-track).
+  GroundTrack offset(double cross_track_m) const;
+
+ private:
+  Xy origin_;
+  double heading_;
+  double dir_x_;
+  double dir_y_;
+};
+
+/// Cumulative chord-length along a polyline of projected points.
+std::vector<double> cumulative_distance(std::span<const Xy> points);
+
+}  // namespace is2::geo

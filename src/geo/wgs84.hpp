@@ -1,0 +1,22 @@
+// WGS84 ellipsoid constants shared by the projection and correction models.
+// ATL03 photon heights are referenced to the WGS84 ellipsoid (ITRF2014); the
+// pipeline keeps that convention throughout.
+#pragma once
+
+#include <cmath>
+
+namespace is2::geo {
+
+struct Wgs84 {
+  static constexpr double a = 6378137.0;                 // semi-major axis [m]
+  static constexpr double f = 1.0 / 298.257223563;       // flattening
+  static constexpr double b = a * (1.0 - f);             // semi-minor axis [m]
+  static constexpr double e2 = f * (2.0 - f);            // first eccentricity^2
+};
+
+inline constexpr double pi = 3.14159265358979323846;
+
+inline constexpr double deg2rad(double d) { return d * pi / 180.0; }
+inline constexpr double rad2deg(double r) { return r * 180.0 / pi; }
+
+}  // namespace is2::geo

@@ -1,0 +1,77 @@
+#include "h5lite/granule_io.hpp"
+
+#include <cstdint>
+
+namespace is2::h5 {
+
+using atl03::BeamData;
+using atl03::BeamId;
+using atl03::Granule;
+
+File to_file(const Granule& granule) {
+  File f;
+  f.set_attr("/ancillary_data/granule_id", granule.id);
+  f.set_attr("/ancillary_data/epoch_time", granule.epoch_time);
+  f.set_attr("/ancillary_data/track_origin_x", granule.track_origin.x);
+  f.set_attr("/ancillary_data/track_origin_y", granule.track_origin.y);
+  f.set_attr("/ancillary_data/track_heading", granule.track_heading);
+  f.set_attr("/ancillary_data/track_length", granule.track_length);
+  f.set_attr("/ancillary_data/scene_seed", static_cast<std::int64_t>(granule.seed));
+  f.set_attr("/ancillary_data/n_beams", static_cast<std::int64_t>(granule.beams.size()));
+
+  for (const auto& b : granule.beams) {
+    b.check_consistent();
+    const std::string g = std::string("/") + atl03::beam_name(b.beam);
+    f.put(g + "/heights/delta_time", b.delta_time);
+    f.put(g + "/heights/lat_ph", b.lat);
+    f.put(g + "/heights/lon_ph", b.lon);
+    f.put(g + "/heights/h_ph", b.h);
+    f.put(g + "/heights/dist_ph_along", b.along_track);
+    f.put(g + "/heights/signal_conf_ph", b.signal_conf);
+    f.put(g + "/bckgrd_atlas/delta_time", b.bckgrd_delta_time);
+    f.put(g + "/bckgrd_atlas/bckgrd_rate", b.bckgrd_rate);
+    if (!b.truth_class.empty()) f.put(g + "/truth/surface_type", b.truth_class);
+  }
+  return f;
+}
+
+Granule from_file(const File& f) {
+  Granule g;
+  g.id = f.attr_string("/ancillary_data/granule_id");
+  g.epoch_time = f.attr_double("/ancillary_data/epoch_time");
+  g.track_origin.x = f.attr_double("/ancillary_data/track_origin_x");
+  g.track_origin.y = f.attr_double("/ancillary_data/track_origin_y");
+  g.track_heading = f.attr_double("/ancillary_data/track_heading");
+  g.track_length = f.attr_double("/ancillary_data/track_length");
+  g.seed = static_cast<std::uint64_t>(f.attr_int("/ancillary_data/scene_seed"));
+
+  for (int bi = 0; bi < 6; ++bi) {
+    const auto beam = static_cast<BeamId>(bi);
+    const std::string base = std::string("/") + atl03::beam_name(beam);
+    if (!f.contains(base + "/heights/h_ph")) continue;
+    BeamData b;
+    b.beam = beam;
+    b.delta_time = f.get<double>(base + "/heights/delta_time");
+    b.lat = f.get<double>(base + "/heights/lat_ph");
+    b.lon = f.get<double>(base + "/heights/lon_ph");
+    b.h = f.get<double>(base + "/heights/h_ph");
+    b.along_track = f.get<double>(base + "/heights/dist_ph_along");
+    b.signal_conf = f.get<std::int8_t>(base + "/heights/signal_conf_ph");
+    b.bckgrd_delta_time = f.get<double>(base + "/bckgrd_atlas/delta_time");
+    b.bckgrd_rate = f.get<double>(base + "/bckgrd_atlas/bckgrd_rate");
+    if (f.contains(base + "/truth/surface_type"))
+      b.truth_class = f.get<std::uint8_t>(base + "/truth/surface_type");
+    b.check_consistent();
+    g.beams.push_back(std::move(b));
+  }
+  if (g.beams.empty()) throw H5Error("granule_io: file contains no beams");
+  return g;
+}
+
+void save_granule(const Granule& granule, const std::string& filename) {
+  to_file(granule).save(filename);
+}
+
+Granule load_granule(const std::string& filename) { return from_file(File::load(filename)); }
+
+}  // namespace is2::h5

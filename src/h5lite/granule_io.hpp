@@ -1,0 +1,23 @@
+// ATL03 granule <-> h5lite container, mirroring the real product layout
+// (/gtXX/heights/..., /gtXX/bckgrd_atlas/..., ancillary attributes). The
+// Table II / Table V LOAD phase measures reading these files.
+#pragma once
+
+#include <string>
+
+#include "atl03/granule.hpp"
+#include "h5lite/h5file.hpp"
+
+namespace is2::h5 {
+
+/// Build the in-memory container for a granule.
+File to_file(const atl03::Granule& granule);
+
+/// Parse a container back into a granule; throws H5Error on schema problems.
+atl03::Granule from_file(const File& file);
+
+/// Convenience wrappers for disk I/O.
+void save_granule(const atl03::Granule& granule, const std::string& filename);
+atl03::Granule load_granule(const std::string& filename);
+
+}  // namespace is2::h5

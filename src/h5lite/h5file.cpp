@@ -1,0 +1,254 @@
+#include "h5lite/h5file.hpp"
+
+#include <array>
+#include <cstring>
+#include <fstream>
+
+namespace is2::h5 {
+
+std::size_t dtype_size(DType t) {
+  switch (t) {
+    case DType::F64: return 8;
+    case DType::F32: return 4;
+    case DType::I64: return 8;
+    case DType::I32: return 4;
+    case DType::U8: return 1;
+    case DType::I8: return 1;
+  }
+  throw H5Error("h5lite: unknown dtype");
+}
+
+const char* dtype_name(DType t) {
+  switch (t) {
+    case DType::F64: return "f64";
+    case DType::F32: return "f32";
+    case DType::I64: return "i64";
+    case DType::I32: return "i32";
+    case DType::U8: return "u8";
+    case DType::I8: return "i8";
+  }
+  return "?";
+}
+
+std::uint32_t crc32(std::span<const std::uint8_t> data) {
+  static const auto table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::uint8_t b : data) crc = table[(crc ^ b) & 0xFFu] ^ (crc >> 8);
+  return crc ^ 0xFFFFFFFFu;
+}
+
+const File::Entry& File::entry(const std::string& path) const {
+  auto it = datasets_.find(path);
+  if (it == datasets_.end()) throw H5Error("h5lite: no dataset at " + path);
+  return it->second;
+}
+
+void File::validate_path(const std::string& path) {
+  if (path.empty() || path[0] != '/')
+    throw H5Error("h5lite: dataset path must start with '/': " + path);
+}
+
+std::vector<std::string> File::list(const std::string& prefix) const {
+  std::vector<std::string> out;
+  for (const auto& [path, e] : datasets_)
+    if (path.compare(0, prefix.size(), prefix) == 0) out.push_back(path);
+  return out;
+}
+
+const AttrValue& File::attr(const std::string& path) const {
+  auto it = attrs_.find(path);
+  if (it == attrs_.end()) throw H5Error("h5lite: no attribute at " + path);
+  return it->second;
+}
+
+double File::attr_double(const std::string& path) const {
+  const auto& v = attr(path);
+  if (const auto* d = std::get_if<double>(&v)) return *d;
+  if (const auto* i = std::get_if<std::int64_t>(&v)) return static_cast<double>(*i);
+  throw H5Error("h5lite: attribute " + path + " is not numeric");
+}
+
+std::int64_t File::attr_int(const std::string& path) const {
+  const auto& v = attr(path);
+  if (const auto* i = std::get_if<std::int64_t>(&v)) return *i;
+  throw H5Error("h5lite: attribute " + path + " is not an integer");
+}
+
+std::string File::attr_string(const std::string& path) const {
+  const auto& v = attr(path);
+  if (const auto* s = std::get_if<std::string>(&v)) return *s;
+  throw H5Error("h5lite: attribute " + path + " is not a string");
+}
+
+std::size_t File::payload_bytes() const {
+  std::size_t n = 0;
+  for (const auto& [path, e] : datasets_) n += e.bytes.size();
+  return n;
+}
+
+namespace {
+
+constexpr char kMagic[4] = {'H', '5', 'L', 'T'};
+constexpr std::uint32_t kVersion = 1;
+
+class Writer {
+ public:
+  std::vector<std::uint8_t> buf;
+
+  template <typename T>
+  void raw(const T& v) {
+    const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
+    buf.insert(buf.end(), p, p + sizeof(T));
+  }
+  void bytes(const std::uint8_t* p, std::size_t n) { buf.insert(buf.end(), p, p + n); }
+  void str(const std::string& s) {
+    raw(static_cast<std::uint32_t>(s.size()));
+    bytes(reinterpret_cast<const std::uint8_t*>(s.data()), s.size());
+  }
+};
+
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> b) : buf_(b) {}
+
+  template <typename T>
+  T raw() {
+    if (pos_ + sizeof(T) > buf_.size()) throw H5Error("h5lite: truncated file");
+    T v;
+    std::memcpy(&v, buf_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+  void bytes(std::uint8_t* p, std::size_t n) {
+    if (pos_ + n > buf_.size()) throw H5Error("h5lite: truncated file");
+    std::memcpy(p, buf_.data() + pos_, n);
+    pos_ += n;
+  }
+  std::string str() {
+    const auto n = raw<std::uint32_t>();
+    if (pos_ + n > buf_.size()) throw H5Error("h5lite: truncated string");
+    std::string s(reinterpret_cast<const char*>(buf_.data() + pos_), n);
+    pos_ += n;
+    return s;
+  }
+  std::size_t pos() const { return pos_; }
+
+ private:
+  std::span<const std::uint8_t> buf_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::vector<std::uint8_t> File::serialize() const {
+  Writer body;
+  body.raw(static_cast<std::uint32_t>(datasets_.size()));
+  for (const auto& [path, e] : datasets_) {
+    body.str(path);
+    body.raw(static_cast<std::uint8_t>(e.dtype));
+    body.raw(static_cast<std::uint8_t>(e.shape.size()));
+    for (auto d : e.shape) body.raw(static_cast<std::uint64_t>(d));
+    body.raw(static_cast<std::uint64_t>(e.bytes.size()));
+    body.bytes(e.bytes.data(), e.bytes.size());
+  }
+  body.raw(static_cast<std::uint32_t>(attrs_.size()));
+  for (const auto& [path, v] : attrs_) {
+    body.str(path);
+    if (const auto* d = std::get_if<double>(&v)) {
+      body.raw(static_cast<std::uint8_t>(0));
+      body.raw(*d);
+    } else if (const auto* i = std::get_if<std::int64_t>(&v)) {
+      body.raw(static_cast<std::uint8_t>(1));
+      body.raw(*i);
+    } else {
+      body.raw(static_cast<std::uint8_t>(2));
+      body.str(std::get<std::string>(v));
+    }
+  }
+
+  Writer out;
+  out.bytes(reinterpret_cast<const std::uint8_t*>(kMagic), 4);
+  out.raw(kVersion);
+  out.raw(static_cast<std::uint64_t>(body.buf.size()));
+  out.bytes(body.buf.data(), body.buf.size());
+  out.raw(crc32(body.buf));
+  return out.buf;
+}
+
+File File::deserialize(std::span<const std::uint8_t> buffer) {
+  Reader r(buffer);
+  char magic[4];
+  r.bytes(reinterpret_cast<std::uint8_t*>(magic), 4);
+  if (std::memcmp(magic, kMagic, 4) != 0) throw H5Error("h5lite: bad magic");
+  const auto version = r.raw<std::uint32_t>();
+  if (version != kVersion) throw H5Error("h5lite: unsupported version");
+  const auto payload = r.raw<std::uint64_t>();
+  if (16 + payload + 4 > buffer.size()) throw H5Error("h5lite: truncated payload");
+  const std::uint32_t want =
+      crc32(buffer.subspan(16, static_cast<std::size_t>(payload)));
+
+  File f;
+  const auto n_datasets = r.raw<std::uint32_t>();
+  for (std::uint32_t i = 0; i < n_datasets; ++i) {
+    const std::string path = r.str();
+    Entry e;
+    const auto dtype_raw = r.raw<std::uint8_t>();
+    if (dtype_raw > static_cast<std::uint8_t>(DType::I8)) throw H5Error("h5lite: bad dtype");
+    e.dtype = static_cast<DType>(dtype_raw);
+    const auto ndim = r.raw<std::uint8_t>();
+    e.shape.resize(ndim);
+    std::uint64_t n = 1;
+    for (auto& d : e.shape) {
+      d = r.raw<std::uint64_t>();
+      n *= d;
+    }
+    const auto nbytes = r.raw<std::uint64_t>();
+    if (nbytes != n * dtype_size(e.dtype)) throw H5Error("h5lite: dataset size mismatch");
+    e.bytes.resize(static_cast<std::size_t>(nbytes));
+    r.bytes(e.bytes.data(), e.bytes.size());
+    f.datasets_[path] = std::move(e);
+  }
+  const auto n_attrs = r.raw<std::uint32_t>();
+  for (std::uint32_t i = 0; i < n_attrs; ++i) {
+    const std::string path = r.str();
+    const auto kind = r.raw<std::uint8_t>();
+    switch (kind) {
+      case 0: f.attrs_[path] = r.raw<double>(); break;
+      case 1: f.attrs_[path] = r.raw<std::int64_t>(); break;
+      case 2: f.attrs_[path] = r.str(); break;
+      default: throw H5Error("h5lite: bad attribute kind");
+    }
+  }
+  const auto got = Reader(buffer.subspan(r.pos())).raw<std::uint32_t>();
+  if (got != want) throw H5Error("h5lite: checksum mismatch (corrupt file)");
+  return f;
+}
+
+void File::save(const std::string& filename) const {
+  const auto buf = serialize();
+  std::ofstream out(filename, std::ios::binary | std::ios::trunc);
+  if (!out) throw H5Error("h5lite: cannot open for writing: " + filename);
+  out.write(reinterpret_cast<const char*>(buf.data()), static_cast<std::streamsize>(buf.size()));
+  if (!out) throw H5Error("h5lite: write failed: " + filename);
+}
+
+File File::load(const std::string& filename) {
+  std::ifstream in(filename, std::ios::binary | std::ios::ate);
+  if (!in) throw H5Error("h5lite: cannot open: " + filename);
+  const auto size = static_cast<std::size_t>(in.tellg());
+  in.seekg(0);
+  std::vector<std::uint8_t> buf(size);
+  in.read(reinterpret_cast<char*>(buf.data()), static_cast<std::streamsize>(size));
+  if (!in) throw H5Error("h5lite: read failed: " + filename);
+  return deserialize(buf);
+}
+
+}  // namespace is2::h5

@@ -1,0 +1,128 @@
+// h5lite: a small self-describing hierarchical container standing in for
+// HDF5 (no system HDF5 in this environment). It keeps the properties the
+// pipeline relies on: group/dataset paths ("/gt1r/heights/h_ph"), typed
+// n-dimensional arrays, scalar/string attributes, and whole-file load cost
+// proportional to data volume (which the Table II/V LOAD phase measures).
+//
+// On-disk layout (little-endian):
+//   magic "H5LT" | u32 version | u64 payload_bytes
+//   u32 n_datasets | per dataset: path, u8 dtype, u8 ndim, u64 dims[],
+//                    u64 nbytes, raw bytes
+//   u32 n_attrs    | per attr: path, u8 kind, value
+//   u32 crc32 of everything after the 16-byte header
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace is2::h5 {
+
+enum class DType : std::uint8_t { F64 = 0, F32 = 1, I64 = 2, I32 = 3, U8 = 4, I8 = 5 };
+
+std::size_t dtype_size(DType t);
+const char* dtype_name(DType t);
+
+template <typename T>
+struct dtype_of;
+template <> struct dtype_of<double> { static constexpr DType value = DType::F64; };
+template <> struct dtype_of<float> { static constexpr DType value = DType::F32; };
+template <> struct dtype_of<std::int64_t> { static constexpr DType value = DType::I64; };
+template <> struct dtype_of<std::int32_t> { static constexpr DType value = DType::I32; };
+template <> struct dtype_of<std::uint8_t> { static constexpr DType value = DType::U8; };
+template <> struct dtype_of<std::int8_t> { static constexpr DType value = DType::I8; };
+
+/// Error type for malformed files, missing paths and dtype mismatches.
+class H5Error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+using AttrValue = std::variant<double, std::int64_t, std::string>;
+
+/// In-memory file tree with binary (de)serialization.
+class File {
+ public:
+  /// Store a typed array under `path` (creates/overwrites). `shape` empty
+  /// means 1-D of data.size().
+  template <typename T>
+  void put(const std::string& path, std::span<const T> data,
+           std::vector<std::uint64_t> shape = {}) {
+    validate_path(path);
+    if (shape.empty()) shape = {static_cast<std::uint64_t>(data.size())};
+    std::uint64_t n = 1;
+    for (auto d : shape) n *= d;
+    if (n != data.size()) throw H5Error("h5lite: shape does not match data size for " + path);
+    Entry e;
+    e.dtype = dtype_of<T>::value;
+    e.shape = std::move(shape);
+    e.bytes.resize(data.size() * sizeof(T));
+    std::memcpy(e.bytes.data(), data.data(), e.bytes.size());
+    datasets_[path] = std::move(e);
+  }
+
+  template <typename T>
+  void put(const std::string& path, const std::vector<T>& data,
+           std::vector<std::uint64_t> shape = {}) {
+    put<T>(path, std::span<const T>(data), std::move(shape));
+  }
+
+  /// Read a typed array; throws H5Error on missing path or dtype mismatch.
+  template <typename T>
+  std::vector<T> get(const std::string& path) const {
+    const Entry& e = entry(path);
+    if (e.dtype != dtype_of<T>::value)
+      throw H5Error("h5lite: dtype mismatch reading " + path + " (stored " +
+                    dtype_name(e.dtype) + ")");
+    std::vector<T> out(e.bytes.size() / sizeof(T));
+    std::memcpy(out.data(), e.bytes.data(), e.bytes.size());
+    return out;
+  }
+
+  bool contains(const std::string& path) const { return datasets_.count(path) != 0; }
+  std::vector<std::uint64_t> shape(const std::string& path) const { return entry(path).shape; }
+  DType dtype(const std::string& path) const { return entry(path).dtype; }
+  /// All dataset paths with the given prefix (lexicographic order).
+  std::vector<std::string> list(const std::string& prefix = "") const;
+
+  void set_attr(const std::string& path, AttrValue value) { attrs_[path] = std::move(value); }
+  bool has_attr(const std::string& path) const { return attrs_.count(path) != 0; }
+  const AttrValue& attr(const std::string& path) const;
+  double attr_double(const std::string& path) const;
+  std::int64_t attr_int(const std::string& path) const;
+  std::string attr_string(const std::string& path) const;
+
+  std::size_t dataset_count() const { return datasets_.size(); }
+  /// Total payload bytes across datasets (proxy for granule size).
+  std::size_t payload_bytes() const;
+
+  void save(const std::string& filename) const;
+  static File load(const std::string& filename);
+
+  std::vector<std::uint8_t> serialize() const;
+  static File deserialize(std::span<const std::uint8_t> buffer);
+
+ private:
+  struct Entry {
+    DType dtype = DType::F64;
+    std::vector<std::uint64_t> shape;
+    std::vector<std::uint8_t> bytes;
+  };
+
+  const Entry& entry(const std::string& path) const;
+  static void validate_path(const std::string& path);
+
+  std::map<std::string, Entry> datasets_;
+  std::map<std::string, AttrValue> attrs_;
+};
+
+/// CRC-32 (IEEE 802.3) used for file integrity.
+std::uint32_t crc32(std::span<const std::uint8_t> data);
+
+}  // namespace is2::h5

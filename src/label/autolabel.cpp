@@ -1,0 +1,77 @@
+#include "label/autolabel.hpp"
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace is2::label {
+
+using atl03::SurfaceClass;
+
+double LabeledBeam::label_accuracy() const {
+  std::size_t n = 0, correct = 0;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (labels[i] == SurfaceClass::Unknown || segments[i].truth == SurfaceClass::Unknown)
+      continue;
+    ++n;
+    if (labels[i] == segments[i].truth) ++correct;
+  }
+  return n ? static_cast<double>(correct) / static_cast<double>(n) : 0.0;
+}
+
+LabeledBeam auto_label(const s2::ClassRaster& raster, std::vector<resample::Segment> segments,
+                       const AutoLabelConfig& cfg) {
+  LabeledBeam out;
+  out.segments = std::move(segments);
+  out.baseline = resample::rolling_baseline(out.segments);
+  out.features = resample::to_features(out.segments, out.baseline);
+  out.labels = overlay_labels(raster, out.segments, cfg.overlay);
+
+  const std::size_t n = out.segments.size();
+  util::Rng rng(util::hash64(cfg.seed ^ 0xAB01ull));
+
+  // Pass 1: statistics + transition flags from label changes.
+  std::vector<std::uint8_t> flagged(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (out.labels[i] == SurfaceClass::Unknown) {
+      ++out.n_unknown;
+      continue;
+    }
+    // Transition zone: a differing *known* label within the zone radius.
+    for (std::size_t j = i; j-- > 0;) {
+      if (out.segments[i].s - out.segments[j].s > cfg.transition_zone_m) break;
+      if (out.labels[j] != SurfaceClass::Unknown && out.labels[j] != out.labels[i]) {
+        flagged[i] = 1;
+        break;
+      }
+    }
+    if (!flagged[i]) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        if (out.segments[j].s - out.segments[i].s > cfg.transition_zone_m) break;
+        if (out.labels[j] != SurfaceClass::Unknown && out.labels[j] != out.labels[i]) {
+          flagged[i] = 1;
+          break;
+        }
+      }
+    }
+    // Plausibility rules against the relative elevation.
+    const double h_rel = out.segments[i].h_mean - out.baseline[i];
+    if (out.labels[i] == SurfaceClass::OpenWater && h_rel > cfg.water_h_max) flagged[i] = 1;
+    if (out.labels[i] == SurfaceClass::ThickIce && h_rel < cfg.thick_h_min) flagged[i] = 1;
+  }
+
+  // Pass 2: manual-correction emulation. A human reviewing the imagery and
+  // the photon profile resolves most flagged segments to the true class;
+  // unresolved flags keep the (possibly wrong) automatic label.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!flagged[i] || out.labels[i] == SurfaceClass::Unknown) continue;
+    ++out.n_flagged;
+    if (out.segments[i].truth != SurfaceClass::Unknown && rng.bernoulli(cfg.manual_fix_rate)) {
+      if (out.labels[i] != out.segments[i].truth) ++out.n_manual_fixed;
+      out.labels[i] = out.segments[i].truth;
+    }
+  }
+  return out;
+}
+
+}  // namespace is2::label

@@ -1,0 +1,55 @@
+// Auto-labeling of IS2 2m segments from classified S2 imagery (paper
+// §III.A.3/4), including the paper's two cleanup mechanisms:
+//
+//  * plausibility rules — a label that contradicts the segment's relative
+//    elevation (open water high above the sea-level proxy, thick ice at sea
+//    level) is flagged;
+//  * manual correction emulation — the paper manually corrected transition
+//    regions between surface types and cloud-affected stretches. A human
+//    with the imagery and the elevation profile resolves most flagged
+//    segments correctly, so flagged segments are re-labeled to ground truth
+//    with probability `manual_fix_rate` (the remainder keeps the noisy
+//    label). This is the documented substitution for human QC; the noise
+//    level it leaves behind is what the classifier trains against.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "label/overlay.hpp"
+#include "resample/segmenter.hpp"
+#include "sentinel2/image.hpp"
+
+namespace is2::label {
+
+struct AutoLabelConfig {
+  OverlayConfig overlay;
+  double transition_zone_m = 12.0;  ///< flag segments this close to a label change
+  double manual_fix_rate = 0.75;    ///< fraction of flagged segments a human fixes
+  double water_h_max = 0.12;        ///< plausibility: open water must be below this
+  double thick_h_min = 0.20;        ///< plausibility: thick ice must be above this
+  std::uint64_t seed = 1234;
+};
+
+/// Labeled training dataset for one beam.
+struct LabeledBeam {
+  std::vector<resample::Segment> segments;
+  std::vector<double> baseline;                 ///< rolling sea-level proxy
+  std::vector<resample::FeatureRow> features;   ///< unscaled
+  std::vector<atl03::SurfaceClass> labels;      ///< Unknown = unusable for training
+
+  // Bookkeeping for the labeling-quality experiments.
+  std::size_t n_unknown = 0;        ///< cloud-masked / off-raster segments
+  std::size_t n_flagged = 0;        ///< transition or plausibility flags
+  std::size_t n_manual_fixed = 0;   ///< flagged segments resolved "by hand"
+
+  /// Agreement of final labels with simulator truth over labeled segments.
+  double label_accuracy() const;
+};
+
+/// Label one beam's segments against a classified raster.
+LabeledBeam auto_label(const s2::ClassRaster& raster,
+                       std::vector<resample::Segment> segments,
+                       const AutoLabelConfig& config = {});
+
+}  // namespace is2::label

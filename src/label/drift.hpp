@@ -1,0 +1,44 @@
+// Sea-ice drift estimation between the IS2 and S2 acquisition times.
+//
+// The paper aligns each coincident pair by shifting the S2 image until its
+// classes match the IS2 elevation profile (Table I: "550 m / NW" etc.).
+// Here the estimator does that search automatically: over a polar grid of
+// candidate shifts it scores the physical consistency between the segment
+// elevations (relative to a rolling sea-level proxy) and the S2 class
+// sampled at the shifted position, and returns the best shift.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "resample/segmenter.hpp"
+#include "sentinel2/image.hpp"
+
+namespace is2::label {
+
+struct DriftConfig {
+  double max_shift_m = 800.0;   ///< search radius
+  double step_m = 25.0;         ///< radial step
+  int directions = 16;          ///< compass directions searched
+  double water_threshold_m = 0.12;   ///< h_rel below this looks like water
+  double thick_threshold_m = 0.22;   ///< h_rel above this looks like thick ice
+  std::size_t max_segments = 40'000; ///< subsample cap for the search
+};
+
+struct DriftEstimate {
+  geo::Xy shift{0.0, 0.0};  ///< shift to apply to IS2 positions when sampling
+                            ///< (equal and opposite to the S2 image shift)
+  double score = 0.0;       ///< consistency score of the best shift, in [0,1]
+  double score_unshifted = 0.0;  ///< score at zero shift, for comparison
+};
+
+/// Estimate drift from segments (with rolling baseline already available).
+DriftEstimate estimate_drift(const s2::ClassRaster& raster,
+                             const std::vector<resample::Segment>& segments,
+                             const std::vector<double>& baseline,
+                             const DriftConfig& config = {});
+
+/// Compass rendering of a shift vector, e.g. "550 m / NW" (Table I format).
+std::string describe_shift(const geo::Xy& shift);
+
+}  // namespace is2::label

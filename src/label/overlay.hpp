@@ -1,0 +1,31 @@
+// IS2 <-> S2 overlay: sample a classified Sentinel-2 raster at (shifted)
+// IS2 segment positions. Both datasets are already in EPSG:3976 (the paper's
+// precondition for comparing IS2 points with S2 pixels). A 3x3 neighborhood
+// majority vote suppresses single-pixel segmentation speckle.
+#pragma once
+
+#include <vector>
+
+#include "atl03/types.hpp"
+#include "resample/segmenter.hpp"
+#include "sentinel2/image.hpp"
+
+namespace is2::label {
+
+struct OverlayConfig {
+  geo::Xy shift{0.0, 0.0};  ///< applied to IS2 positions before sampling
+                            ///< (equivalently: shift of the S2 image)
+  int vote_radius_px = 1;   ///< neighborhood half-size for the majority vote
+};
+
+/// Class label for one segment position; Unknown when the (shifted) position
+/// falls outside the raster or in cloud-masked pixels.
+atl03::SurfaceClass sample_label(const s2::ClassRaster& raster, const geo::Xy& position,
+                                 const OverlayConfig& config);
+
+/// Vectorized overlay over segments.
+std::vector<atl03::SurfaceClass> overlay_labels(const s2::ClassRaster& raster,
+                                                const std::vector<resample::Segment>& segments,
+                                                const OverlayConfig& config = {});
+
+}  // namespace is2::label

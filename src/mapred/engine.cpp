@@ -1,0 +1,45 @@
+#include "mapred/engine.hpp"
+
+namespace is2::mapred {
+
+Engine::Engine(ClusterTopology topology) : topology_(topology) {
+  if (topology_.executors == 0 || topology_.cores_per_executor == 0)
+    throw std::invalid_argument("Engine: topology must have at least one executor and core");
+  executors_.reserve(topology_.executors);
+  for (std::size_t e = 0; e < topology_.executors; ++e)
+    executors_.push_back(std::make_unique<util::ThreadPool>(topology_.cores_per_executor));
+}
+
+void Engine::run_stage_impl(std::size_t n_tasks, const std::function<void(std::size_t)>& task) {
+  if (n_tasks == 0) return;
+  const std::size_t n_exec = executors_.size();
+
+  // Round-robin partition placement (Spark's default block placement).
+  std::vector<std::vector<std::size_t>> assignment(n_exec);
+  for (std::size_t i = 0; i < n_tasks; ++i) assignment[i % n_exec].push_back(i);
+
+  // Each executor's cores pull from that executor's queue only.
+  std::vector<std::unique_ptr<std::atomic<std::size_t>>> cursors;
+  cursors.reserve(n_exec);
+  for (std::size_t e = 0; e < n_exec; ++e)
+    cursors.push_back(std::make_unique<std::atomic<std::size_t>>(0));
+
+  std::vector<std::future<void>> futures;
+  futures.reserve(n_exec * topology_.cores_per_executor);
+  for (std::size_t e = 0; e < n_exec; ++e) {
+    const auto& queue = assignment[e];
+    auto& cursor = *cursors[e];
+    for (std::size_t core = 0; core < topology_.cores_per_executor; ++core) {
+      futures.push_back(executors_[e]->submit([&queue, &cursor, &task] {
+        for (;;) {
+          const std::size_t slot = cursor.fetch_add(1, std::memory_order_relaxed);
+          if (slot >= queue.size()) return;
+          task(queue[slot]);
+        }
+      }));
+    }
+  }
+  for (auto& f : futures) f.get();  // propagate the first task exception
+}
+
+}  // namespace is2::mapred

@@ -1,0 +1,128 @@
+#include "nn/layers.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace is2::nn {
+
+float activate(Activation a, float x) {
+  switch (a) {
+    case Activation::Linear: return x;
+    case Activation::Relu: return x > 0.0f ? x : 0.0f;
+    case Activation::Elu: return x > 0.0f ? x : std::expm1(x);
+    case Activation::Tanh: return std::tanh(x);
+    case Activation::Sigmoid: return 1.0f / (1.0f + std::exp(-x));
+  }
+  return x;
+}
+
+float activate_grad(Activation a, float x, float y) {
+  switch (a) {
+    case Activation::Linear: return 1.0f;
+    case Activation::Relu: return x > 0.0f ? 1.0f : 0.0f;
+    case Activation::Elu: return x > 0.0f ? 1.0f : y + 1.0f;  // d/dx e^x - 1 = y + 1
+    case Activation::Tanh: return 1.0f - y * y;
+    case Activation::Sigmoid: return y * (1.0f - y);
+  }
+  return 1.0f;
+}
+
+float activate_grad_from_y(Activation a, float y) {
+  switch (a) {
+    case Activation::Linear: return 1.0f;
+    case Activation::Relu: return y > 0.0f ? 1.0f : 0.0f;
+    case Activation::Elu: return y > 0.0f ? 1.0f : y + 1.0f;
+    case Activation::Tanh: return 1.0f - y * y;
+    case Activation::Sigmoid: return y * (1.0f - y);
+  }
+  return 1.0f;
+}
+
+float init_bound(std::size_t fan_in, std::size_t fan_out) {
+  // Glorot uniform, matching the Keras default the paper's models used.
+  return std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+}
+
+Dense::Dense(std::size_t in_dim, std::size_t out_dim, Activation act, util::Rng& rng)
+    : w_(out_dim, in_dim), b_(1, out_dim), dw_(out_dim, in_dim), db_(1, out_dim), act_(act) {
+  const float bound = init_bound(in_dim, out_dim);
+  for (std::size_t i = 0; i < w_.size(); ++i)
+    w_.data()[i] = static_cast<float>(rng.uniform(-bound, bound));
+}
+
+const Mat& Dense::forward(const Mat& x, bool training) {
+  (void)training;
+  x_ = x;
+  z_.resize(x.rows(), w_.rows());
+  gemm_nt(x, w_, z_);
+  for (std::size_t r = 0; r < z_.rows(); ++r) {
+    float* zr = z_.row(r);
+    for (std::size_t c = 0; c < z_.cols(); ++c) zr[c] += b_.at(0, c);
+  }
+  y_.resize(z_.rows(), z_.cols());
+  for (std::size_t i = 0; i < z_.size(); ++i) y_.data()[i] = activate(act_, z_.data()[i]);
+  return y_;
+}
+
+const Mat& Dense::backward(const Mat& grad_out) {
+  if (grad_out.rows() != y_.rows() || grad_out.cols() != y_.cols())
+    throw std::invalid_argument("Dense::backward: grad shape mismatch");
+  // dz = dy * act'(z)
+  Mat dz(grad_out.rows(), grad_out.cols());
+  for (std::size_t i = 0; i < dz.size(); ++i)
+    dz.data()[i] = grad_out.data()[i] * activate_grad(act_, z_.data()[i], y_.data()[i]);
+
+  gemm_tn(dz, x_, dw_, /*accumulate=*/true);  // dW += dz^T x
+  for (std::size_t r = 0; r < dz.rows(); ++r) {
+    const float* dzr = dz.row(r);
+    for (std::size_t c = 0; c < dz.cols(); ++c) db_.at(0, c) += dzr[c];
+  }
+  dx_.resize(dz.rows(), w_.cols());
+  gemm_nn(dz, w_, dx_);  // dx = dz W
+  return dx_;
+}
+
+std::vector<Param> Dense::params() {
+  return {{"w", &w_, &dw_}, {"b", &b_, &db_}};
+}
+
+Dropout::Dropout(double rate, util::Rng rng) : rate_(rate), rng_(rng) {
+  if (rate < 0.0 || rate >= 1.0) throw std::invalid_argument("Dropout: rate must be in [0,1)");
+}
+
+const Mat& Dropout::forward(const Mat& x, bool training) {
+  y_.resize(x.rows(), x.cols());
+  if (!training || rate_ == 0.0) {
+    std::copy(x.data(), x.data() + x.size(), y_.data());
+    mask_.resize(0, 0);
+    return y_;
+  }
+  mask_.resize(x.rows(), x.cols());
+  const auto scale = static_cast<float>(1.0 / (1.0 - rate_));
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const float m = rng_.bernoulli(rate_) ? 0.0f : scale;
+    mask_.data()[i] = m;
+    y_.data()[i] = x.data()[i] * m;
+  }
+  return y_;
+}
+
+const Mat& Dropout::backward(const Mat& grad_out) {
+  dx_.resize(grad_out.rows(), grad_out.cols());
+  if (mask_.empty()) {
+    std::copy(grad_out.data(), grad_out.data() + grad_out.size(), dx_.data());
+    return dx_;
+  }
+  for (std::size_t i = 0; i < grad_out.size(); ++i)
+    dx_.data()[i] = grad_out.data()[i] * mask_.data()[i];
+  return dx_;
+}
+
+const Mat& Flatten::forward(const Tensor3& x, bool training) {
+  (void)training;
+  y_.resize(x.n, x.sample_size());
+  std::copy(x.v.begin(), x.v.end(), y_.data());
+  return y_;
+}
+
+}  // namespace is2::nn

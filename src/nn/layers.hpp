@@ -1,0 +1,121 @@
+// Layer abstractions for the classifier stack.
+//
+// A model is a front end (Flatten for the MLP, LSTM for the recurrent model)
+// that maps a [batch, time, features] sequence tensor to a [batch, width]
+// matrix, followed by a stack of 2-D layers (Dense / Activation / Dropout).
+// Layers own their parameters and gradient buffers; optimizers consume the
+// Param views. All randomness flows through an explicit Rng so replicated
+// models in the distributed trainer stay bit-identical across ranks.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/tensor.hpp"
+#include "util/rng.hpp"
+
+namespace is2::nn {
+
+/// View of one parameter tensor and its gradient accumulator.
+struct Param {
+  std::string name;
+  Mat* value = nullptr;
+  Mat* grad = nullptr;
+};
+
+enum class Activation { Linear, Relu, Elu, Tanh, Sigmoid };
+
+float activate(Activation a, float x);
+/// Derivative given pre-activation x and activated value y.
+float activate_grad(Activation a, float x, float y);
+/// Derivative recovered from the activated value alone (valid for the
+/// monotone activations used here; what BPTT uses when z isn't cached).
+float activate_grad_from_y(Activation a, float y);
+
+/// 2-D layer interface: [batch, in] -> [batch, out].
+class Layer {
+ public:
+  virtual ~Layer() = default;
+  virtual const Mat& forward(const Mat& x, bool training) = 0;
+  /// Returns grad wrt input; accumulates parameter grads.
+  virtual const Mat& backward(const Mat& grad_out) = 0;
+  virtual std::vector<Param> params() { return {}; }
+  virtual std::string name() const = 0;
+  virtual std::size_t output_dim(std::size_t input_dim) const = 0;
+};
+
+/// Fully connected y = x W^T + b with fused activation.
+class Dense : public Layer {
+ public:
+  Dense(std::size_t in_dim, std::size_t out_dim, Activation act, util::Rng& rng);
+
+  const Mat& forward(const Mat& x, bool training) override;
+  const Mat& backward(const Mat& grad_out) override;
+  std::vector<Param> params() override;
+  std::string name() const override { return "dense"; }
+  std::size_t output_dim(std::size_t) const override { return w_.rows(); }
+
+  Mat& weights() { return w_; }
+  Mat& bias() { return b_; }
+
+ private:
+  Mat w_;   // [out, in]
+  Mat b_;   // [1, out]
+  Mat dw_;
+  Mat db_;
+  Activation act_;
+  // caches
+  Mat x_;       // input
+  Mat z_;       // pre-activation
+  Mat y_;       // output
+  Mat dx_;
+};
+
+/// Inverted dropout; identity at inference.
+class Dropout : public Layer {
+ public:
+  Dropout(double rate, util::Rng rng);
+
+  const Mat& forward(const Mat& x, bool training) override;
+  const Mat& backward(const Mat& grad_out) override;
+  std::string name() const override { return "dropout"; }
+  std::size_t output_dim(std::size_t input_dim) const override { return input_dim; }
+
+ private:
+  double rate_;
+  util::Rng rng_;
+  Mat mask_;
+  Mat y_;
+  Mat dx_;
+};
+
+/// Sequence front end: [batch, time, feat] -> [batch, width].
+class FrontEnd {
+ public:
+  virtual ~FrontEnd() = default;
+  virtual const Mat& forward(const Tensor3& x, bool training) = 0;
+  virtual void backward(const Mat& grad_out) = 0;
+  virtual std::vector<Param> params() { return {}; }
+  virtual std::string name() const = 0;
+  virtual std::size_t output_dim(std::size_t time, std::size_t feat) const = 0;
+};
+
+/// Flatten front end (the MLP path): concatenates the time steps.
+class Flatten : public FrontEnd {
+ public:
+  const Mat& forward(const Tensor3& x, bool training) override;
+  void backward(const Mat& /*grad_out*/) override {}  // no trainable inputs upstream
+  std::string name() const override { return "flatten"; }
+  std::size_t output_dim(std::size_t time, std::size_t feat) const override {
+    return time * feat;
+  }
+
+ private:
+  Mat y_;
+};
+
+/// He/Xavier-style uniform init bound used across layers.
+float init_bound(std::size_t fan_in, std::size_t fan_out);
+
+}  // namespace is2::nn

@@ -1,0 +1,96 @@
+#include "nn/loss.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace is2::nn {
+
+void softmax_rows(const Mat& logits, Mat& probs) {
+  probs.resize(logits.rows(), logits.cols());
+  for (std::size_t r = 0; r < logits.rows(); ++r) {
+    const float* z = logits.row(r);
+    float* p = probs.row(r);
+    float zmax = z[0];
+    for (std::size_t c = 1; c < logits.cols(); ++c) zmax = std::max(zmax, z[c]);
+    float sum = 0.0f;
+    for (std::size_t c = 0; c < logits.cols(); ++c) {
+      p[c] = std::exp(z[c] - zmax);
+      sum += p[c];
+    }
+    for (std::size_t c = 0; c < logits.cols(); ++c) p[c] /= sum;
+  }
+}
+
+double CrossEntropyLoss::compute(const Mat& logits, const std::vector<std::uint8_t>& labels,
+                                 Mat& grad) const {
+  if (labels.size() != logits.rows())
+    throw std::invalid_argument("CrossEntropyLoss: label count mismatch");
+  Mat probs;
+  softmax_rows(logits, probs);
+  grad.resize(logits.rows(), logits.cols());
+  double loss = 0.0;
+  const auto inv_n = 1.0f / static_cast<float>(logits.rows());
+  for (std::size_t r = 0; r < logits.rows(); ++r) {
+    const std::uint8_t y = labels[r];
+    const float* p = probs.row(r);
+    float* g = grad.row(r);
+    loss -= std::log(std::max(p[y], 1e-12f));
+    for (std::size_t c = 0; c < logits.cols(); ++c)
+      g[c] = (p[c] - (c == y ? 1.0f : 0.0f)) * inv_n;
+  }
+  return loss / static_cast<double>(logits.rows());
+}
+
+FocalLoss::FocalLoss(double gamma, std::array<double, atl03::kNumClasses> alpha)
+    : gamma_(gamma), alpha_(alpha) {}
+
+std::array<double, atl03::kNumClasses> FocalLoss::balanced_alpha(
+    const std::vector<std::uint8_t>& labels) {
+  std::array<double, atl03::kNumClasses> counts{};
+  for (auto y : labels)
+    if (y < atl03::kNumClasses) counts[y] += 1.0;
+  std::array<double, atl03::kNumClasses> alpha{};
+  double mean_inv = 0.0;
+  for (int c = 0; c < atl03::kNumClasses; ++c) {
+    alpha[c] = 1.0 / std::max(counts[c], 1.0);
+    mean_inv += alpha[c];
+  }
+  mean_inv /= atl03::kNumClasses;
+  for (auto& a : alpha) a /= mean_inv;  // normalize to mean 1
+  return alpha;
+}
+
+double FocalLoss::compute(const Mat& logits, const std::vector<std::uint8_t>& labels,
+                          Mat& grad) const {
+  if (labels.size() != logits.rows())
+    throw std::invalid_argument("FocalLoss: label count mismatch");
+  if (logits.cols() != atl03::kNumClasses)
+    throw std::invalid_argument("FocalLoss: expected kNumClasses logits");
+  Mat probs;
+  softmax_rows(logits, probs);
+  grad.resize(logits.rows(), logits.cols());
+  double loss = 0.0;
+  const auto inv_n = 1.0 / static_cast<double>(logits.rows());
+  for (std::size_t r = 0; r < logits.rows(); ++r) {
+    const std::uint8_t y = labels[r];
+    const float* p = probs.row(r);
+    float* g = grad.row(r);
+    const double pt = std::max(static_cast<double>(p[y]), 1e-12);
+    const double a = alpha_[y];
+    const double one_m = 1.0 - pt;
+    const double pow_g = std::pow(one_m, gamma_);
+    loss += -a * pow_g * std::log(pt);
+
+    // dL/dp_t, then chain through softmax: dp_t/dz_c = p_t(delta - p_c).
+    const double dL_dpt =
+        -a * (pow_g / pt - gamma_ * std::pow(one_m, gamma_ - 1.0) * std::log(pt));
+    for (std::size_t c = 0; c < logits.cols(); ++c) {
+      const double dpt_dzc = pt * ((c == y ? 1.0 : 0.0) - p[c]);
+      g[c] = static_cast<float>(dL_dpt * dpt_dzc * inv_n);
+    }
+  }
+  return loss * inv_n;
+}
+
+}  // namespace is2::nn

@@ -1,0 +1,53 @@
+// Classification losses over logits. Softmax is fused into the loss for
+// numerical stability. Focal loss (Lin et al. 2017) is the paper's choice:
+// the Ross Sea is overwhelmingly thick ice, so cross-entropy would let the
+// model coast on the majority class; focal loss down-weights easy examples
+// and per-class alpha re-weights the rare thin-ice/open-water classes.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "atl03/types.hpp"
+#include "nn/tensor.hpp"
+
+namespace is2::nn {
+
+class Loss {
+ public:
+  virtual ~Loss() = default;
+  /// Mean loss over the batch; fills grad (dL/dlogits, same shape).
+  virtual double compute(const Mat& logits, const std::vector<std::uint8_t>& labels,
+                         Mat& grad) const = 0;
+};
+
+/// Softmax cross-entropy.
+class CrossEntropyLoss : public Loss {
+ public:
+  double compute(const Mat& logits, const std::vector<std::uint8_t>& labels,
+                 Mat& grad) const override;
+};
+
+/// Softmax focal loss with per-class alpha.
+class FocalLoss : public Loss {
+ public:
+  explicit FocalLoss(double gamma = 2.0,
+                     std::array<double, atl03::kNumClasses> alpha = {1.0, 1.0, 1.0});
+
+  double compute(const Mat& logits, const std::vector<std::uint8_t>& labels,
+                 Mat& grad) const override;
+
+  /// Alpha from inverse class frequency, normalized to mean 1.
+  static std::array<double, atl03::kNumClasses> balanced_alpha(
+      const std::vector<std::uint8_t>& labels);
+
+ private:
+  double gamma_;
+  std::array<double, atl03::kNumClasses> alpha_;
+};
+
+/// Row-wise softmax (used by predict()).
+void softmax_rows(const Mat& logits, Mat& probs);
+
+}  // namespace is2::nn

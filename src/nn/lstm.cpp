@@ -1,0 +1,159 @@
+#include "nn/lstm.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace is2::nn {
+
+Lstm::Lstm(std::size_t input_dim, std::size_t units, Activation activation, double input_dropout,
+           util::Rng& rng)
+    : input_dim_(input_dim),
+      units_(units),
+      act_(activation),
+      dropout_(input_dropout),
+      dropout_rng_(rng.fork(0xD20Full)),
+      wx_(4 * units, input_dim),
+      wh_(4 * units, units),
+      b_(1, 4 * units),
+      dwx_(4 * units, input_dim),
+      dwh_(4 * units, units),
+      db_(1, 4 * units) {
+  const float bx = init_bound(input_dim, units);
+  for (std::size_t i = 0; i < wx_.size(); ++i)
+    wx_.data()[i] = static_cast<float>(rng.uniform(-bx, bx));
+  const float bh = init_bound(units, units);
+  for (std::size_t i = 0; i < wh_.size(); ++i)
+    wh_.data()[i] = static_cast<float>(rng.uniform(-bh, bh));
+  // Forget-gate bias starts at 1 (standard trick for gradient flow).
+  for (std::size_t u = 0; u < units; ++u) b_.at(0, units + u) = 1.0f;
+}
+
+const Mat& Lstm::forward(const Tensor3& x, bool training) {
+  if (x.d != input_dim_) throw std::invalid_argument("Lstm::forward: feature dim mismatch");
+  const std::size_t batch = x.n, steps = x.t, u = units_;
+  steps_ = steps;
+  xs_.assign(steps, Mat(batch, input_dim_));
+  gates_.assign(steps, Mat(batch, 4 * u));
+  cs_.assign(steps, Mat(batch, u));
+  c_acts_.assign(steps, Mat(batch, u));
+  hs_.assign(steps, Mat(batch, u));
+
+  const auto drop_scale = static_cast<float>(1.0 / (1.0 - dropout_));
+  Mat z(batch, 4 * u);
+
+  for (std::size_t t = 0; t < steps; ++t) {
+    // Input (with inverted dropout during training).
+    Mat& xt = xs_[t];
+    for (std::size_t i = 0; i < batch; ++i) {
+      const float* src = x.at(i, t);
+      float* dst = xt.row(i);
+      for (std::size_t dI = 0; dI < input_dim_; ++dI) {
+        float v = src[dI];
+        if (training && dropout_ > 0.0)
+          v = dropout_rng_.bernoulli(dropout_) ? 0.0f : v * drop_scale;
+        dst[dI] = v;
+      }
+    }
+
+    // z = xt Wx^T + h_{t-1} Wh^T + b
+    gemm_nt(xt, wx_, z);
+    if (t > 0) gemm_nt(hs_[t - 1], wh_, z, /*accumulate=*/true);
+    for (std::size_t i = 0; i < batch; ++i) {
+      float* zr = z.row(i);
+      for (std::size_t c = 0; c < 4 * u; ++c) zr[c] += b_.at(0, c);
+    }
+
+    // Gates: [i f g o]; i/f/o sigmoid, g uses the cell activation.
+    Mat& g = gates_[t];
+    Mat& ct = cs_[t];
+    Mat& ca = c_acts_[t];
+    Mat& ht = hs_[t];
+    for (std::size_t i = 0; i < batch; ++i) {
+      const float* zr = z.row(i);
+      float* gr = g.row(i);
+      float* cr = ct.row(i);
+      float* car = ca.row(i);
+      float* hr = ht.row(i);
+      const float* c_prev = t > 0 ? cs_[t - 1].row(i) : nullptr;
+      for (std::size_t q = 0; q < u; ++q) {
+        const float gi = activate(Activation::Sigmoid, zr[q]);
+        const float gf = activate(Activation::Sigmoid, zr[u + q]);
+        const float gg = activate(act_, zr[2 * u + q]);
+        const float go = activate(Activation::Sigmoid, zr[3 * u + q]);
+        gr[q] = gi;
+        gr[u + q] = gf;
+        gr[2 * u + q] = gg;
+        gr[3 * u + q] = go;
+        const float c_old = c_prev ? c_prev[q] : 0.0f;
+        cr[q] = gf * c_old + gi * gg;
+        car[q] = activate(act_, cr[q]);
+        hr[q] = go * car[q];
+      }
+    }
+  }
+  h_out_ = hs_[steps - 1];
+  return h_out_;
+}
+
+void Lstm::backward(const Mat& grad_out) {
+  const std::size_t batch = grad_out.rows(), u = units_;
+  if (grad_out.cols() != u) throw std::invalid_argument("Lstm::backward: grad shape mismatch");
+
+  Mat dh = grad_out;          // dL/dh_t
+  Mat dc(batch, u);           // dL/dc_t
+  Mat dz(batch, 4 * u);
+  Mat dh_prev(batch, u);
+
+  for (std::size_t t = steps_; t-- > 0;) {
+    const Mat& g = gates_[t];
+    const Mat& ct = cs_[t];
+    const Mat& ca = c_acts_[t];
+
+    for (std::size_t i = 0; i < batch; ++i) {
+      const float* gr = g.row(i);
+      const float* cr = ct.row(i);
+      const float* car = ca.row(i);
+      const float* dhr = dh.row(i);
+      float* dcr = dc.row(i);
+      float* dzr = dz.row(i);
+      const float* c_prev = t > 0 ? cs_[t - 1].row(i) : nullptr;
+      for (std::size_t q = 0; q < u; ++q) {
+        const float gi = gr[q], gf = gr[u + q], gg = gr[2 * u + q], go = gr[3 * u + q];
+        // h = o * act(c)
+        const float dho = dhr[q];
+        const float d_go = dho * car[q];
+        const float dct = dcr[q] + dho * go * activate_grad(act_, cr[q], car[q]);
+        const float c_old = c_prev ? c_prev[q] : 0.0f;
+        const float d_gi = dct * gg;
+        const float d_gf = dct * c_old;
+        const float d_gg = dct * gi;
+        dcr[q] = dct * gf;  // flows to dc_{t-1}
+        // Through gate nonlinearities (pre-activations z).
+        dzr[q] = d_gi * gi * (1.0f - gi);
+        dzr[u + q] = d_gf * gf * (1.0f - gf);
+        dzr[2 * u + q] = d_gg * activate_grad_from_y(act_, gg);
+        dzr[3 * u + q] = d_go * go * (1.0f - go);
+      }
+    }
+
+    // Parameter grads.
+    gemm_tn(dz, xs_[t], dwx_, /*accumulate=*/true);
+    if (t > 0) gemm_tn(dz, hs_[t - 1], dwh_, /*accumulate=*/true);
+    for (std::size_t i = 0; i < batch; ++i) {
+      const float* dzr = dz.row(i);
+      for (std::size_t c = 0; c < 4 * u; ++c) db_.at(0, c) += dzr[c];
+    }
+
+    // dh_{t-1} = dz Wh (no input gradient needed: features are leaves).
+    if (t > 0) {
+      gemm_nn(dz, wh_, dh_prev);
+      dh = dh_prev;
+    }
+  }
+}
+
+std::vector<Param> Lstm::params() {
+  return {{"wx", &wx_, &dwx_}, {"wh", &wh_, &dwh_}, {"b", &b_, &db_}};
+}
+
+}  // namespace is2::nn

@@ -1,0 +1,48 @@
+#include "nn/serialize.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+namespace is2::nn {
+
+h5::File weights_to_file(Sequential& model) {
+  h5::File f;
+  const auto params = model.params();
+  f.set_attr("/model/n_params", static_cast<std::int64_t>(params.size()));
+  char path[64];
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    std::snprintf(path, sizeof path, "/model/param_%03zu", i);
+    std::vector<std::uint64_t> shape{params[i].value->rows(), params[i].value->cols()};
+    f.put<float>(path, std::span<const float>(params[i].value->data(), params[i].value->size()),
+                 shape);
+  }
+  return f;
+}
+
+void weights_from_file(Sequential& model, const h5::File& f) {
+  const auto params = model.params();
+  const auto n = static_cast<std::size_t>(f.attr_int("/model/n_params"));
+  if (n != params.size())
+    throw h5::H5Error("weights_from_file: parameter count mismatch");
+  char path[64];
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    std::snprintf(path, sizeof path, "/model/param_%03zu", i);
+    const auto shape = f.shape(path);
+    if (shape.size() != 2 || shape[0] != params[i].value->rows() ||
+        shape[1] != params[i].value->cols())
+      throw h5::H5Error("weights_from_file: shape mismatch at param " + std::to_string(i));
+    const auto data = f.get<float>(path);
+    std::copy(data.begin(), data.end(), params[i].value->data());
+  }
+}
+
+void save_weights(Sequential& model, const std::string& filename) {
+  weights_to_file(model).save(filename);
+}
+
+void load_weights(Sequential& model, const std::string& filename) {
+  weights_from_file(model, h5::File::load(filename));
+}
+
+}  // namespace is2::nn

@@ -1,0 +1,22 @@
+// Model weight (de)serialization on top of the h5lite container — mirrors
+// saving a Keras model to HDF5. Loading requires an architecturally
+// identical model (same parameter shapes in the same order).
+#pragma once
+
+#include <string>
+
+#include "h5lite/h5file.hpp"
+#include "nn/model.hpp"
+
+namespace is2::nn {
+
+/// Write all parameters into a container under /model/param_<i>.
+h5::File weights_to_file(Sequential& model);
+
+/// Load parameters back; throws on shape/count mismatch.
+void weights_from_file(Sequential& model, const h5::File& file);
+
+void save_weights(Sequential& model, const std::string& filename);
+void load_weights(Sequential& model, const std::string& filename);
+
+}  // namespace is2::nn

@@ -1,0 +1,77 @@
+#include "nn/tensor.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace is2::nn {
+
+namespace {
+// Below this many multiply-adds the OpenMP fork overhead dominates; the
+// classifier's matrices are tiny so the serial path is the common case.
+constexpr std::size_t kParallelThreshold = 1u << 20;
+}  // namespace
+
+void gemm_nt(const Mat& a, const Mat& b, Mat& c, bool accumulate) {
+  const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
+  if (b.cols() != k || c.rows() != m || c.cols() != n)
+    throw std::invalid_argument("gemm_nt: shape mismatch");
+  const bool parallel = m * n * k > kParallelThreshold;
+#pragma omp parallel for schedule(static) if (parallel)
+  for (std::ptrdiff_t ii = 0; ii < static_cast<std::ptrdiff_t>(m); ++ii) {
+    const auto i = static_cast<std::size_t>(ii);
+    const float* ai = a.row(i);
+    float* ci = c.row(i);
+    for (std::size_t j = 0; j < n; ++j) {
+      const float* bj = b.row(j);
+      float acc = 0.0f;
+      for (std::size_t p = 0; p < k; ++p) acc += ai[p] * bj[p];
+      ci[j] = accumulate ? ci[j] + acc : acc;
+    }
+  }
+}
+
+void gemm_nn(const Mat& a, const Mat& b, Mat& c, bool accumulate) {
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  if (b.rows() != k || c.rows() != m || c.cols() != n)
+    throw std::invalid_argument("gemm_nn: shape mismatch");
+  const bool parallel = m * n * k > kParallelThreshold;
+#pragma omp parallel for schedule(static) if (parallel)
+  for (std::ptrdiff_t ii = 0; ii < static_cast<std::ptrdiff_t>(m); ++ii) {
+    const auto i = static_cast<std::size_t>(ii);
+    const float* ai = a.row(i);
+    float* ci = c.row(i);
+    if (!accumulate) std::fill(ci, ci + n, 0.0f);
+    for (std::size_t p = 0; p < k; ++p) {
+      const float av = ai[p];
+      const float* bp = b.row(p);
+      for (std::size_t j = 0; j < n; ++j) ci[j] += av * bp[j];
+    }
+  }
+}
+
+void gemm_tn(const Mat& a, const Mat& b, Mat& c, bool accumulate) {
+  const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
+  if (b.rows() != k || c.rows() != m || c.cols() != n)
+    throw std::invalid_argument("gemm_tn: shape mismatch");
+  if (!accumulate) c.fill(0.0f);
+  // Accumulate outer products row by row; m and n are small.
+  for (std::size_t p = 0; p < k; ++p) {
+    const float* ap = a.row(p);
+    const float* bp = b.row(p);
+    for (std::size_t i = 0; i < m; ++i) {
+      const float av = ap[i];
+      float* ci = c.row(i);
+      for (std::size_t j = 0; j < n; ++j) ci[j] += av * bp[j];
+    }
+  }
+}
+
+void add_inplace(Mat& y, const Mat& x) {
+  if (y.rows() != x.rows() || y.cols() != x.cols())
+    throw std::invalid_argument("add_inplace: shape mismatch");
+  float* yd = y.data();
+  const float* xd = x.data();
+  for (std::size_t i = 0; i < y.size(); ++i) yd[i] += xd[i];
+}
+
+}  // namespace is2::nn

@@ -1,0 +1,72 @@
+// Minimal dense linear algebra for the classifier stack: a float matrix, a
+// rank-3 tensor for [batch, time, feature] sequences, and the three GEMM
+// shapes the layers need. Matrices here are small (batch 32, widths <= 112),
+// so kernels favor contiguous inner loops the compiler can vectorize;
+// OpenMP kicks in only past a size threshold so the distributed trainer's
+// worker threads stay single-threaded and scale cleanly.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace is2::nn {
+
+class Mat {
+ public:
+  Mat() = default;
+  Mat(std::size_t rows, std::size_t cols, float fill = 0.0f)
+      : rows_(rows), cols_(cols), d_(rows * cols, fill) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return d_.size(); }
+  bool empty() const { return d_.empty(); }
+
+  float* row(std::size_t r) { return d_.data() + r * cols_; }
+  const float* row(std::size_t r) const { return d_.data() + r * cols_; }
+  float& at(std::size_t r, std::size_t c) { return d_[r * cols_ + c]; }
+  float at(std::size_t r, std::size_t c) const { return d_[r * cols_ + c]; }
+
+  float* data() { return d_.data(); }
+  const float* data() const { return d_.data(); }
+  std::span<float> flat() { return d_; }
+  std::span<const float> flat() const { return d_; }
+
+  void fill(float v) { std::fill(d_.begin(), d_.end(), v); }
+  void resize(std::size_t rows, std::size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    d_.assign(rows * cols, 0.0f);
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<float> d_;
+};
+
+/// [n, t, d] sequence batch, contiguous row-major.
+struct Tensor3 {
+  std::size_t n = 0, t = 0, d = 0;
+  std::vector<float> v;
+
+  Tensor3() = default;
+  Tensor3(std::size_t n_, std::size_t t_, std::size_t d_) : n(n_), t(t_), d(d_), v(n_ * t_ * d_) {}
+
+  float* at(std::size_t i, std::size_t step) { return v.data() + (i * t + step) * d; }
+  const float* at(std::size_t i, std::size_t step) const { return v.data() + (i * t + step) * d; }
+  std::size_t sample_size() const { return t * d; }
+};
+
+/// C (+)= A * B^T.  A:[m,k] B:[n,k] C:[m,n]
+void gemm_nt(const Mat& a, const Mat& b, Mat& c, bool accumulate = false);
+/// C (+)= A * B.    A:[m,k] B:[k,n] C:[m,n]
+void gemm_nn(const Mat& a, const Mat& b, Mat& c, bool accumulate = false);
+/// C (+)= A^T * B.  A:[k,m] B:[k,n] C:[m,n]
+void gemm_tn(const Mat& a, const Mat& b, Mat& c, bool accumulate = false);
+
+/// y += x (same shape).
+void add_inplace(Mat& y, const Mat& x);
+
+}  // namespace is2::nn

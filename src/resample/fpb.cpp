@@ -1,0 +1,91 @@
+#include "resample/fpb.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <utility>
+
+#include "util/rng.hpp"
+
+namespace is2::resample {
+
+FirstPhotonBiasCorrector::FirstPhotonBiasCorrector(double dead_time_m, int channels,
+                                                   std::uint64_t seed)
+    : dead_time_m_(dead_time_m), channels_(std::max(channels, 1)) {
+  for (double r = 0.25; r <= 10.01; r += 0.75) rate_grid_.push_back(r);
+  for (double s = 0.01; s <= 0.2501; s += 0.03) sigma_grid_.push_back(s);
+  table_.resize(rate_grid_.size() * sigma_grid_.size());
+  for (std::size_t i = 0; i < rate_grid_.size(); ++i)
+    for (std::size_t j = 0; j < sigma_grid_.size(); ++j)
+      table_[i * sigma_grid_.size() + j] =
+          calibrate_cell(rate_grid_[i], sigma_grid_[j],
+                         seed ^ (i * 0x9E3779B9ull) ^ (j * 0x85EBCA6Bull));
+}
+
+double FirstPhotonBiasCorrector::calibrate_cell(double rate, double sigma,
+                                                std::uint64_t seed) const {
+  // Monte-Carlo: the expectation of the mean *recorded* height when the true
+  // surface is at 0 and the detector applies the dead-time rule.
+  util::Rng rng(util::hash64(seed));
+  constexpr int kShots = 4000;
+  double sum = 0.0;
+  std::size_t count = 0;
+  std::vector<double> shot;
+  std::vector<double> blind_until(static_cast<std::size_t>(channels_));
+  std::vector<bool> blind(static_cast<std::size_t>(channels_));
+  for (int k = 0; k < kShots; ++k) {
+    const int n = rng.poisson(rate);
+    if (n == 0) continue;
+    shot.clear();
+    for (int p = 0; p < n; ++p) shot.push_back(sigma * rng.normal());
+    std::sort(shot.begin(), shot.end(), std::greater<>());
+    std::fill(blind.begin(), blind.end(), false);
+    for (double h : shot) {
+      const auto ch = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(channels_) - 1));
+      if (blind[ch] && h > blind_until[ch]) continue;
+      blind[ch] = true;
+      blind_until[ch] = h - dead_time_m_;
+      sum += h;
+      ++count;
+    }
+  }
+  return count ? sum / static_cast<double>(count) : 0.0;
+}
+
+double FirstPhotonBiasCorrector::bias(double rate_per_shot, double sigma_m) const {
+  const auto clampi = [](double v, const std::vector<double>& grid) {
+    return std::clamp(v, grid.front(), grid.back());
+  };
+  const double r = clampi(rate_per_shot, rate_grid_);
+  const double s = clampi(sigma_m, sigma_grid_);
+
+  const auto cell = [](double v, const std::vector<double>& grid) {
+    auto it = std::upper_bound(grid.begin(), grid.end(), v);
+    std::size_t hi = static_cast<std::size_t>(it - grid.begin());
+    hi = std::clamp<std::size_t>(hi, 1, grid.size() - 1);
+    const std::size_t lo = hi - 1;
+    const double w = (v - grid[lo]) / (grid[hi] - grid[lo]);
+    return std::pair<std::size_t, double>(lo, w);
+  };
+  const auto [ri, rw] = cell(r, rate_grid_);
+  const auto [si, sw] = cell(s, sigma_grid_);
+  const std::size_t ns = sigma_grid_.size();
+  const double v00 = table_[ri * ns + si];
+  const double v10 = table_[(ri + 1) * ns + si];
+  const double v01 = table_[ri * ns + si + 1];
+  const double v11 = table_[(ri + 1) * ns + si + 1];
+  const double top = v00 * (1.0 - rw) + v10 * rw;
+  const double bot = v01 * (1.0 - rw) + v11 * rw;
+  return top * (1.0 - sw) + bot * sw;
+}
+
+void FirstPhotonBiasCorrector::apply(std::vector<Segment>& segments) const {
+  for (auto& seg : segments) {
+    const double b = bias(seg.photon_rate, seg.h_std);
+    seg.h_mean -= b;
+    seg.h_median -= b;
+  }
+}
+
+}  // namespace is2::resample

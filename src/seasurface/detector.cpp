@@ -1,0 +1,240 @@
+#include "seasurface/detector.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "util/stats.hpp"
+
+namespace is2::seasurface {
+
+using atl03::SurfaceClass;
+
+const char* method_name(Method m) {
+  switch (m) {
+    case Method::MinElevation: return "min_elevation";
+    case Method::AverageElevation: return "average_elevation";
+    case Method::NearestMinElevation: return "nearest_min_elevation";
+    case Method::NasaEquation: return "nasa_equation";
+  }
+  return "?";
+}
+
+SeaSurfaceProfile::SeaSurfaceProfile(std::vector<SeaSurfacePoint> points)
+    : points_(std::move(points)) {}
+
+double SeaSurfaceProfile::at(double s) const {
+  if (points_.empty()) throw std::logic_error("SeaSurfaceProfile::at: empty profile");
+  if (s <= points_.front().s) return points_.front().h_ref;
+  if (s >= points_.back().s) return points_.back().h_ref;
+  const auto it = std::lower_bound(
+      points_.begin(), points_.end(), s,
+      [](const SeaSurfacePoint& p, double v) { return p.s < v; });
+  const auto hi = static_cast<std::size_t>(it - points_.begin());
+  const auto lo = hi - 1;
+  const double w = (s - points_[lo].s) / (points_[hi].s - points_[lo].s);
+  return points_[lo].h_ref * (1.0 - w) + points_[hi].h_ref * w;
+}
+
+double SeaSurfaceProfile::interpolated_fraction() const {
+  if (points_.empty()) return 0.0;
+  std::size_t n = 0;
+  for (const auto& p : points_)
+    if (p.interpolated) ++n;
+  return static_cast<double>(n) / static_cast<double>(points_.size());
+}
+
+namespace {
+
+/// A lead: a contiguous run of open-water segment indices.
+struct Lead {
+  std::size_t begin = 0;  ///< index into the window's water list
+  std::size_t end = 0;
+  double s_center = 0.0;
+};
+
+/// ATBD eq. 2: single-lead height from its segments.
+void lead_estimate(const std::vector<resample::Segment>& segments,
+                   const std::vector<std::size_t>& water, const Lead& lead, double sigma_floor,
+                   double& h_lead, double& var_lead) {
+  double h_min = std::numeric_limits<double>::infinity();
+  for (std::size_t k = lead.begin; k < lead.end; ++k)
+    h_min = std::min(h_min, segments[water[k]].h_mean);
+
+  double wsum = 0.0;
+  for (std::size_t k = lead.begin; k < lead.end; ++k) {
+    const auto& seg = segments[water[k]];
+    const double sigma =
+        std::max(seg.h_std / std::sqrt(static_cast<double>(std::max<std::uint32_t>(seg.n_photons, 1))),
+                 sigma_floor);
+    const double z = (seg.h_mean - h_min) / sigma;
+    wsum += std::exp(-z * z);
+  }
+  h_lead = 0.0;
+  var_lead = 0.0;
+  for (std::size_t k = lead.begin; k < lead.end; ++k) {
+    const auto& seg = segments[water[k]];
+    const double sigma =
+        std::max(seg.h_std / std::sqrt(static_cast<double>(std::max<std::uint32_t>(seg.n_photons, 1))),
+                 sigma_floor);
+    const double z = (seg.h_mean - h_min) / sigma;
+    const double a = std::exp(-z * z) / wsum;
+    h_lead += a * seg.h_mean;
+    var_lead += a * a * sigma * sigma;
+  }
+}
+
+}  // namespace
+
+SeaSurfaceProfile detect_sea_surface(const std::vector<resample::Segment>& segments,
+                                     const std::vector<atl03::SurfaceClass>& labels,
+                                     Method method, const SeaSurfaceConfig& cfg) {
+  if (labels.size() != segments.size())
+    throw std::invalid_argument("detect_sea_surface: label count mismatch");
+  std::vector<SeaSurfacePoint> points;
+  if (segments.empty()) return SeaSurfaceProfile{};
+
+  const double s_begin = segments.front().s;
+  const double s_end = segments.back().s;
+  const double half = cfg.window_m / 2.0;
+
+  for (double c = s_begin; c <= s_end + cfg.stride_m * 0.5; c += cfg.stride_m) {
+    SeaSurfacePoint pt;
+    pt.s = c;
+
+    // Window's open-water segment indices (segments are s-sorted).
+    const auto lo_it = std::lower_bound(
+        segments.begin(), segments.end(), c - half,
+        [](const resample::Segment& seg, double v) { return seg.s < v; });
+    std::vector<std::size_t> water;
+    for (auto it = lo_it; it != segments.end() && it->s <= c + half; ++it) {
+      const auto idx = static_cast<std::size_t>(it - segments.begin());
+      if (labels[idx] == SurfaceClass::OpenWater) water.push_back(idx);
+    }
+
+    // Candidate screening: drop water segments far from the window's water
+    // median (robust MAD scale). Subsurface-scattering tails otherwise feed
+    // meter-deep artifacts straight into the min-anchored estimators.
+    if (water.size() >= 4 && cfg.outlier_mad_k > 0.0) {
+      std::vector<double> hs;
+      hs.reserve(water.size());
+      for (std::size_t idx : water) hs.push_back(segments[idx].h_mean);
+      const double med = util::median(hs);
+      std::vector<double> dev;
+      dev.reserve(hs.size());
+      for (double h : hs) dev.push_back(std::abs(h - med));
+      const double mad = util::median(dev);
+      const double scale = std::max(1.4826 * mad, 0.01);
+      std::vector<std::size_t> kept;
+      kept.reserve(water.size());
+      for (std::size_t idx : water)
+        if (std::abs(segments[idx].h_mean - med) <= cfg.outlier_mad_k * scale)
+          kept.push_back(idx);
+      water = std::move(kept);
+    }
+    pt.n_water_segments = static_cast<std::uint32_t>(water.size());
+
+    // Group into leads.
+    std::vector<Lead> leads;
+    for (std::size_t k = 0; k < water.size();) {
+      Lead lead;
+      lead.begin = k;
+      std::size_t j = k + 1;
+      while (j < water.size() &&
+             segments[water[j]].s - segments[water[j - 1]].s <= cfg.lead_gap_m)
+        ++j;
+      lead.end = j;
+      if (j - k >= cfg.min_lead_segments) {
+        lead.s_center = 0.5 * (segments[water[k]].s + segments[water[j - 1]].s);
+        leads.push_back(lead);
+      }
+      k = j;
+    }
+    pt.n_leads = static_cast<std::uint32_t>(leads.size());
+
+    if (leads.empty()) {
+      pt.interpolated = true;  // filled in the interpolation pass below
+      points.push_back(pt);
+      continue;
+    }
+
+    switch (method) {
+      case Method::MinElevation: {
+        double h = std::numeric_limits<double>::infinity();
+        for (const auto& lead : leads)
+          for (std::size_t k = lead.begin; k < lead.end; ++k)
+            h = std::min(h, segments[water[k]].h_mean);
+        pt.h_ref = h;
+        break;
+      }
+      case Method::AverageElevation: {
+        double sum = 0.0;
+        std::size_t n = 0;
+        for (const auto& lead : leads)
+          for (std::size_t k = lead.begin; k < lead.end; ++k) {
+            sum += segments[water[k]].h_mean;
+            ++n;
+          }
+        pt.h_ref = sum / static_cast<double>(n);
+        break;
+      }
+      case Method::NearestMinElevation: {
+        const Lead* nearest = &leads.front();
+        for (const auto& lead : leads)
+          if (std::abs(lead.s_center - c) < std::abs(nearest->s_center - c)) nearest = &lead;
+        double h = std::numeric_limits<double>::infinity();
+        for (std::size_t k = nearest->begin; k < nearest->end; ++k)
+          h = std::min(h, segments[water[k]].h_mean);
+        pt.h_ref = h;
+        break;
+      }
+      case Method::NasaEquation: {
+        // eq. 2 per lead, eq. 3 across leads (inverse-variance weights).
+        double num = 0.0, den = 0.0, var_num = 0.0;
+        for (const auto& lead : leads) {
+          double h_lead = 0.0, var_lead = 0.0;
+          lead_estimate(segments, water, lead, cfg.sigma_floor, h_lead, var_lead);
+          var_lead = std::max(var_lead, cfg.sigma_floor * cfg.sigma_floor);
+          const double w = 1.0 / var_lead;
+          num += w * h_lead;
+          den += w;
+        }
+        pt.h_ref = num / den;
+        for (const auto& lead : leads) {
+          double h_lead = 0.0, var_lead = 0.0;
+          lead_estimate(segments, water, lead, cfg.sigma_floor, h_lead, var_lead);
+          var_lead = std::max(var_lead, cfg.sigma_floor * cfg.sigma_floor);
+          const double a = (1.0 / var_lead) / den;
+          var_num += a * a * var_lead;
+        }
+        pt.sigma = std::sqrt(var_num);
+        break;
+      }
+    }
+    points.push_back(pt);
+  }
+
+  // Linear interpolation for windows without leads.
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (!points[i].interpolated) continue;
+    std::size_t l = i, r = i;
+    while (l-- > 0 && points[l].interpolated) {
+    }
+    while (++r < points.size() && points[r].interpolated) {
+    }
+    const bool has_l = l < points.size();  // l wrapped if none found
+    const bool has_r = r < points.size();
+    if (has_l && has_r) {
+      const double w = (points[i].s - points[l].s) / (points[r].s - points[l].s);
+      points[i].h_ref = points[l].h_ref * (1.0 - w) + points[r].h_ref * w;
+    } else if (has_l) {
+      points[i].h_ref = points[l].h_ref;
+    } else if (has_r) {
+      points[i].h_ref = points[r].h_ref;
+    }  // else: no leads on the whole track; h_ref stays 0
+  }
+  return SeaSurfaceProfile(std::move(points));
+}
+
+}  // namespace is2::seasurface

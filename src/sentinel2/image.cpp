@@ -1,0 +1,56 @@
+#include "sentinel2/image.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace is2::s2 {
+
+bool GeoTransform::world_to_pixel(const geo::Xy& p, std::size_t rows, std::size_t cols,
+                                  std::size_t& row, std::size_t& col) const {
+  const double fc = (p.x - x0) / pixel;
+  const double fr = (y0 - p.y) / pixel;
+  if (fc < 0.0 || fr < 0.0) return false;
+  const auto c = static_cast<std::size_t>(fc);
+  const auto r = static_cast<std::size_t>(fr);
+  if (r >= rows || c >= cols) return false;
+  row = r;
+  col = c;
+  return true;
+}
+
+MultispectralImage::MultispectralImage(std::size_t rows, std::size_t cols, GeoTransform transform)
+    : rows_(rows), cols_(cols), transform_(transform),
+      data_(static_cast<std::size_t>(kNumBands) * rows * cols, 0.0f) {
+  if (rows == 0 || cols == 0)
+    throw std::invalid_argument("MultispectralImage: empty raster");
+}
+
+ClassRaster::ClassRaster(std::size_t rows, std::size_t cols, GeoTransform transform)
+    : rows_(rows), cols_(cols), transform_(transform),
+      data_(rows * cols, static_cast<std::uint8_t>(atl03::SurfaceClass::Unknown)) {
+  if (rows == 0 || cols == 0) throw std::invalid_argument("ClassRaster: empty raster");
+}
+
+atl03::SurfaceClass ClassRaster::at_world(const geo::Xy& p) const {
+  std::size_t row, col;
+  if (!transform_.world_to_pixel(p, rows_, cols_, row, col)) return atl03::SurfaceClass::Unknown;
+  return at(row, col);
+}
+
+std::array<double, 4> ClassRaster::class_fractions() const {
+  std::array<std::size_t, 4> counts{0, 0, 0, 0};
+  for (std::uint8_t v : data_) {
+    switch (static_cast<atl03::SurfaceClass>(v)) {
+      case atl03::SurfaceClass::ThickIce: ++counts[0]; break;
+      case atl03::SurfaceClass::ThinIce: ++counts[1]; break;
+      case atl03::SurfaceClass::OpenWater: ++counts[2]; break;
+      default: ++counts[3]; break;
+    }
+  }
+  std::array<double, 4> out{};
+  const auto total = static_cast<double>(data_.size());
+  for (std::size_t i = 0; i < 4; ++i) out[i] = static_cast<double>(counts[i]) / total;
+  return out;
+}
+
+}  // namespace is2::s2

@@ -1,0 +1,99 @@
+// Sentinel-2 raster types: a north-up multispectral image in EPSG:3976 with
+// the four 10m bands the segmentation uses (B02 blue, B03 green, B04 red,
+// B08 NIR), and a class raster for segmentation output.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "atl03/types.hpp"
+#include "geo/polar_stereo.hpp"
+
+namespace is2::s2 {
+
+/// The 10m-resolution bands used by the color-based segmentation.
+enum class Band : std::uint8_t { B02 = 0, B03 = 1, B04 = 2, B08 = 3 };
+inline constexpr int kNumBands = 4;
+
+/// Affine georeferencing for a north-up raster: pixel (row, col) center is at
+/// x = x0 + (col + 0.5) * pixel, y = y0 - (row + 0.5) * pixel.
+struct GeoTransform {
+  double x0 = 0.0;      ///< west edge (projected meters)
+  double y0 = 0.0;      ///< north edge
+  double pixel = 10.0;  ///< pixel size [m]
+
+  geo::Xy pixel_center(std::size_t row, std::size_t col) const {
+    return {x0 + (static_cast<double>(col) + 0.5) * pixel,
+            y0 - (static_cast<double>(row) + 0.5) * pixel};
+  }
+  /// Returns false if p is outside the raster of the given size.
+  bool world_to_pixel(const geo::Xy& p, std::size_t rows, std::size_t cols, std::size_t& row,
+                      std::size_t& col) const;
+};
+
+/// Top-of-atmosphere reflectance raster, band-sequential storage.
+class MultispectralImage {
+ public:
+  MultispectralImage(std::size_t rows, std::size_t cols, GeoTransform transform);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  const GeoTransform& transform() const { return transform_; }
+
+  float& at(Band b, std::size_t row, std::size_t col) { return data_[index(b, row, col)]; }
+  float at(Band b, std::size_t row, std::size_t col) const { return data_[index(b, row, col)]; }
+
+  /// Whole-band plane access for bulk processing (rows*cols floats).
+  const float* band_data(Band b) const {
+    return data_.data() + static_cast<std::size_t>(b) * rows_ * cols_;
+  }
+  float* band_data(Band b) { return data_.data() + static_cast<std::size_t>(b) * rows_ * cols_; }
+
+  std::size_t pixel_count() const { return rows_ * cols_; }
+
+ private:
+  std::size_t index(Band b, std::size_t row, std::size_t col) const {
+    return (static_cast<std::size_t>(b) * rows_ + row) * cols_ + col;
+  }
+
+  std::size_t rows_;
+  std::size_t cols_;
+  GeoTransform transform_;
+  std::vector<float> data_;
+};
+
+/// Per-pixel surface class raster (segmentation output / scene truth).
+class ClassRaster {
+ public:
+  ClassRaster(std::size_t rows, std::size_t cols, GeoTransform transform);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  const GeoTransform& transform() const { return transform_; }
+
+  atl03::SurfaceClass at(std::size_t row, std::size_t col) const {
+    return static_cast<atl03::SurfaceClass>(data_[row * cols_ + col]);
+  }
+  void set(std::size_t row, std::size_t col, atl03::SurfaceClass c) {
+    data_[row * cols_ + col] = static_cast<std::uint8_t>(c);
+  }
+
+  /// Class at a projected point; Unknown outside the raster.
+  atl03::SurfaceClass at_world(const geo::Xy& p) const;
+
+  const std::vector<std::uint8_t>& data() const { return data_; }
+  std::vector<std::uint8_t>& data() { return data_; }
+
+  /// Fraction of pixels with each class (ThickIce, ThinIce, OpenWater, Unknown).
+  std::array<double, 4> class_fractions() const;
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  GeoTransform transform_;
+  std::vector<std::uint8_t> data_;
+};
+
+}  // namespace is2::s2

@@ -1,0 +1,59 @@
+// Sentinel-2 scene renderer.
+//
+// Renders a multispectral image of the same ground-truth SurfaceModel the
+// photon simulator samples, as the scene stood at the S2 acquisition time:
+// sea ice drifts between the IS2 and S2 overpasses, so the renderer displaces
+// surface features by the true drift vector (which the auto-labeling stage
+// must estimate back — Table I's "shift of S2 images"). Thick and thin
+// clouds plus their shadows overlay the surface exactly as they confound the
+// real segmentation; truth rasters (class, cloud optical depth, shadow mask)
+// ride along for evaluation.
+#pragma once
+
+#include <cstdint>
+
+#include "atl03/surface_model.hpp"
+#include "sentinel2/image.hpp"
+
+namespace is2::s2 {
+
+struct SceneConfig {
+  double pixel_m = 10.0;          ///< S2 10m visible/NIR resolution
+  double margin_m = 1'500.0;      ///< raster margin beyond the beam envelope
+  double cross_track_halfwidth_m = 5'500.0;  ///< covers the three strong beams
+
+  double cloud_cover = 0.22;      ///< target cloudy-pixel fraction
+  double thin_cloud_fraction = 0.65;  ///< of cloudy pixels, fraction thin
+  double cloud_scale_m = 4'000.0; ///< cloud field feature size
+  double shadow_offset_x_m = 900.0;   ///< cloud shadow displacement (sun geometry)
+  double shadow_offset_y_m = -700.0;
+  double noise_sigma = 0.012;     ///< per-band sensor noise (reflectance units)
+};
+
+/// Rendered scene plus ground truth for evaluating segmentation/labeling.
+struct Scene {
+  MultispectralImage image;       ///< what the segmentation sees
+  ClassRaster truth_class;        ///< surface class at S2 time (drift applied)
+  std::vector<float> cloud_tau;   ///< optical depth per pixel (row-major)
+  std::vector<std::uint8_t> shadow_mask;  ///< 1 where a cloud shadow falls
+  geo::Xy drift;                  ///< true feature displacement IS2 -> S2 [m]
+  double acquisition_time = 0.0;  ///< campaign-relative time [s]
+};
+
+class SceneSimulator {
+ public:
+  SceneSimulator(const SceneConfig& config, std::uint64_t seed);
+
+  /// Render the scene at `acquisition_time` with the given true drift.
+  /// A surface feature at projected point p at IS2 time appears at p + drift.
+  Scene render(const atl03::SurfaceModel& surface, geo::Xy drift,
+               double acquisition_time) const;
+
+  const SceneConfig& config() const { return config_; }
+
+ private:
+  SceneConfig config_;
+  std::uint64_t seed_;
+};
+
+}  // namespace is2::s2

@@ -1,0 +1,71 @@
+// Color-based Sentinel-2 sea-ice segmentation with thin-cloud and shadow
+// filtering (reproduces the method of paper ref [5], which auto-labels the
+// S2 imagery that in turn labels the IS2 track).
+//
+// Stages:
+//  1. thick-cloud masking  — spectrally flat bright pixels (high NIR/VIS
+//     ratio) are unclassifiable and become Unknown;
+//  2. thin-cloud correction — the additive haze of translucent cloud is
+//     estimated from the NIR/VIS ratio and inverted out of the bands;
+//  3. shadow filtering      — pixels much darker than their neighborhood tile
+//     with ice-like spectra are re-gained to the tile brightness;
+//  4. color classification  — k-means (k=3) in corrected (B02,B04,B08) space
+//     on a subsample, clusters ordered by brightness onto
+//     open water < thin ice < thick ice, all pixels assigned to centroids.
+#pragma once
+
+#include <cstdint>
+
+#include "sentinel2/image.hpp"
+#include "util/rng.hpp"
+
+namespace is2::s2 {
+
+struct SegmentationConfig {
+  // Thick-cloud detection.
+  double cloud_nir_ratio = 0.965;  ///< NIR/VIS above this looks like cloud
+  double cloud_brightness = 0.55;  ///< ...if also at least this bright
+  // Thin-cloud correction.
+  double ice_nir_ratio = 0.905;    ///< canonical ice NIR/VIS ratio
+  double max_thin_alpha = 0.75;    ///< cap on removable haze opacity
+  double cloud_reflectance = 0.92; ///< assumed cloud brightness for inversion
+  // Shadow filtering.
+  std::size_t tile_px = 32;        ///< neighborhood tile for local brightness
+  double shadow_gain_lo = 0.35;    ///< plausible shadow dimming range
+  double shadow_gain_hi = 0.82;
+  double shadow_tile_brightness = 0.30;  ///< only trust shadows in bright tiles
+  // Clustering. k exceeds the class count so the wide thick-ice reflectance
+  // range can occupy several clusters; each centroid is then mapped to a
+  // class by its spectral signature (NIR/VIS ratio separates the classes
+  // regardless of brightness, which shadows and thin haze rescale).
+  std::size_t kmeans_k = 6;
+  std::size_t kmeans_subsample = 120'000;
+  int kmeans_iters = 40;
+  double water_ratio_max = 0.33;   ///< centroid B08/B02 below this = open water
+  double thin_ratio_max = 0.72;    ///< ...below this = thin ice, above = thick
+  double water_brightness_max = 0.15;  ///< very dark centroids are water
+  std::uint64_t seed = 42;
+};
+
+struct SegmentationResult {
+  ClassRaster labels;
+  std::size_t thick_cloud_pixels = 0;
+  std::size_t thin_cloud_corrected = 0;
+  std::size_t shadow_corrected = 0;
+};
+
+/// Run the full segmentation on an image.
+SegmentationResult segment(const MultispectralImage& image, const SegmentationConfig& config = {});
+
+/// Pixel-wise agreement between prediction and truth over pixels where both
+/// are known (i.e. excluding cloud-masked and off-scene pixels).
+struct SegmentationScore {
+  double accuracy = 0.0;
+  std::size_t evaluated = 0;
+  /// Confusion counts indexed [truth][pred] over the three classes.
+  std::uint64_t confusion[3][3] = {};
+};
+
+SegmentationScore score_segmentation(const ClassRaster& prediction, const ClassRaster& truth);
+
+}  // namespace is2::s2

@@ -1,0 +1,23 @@
+// Tiny leveled logger. Benchmarks keep it at Warn so table output stays
+// clean; examples raise it to Info to narrate pipeline stages.
+#pragma once
+
+#include <cstdarg>
+#include <string>
+
+namespace is2::util {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// printf-style logging; drops messages below the global level.
+void logf(LogLevel level, const char* fmt, ...) __attribute__((format(printf, 2, 3)));
+
+#define IS2_LOG_DEBUG(...) ::is2::util::logf(::is2::util::LogLevel::Debug, __VA_ARGS__)
+#define IS2_LOG_INFO(...) ::is2::util::logf(::is2::util::LogLevel::Info, __VA_ARGS__)
+#define IS2_LOG_WARN(...) ::is2::util::logf(::is2::util::LogLevel::Warn, __VA_ARGS__)
+#define IS2_LOG_ERROR(...) ::is2::util::logf(::is2::util::LogLevel::Error, __VA_ARGS__)
+
+}  // namespace is2::util

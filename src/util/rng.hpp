@@ -1,0 +1,77 @@
+// Deterministic random number generation for reproducible simulation runs.
+//
+// All stochastic components of the library (surface process, photon
+// simulator, scene renderer, NN weight init, data shuffling) draw from
+// is2::util::Rng so a single seed reproduces an entire campaign bit-for-bit.
+// The generator is xoshiro256++ seeded via splitmix64, which passes BigCrush
+// and is cheap enough to sit inside per-photon loops.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace is2::util {
+
+/// splitmix64 step; used for seeding and for cheap stateless hashing.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// Stateless 64-bit mix of a key — handy for deriving per-object substream
+/// seeds (e.g. one stream per granule) from a master seed.
+std::uint64_t hash64(std::uint64_t key);
+
+/// xoshiro256++ pseudo-random generator with convenience distributions.
+///
+/// Satisfies UniformRandomBitGenerator so it can also feed <random> adaptors,
+/// but the built-in distributions below avoid libstdc++'s non-portable
+/// streams and keep results identical across standard libraries.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ull; }
+
+  result_type operator()() { return next(); }
+  std::uint64_t next();
+
+  /// Derive an independent substream keyed by `key` (granule id, rank, ...).
+  Rng fork(std::uint64_t key) const;
+
+  /// Uniform double in [0, 1).
+  double uniform();
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+  /// Standard normal via Box–Muller (cached spare value).
+  double normal();
+  /// Normal with mean/stddev.
+  double normal(double mean, double stddev);
+  /// Exponential with given rate (lambda).
+  double exponential(double rate);
+  /// Poisson sample; Knuth for small means, normal approximation above 64.
+  int poisson(double mean);
+  /// Bernoulli trial.
+  bool bernoulli(double p);
+  /// Sample an index from unnormalized non-negative weights.
+  std::size_t categorical(const std::vector<double>& weights);
+
+  /// Fisher–Yates shuffle of an index-addressable container.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+  double spare_normal_ = 0.0;
+  bool has_spare_ = false;
+};
+
+}  // namespace is2::util

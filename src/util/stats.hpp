@@ -1,0 +1,82 @@
+// Streaming and batch statistics shared across the pipeline: per-segment
+// photon statistics, sea-surface error aggregation, benchmark summaries and
+// freeboard distributions.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace is2::util {
+
+/// Welford single-pass mean/variance with min/max tracking.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 when fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Batch helpers (copy + nth_element based; inputs untouched).
+double mean(std::span<const double> xs);
+double variance(std::span<const double> xs);
+double stddev(std::span<const double> xs);
+double median(std::span<const double> xs);
+/// Linear-interpolated percentile, p in [0,100].
+double percentile(std::span<const double> xs, double p);
+
+/// Fixed-width histogram over [lo, hi); out-of-range samples clamp to the
+/// edge bins so freeboard tails remain visible in distribution plots.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  void merge(const Histogram& other);
+
+  std::size_t bins() const { return counts_.size(); }
+  std::size_t count(std::size_t bin) const { return counts_[bin]; }
+  std::size_t total() const { return total_; }
+  double bin_center(std::size_t bin) const;
+  double bin_width() const { return width_; }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  /// Center of the fullest bin (distribution peak / mode estimate).
+  double mode() const;
+  /// Normalized density value for a bin (integrates to ~1 over range).
+  double density(std::size_t bin) const;
+  /// Render a unicode sparkline-style bar chart, one row per bin.
+  std::string render(std::size_t max_width = 60) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// Pearson correlation; returns 0 for degenerate inputs.
+double pearson(std::span<const double> x, std::span<const double> y);
+
+/// Root-mean-square difference of two equal-length series.
+double rms_diff(std::span<const double> x, std::span<const double> y);
+
+}  // namespace is2::util

@@ -1,0 +1,37 @@
+// ASCII table / CSV emission used by every bench binary to print the rows
+// the paper's tables report.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace is2::util {
+
+/// Column-aligned ASCII table with an optional title, matching the visual
+/// structure of the paper's Tables I–V.
+class Table {
+ public:
+  explicit Table(std::string title = {}) : title_(std::move(title)) {}
+
+  void set_header(std::vector<std::string> header);
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience for numeric rows; formats with the given precision.
+  void add_row_numeric(const std::vector<double>& row, int precision = 2);
+
+  std::size_t rows() const { return rows_.size(); }
+
+  std::string to_string() const;
+  std::string to_csv() const;
+  /// Print to stdout.
+  void print() const;
+
+  static std::string fmt(double v, int precision = 2);
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace is2::util

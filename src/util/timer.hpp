@@ -1,0 +1,27 @@
+// Wall-clock timing for the staged benchmarks (LOAD / MAP / REDUCE phases,
+// per-epoch training times).
+#pragma once
+
+#include <chrono>
+
+namespace is2::util {
+
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double millis() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace is2::util

@@ -1,0 +1,175 @@
+// Baseline tests: CART decision tree, ATL07 150-photon aggregation and
+// classification, ATL10 reference surface and freeboard.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "atl03/photon_sim.hpp"
+#include "atl03/preprocess.hpp"
+#include "baseline/atl07.hpp"
+#include "baseline/atl10.hpp"
+#include "baseline/decision_tree.hpp"
+#include "geo/polar_stereo.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace is2;
+using atl03::SurfaceClass;
+using baseline::DecisionTree;
+
+TEST(DecisionTree, LearnsAxisAlignedRule) {
+  // y = (x0 > 0.5) + (x1 > 0.5), 3 classes; fully learnable by a depth-2 tree.
+  util::Rng rng(1);
+  std::vector<float> x;
+  std::vector<std::uint8_t> y;
+  for (int i = 0; i < 2'000; ++i) {
+    const float a = static_cast<float>(rng.uniform());
+    const float b = static_cast<float>(rng.uniform());
+    x.push_back(a);
+    x.push_back(b);
+    y.push_back(static_cast<std::uint8_t>((a > 0.5f) + (b > 0.5f)));
+  }
+  DecisionTree tree;
+  tree.fit(x, 2, y, 3);
+  const auto pred = tree.predict_batch(x);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < y.size(); ++i)
+    if (pred[i] == y[i]) ++correct;
+  EXPECT_GT(static_cast<double>(correct) / y.size(), 0.97);
+  EXPECT_GT(tree.node_count(), 3u);
+  EXPECT_TRUE(tree.trained());
+}
+
+TEST(DecisionTree, RespectsMaxDepth) {
+  util::Rng rng(2);
+  std::vector<float> x;
+  std::vector<std::uint8_t> y;
+  for (int i = 0; i < 500; ++i) {
+    x.push_back(static_cast<float>(rng.uniform()));
+    y.push_back(static_cast<std::uint8_t>(rng.uniform_int(0, 2)));
+  }
+  baseline::TreeConfig cfg;
+  cfg.max_depth = 2;
+  DecisionTree tree;
+  tree.fit(x, 1, y, 3, cfg);
+  EXPECT_LE(tree.depth(), 2);
+}
+
+TEST(DecisionTree, ErrorPaths) {
+  DecisionTree tree;
+  EXPECT_THROW(tree.predict_batch({1.0f}), std::invalid_argument);
+  EXPECT_THROW(tree.fit({1.0f, 2.0f}, 2, {0, 1}, 2), std::invalid_argument);
+  std::vector<std::uint8_t> empty_y;
+  EXPECT_THROW(tree.fit({}, 1, empty_y, 2), std::invalid_argument);
+}
+
+struct Atl07Fixture {
+  geo::GeoCorrections corrections{7};
+  atl03::SurfaceConfig scfg;
+  geo::GroundTrack track;
+  atl03::SurfaceModel surface;
+  atl03::Granule granule;
+  atl03::PreprocessedBeam pre;
+
+  explicit Atl07Fixture(double length = 30'000.0)
+      : track(geo::PolarStereo::epsg3976().forward({-172.0, -74.0}), 2.0),
+        surface((scfg.length_m = length, scfg), track, corrections, 61),
+        granule(atl03::PhotonSimulator(atl03::InstrumentConfig{}, 62)
+                    .simulate_granule(surface, "ATL03_BASE", 0.0, {atl03::BeamId::Gt2r})),
+        pre(atl03::preprocess_beam(granule, granule.beam(atl03::BeamId::Gt2r), corrections)) {}
+};
+
+TEST(Atl07, AggregatesFixedPhotonCounts) {
+  Atl07Fixture fx;
+  const auto product = baseline::build_atl07(fx.pre);
+  ASSERT_FALSE(product.segments.empty());
+  for (const auto& seg : product.segments) EXPECT_EQ(seg.n_photons, 150u);
+  // Expected segment count = photons / 150.
+  EXPECT_EQ(product.segments.size(), fx.pre.size() / 150);
+}
+
+TEST(Atl07, SegmentsMuchCoarserThan2m) {
+  Atl07Fixture fx;
+  const auto product = baseline::build_atl07(fx.pre);
+  const double mean_len = product.mean_segment_length();
+  EXPECT_GT(mean_len, 10.0);   // the paper's resolution argument:
+  EXPECT_LT(mean_len, 400.0);  // 150-photon segments are 10-200+ m
+}
+
+TEST(Atl07, SegmentLengthInverseToBrightness) {
+  // Bright (thick ice) segments need less distance to accumulate 150
+  // photons than dark (open water) ones.
+  Atl07Fixture fx(60'000.0);
+  const auto product = baseline::build_atl07(fx.pre);
+  double len_thick = 0.0, len_water = 0.0;
+  std::size_t n_thick = 0, n_water = 0;
+  for (const auto& seg : product.segments) {
+    if (seg.truth == SurfaceClass::ThickIce) {
+      len_thick += seg.length;
+      ++n_thick;
+    } else if (seg.truth == SurfaceClass::OpenWater) {
+      len_water += seg.length;
+      ++n_water;
+    }
+  }
+  ASSERT_GT(n_thick, 10u);
+  ASSERT_GT(n_water, 0u);
+  EXPECT_LT(len_thick / n_thick, len_water / n_water);
+}
+
+TEST(Atl07, RuleClassifierBeatsChance) {
+  Atl07Fixture fx(60'000.0);
+  const auto product = baseline::build_atl07(fx.pre);
+  EXPECT_GT(product.classification_accuracy(), 0.75);
+}
+
+TEST(Atl10, ReferenceSurfaceNearTruth) {
+  Atl07Fixture fx(60'000.0);
+  const auto atl07 = baseline::build_atl07(fx.pre);
+  const auto atl10 = baseline::build_atl10(atl07);
+  ASSERT_FALSE(atl10.section_ref_height.empty());
+  // Reference heights should sit near the corrected sea level (~0 after
+  // geophysical correction, within the residual SSH scale).
+  for (double h : atl10.section_ref_height) EXPECT_LT(std::abs(h), 0.5);
+}
+
+TEST(Atl10, FreeboardsMostlyPositiveAndBounded) {
+  Atl07Fixture fx(60'000.0);
+  const auto atl10 = baseline::build_atl10(baseline::build_atl07(fx.pre));
+  ASSERT_FALSE(atl10.freeboards.empty());
+  std::size_t positive = 0;
+  for (const auto& fb : atl10.freeboards) {
+    EXPECT_GT(fb.freeboard, -1.0);
+    EXPECT_LT(fb.freeboard, 10.0);
+    if (fb.freeboard > -0.05) ++positive;
+  }
+  EXPECT_GT(static_cast<double>(positive) / atl10.freeboards.size(), 0.9);
+}
+
+TEST(Atl10, ThickIceFreeboardExceedsWater) {
+  Atl07Fixture fx(60'000.0);
+  const auto atl10 = baseline::build_atl10(baseline::build_atl07(fx.pre));
+  double fb_thick = 0.0, fb_water = 0.0;
+  std::size_t n_thick = 0, n_water = 0;
+  for (const auto& fb : atl10.freeboards) {
+    if (fb.type == SurfaceClass::ThickIce) {
+      fb_thick += fb.freeboard;
+      ++n_thick;
+    } else if (fb.type == SurfaceClass::OpenWater) {
+      fb_water += fb.freeboard;
+      ++n_water;
+    }
+  }
+  ASSERT_GT(n_thick, 0u);
+  ASSERT_GT(n_water, 0u);
+  EXPECT_GT(fb_thick / n_thick, fb_water / n_water + 0.1);
+}
+
+TEST(Atl10, EmptyInputHandled) {
+  const baseline::Atl07Product empty;
+  const auto atl10 = baseline::build_atl10(empty);
+  EXPECT_TRUE(atl10.freeboards.empty());
+}
+
+}  // namespace

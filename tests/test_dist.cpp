@@ -1,0 +1,195 @@
+// Distributed-training substrate tests: ring all-reduce correctness across
+// rank counts and buffer sizes, broadcast, distributed optimizer equivalence
+// and the synchronous data-parallel trainer.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+
+#include "dist/comm.hpp"
+#include "dist/hvd.hpp"
+#include "dist/trainer.hpp"
+#include "nn/model.hpp"
+
+namespace {
+
+using namespace is2;
+using dist::Communicator;
+using is2::util::Rng;
+
+/// Run fn(rank) on `n` threads and join.
+void on_ranks(int n, const std::function<void(int)>& fn) {
+  std::vector<std::thread> threads;
+  for (int r = 0; r < n; ++r) threads.emplace_back([&, r] { fn(r); });
+  for (auto& t : threads) t.join();
+}
+
+struct AllreduceCase {
+  int ranks;
+  std::size_t len;
+};
+
+class AllreduceSweep : public ::testing::TestWithParam<AllreduceCase> {};
+
+TEST_P(AllreduceSweep, SumMatchesSerialReference) {
+  const auto [ranks, len] = GetParam();
+  Communicator comm(ranks);
+  // Each rank's buffer: deterministic pseudo-random values.
+  std::vector<std::vector<float>> bufs(ranks);
+  std::vector<float> want(len, 0.0f);
+  for (int r = 0; r < ranks; ++r) {
+    Rng rng(100 + r);
+    bufs[r].resize(len);
+    for (std::size_t i = 0; i < len; ++i) {
+      bufs[r][i] = static_cast<float>(rng.uniform(-1.0, 1.0));
+      want[i] += bufs[r][i];
+    }
+  }
+  on_ranks(ranks, [&](int r) { comm.allreduce_sum(r, bufs[static_cast<std::size_t>(r)]); });
+  for (int r = 0; r < ranks; ++r)
+    for (std::size_t i = 0; i < len; ++i)
+      ASSERT_NEAR(bufs[r][i], want[i], 1e-4) << "rank " << r << " index " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, AllreduceSweep,
+                         ::testing::Values(AllreduceCase{1, 16}, AllreduceCase{2, 1},
+                                           AllreduceCase{2, 1024}, AllreduceCase{3, 7},
+                                           AllreduceCase{4, 64}, AllreduceCase{6, 1000},
+                                           AllreduceCase{8, 333}, AllreduceCase{8, 4096}));
+
+TEST(Comm, AllreduceMeanDividesBySize) {
+  const int ranks = 4;
+  Communicator comm(ranks);
+  std::vector<std::vector<float>> bufs(ranks, std::vector<float>(10, 0.0f));
+  for (int r = 0; r < ranks; ++r)
+    for (auto& v : bufs[r]) v = static_cast<float>(r + 1);  // 1,2,3,4 -> mean 2.5
+  on_ranks(ranks, [&](int r) { comm.allreduce_mean(r, bufs[static_cast<std::size_t>(r)]); });
+  for (int r = 0; r < ranks; ++r)
+    for (auto v : bufs[r]) EXPECT_FLOAT_EQ(v, 2.5f);
+}
+
+TEST(Comm, BroadcastCopiesRoot) {
+  const int ranks = 5;
+  Communicator comm(ranks);
+  std::vector<std::vector<float>> bufs(ranks, std::vector<float>(8, -1.0f));
+  for (std::size_t i = 0; i < 8; ++i) bufs[2][i] = static_cast<float>(i);
+  on_ranks(ranks, [&](int r) { comm.broadcast(r, bufs[static_cast<std::size_t>(r)], 2); });
+  for (int r = 0; r < ranks; ++r)
+    for (std::size_t i = 0; i < 8; ++i) EXPECT_FLOAT_EQ(bufs[r][i], static_cast<float>(i));
+}
+
+TEST(Comm, SequentialCollectivesDoNotInterfere) {
+  const int ranks = 4;
+  Communicator comm(ranks);
+  std::vector<std::vector<float>> a(ranks, std::vector<float>(33, 1.0f));
+  std::vector<std::vector<float>> b(ranks, std::vector<float>(17, 2.0f));
+  on_ranks(ranks, [&](int r) {
+    comm.allreduce_sum(r, a[static_cast<std::size_t>(r)]);
+    comm.allreduce_sum(r, b[static_cast<std::size_t>(r)]);
+  });
+  for (int r = 0; r < ranks; ++r) {
+    for (auto v : a[r]) EXPECT_FLOAT_EQ(v, 4.0f);
+    for (auto v : b[r]) EXPECT_FLOAT_EQ(v, 8.0f);
+  }
+}
+
+TEST(Comm, BytesPerRankFormula) {
+  EXPECT_EQ(Communicator::allreduce_bytes_per_rank(1, 100), 0u);
+  // 2*(N-1)/N * n floats * 4 bytes with n=100, N=4 -> 2*3*25*4 = 600.
+  EXPECT_EQ(Communicator::allreduce_bytes_per_rank(4, 100), 600u);
+}
+
+TEST(Hvd, DistributedOptimizerAveragesGradients) {
+  // Two ranks with different gradients: after the distributed step both
+  // replicas must have applied the *average* gradient.
+  auto ctx = dist::init(2);
+  std::vector<nn::Mat> w(2, nn::Mat(1, 4, 1.0f));
+  std::vector<nn::Mat> g(2, nn::Mat(1, 4));
+  on_ranks(2, [&](int r) {
+    for (int i = 0; i < 4; ++i) g[r].at(0, static_cast<std::size_t>(i)) = r == 0 ? 1.0f : 3.0f;
+    dist::DistributedOptimizer opt(std::make_unique<nn::Sgd>(0.5), ctx, r);
+    std::vector<nn::Param> params{{"w", &w[r], &g[r]}};
+    opt.step(params);
+  });
+  // Average gradient = 2.0, lr 0.5 -> w = 1 - 1 = 0 on both ranks.
+  for (int r = 0; r < 2; ++r)
+    for (int i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(w[r].at(0, static_cast<std::size_t>(i)), 0.0f);
+}
+
+nn::Dataset toy_task(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  nn::Dataset d;
+  d.x = nn::Tensor3(n, 5, 6);
+  d.y.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto cls = static_cast<std::uint8_t>(rng.uniform_int(0, 2));
+    for (std::size_t t = 0; t < 5; ++t) {
+      float* row = d.x.at(i, t);
+      for (int f = 0; f < 6; ++f)
+        row[f] = static_cast<float>(rng.normal(cls * 1.0, 0.5));
+    }
+    d.y[i] = cls;
+  }
+  return d;
+}
+
+TEST(Trainer, SingleRankTrainsToHighAccuracy) {
+  const auto train = toy_task(2'000, 1);
+  const auto test = toy_task(400, 2);
+  dist::TrainerConfig cfg;
+  cfg.ranks = 1;
+  cfg.epochs = 5;
+  const auto result = dist::train_distributed(
+      [] {
+        Rng rng(3);
+        return nn::make_mlp_model(5, 6, rng);
+      },
+      train, test, cfg);
+  EXPECT_GT(result.test_metrics.accuracy, 0.9);
+  EXPECT_EQ(result.epoch_times_s.size(), 5u);
+  EXPECT_GT(result.samples_per_s, 0.0);
+}
+
+TEST(Trainer, MultiRankKeepsAccuracy) {
+  const auto train = toy_task(2'000, 4);
+  const auto test = toy_task(400, 5);
+  auto run = [&](int ranks) {
+    dist::TrainerConfig cfg;
+    cfg.ranks = ranks;
+    cfg.epochs = 10;
+    return dist::train_distributed(
+        [] {
+          Rng rng(6);
+          return nn::make_mlp_model(5, 6, rng);
+        },
+        train, test, cfg);
+  };
+  const auto serial = run(1);
+  const auto parallel = run(4);
+  // Synchronous data parallelism quadruples the effective batch, so a small
+  // accuracy drop at equal epochs is expected; it must stay small.
+  EXPECT_GT(parallel.test_metrics.accuracy, serial.test_metrics.accuracy - 0.06);
+  EXPECT_GT(parallel.floats_reduced, 0u);
+}
+
+TEST(Trainer, EpochTimeDropsWithRanks) {
+  // Strong-scaling smoke test on a compute-heavy enough workload.
+  const auto train = toy_task(4'096, 7);
+  const auto test = toy_task(128, 8);
+  auto time_for = [&](int ranks) {
+    dist::TrainerConfig cfg;
+    cfg.ranks = ranks;
+    cfg.epochs = 2;
+    return dist::train_distributed(
+        [] {
+          Rng rng(9);
+          return nn::make_lstm_model(5, 6, rng);
+        },
+        train, test, cfg).time_per_epoch_s;
+  };
+  const double t1 = time_for(1);
+  const double t4 = time_for(4);
+  EXPECT_LT(t4, t1 * 0.6);
+}
+
+}  // namespace

@@ -1,0 +1,133 @@
+// Freeboard product tests: the h_f = h_s - h_ref identity, filtering,
+// density/distribution statistics.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "freeboard/freeboard.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace is2;
+using atl03::SurfaceClass;
+using resample::Segment;
+
+struct Scene {
+  std::vector<Segment> segments;
+  std::vector<SurfaceClass> labels;
+  seasurface::SeaSurfaceProfile profile;
+};
+
+Scene flat_scene(double level, double ice_height, std::size_t n = 500) {
+  Scene sc;
+  for (std::size_t i = 0; i < n; ++i) {
+    Segment s;
+    s.s = static_cast<double>(i) * 2.0;
+    const bool water = i % 25 == 0;
+    s.h_mean = water ? level : level + ice_height;
+    s.truth = water ? SurfaceClass::OpenWater : SurfaceClass::ThickIce;
+    sc.segments.push_back(s);
+    sc.labels.push_back(s.truth);
+  }
+  std::vector<seasurface::SeaSurfacePoint> pts(2);
+  pts[0].s = 0.0;
+  pts[0].h_ref = level;
+  pts[1].s = static_cast<double>(n) * 2.0;
+  pts[1].h_ref = level;
+  sc.profile = seasurface::SeaSurfaceProfile(pts);
+  return sc;
+}
+
+TEST(Freeboard, IdentityOnNoiselessScene) {
+  const Scene sc = flat_scene(-0.3, 0.42);
+  const auto product = freeboard::compute_freeboard(sc.segments, sc.labels, sc.profile);
+  ASSERT_EQ(product.points.size(), sc.segments.size());
+  for (const auto& p : product.points) {
+    if (p.cls == SurfaceClass::OpenWater)
+      EXPECT_NEAR(p.freeboard, 0.0, 1e-12);
+    else
+      EXPECT_NEAR(p.freeboard, 0.42, 1e-12);
+  }
+}
+
+TEST(Freeboard, ExcludeOpenWaterOption) {
+  const Scene sc = flat_scene(0.0, 0.3);
+  freeboard::FreeboardConfig cfg;
+  cfg.include_open_water = false;
+  const auto product = freeboard::compute_freeboard(sc.segments, sc.labels, sc.profile, cfg);
+  for (const auto& p : product.points) EXPECT_NE(p.cls, SurfaceClass::OpenWater);
+  EXPECT_LT(product.points.size(), sc.segments.size());
+}
+
+TEST(Freeboard, SanityCapsFilterOutliers) {
+  Scene sc = flat_scene(0.0, 0.3, 100);
+  sc.segments[10].h_mean = 50.0;   // absurd high
+  sc.segments[20].h_mean = -30.0;  // absurd low
+  const auto product = freeboard::compute_freeboard(sc.segments, sc.labels, sc.profile);
+  EXPECT_EQ(product.points.size(), sc.segments.size() - 2);
+}
+
+TEST(Freeboard, UnknownLabelsSkipped) {
+  Scene sc = flat_scene(0.0, 0.3, 100);
+  sc.labels[5] = SurfaceClass::Unknown;
+  sc.labels[6] = SurfaceClass::Unknown;
+  const auto product = freeboard::compute_freeboard(sc.segments, sc.labels, sc.profile);
+  EXPECT_EQ(product.points.size(), 98u);
+}
+
+TEST(Freeboard, PointDensityPerKm) {
+  const Scene sc = flat_scene(0.0, 0.3, 501);  // 2m spacing over 1 km
+  const auto product = freeboard::compute_freeboard(sc.segments, sc.labels, sc.profile);
+  EXPECT_NEAR(product.points_per_km(), 501.0, 2.0);
+}
+
+TEST(Freeboard, DistributionPeaksAtIceFreeboard) {
+  const Scene sc = flat_scene(-0.1, 0.35, 2'000);
+  const auto product = freeboard::compute_freeboard(sc.segments, sc.labels, sc.profile);
+  const auto hist = product.distribution();
+  EXPECT_NEAR(hist.mode(), 0.35, 0.05);
+  const auto stats = product.stats();
+  EXPECT_GT(stats.mean(), 0.25);
+  EXPECT_LT(stats.mean(), 0.40);
+}
+
+TEST(Freeboard, RmsVsTruthOnCorrectLabels) {
+  const Scene sc = flat_scene(0.0, 0.30, 200);
+  const auto product = freeboard::compute_freeboard(sc.segments, sc.labels, sc.profile);
+  std::vector<double> truth(product.points.size());
+  for (std::size_t i = 0; i < product.points.size(); ++i)
+    truth[i] = product.points[i].cls == SurfaceClass::OpenWater ? 0.0 : 0.30;
+  EXPECT_NEAR(freeboard::freeboard_rms_vs_truth(product, truth), 0.0, 1e-12);
+  EXPECT_THROW(freeboard::freeboard_rms_vs_truth(product, {1.0}), std::invalid_argument);
+}
+
+TEST(Freeboard, TiltedSeaSurfaceFollowed) {
+  // Sea surface rises 0.1 m over the track; freeboard must stay constant
+  // because the profile is subtracted pointwise.
+  Scene sc = flat_scene(0.0, 0.4, 1'000);
+  std::vector<seasurface::SeaSurfacePoint> pts(2);
+  pts[0].s = 0.0;
+  pts[0].h_ref = 0.0;
+  pts[1].s = 2'000.0;
+  pts[1].h_ref = 0.1;
+  sc.profile = seasurface::SeaSurfaceProfile(pts);
+  for (auto& seg : sc.segments) {
+    const double tilt = 0.1 * seg.s / 2'000.0;
+    seg.h_mean += tilt;
+  }
+  const auto product = freeboard::compute_freeboard(sc.segments, sc.labels, sc.profile);
+  for (const auto& p : product.points) {
+    if (p.cls == SurfaceClass::ThickIce) EXPECT_NEAR(p.freeboard, 0.4, 1e-9);
+  }
+}
+
+TEST(Freeboard, EmptyProfileYieldsEmptyProduct) {
+  const Scene sc = flat_scene(0.0, 0.3, 10);
+  const auto product =
+      freeboard::compute_freeboard(sc.segments, sc.labels, seasurface::SeaSurfaceProfile{});
+  EXPECT_TRUE(product.points.empty());
+  EXPECT_DOUBLE_EQ(product.points_per_km(), 0.0);
+}
+
+}  // namespace

@@ -1,0 +1,165 @@
+// Projection, correction-model and track-geometry tests, including the
+// round-trip property sweep over the Ross Sea (and wider Antarctic) grid.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geo/corrections.hpp"
+#include "geo/polar_stereo.hpp"
+#include "geo/track.hpp"
+#include "geo/wgs84.hpp"
+
+namespace {
+
+using namespace is2::geo;
+
+TEST(PolarStereo, ScaleIsUnityAtStandardParallel) {
+  const PolarStereo p = PolarStereo::epsg3976();
+  EXPECT_NEAR(p.scale_factor(-70.0), 1.0, 1e-12);
+  // Scale grows away from the standard parallel toward the equator side and
+  // shrinks slightly toward the pole.
+  EXPECT_GT(p.scale_factor(-60.0), 1.0);
+  EXPECT_LT(p.scale_factor(-85.0), 1.0);
+}
+
+TEST(PolarStereo, PoleMapsToOrigin) {
+  const PolarStereo p = PolarStereo::epsg3976();
+  const Xy xy = p.forward({0.0, -90.0});
+  EXPECT_NEAR(xy.x, 0.0, 1e-6);
+  EXPECT_NEAR(xy.y, 0.0, 1e-6);
+}
+
+TEST(PolarStereo, KnownDistanceFromPole) {
+  // At lat -70 the distance from the pole is ~2,215 km for this projection
+  // family (sanity envelope, not an authoritative test vector).
+  const PolarStereo p = PolarStereo::epsg3976();
+  const Xy xy = p.forward({0.0, -70.0});
+  const double rho = std::hypot(xy.x, xy.y);
+  EXPECT_GT(rho, 2.10e6);
+  EXPECT_LT(rho, 2.30e6);
+}
+
+TEST(PolarStereo, LongitudeRotatesPosition) {
+  const PolarStereo p = PolarStereo::epsg3976();
+  const Xy a = p.forward({0.0, -75.0});
+  const Xy b = p.forward({90.0, -75.0});
+  EXPECT_NEAR(std::hypot(a.x, a.y), std::hypot(b.x, b.y), 1e-6);
+  const double dot = a.x * b.x + a.y * b.y;
+  EXPECT_NEAR(dot, 0.0, 1.0);  // 90 degrees apart
+}
+
+TEST(PolarStereo, RejectsWrongHemisphere) {
+  const PolarStereo south = PolarStereo::epsg3976();
+  EXPECT_THROW(south.forward({0.0, 45.0}), std::invalid_argument);
+  const PolarStereo north = PolarStereo::epsg3413();
+  EXPECT_THROW(north.forward({0.0, -45.0}), std::invalid_argument);
+}
+
+struct RoundTripCase {
+  double lon;
+  double lat;
+};
+
+class ProjectionRoundTrip : public ::testing::TestWithParam<RoundTripCase> {};
+
+TEST_P(ProjectionRoundTrip, ForwardInverseIdentity) {
+  const auto [lon, lat] = GetParam();
+  const PolarStereo p = PolarStereo::epsg3976();
+  const Xy xy = p.forward({lon, lat});
+  const LonLat back = p.inverse(xy);
+  EXPECT_NEAR(back.lat, lat, 1e-9) << "lon=" << lon << " lat=" << lat;
+  // Longitude is undefined at the exact pole.
+  if (lat > -89.999) {
+    double dlon = back.lon - lon;
+    while (dlon > 180.0) dlon -= 360.0;
+    while (dlon < -180.0) dlon += 360.0;
+    EXPECT_NEAR(dlon, 0.0, 1e-9) << "lon=" << lon << " lat=" << lat;
+  }
+}
+
+std::vector<RoundTripCase> round_trip_grid() {
+  std::vector<RoundTripCase> cases;
+  // Ross Sea box (the paper's region) plus the wider hemisphere.
+  for (double lon : {-180.0, -170.0, -155.0, -140.0, -60.0, 0.0, 45.0, 135.0, 179.5})
+    for (double lat : {-89.9, -78.0, -74.0, -70.0, -55.0, -30.0, -5.0})
+      cases.push_back({lon, lat});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, ProjectionRoundTrip, ::testing::ValuesIn(round_trip_grid()));
+
+TEST(PolarStereo, NorthVariantRoundTrips) {
+  const PolarStereo p = PolarStereo::epsg3413();
+  const Xy xy = p.forward({-45.0, 75.0});
+  const LonLat back = p.inverse(xy);
+  EXPECT_NEAR(back.lat, 75.0, 1e-9);
+  EXPECT_NEAR(back.lon, -45.0, 1e-9);
+}
+
+TEST(Corrections, GeoidHasLargeOffsetAndSmallWaves) {
+  const GeoidModel geoid(1);
+  const double u0 = geoid.undulation(0.0, 0.0);
+  EXPECT_LT(u0, -50.0);
+  EXPECT_GT(u0, -60.0);
+  // Variation over 100 km is sub-meter.
+  const double u1 = geoid.undulation(100'000.0, 50'000.0);
+  EXPECT_LT(std::abs(u1 - u0), 2.0);
+}
+
+TEST(Corrections, TideBoundedAndTimeVarying) {
+  const TideModel tide(2);
+  double tmax = -1e9, tmin = 1e9;
+  for (double t = 0.0; t < 48.0 * 3600.0; t += 600.0) {
+    const double h = tide.tide(t, 0.0, 0.0);
+    tmax = std::max(tmax, h);
+    tmin = std::min(tmin, h);
+  }
+  EXPECT_LT(tmax, 1.5);
+  EXPECT_GT(tmin, -1.5);
+  EXPECT_GT(tmax - tmin, 0.1);  // actually oscillates
+}
+
+TEST(Corrections, InvertedBarometerCentimeterScale) {
+  const InvertedBarometerModel ib(3);
+  for (double t : {0.0, 43'200.0, 86'400.0}) {
+    const double c = ib.correction(t, 1e5, -2e5);
+    EXPECT_LT(std::abs(c), 0.25);
+  }
+}
+
+TEST(Corrections, TotalIsSumOfParts) {
+  const GeoCorrections gc(7);
+  const double t = 12'345.0, x = 5e4, y = -1e5;
+  const double total = gc.total(t, x, y);
+  const double sum = gc.geoid().undulation(x, y) + gc.tide().tide(t, x, y) +
+                     gc.inverted_barometer().correction(t, x, y);
+  EXPECT_DOUBLE_EQ(total, sum);
+}
+
+TEST(GroundTrack, AlongAndCrossTrackDecomposition) {
+  const GroundTrack track({100.0, 200.0}, 0.5);
+  const Xy p = track.at(1234.0);
+  EXPECT_NEAR(track.along_track(p), 1234.0, 1e-9);
+  EXPECT_NEAR(track.cross_track(p), 0.0, 1e-9);
+}
+
+TEST(GroundTrack, OffsetMovesLeftOfTravel) {
+  const GroundTrack track({0.0, 0.0}, 0.0);  // heading +x
+  const GroundTrack left = track.offset(100.0);
+  EXPECT_NEAR(left.origin().x, 0.0, 1e-12);
+  EXPECT_NEAR(left.origin().y, 100.0, 1e-12);
+  // A point on the original track is at cross-track -100 from the offset one.
+  EXPECT_NEAR(left.cross_track(track.at(500.0)), -100.0, 1e-9);
+}
+
+TEST(GroundTrack, CumulativeDistance) {
+  std::vector<Xy> pts{{0, 0}, {3, 4}, {3, 4}, {6, 8}};
+  const auto d = cumulative_distance(pts);
+  ASSERT_EQ(d.size(), 4u);
+  EXPECT_DOUBLE_EQ(d[0], 0.0);
+  EXPECT_DOUBLE_EQ(d[1], 5.0);
+  EXPECT_DOUBLE_EQ(d[2], 5.0);
+  EXPECT_DOUBLE_EQ(d[3], 10.0);
+}
+
+}  // namespace

@@ -1,0 +1,100 @@
+// Granule <-> h5lite container round-trip tests (the ATL03 product schema).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "atl03/photon_sim.hpp"
+#include "geo/polar_stereo.hpp"
+#include "h5lite/granule_io.hpp"
+
+namespace {
+
+using namespace is2;
+using atl03::BeamId;
+
+atl03::Granule make_granule(double length = 2'000.0) {
+  static const geo::GeoCorrections corrections(7);
+  atl03::SurfaceConfig scfg;
+  scfg.length_m = length;
+  const geo::GroundTrack track(geo::PolarStereo::epsg3976().forward({-166.0, -74.2}), 0.8);
+  const atl03::SurfaceModel surface(scfg, track, corrections, 3);
+  return atl03::PhotonSimulator(atl03::InstrumentConfig{}, 4)
+      .simulate_granule(surface, "ATL03_20191104195311_05940510", 123.0);
+}
+
+TEST(GranuleIo, InMemoryRoundTripExact) {
+  const auto g = make_granule();
+  const auto g2 = h5::from_file(h5::to_file(g));
+  EXPECT_EQ(g2.id, g.id);
+  EXPECT_DOUBLE_EQ(g2.epoch_time, g.epoch_time);
+  EXPECT_DOUBLE_EQ(g2.track_origin.x, g.track_origin.x);
+  EXPECT_DOUBLE_EQ(g2.track_heading, g.track_heading);
+  EXPECT_DOUBLE_EQ(g2.track_length, g.track_length);
+  EXPECT_EQ(g2.seed, g.seed);
+  ASSERT_EQ(g2.beams.size(), g.beams.size());
+  for (std::size_t b = 0; b < g.beams.size(); ++b) {
+    const auto& x = g.beams[b];
+    const auto& y = g2.beams[b];
+    EXPECT_EQ(x.beam, y.beam);
+    ASSERT_EQ(x.size(), y.size());
+    for (std::size_t i = 0; i < x.size(); i += 53) {
+      EXPECT_DOUBLE_EQ(x.h[i], y.h[i]);
+      EXPECT_DOUBLE_EQ(x.lat[i], y.lat[i]);
+      EXPECT_DOUBLE_EQ(x.lon[i], y.lon[i]);
+      EXPECT_DOUBLE_EQ(x.delta_time[i], y.delta_time[i]);
+      EXPECT_DOUBLE_EQ(x.along_track[i], y.along_track[i]);
+      EXPECT_EQ(x.signal_conf[i], y.signal_conf[i]);
+      EXPECT_EQ(x.truth_class[i], y.truth_class[i]);
+    }
+    EXPECT_EQ(x.bckgrd_rate, y.bckgrd_rate);
+  }
+}
+
+TEST(GranuleIo, DiskRoundTrip) {
+  const auto g = make_granule(1'000.0);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "is2_granule_io.h5l").string();
+  h5::save_granule(g, path);
+  const auto g2 = h5::load_granule(path);
+  EXPECT_EQ(g2.id, g.id);
+  EXPECT_EQ(g2.total_photons(), g.total_photons());
+  std::remove(path.c_str());
+}
+
+TEST(GranuleIo, SchemaUsesAtl03Paths) {
+  const auto f = h5::to_file(make_granule(500.0));
+  EXPECT_TRUE(f.contains("/gt2r/heights/h_ph"));
+  EXPECT_TRUE(f.contains("/gt2r/heights/lat_ph"));
+  EXPECT_TRUE(f.contains("/gt2r/heights/signal_conf_ph"));
+  EXPECT_TRUE(f.contains("/gt2r/bckgrd_atlas/bckgrd_rate"));
+  EXPECT_TRUE(f.contains("/gt1r/heights/h_ph"));
+  EXPECT_TRUE(f.has_attr("/ancillary_data/granule_id"));
+}
+
+TEST(GranuleIo, TruthlessGranuleSupported) {
+  auto g = make_granule(500.0);
+  for (auto& b : g.beams) b.truth_class.clear();  // as real ATL03 would be
+  const auto g2 = h5::from_file(h5::to_file(g));
+  for (const auto& b : g2.beams) EXPECT_TRUE(b.truth_class.empty());
+}
+
+TEST(GranuleIo, FileWithoutBeamsRejected) {
+  h5::File f;
+  f.set_attr("/ancillary_data/granule_id", std::string("x"));
+  f.set_attr("/ancillary_data/epoch_time", 0.0);
+  f.set_attr("/ancillary_data/track_origin_x", 0.0);
+  f.set_attr("/ancillary_data/track_origin_y", 0.0);
+  f.set_attr("/ancillary_data/track_heading", 0.0);
+  f.set_attr("/ancillary_data/track_length", 0.0);
+  f.set_attr("/ancillary_data/scene_seed", std::int64_t{0});
+  EXPECT_THROW(h5::from_file(f), h5::H5Error);
+}
+
+TEST(GranuleIo, InconsistentBeamRejectedOnSave) {
+  auto g = make_granule(500.0);
+  g.beams[0].h.pop_back();  // break array-length invariant
+  EXPECT_THROW(h5::to_file(g), std::invalid_argument);
+}
+
+}  // namespace

@@ -1,0 +1,132 @@
+// h5lite container tests: typed round-trips, attributes, error paths and
+// corruption detection (checksum / truncation / bad magic).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "h5lite/h5file.hpp"
+
+namespace {
+
+using namespace is2::h5;
+
+std::string temp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(H5Lite, RoundTripAllDtypes) {
+  File f;
+  f.put<double>("/g/d_f64", std::vector<double>{1.5, -2.5, 3.25});
+  f.put<float>("/g/d_f32", std::vector<float>{0.5f, 1.5f});
+  f.put<std::int64_t>("/g/d_i64", std::vector<std::int64_t>{-7, 9});
+  f.put<std::int32_t>("/g/d_i32", std::vector<std::int32_t>{1, 2, 3, 4});
+  f.put<std::uint8_t>("/g/d_u8", std::vector<std::uint8_t>{0, 255});
+  f.put<std::int8_t>("/g/d_i8", std::vector<std::int8_t>{-4, 4});
+
+  const auto buf = f.serialize();
+  const File g = File::deserialize(buf);
+  EXPECT_EQ(g.get<double>("/g/d_f64"), (std::vector<double>{1.5, -2.5, 3.25}));
+  EXPECT_EQ(g.get<float>("/g/d_f32"), (std::vector<float>{0.5f, 1.5f}));
+  EXPECT_EQ(g.get<std::int64_t>("/g/d_i64"), (std::vector<std::int64_t>{-7, 9}));
+  EXPECT_EQ(g.get<std::int32_t>("/g/d_i32"), (std::vector<std::int32_t>{1, 2, 3, 4}));
+  EXPECT_EQ(g.get<std::uint8_t>("/g/d_u8"), (std::vector<std::uint8_t>{0, 255}));
+  EXPECT_EQ(g.get<std::int8_t>("/g/d_i8"), (std::vector<std::int8_t>{-4, 4}));
+}
+
+TEST(H5Lite, ShapeRoundTrip) {
+  File f;
+  std::vector<double> data(12);
+  f.put<double>("/m", data, {3, 4});
+  const auto buf = f.serialize();
+  const File g = File::deserialize(buf);
+  EXPECT_EQ(g.shape("/m"), (std::vector<std::uint64_t>{3, 4}));
+  EXPECT_EQ(g.dtype("/m"), DType::F64);
+}
+
+TEST(H5Lite, ShapeMismatchThrows) {
+  File f;
+  std::vector<double> data(5);
+  EXPECT_THROW(f.put<double>("/m", data, {3, 4}), H5Error);
+}
+
+TEST(H5Lite, PathMustBeAbsolute) {
+  File f;
+  EXPECT_THROW(f.put<double>("relative/path", std::vector<double>{1.0}), H5Error);
+}
+
+TEST(H5Lite, AttributesRoundTrip) {
+  File f;
+  f.set_attr("/a/pi", 3.14);
+  f.set_attr("/a/n", std::int64_t{42});
+  f.set_attr("/a/name", std::string("granule-x"));
+  const File g = File::deserialize(f.serialize());
+  EXPECT_DOUBLE_EQ(g.attr_double("/a/pi"), 3.14);
+  EXPECT_EQ(g.attr_int("/a/n"), 42);
+  EXPECT_EQ(g.attr_string("/a/name"), "granule-x");
+  EXPECT_DOUBLE_EQ(g.attr_double("/a/n"), 42.0);  // int readable as double
+  EXPECT_THROW(g.attr_int("/a/pi"), H5Error);
+  EXPECT_THROW(g.attr("/missing"), H5Error);
+}
+
+TEST(H5Lite, MissingDatasetAndDtypeMismatch) {
+  File f;
+  f.put<double>("/x", std::vector<double>{1.0});
+  EXPECT_THROW(f.get<double>("/y"), H5Error);
+  EXPECT_THROW(f.get<float>("/x"), H5Error);
+}
+
+TEST(H5Lite, ListWithPrefix) {
+  File f;
+  f.put<double>("/gt1r/heights/h_ph", std::vector<double>{1.0});
+  f.put<double>("/gt1r/heights/lat_ph", std::vector<double>{1.0});
+  f.put<double>("/gt2r/heights/h_ph", std::vector<double>{1.0});
+  EXPECT_EQ(f.list("/gt1r").size(), 2u);
+  EXPECT_EQ(f.list().size(), 3u);
+}
+
+TEST(H5Lite, CorruptionDetectedByChecksum) {
+  File f;
+  f.put<double>("/data", std::vector<double>(64, 1.0));
+  auto buf = f.serialize();
+  buf[buf.size() / 2] ^= 0xFF;  // flip a payload byte
+  EXPECT_THROW(File::deserialize(buf), H5Error);
+}
+
+TEST(H5Lite, TruncationDetected) {
+  File f;
+  f.put<double>("/data", std::vector<double>(64, 1.0));
+  auto buf = f.serialize();
+  buf.resize(buf.size() / 2);
+  EXPECT_THROW(File::deserialize(buf), H5Error);
+}
+
+TEST(H5Lite, BadMagicRejected) {
+  File f;
+  f.put<double>("/data", std::vector<double>{1.0});
+  auto buf = f.serialize();
+  buf[0] = 'X';
+  EXPECT_THROW(File::deserialize(buf), H5Error);
+}
+
+TEST(H5Lite, DiskRoundTrip) {
+  const std::string path = temp_path("is2_h5lite_test.h5l");
+  File f;
+  f.put<double>("/d", std::vector<double>{9.0, 8.0});
+  f.set_attr("/id", std::string("t"));
+  f.save(path);
+  const File g = File::load(path);
+  EXPECT_EQ(g.get<double>("/d"), (std::vector<double>{9.0, 8.0}));
+  std::remove(path.c_str());
+  EXPECT_THROW(File::load(path), H5Error);  // gone now
+}
+
+TEST(H5Lite, PayloadBytesCounts) {
+  File f;
+  f.put<double>("/a", std::vector<double>(10));
+  f.put<std::uint8_t>("/b", std::vector<std::uint8_t>(3));
+  EXPECT_EQ(f.payload_bytes(), 83u);
+  EXPECT_EQ(f.dataset_count(), 2u);
+}
+
+}  // namespace

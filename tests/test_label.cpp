@@ -1,0 +1,175 @@
+// Overlay sampling, drift estimation and auto-labeling tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "label/autolabel.hpp"
+#include "label/drift.hpp"
+#include "label/overlay.hpp"
+
+namespace {
+
+using namespace is2;
+using atl03::SurfaceClass;
+using resample::Segment;
+
+/// Raster with three vertical stripes: water | thin | thick (x in meters).
+s2::ClassRaster striped_raster(double stripe_m = 400.0, double pixel = 10.0) {
+  s2::GeoTransform gt{0.0, 1'000.0, pixel};
+  const std::size_t cols = static_cast<std::size_t>(3.0 * stripe_m / pixel);
+  const std::size_t rows = 100;
+  s2::ClassRaster r(rows, cols, gt);
+  for (std::size_t row = 0; row < rows; ++row) {
+    for (std::size_t col = 0; col < cols; ++col) {
+      const double x = gt.pixel_center(row, col).x;
+      SurfaceClass c = x < stripe_m              ? SurfaceClass::OpenWater
+                       : x < 2.0 * stripe_m      ? SurfaceClass::ThinIce
+                                                 : SurfaceClass::ThickIce;
+      r.set(row, col, c);
+    }
+  }
+  return r;
+}
+
+/// Segments along y=500 with elevations consistent with the stripes.
+std::vector<Segment> striped_segments(double stripe_m = 400.0, double shift_x = 0.0) {
+  std::vector<Segment> segs;
+  for (double x = 1.0; x < 3.0 * stripe_m; x += 2.0) {
+    Segment s;
+    s.s = x;
+    s.x = x + shift_x;  // IS2 positions offset from the raster by -shift
+    s.y = 500.0;
+    const double true_x = x;
+    s.h_mean = true_x < stripe_m ? 0.0 : true_x < 2 * stripe_m ? 0.06 : 0.45;
+    s.h_std = 0.02;
+    s.n_photons = 10;
+    s.photon_rate = true_x < stripe_m ? 1.0 : 4.0;
+    s.truth = true_x < stripe_m              ? SurfaceClass::OpenWater
+              : true_x < 2 * stripe_m        ? SurfaceClass::ThinIce
+                                             : SurfaceClass::ThickIce;
+    segs.push_back(s);
+  }
+  return segs;
+}
+
+TEST(Overlay, ExactSamplingWithoutShift) {
+  const auto raster = striped_raster();
+  label::OverlayConfig cfg;
+  cfg.vote_radius_px = 0;
+  EXPECT_EQ(label::sample_label(raster, {200.0, 500.0}, cfg), SurfaceClass::OpenWater);
+  EXPECT_EQ(label::sample_label(raster, {600.0, 500.0}, cfg), SurfaceClass::ThinIce);
+  EXPECT_EQ(label::sample_label(raster, {1'000.0, 500.0}, cfg), SurfaceClass::ThickIce);
+  EXPECT_EQ(label::sample_label(raster, {-50.0, 500.0}, cfg), SurfaceClass::Unknown);
+  EXPECT_EQ(label::sample_label(raster, {200.0, 5'000.0}, cfg), SurfaceClass::Unknown);
+}
+
+TEST(Overlay, ShiftMovesSampling) {
+  const auto raster = striped_raster();
+  label::OverlayConfig cfg;
+  cfg.vote_radius_px = 0;
+  cfg.shift = {450.0, 0.0};
+  // Position 200 (water stripe) + shift 450 lands in the thin stripe.
+  EXPECT_EQ(label::sample_label(raster, {200.0, 500.0}, cfg), SurfaceClass::ThinIce);
+}
+
+TEST(Overlay, MajorityVoteSuppressesSpeckle) {
+  auto raster = striped_raster();
+  // Poke a single wrong pixel deep inside the thick stripe.
+  std::size_t row, col;
+  ASSERT_TRUE(raster.transform().world_to_pixel({1'000.0, 500.0}, raster.rows(), raster.cols(),
+                                                row, col));
+  raster.set(row, col, SurfaceClass::OpenWater);
+  label::OverlayConfig voted;
+  voted.vote_radius_px = 1;
+  label::OverlayConfig raw;
+  raw.vote_radius_px = 0;
+  EXPECT_EQ(label::sample_label(raster, {1'000.0, 500.0}, raw), SurfaceClass::OpenWater);
+  EXPECT_EQ(label::sample_label(raster, {1'000.0, 500.0}, voted), SurfaceClass::ThickIce);
+}
+
+TEST(Overlay, CloudMaskedCenterStaysUnknown) {
+  auto raster = striped_raster();
+  std::size_t row, col;
+  ASSERT_TRUE(raster.transform().world_to_pixel({1'000.0, 500.0}, raster.rows(), raster.cols(),
+                                                row, col));
+  raster.set(row, col, SurfaceClass::Unknown);
+  label::OverlayConfig voted;
+  voted.vote_radius_px = 1;
+  EXPECT_EQ(label::sample_label(raster, {1'000.0, 500.0}, voted), SurfaceClass::Unknown);
+}
+
+TEST(Drift, RecoversInjectedShift) {
+  const auto raster = striped_raster();
+  // IS2 segments are displaced by -shift relative to the raster, i.e. the
+  // sampler must *add* `shift` to IS2 positions to land on the right pixels.
+  const geo::Xy injected{-150.0, 0.0};
+  auto segs = striped_segments(400.0, injected.x);
+  const auto baseline = resample::rolling_baseline(segs, 2'000.0, 5.0);
+  label::DriftConfig cfg;
+  cfg.max_shift_m = 300.0;
+  cfg.step_m = 25.0;
+  const auto est = label::estimate_drift(raster, segs, baseline, cfg);
+  EXPECT_NEAR(est.shift.x, 150.0, 30.0);
+  EXPECT_NEAR(est.shift.y, 0.0, 60.0);
+  EXPECT_GT(est.score, est.score_unshifted);
+}
+
+TEST(Drift, ZeroShiftWhenAligned) {
+  const auto raster = striped_raster();
+  auto segs = striped_segments();
+  const auto baseline = resample::rolling_baseline(segs, 2'000.0, 5.0);
+  label::DriftConfig cfg;
+  cfg.max_shift_m = 200.0;
+  const auto est = label::estimate_drift(raster, segs, baseline, cfg);
+  EXPECT_LT(std::hypot(est.shift.x, est.shift.y), 60.0);
+}
+
+TEST(Drift, DescribeShiftMatchesTableFormat) {
+  EXPECT_EQ(label::describe_shift({0.0, 0.0}), "0 m");
+  EXPECT_EQ(label::describe_shift({100.0, 0.0}), "100 m / E");
+  EXPECT_EQ(label::describe_shift({0.0, -200.0}), "200 m / S");
+  const double d = 550.0 / std::sqrt(2.0);
+  EXPECT_EQ(label::describe_shift({-d, d}), "550 m / NW");
+}
+
+TEST(AutoLabel, PerfectRasterGivesAccurateLabels) {
+  const auto raster = striped_raster();
+  auto segs = striped_segments();
+  label::AutoLabelConfig cfg;
+  cfg.manual_fix_rate = 0.0;  // no human help needed here
+  const auto lb = label::auto_label(raster, std::move(segs), cfg);
+  EXPECT_GT(lb.label_accuracy(), 0.97);
+  EXPECT_EQ(lb.features.size(), lb.segments.size());
+  EXPECT_EQ(lb.labels.size(), lb.segments.size());
+}
+
+TEST(AutoLabel, ManualFixRepairsMisalignedLabels) {
+  const auto raster = striped_raster();
+  // Misalign by 60 m without telling the overlay: labels near stripe borders
+  // will be wrong, and the elevation-consistency flags should catch many.
+  auto segs_noisy = striped_segments(400.0, -60.0);
+  label::AutoLabelConfig no_fix;
+  no_fix.manual_fix_rate = 0.0;
+  label::AutoLabelConfig with_fix;
+  with_fix.manual_fix_rate = 1.0;
+  const auto lb0 = label::auto_label(raster, segs_noisy, no_fix);
+  const auto lb1 = label::auto_label(raster, segs_noisy, with_fix);
+  EXPECT_GT(lb1.label_accuracy(), lb0.label_accuracy());
+  EXPECT_GT(lb1.n_manual_fixed, 0u);
+}
+
+TEST(AutoLabel, CloudMaskedSegmentsStayUnlabeled) {
+  auto raster = striped_raster();
+  // Mask a block of the thick stripe.
+  for (std::size_t r = 0; r < raster.rows(); ++r)
+    for (std::size_t c = raster.cols() - 20; c < raster.cols(); ++c)
+      raster.set(r, c, SurfaceClass::Unknown);
+  const auto lb = label::auto_label(raster, striped_segments(), {});
+  EXPECT_GT(lb.n_unknown, 0u);
+  std::size_t unknown_labels = 0;
+  for (auto l : lb.labels)
+    if (l == SurfaceClass::Unknown) ++unknown_labels;
+  EXPECT_EQ(unknown_labels, lb.n_unknown);
+}
+
+}  // namespace

@@ -1,0 +1,183 @@
+// ATLAS photon simulator tests: rate physics, height fidelity, background,
+// confidence flags, dead-time bias and granule assembly.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "atl03/photon_sim.hpp"
+#include "geo/polar_stereo.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace is2;
+using atl03::BeamId;
+using atl03::InstrumentConfig;
+using atl03::PhotonSimulator;
+using atl03::SignalConf;
+using atl03::SurfaceClass;
+
+struct Fixture {
+  geo::GeoCorrections corrections{7};
+  atl03::SurfaceConfig scfg;
+  geo::GroundTrack track;
+  atl03::SurfaceModel surface;
+
+  explicit Fixture(double length = 8'000.0, std::uint64_t seed = 33)
+      : track(geo::PolarStereo::epsg3976().forward({-168.0, -74.5}), 1.1),
+        surface((scfg.length_m = length, scfg), track, corrections, seed) {}
+};
+
+TEST(PhotonSim, PhotonCountScalesWithArea) {
+  Fixture fx;
+  PhotonSimulator sim(InstrumentConfig{}, 5);
+  const auto beam = sim.simulate_beam(fx.surface, BeamId::Gt2r, 0.0);
+  // ~8000/0.7 shots x (few signal + background) photons.
+  const double shots = 8'000.0 / 0.7;
+  EXPECT_GT(beam.size(), static_cast<std::size_t>(shots * 1.5));
+  EXPECT_LT(beam.size(), static_cast<std::size_t>(shots * 9.0));
+  beam.check_consistent();
+}
+
+TEST(PhotonSim, WeakBeamHasFewerPhotons) {
+  Fixture fx;
+  PhotonSimulator sim(InstrumentConfig{}, 5);
+  const auto strong = sim.simulate_beam(fx.surface, BeamId::Gt2r, 0.0);
+  const auto weak = sim.simulate_beam(fx.surface, BeamId::Gt2l, 0.0);
+  EXPECT_LT(weak.size() * 2, strong.size());
+}
+
+TEST(PhotonSim, HighConfidencePhotonsTrackTheSurface) {
+  Fixture fx;
+  PhotonSimulator sim(InstrumentConfig{}, 6);
+  const auto beam = sim.simulate_beam(fx.surface, BeamId::Gt2r, 0.0);
+  // High-confidence photon heights should be near the true surface height —
+  // except for the small deliberate fraction of background photons the
+  // simulated signal finder mis-flags (conf_noise).
+  std::size_t checked = 0, near_surface = 0;
+  for (std::size_t i = 0; i < beam.size(); i += 7) {
+    if (beam.signal_conf[i] != static_cast<std::int8_t>(SignalConf::High)) continue;
+    const double s = beam.along_track[i];
+    if (s < 0.0 || s > fx.surface.length()) continue;
+    const double t = beam.delta_time[i];
+    const double h_true = fx.surface.surface_height(s, t);
+    ++checked;
+    if (std::abs(beam.h[i] - h_true) < 3.5) ++near_surface;
+  }
+  ASSERT_GT(checked, 500u);
+  EXPECT_GT(static_cast<double>(near_surface) / static_cast<double>(checked), 0.99);
+}
+
+TEST(PhotonSim, BackgroundRateBinsPresent) {
+  Fixture fx;
+  PhotonSimulator sim(InstrumentConfig{}, 7);
+  const auto beam = sim.simulate_beam(fx.surface, BeamId::Gt2r, 0.0);
+  ASSERT_FALSE(beam.bckgrd_rate.empty());
+  for (double r : beam.bckgrd_rate) {
+    EXPECT_GE(r, 0.0);
+    EXPECT_LT(r, 1e7);
+  }
+  // Bin times should be increasing.
+  for (std::size_t i = 1; i < beam.bckgrd_delta_time.size(); ++i)
+    EXPECT_GT(beam.bckgrd_delta_time[i], beam.bckgrd_delta_time[i - 1]);
+}
+
+TEST(PhotonSim, ConfidenceSeparatesSignalFromBackground) {
+  Fixture fx;
+  PhotonSimulator sim(InstrumentConfig{}, 8);
+  const auto beam = sim.simulate_beam(fx.surface, BeamId::Gt2r, 0.0);
+  std::size_t high = 0, noise = 0;
+  for (auto c : beam.signal_conf) {
+    if (c == static_cast<std::int8_t>(SignalConf::High)) ++high;
+    if (c <= static_cast<std::int8_t>(SignalConf::Buffer)) ++noise;
+  }
+  EXPECT_GT(high, beam.size() / 2);  // signal dominates over ice
+  EXPECT_GT(noise, 0u);              // background present
+}
+
+TEST(PhotonSim, LatLonRoundTripToTrackCorridor) {
+  Fixture fx;
+  PhotonSimulator sim(InstrumentConfig{}, 9);
+  const auto beam = sim.simulate_beam(fx.surface, BeamId::Gt2r, 0.0);
+  const auto proj = geo::PolarStereo::epsg3976();
+  for (std::size_t i = 0; i < beam.size(); i += 101) {
+    const auto xy = proj.forward({beam.lon[i], beam.lat[i]});
+    const double cross = fx.track.cross_track(xy);
+    EXPECT_LT(std::abs(cross), 30.0);  // footprint-scale corridor
+  }
+}
+
+TEST(PhotonSim, DeadTimeBiasesBrightSurfacesHigh) {
+  // A single-channel detector with a large dead time keeps only the first
+  // (highest) photon of each return, so the mean height over thick ice is
+  // biased high relative to a 16-channel detector with negligible dead time.
+  Fixture fx(4'000.0);
+  InstrumentConfig collapsed;
+  collapsed.dead_time_m = 1.5;
+  collapsed.strong_channels = 1;
+  collapsed.background_rate_mhz = 0.0;  // isolate the effect
+  InstrumentConfig clean = collapsed;
+  clean.dead_time_m = 1e-6;
+  clean.strong_channels = 16;
+  const auto b1 = PhotonSimulator(collapsed, 10).simulate_beam(fx.surface, BeamId::Gt2r, 0.0);
+  const auto b0 = PhotonSimulator(clean, 10).simulate_beam(fx.surface, BeamId::Gt2r, 0.0);
+  auto thick_mean = [](const atl03::BeamData& b) {
+    double sum = 0.0;
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < b.size(); ++i) {
+      if (b.truth_class[i] != static_cast<std::uint8_t>(SurfaceClass::ThickIce)) continue;
+      sum += b.h[i];
+      ++n;
+    }
+    return sum / static_cast<double>(n);
+  };
+  EXPECT_GT(thick_mean(b1), thick_mean(b0) + 0.02);  // biased high
+  EXPECT_LT(b1.size(), b0.size());                   // photons swallowed
+}
+
+TEST(PhotonSim, GranuleHasRequestedBeams) {
+  Fixture fx(3'000.0);
+  PhotonSimulator sim(InstrumentConfig{}, 11);
+  const auto g = sim.simulate_granule(fx.surface, "ATL03_TEST", 100.0);
+  EXPECT_EQ(g.beams.size(), 3u);
+  EXPECT_TRUE(g.has_beam(BeamId::Gt1r));
+  EXPECT_TRUE(g.has_beam(BeamId::Gt2r));
+  EXPECT_TRUE(g.has_beam(BeamId::Gt3r));
+  EXPECT_FALSE(g.has_beam(BeamId::Gt1l));
+  EXPECT_EQ(g.id, "ATL03_TEST");
+  EXPECT_GT(g.total_photons(), 0u);
+  EXPECT_THROW(g.beam(BeamId::Gt1l), std::out_of_range);
+}
+
+TEST(PhotonSim, DeterministicGivenSeed) {
+  Fixture fx(2'000.0);
+  PhotonSimulator a(InstrumentConfig{}, 123), b(InstrumentConfig{}, 123);
+  const auto ba = a.simulate_beam(fx.surface, BeamId::Gt2r, 0.0);
+  const auto bb = b.simulate_beam(fx.surface, BeamId::Gt2r, 0.0);
+  ASSERT_EQ(ba.size(), bb.size());
+  for (std::size_t i = 0; i < ba.size(); i += 17) EXPECT_DOUBLE_EQ(ba.h[i], bb.h[i]);
+}
+
+TEST(PhotonSim, TruthClassesCarried) {
+  Fixture fx(5'000.0);
+  PhotonSimulator sim(InstrumentConfig{}, 13);
+  const auto beam = sim.simulate_beam(fx.surface, BeamId::Gt2r, 0.0);
+  ASSERT_EQ(beam.truth_class.size(), beam.size());
+  std::size_t counts[3] = {0, 0, 0};
+  for (auto c : beam.truth_class) {
+    ASSERT_LT(c, 3);
+    ++counts[c];
+  }
+  EXPECT_GT(counts[0], counts[2]);  // thick ice photons dominate
+}
+
+TEST(PhotonSim, BeamOffsetsMatchSpec) {
+  EXPECT_DOUBLE_EQ(atl03::beam_cross_track_offset(BeamId::Gt2r), 0.0);
+  EXPECT_DOUBLE_EQ(atl03::beam_cross_track_offset(BeamId::Gt1r), -3'300.0);
+  EXPECT_DOUBLE_EQ(atl03::beam_cross_track_offset(BeamId::Gt3r), 3'300.0);
+  EXPECT_NEAR(std::abs(atl03::beam_cross_track_offset(BeamId::Gt2l) -
+                       atl03::beam_cross_track_offset(BeamId::Gt2r)),
+              90.0, 1e-12);
+}
+
+}  // namespace

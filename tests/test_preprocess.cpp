@@ -1,0 +1,132 @@
+// Preprocessing tests: confidence filtering, geophysical correction,
+// outlier rejection and along-track ordering.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "atl03/photon_sim.hpp"
+#include "atl03/preprocess.hpp"
+#include "geo/polar_stereo.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace is2;
+using atl03::BeamId;
+using atl03::PreprocessConfig;
+using atl03::SignalConf;
+
+struct FixtureImpl {
+  geo::GeoCorrections corrections{7};
+  atl03::SurfaceConfig scfg;
+  geo::GroundTrack track;
+  atl03::SurfaceModel surface;
+  atl03::Granule granule;
+
+  explicit FixtureImpl(double length = 6'000.0)
+      : track(geo::PolarStereo::epsg3976().forward({-165.0, -75.5}), 0.3),
+        surface((scfg.length_m = length, scfg), track, corrections, 21),
+        granule(atl03::PhotonSimulator(atl03::InstrumentConfig{}, 22)
+                    .simulate_granule(surface, "ATL03_PRE", 50.0)) {}
+};
+
+/// The granule simulation is the slow part; all tests here only read it, so
+/// one shared instance serves the whole suite.
+struct Fixture {
+  static FixtureImpl& get() {
+    static FixtureImpl instance;
+    return instance;
+  }
+  geo::GeoCorrections& corrections = get().corrections;
+  atl03::Granule& granule = get().granule;
+};
+
+TEST(Preprocess, KeepsOnlyHighConfidenceByDefault) {
+  Fixture fx;
+  const auto& raw = fx.granule.beam(BeamId::Gt2r);
+  const auto pre = atl03::preprocess_beam(fx.granule, raw, fx.corrections);
+  std::size_t high = 0;
+  for (auto c : raw.signal_conf)
+    if (c == static_cast<std::int8_t>(SignalConf::High)) ++high;
+  EXPECT_LE(pre.size(), high);           // outlier filter can drop a few more
+  EXPECT_GT(pre.size(), high * 9 / 10);  // but not many
+}
+
+TEST(Preprocess, LowerThresholdKeepsMore) {
+  Fixture fx;
+  const auto& raw = fx.granule.beam(BeamId::Gt2r);
+  PreprocessConfig strict;
+  strict.min_conf = SignalConf::High;
+  PreprocessConfig loose;
+  loose.min_conf = SignalConf::Low;
+  const auto a = atl03::preprocess_beam(fx.granule, raw, fx.corrections, strict);
+  const auto b = atl03::preprocess_beam(fx.granule, raw, fx.corrections, loose);
+  EXPECT_GT(b.size(), a.size());
+}
+
+TEST(Preprocess, OutputSortedAlongTrack) {
+  Fixture fx;
+  const auto pre =
+      atl03::preprocess_beam(fx.granule, fx.granule.beam(BeamId::Gt2r), fx.corrections);
+  for (std::size_t i = 1; i < pre.size(); ++i) EXPECT_GE(pre.s[i], pre.s[i - 1]);
+}
+
+TEST(Preprocess, GeoCorrectionRemovesGeoidOffset) {
+  Fixture fx;
+  const auto& raw = fx.granule.beam(BeamId::Gt2r);
+  PreprocessConfig with;
+  PreprocessConfig without;
+  without.apply_geo_correction = false;
+  const auto corrected = atl03::preprocess_beam(fx.granule, raw, fx.corrections, with);
+  const auto uncorrected = atl03::preprocess_beam(fx.granule, raw, fx.corrections, without);
+  // Uncorrected heights sit ~-55 m (geoid); corrected heights near zero.
+  EXPECT_LT(util::mean(uncorrected.h), -40.0);
+  EXPECT_LT(std::abs(util::mean(corrected.h)), 2.0);
+}
+
+TEST(Preprocess, OutlierRejectionRemovesPlantedSpike) {
+  Fixture fx;
+  auto raw = fx.granule.beam(BeamId::Gt2r);  // copy
+  // Plant obvious outliers tagged high-confidence.
+  for (int k = 0; k < 20; ++k) {
+    const std::size_t i = 100 + static_cast<std::size_t>(k) * 50;
+    raw.h[i] += 200.0;
+  }
+  const auto pre = atl03::preprocess_beam(fx.granule, raw, fx.corrections);
+  for (std::size_t i = 0; i < pre.size(); ++i)
+    EXPECT_LT(std::abs(pre.h[i] - util::median(pre.h)), 50.0);
+}
+
+TEST(Preprocess, BackgroundRatesInterpolatedPerPhoton) {
+  Fixture fx;
+  const auto pre =
+      atl03::preprocess_beam(fx.granule, fx.granule.beam(BeamId::Gt2r), fx.corrections);
+  ASSERT_EQ(pre.bckgrd_rate.size(), pre.size());
+  for (double r : pre.bckgrd_rate) EXPECT_GE(r, 0.0);
+  // Rates should vary along the track (albedo-dependent background).
+  EXPECT_GT(util::stddev(pre.bckgrd_rate), 1.0);
+}
+
+TEST(Preprocess, StrongBeamsOnlyHelper) {
+  Fixture fx;
+  const auto beams = atl03::preprocess_strong_beams(fx.granule, fx.corrections);
+  EXPECT_EQ(beams.size(), 3u);
+  for (const auto& b : beams) EXPECT_TRUE(atl03::is_strong(b.beam));
+}
+
+TEST(Preprocess, TruthCarriedThrough) {
+  Fixture fx;
+  const auto pre =
+      atl03::preprocess_beam(fx.granule, fx.granule.beam(BeamId::Gt2r), fx.corrections);
+  ASSERT_EQ(pre.truth_class.size(), pre.size());
+}
+
+TEST(Preprocess, EmptyBeamYieldsEmptyResult) {
+  Fixture fx;
+  atl03::BeamData empty;
+  empty.beam = BeamId::Gt1r;
+  const auto pre = atl03::preprocess_beam(fx.granule, empty, fx.corrections);
+  EXPECT_EQ(pre.size(), 0u);
+}
+
+}  // namespace

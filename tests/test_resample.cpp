@@ -1,0 +1,217 @@
+// 2m resampler, feature construction, scaler and first-photon-bias tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "atl03/photon_sim.hpp"
+#include "atl03/preprocess.hpp"
+#include "geo/polar_stereo.hpp"
+#include "resample/fpb.hpp"
+#include "resample/segmenter.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace is2;
+using atl03::PreprocessedBeam;
+using resample::FeatureRow;
+using resample::Segment;
+using resample::SegmenterConfig;
+
+/// Hand-built beam: photons at known positions/heights.
+PreprocessedBeam synthetic_beam() {
+  PreprocessedBeam b;
+  auto add = [&](double s, double h, double bg = 1e5) {
+    b.s.push_back(s);
+    b.h.push_back(h);
+    b.t.push_back(s / 7000.0);
+    b.x.push_back(s);
+    b.y.push_back(0.0);
+    b.bckgrd_rate.push_back(bg);
+    b.truth_class.push_back(0);
+  };
+  // Window [0,2): three photons; window [2,4): one photon; [4,6): empty;
+  // [6,8): two photons.
+  add(0.5, 1.0);
+  add(1.0, 2.0);
+  add(1.5, 3.0);
+  add(2.5, 5.0);
+  add(6.5, 10.0);
+  add(7.5, 12.0);
+  return b;
+}
+
+TEST(Resample, WindowStatistics) {
+  const auto segs = resample::resample(synthetic_beam());
+  ASSERT_EQ(segs.size(), 3u);  // empty window dropped
+  EXPECT_DOUBLE_EQ(segs[0].s, 1.0);
+  EXPECT_DOUBLE_EQ(segs[0].h_mean, 2.0);
+  EXPECT_DOUBLE_EQ(segs[0].h_median, 2.0);
+  EXPECT_DOUBLE_EQ(segs[0].h_min, 1.0);
+  EXPECT_EQ(segs[0].n_photons, 3u);
+  EXPECT_NEAR(segs[0].h_std, 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(segs[1].h_mean, 5.0);
+  EXPECT_EQ(segs[1].n_photons, 1u);
+  EXPECT_DOUBLE_EQ(segs[2].h_mean, 11.0);
+  // photon rate = photons per shot = n / (2m / 0.7m).
+  EXPECT_NEAR(segs[0].photon_rate, 3.0 / (2.0 / 0.7), 1e-12);
+}
+
+TEST(Resample, MinPhotonThreshold) {
+  SegmenterConfig cfg;
+  cfg.min_photons = 2;
+  const auto segs = resample::resample(synthetic_beam(), cfg);
+  ASSERT_EQ(segs.size(), 2u);  // single-photon window dropped too
+  EXPECT_DOUBLE_EQ(segs[0].h_mean, 2.0);
+  EXPECT_DOUBLE_EQ(segs[1].h_mean, 11.0);
+}
+
+TEST(Resample, EmptyBeam) {
+  PreprocessedBeam empty;
+  EXPECT_TRUE(resample::resample(empty).empty());
+}
+
+TEST(Resample, TruthMajorityVote) {
+  PreprocessedBeam b = synthetic_beam();
+  b.truth_class = {0, 1, 1, 2, 0, 0};
+  const auto segs = resample::resample(b);
+  EXPECT_EQ(segs[0].truth, atl03::SurfaceClass::ThinIce);   // 2 of 3
+  EXPECT_EQ(segs[1].truth, atl03::SurfaceClass::OpenWater);
+  EXPECT_EQ(segs[2].truth, atl03::SurfaceClass::ThickIce);
+}
+
+TEST(Resample, RollingBaselineTracksLowPercentile) {
+  // Segments alternating between 0 (water) and 0.5 (ice): the 5th-percentile
+  // baseline should hug the water level.
+  std::vector<Segment> segs;
+  for (int i = 0; i < 1000; ++i) {
+    Segment s;
+    s.s = i * 2.0;
+    s.h_mean = (i % 10 == 0) ? 0.0 : 0.5;
+    segs.push_back(s);
+  }
+  const auto baseline = resample::rolling_baseline(segs, 500.0, 5.0);
+  ASSERT_EQ(baseline.size(), segs.size());
+  for (std::size_t i = 50; i < 950; ++i) EXPECT_LT(baseline[i], 0.2) << i;
+}
+
+TEST(Resample, FeatureDeltasAgainstPreviousSegment) {
+  std::vector<Segment> segs(3);
+  segs[0].photon_rate = 1.0;
+  segs[0].bckgrd_rate = 1e6;
+  segs[1].photon_rate = 3.0;
+  segs[1].bckgrd_rate = 2e6;
+  segs[2].photon_rate = 2.0;
+  segs[2].bckgrd_rate = 1.5e6;
+  for (int i = 0; i < 3; ++i) {
+    segs[i].s = i * 2.0;
+    segs[i].h_mean = 0.1 * i;
+  }
+  const auto rows = resample::to_features(segs, {});
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_FLOAT_EQ(rows[0].v[3], 0.0f);
+  EXPECT_FLOAT_EQ(rows[1].v[3], 2.0f);
+  EXPECT_FLOAT_EQ(rows[2].v[3], -1.0f);
+  EXPECT_FLOAT_EQ(rows[1].v[4], 2.0f);   // MHz
+  EXPECT_FLOAT_EQ(rows[2].v[5], -0.5f);  // MHz delta
+}
+
+TEST(Resample, BaselineMakesElevationRelative) {
+  std::vector<Segment> segs(2);
+  segs[0].h_mean = -54.0;
+  segs[1].h_mean = -53.7;
+  segs[0].s = 0.0;
+  segs[1].s = 2.0;
+  const std::vector<double> baseline{-54.1, -54.1};
+  const auto rows = resample::to_features(segs, baseline);
+  EXPECT_NEAR(rows[0].v[0], 0.1f, 1e-6);
+  EXPECT_NEAR(rows[1].v[0], 0.4f, 1e-6);
+}
+
+TEST(Resample, ScalerNormalizesToZeroMeanUnitVar) {
+  util::Rng rng(3);
+  std::vector<FeatureRow> rows(500);
+  for (auto& r : rows)
+    for (int d = 0; d < FeatureRow::kDim; ++d)
+      r.v[d] = static_cast<float>(rng.normal(5.0 * d, d + 1.0));
+  const auto scaler = resample::FeatureScaler::fit(rows);
+  resample::FeatureScaler{scaler}.apply(rows);
+  for (int d = 0; d < FeatureRow::kDim; ++d) {
+    double mean = 0.0, var = 0.0;
+    for (const auto& r : rows) mean += r.v[d];
+    mean /= rows.size();
+    for (const auto& r : rows) var += (r.v[d] - mean) * (r.v[d] - mean);
+    var /= rows.size();
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(var, 1.0, 1e-3);
+  }
+}
+
+TEST(Fpb, BiasPositiveAndIncreasingWithRate) {
+  const resample::FirstPhotonBiasCorrector fpb(0.45, 16);
+  const double b_low = fpb.bias(1.0, 0.1);
+  const double b_high = fpb.bias(8.0, 0.1);
+  EXPECT_GE(b_low, 0.0);
+  EXPECT_GT(b_high, b_low);
+  EXPECT_LT(b_high, 0.05);  // 16-channel detector keeps the bias small
+}
+
+TEST(Fpb, BiasIncreasesWithSurfaceSpread) {
+  const resample::FirstPhotonBiasCorrector fpb(0.45, 16);
+  EXPECT_GT(fpb.bias(5.0, 0.2), fpb.bias(5.0, 0.02));
+}
+
+TEST(Fpb, SingleChannelBiasMuchLarger) {
+  const resample::FirstPhotonBiasCorrector multi(0.45, 16);
+  const resample::FirstPhotonBiasCorrector single(0.45, 1);
+  EXPECT_GT(single.bias(5.0, 0.1), 4.0 * multi.bias(5.0, 0.1));
+}
+
+TEST(Fpb, ApplyShiftsSegmentHeightsDown) {
+  const resample::FirstPhotonBiasCorrector fpb(0.45, 16);
+  std::vector<Segment> segs(1);
+  segs[0].h_mean = 1.0;
+  segs[0].h_median = 1.0;
+  segs[0].photon_rate = 6.0;
+  segs[0].h_std = 0.1;
+  resample::FirstPhotonBiasCorrector{fpb}.apply(segs);
+  EXPECT_LT(segs[0].h_mean, 1.0);
+  EXPECT_DOUBLE_EQ(segs[0].h_mean, segs[0].h_median);
+}
+
+TEST(Fpb, EndToEndBiasReduction) {
+  // Simulate a bright flat scene, resample with and without correction; the
+  // corrected mean must sit closer to the true surface height.
+  geo::GeoCorrections corrections(7);
+  atl03::SurfaceConfig scfg;
+  scfg.length_m = 4'000.0;
+  scfg.mean_floe_m = 1e9;  // all thick ice
+  scfg.ridge_density = 0.0;
+  const geo::GroundTrack track(geo::PolarStereo::epsg3976().forward({-167.0, -75.0}), 0.2);
+  const atl03::SurfaceModel surface(scfg, track, corrections, 5);
+
+  atl03::InstrumentConfig icfg;
+  icfg.strong_channels = 2;  // exaggerate the dead-time effect
+  icfg.background_rate_mhz = 0.0;
+  const auto granule = atl03::PhotonSimulator(icfg, 6).simulate_granule(surface, "FPB", 0.0);
+  const auto pre = atl03::preprocess_beam(granule, granule.beam(atl03::BeamId::Gt2r), corrections);
+  auto segs = resample::resample(pre);
+
+  double true_mean = 0.0;
+  for (const auto& s : segs) true_mean += surface.surface_height(s.s, s.t) -
+                                          corrections.total(s.t, s.x, s.y);
+  true_mean /= static_cast<double>(segs.size());
+
+  auto mean_h = [](const std::vector<Segment>& v) {
+    double m = 0.0;
+    for (const auto& s : v) m += s.h_mean;
+    return m / static_cast<double>(v.size());
+  };
+  const double before = mean_h(segs);
+  resample::FirstPhotonBiasCorrector(icfg.dead_time_m, icfg.strong_channels).apply(segs);
+  const double after = mean_h(segs);
+  EXPECT_LT(std::abs(after - true_mean), std::abs(before - true_mean));
+}
+
+}  // namespace

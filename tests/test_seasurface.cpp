@@ -1,0 +1,177 @@
+// Local sea-surface detector tests: the four methods on segments with a
+// known water level, lead grouping, gap interpolation and profile lookup.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "seasurface/detector.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace is2;
+using atl03::SurfaceClass;
+using resample::Segment;
+using seasurface::Method;
+using seasurface::SeaSurfaceConfig;
+
+/// Track with leads every `lead_every` meters; water sits at `level` with
+/// sigma noise, ice well above. Returns segments + labels.
+struct Scene {
+  std::vector<Segment> segments;
+  std::vector<SurfaceClass> labels;
+};
+
+Scene make_scene(double length, double level, double lead_every = 2'000.0,
+                 double lead_width = 60.0, double noise = 0.01, std::uint64_t seed = 5) {
+  util::Rng rng(seed);
+  Scene sc;
+  for (double s = 0.0; s < length; s += 2.0) {
+    Segment seg;
+    seg.s = s;
+    seg.n_photons = 8;
+    const double in_lead = std::fmod(s, lead_every);
+    const bool water = in_lead < lead_width;
+    if (water) {
+      seg.h_mean = level + rng.normal(0.0, noise);
+      seg.h_std = 0.02;
+      sc.labels.push_back(SurfaceClass::OpenWater);
+    } else {
+      seg.h_mean = level + 0.35 + rng.normal(0.0, 0.05);
+      seg.h_std = 0.08;
+      sc.labels.push_back(SurfaceClass::ThickIce);
+    }
+    sc.segments.push_back(seg);
+  }
+  return sc;
+}
+
+class MethodSweep : public ::testing::TestWithParam<Method> {};
+
+TEST_P(MethodSweep, RecoversKnownWaterLevel) {
+  const double level = -0.12;
+  const Scene sc = make_scene(30'000.0, level);
+  const auto profile = seasurface::detect_sea_surface(sc.segments, sc.labels, GetParam());
+  ASSERT_FALSE(profile.empty());
+  for (const auto& pt : profile.points()) {
+    EXPECT_NEAR(pt.h_ref, level, 0.06) << seasurface::method_name(GetParam()) << " s=" << pt.s;
+    EXPECT_FALSE(pt.interpolated);
+    EXPECT_GT(pt.n_leads, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMethods, MethodSweep,
+                         ::testing::Values(Method::MinElevation, Method::AverageElevation,
+                                           Method::NearestMinElevation, Method::NasaEquation));
+
+TEST(SeaSurface, MinBelowAverage) {
+  const Scene sc = make_scene(20'000.0, 0.0, 2'000.0, 80.0, 0.02);
+  const auto min_p =
+      seasurface::detect_sea_surface(sc.segments, sc.labels, Method::MinElevation);
+  const auto avg_p =
+      seasurface::detect_sea_surface(sc.segments, sc.labels, Method::AverageElevation);
+  ASSERT_EQ(min_p.points().size(), avg_p.points().size());
+  for (std::size_t i = 0; i < min_p.points().size(); ++i)
+    EXPECT_LE(min_p.points()[i].h_ref, avg_p.points()[i].h_ref + 1e-12);
+}
+
+TEST(SeaSurface, NasaEstimateBoundedByWaterHeights) {
+  const Scene sc = make_scene(20'000.0, 0.05);
+  const auto profile =
+      seasurface::detect_sea_surface(sc.segments, sc.labels, Method::NasaEquation);
+  double wmin = 1e9, wmax = -1e9;
+  for (std::size_t i = 0; i < sc.segments.size(); ++i) {
+    if (sc.labels[i] != SurfaceClass::OpenWater) continue;
+    wmin = std::min(wmin, sc.segments[i].h_mean);
+    wmax = std::max(wmax, sc.segments[i].h_mean);
+  }
+  for (const auto& pt : profile.points()) {
+    EXPECT_GE(pt.h_ref, wmin - 1e-9);
+    EXPECT_LE(pt.h_ref, wmax + 1e-9);
+    EXPECT_GT(pt.sigma, 0.0);  // method iv reports uncertainty
+  }
+}
+
+TEST(SeaSurface, NasaSmootherThanMin) {
+  // With asymmetric noise (subsurface tail), the window minimum is noisier
+  // than the inverse-variance estimate across windows.
+  util::Rng rng(9);
+  Scene sc = make_scene(60'000.0, 0.0, 1'500.0, 60.0, 0.02, 7);
+  // Add occasional low outliers to water segments (subsurface photons).
+  for (std::size_t i = 0; i < sc.segments.size(); ++i)
+    if (sc.labels[i] == SurfaceClass::OpenWater && rng.bernoulli(0.1))
+      sc.segments[i].h_mean -= rng.exponential(1.0 / 0.15);
+  const auto nasa = seasurface::detect_sea_surface(sc.segments, sc.labels, Method::NasaEquation);
+  const auto minm = seasurface::detect_sea_surface(sc.segments, sc.labels, Method::MinElevation);
+  auto roughness = [](const seasurface::SeaSurfaceProfile& p) {
+    double acc = 0.0;
+    for (std::size_t i = 1; i < p.points().size(); ++i)
+      acc += std::abs(p.points()[i].h_ref - p.points()[i - 1].h_ref);
+    return acc;
+  };
+  EXPECT_LT(roughness(nasa), roughness(minm));
+}
+
+TEST(SeaSurface, InterpolatesWindowsWithoutLeads) {
+  // Leads only in the first and last 5 km of a 40 km track.
+  Scene sc = make_scene(40'000.0, -0.2, 2'000.0, 60.0);
+  for (std::size_t i = 0; i < sc.segments.size(); ++i) {
+    const double s = sc.segments[i].s;
+    if (s > 5'000.0 && s < 35'000.0 && sc.labels[i] == SurfaceClass::OpenWater) {
+      sc.labels[i] = SurfaceClass::ThickIce;  // freeze the mid-track leads
+      sc.segments[i].h_mean = -0.2 + 0.35;
+    }
+  }
+  const auto profile =
+      seasurface::detect_sea_surface(sc.segments, sc.labels, Method::NasaEquation);
+  EXPECT_GT(profile.interpolated_fraction(), 0.3);
+  for (const auto& pt : profile.points()) EXPECT_NEAR(pt.h_ref, -0.2, 0.08);
+}
+
+TEST(SeaSurface, NoLeadsAnywhereDegradesToZero) {
+  Scene sc = make_scene(10'000.0, 0.0);
+  for (auto& l : sc.labels) l = SurfaceClass::ThickIce;
+  const auto profile =
+      seasurface::detect_sea_surface(sc.segments, sc.labels, Method::NasaEquation);
+  for (const auto& pt : profile.points()) {
+    EXPECT_TRUE(pt.interpolated);
+    EXPECT_DOUBLE_EQ(pt.h_ref, 0.0);
+  }
+}
+
+TEST(SeaSurface, MinLeadSegmentsFiltersSpeckle) {
+  // Single isolated water segments (1 segment each) are noise, not leads.
+  Scene sc = make_scene(10'000.0, 0.0, 1'000.0, 2.0);  // 1-segment "leads"
+  SeaSurfaceConfig cfg;
+  cfg.min_lead_segments = 2;
+  const auto profile =
+      seasurface::detect_sea_surface(sc.segments, sc.labels, Method::NasaEquation, cfg);
+  for (const auto& pt : profile.points()) EXPECT_EQ(pt.n_leads, 0u);
+}
+
+TEST(SeaSurfaceProfile, LinearInterpolationBetweenPoints) {
+  std::vector<seasurface::SeaSurfacePoint> pts(2);
+  pts[0].s = 0.0;
+  pts[0].h_ref = 1.0;
+  pts[1].s = 10.0;
+  pts[1].h_ref = 2.0;
+  const seasurface::SeaSurfaceProfile profile(pts);
+  EXPECT_DOUBLE_EQ(profile.at(-5.0), 1.0);   // clamped
+  EXPECT_DOUBLE_EQ(profile.at(5.0), 1.5);    // midpoint
+  EXPECT_DOUBLE_EQ(profile.at(15.0), 2.0);   // clamped
+}
+
+TEST(SeaSurfaceProfile, EmptyProfileThrows) {
+  const seasurface::SeaSurfaceProfile profile;
+  EXPECT_THROW(profile.at(0.0), std::logic_error);
+}
+
+TEST(SeaSurface, LabelMismatchThrows) {
+  Scene sc = make_scene(5'000.0, 0.0);
+  sc.labels.pop_back();
+  EXPECT_THROW(
+      seasurface::detect_sea_surface(sc.segments, sc.labels, Method::NasaEquation),
+      std::invalid_argument);
+}
+
+}  // namespace

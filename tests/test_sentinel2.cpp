@@ -1,0 +1,201 @@
+// Sentinel-2 substrate tests: raster georeferencing, scene rendering
+// physics, k-means behavior and segmentation quality incl. cloud handling.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "atl03/surface_model.hpp"
+#include "geo/polar_stereo.hpp"
+#include "sentinel2/image.hpp"
+#include "sentinel2/kmeans.hpp"
+#include "sentinel2/scene_sim.hpp"
+#include "sentinel2/segmentation.hpp"
+
+namespace {
+
+using namespace is2;
+using atl03::SurfaceClass;
+
+TEST(GeoTransform, PixelWorldRoundTrip) {
+  s2::GeoTransform gt{1000.0, 2000.0, 10.0};
+  const geo::Xy c = gt.pixel_center(3, 7);
+  EXPECT_DOUBLE_EQ(c.x, 1075.0);
+  EXPECT_DOUBLE_EQ(c.y, 1965.0);
+  std::size_t row, col;
+  ASSERT_TRUE(gt.world_to_pixel(c, 10, 10, row, col));
+  EXPECT_EQ(row, 3u);
+  EXPECT_EQ(col, 7u);
+  EXPECT_FALSE(gt.world_to_pixel({0.0, 0.0}, 10, 10, row, col));
+  EXPECT_FALSE(gt.world_to_pixel({1075.0, 5000.0}, 10, 10, row, col));
+}
+
+TEST(ClassRaster, WorldLookupAndFractions) {
+  s2::GeoTransform gt{0.0, 100.0, 10.0};
+  s2::ClassRaster r(10, 10, gt);
+  r.set(0, 0, SurfaceClass::ThickIce);
+  r.set(9, 9, SurfaceClass::OpenWater);
+  EXPECT_EQ(r.at_world(gt.pixel_center(0, 0)), SurfaceClass::ThickIce);
+  EXPECT_EQ(r.at_world({-50.0, 0.0}), SurfaceClass::Unknown);
+  const auto frac = r.class_fractions();
+  EXPECT_NEAR(frac[0], 0.01, 1e-12);
+  EXPECT_NEAR(frac[2], 0.01, 1e-12);
+  EXPECT_NEAR(frac[3], 0.98, 1e-12);
+}
+
+struct SceneFixture {
+  geo::GeoCorrections corrections{7};
+  atl03::SurfaceConfig scfg;
+  geo::GroundTrack track;
+  atl03::SurfaceModel surface;
+
+  explicit SceneFixture(double length = 5'000.0)
+      : track(geo::PolarStereo::epsg3976().forward({-160.0, -76.0}), 0.9),
+        surface((scfg.length_m = length, scfg), track, corrections, 77) {}
+};
+
+s2::SceneConfig small_scene_config(double cloud_cover = 0.0) {
+  s2::SceneConfig cfg;
+  cfg.cross_track_halfwidth_m = 600.0;
+  cfg.margin_m = 200.0;
+  cfg.cloud_cover = cloud_cover;
+  return cfg;
+}
+
+TEST(SceneSim, TruthMatchesSurfaceModelWithoutDrift) {
+  SceneFixture fx;
+  s2::SceneSimulator sim(small_scene_config(), 31);
+  const auto scene = sim.render(fx.surface, {0.0, 0.0}, 500.0);
+  // Sample truth raster against the surface model directly.
+  std::size_t checked = 0, agree = 0;
+  for (std::size_t r = 0; r < scene.truth_class.rows(); r += 13) {
+    for (std::size_t c = 0; c < scene.truth_class.cols(); c += 11) {
+      const geo::Xy p = scene.truth_class.transform().pixel_center(r, c);
+      const SurfaceClass want = fx.surface.class_at_xy(p);
+      if (want == SurfaceClass::Unknown) continue;
+      ++checked;
+      if (scene.truth_class.at(r, c) == want) ++agree;
+    }
+  }
+  ASSERT_GT(checked, 200u);
+  EXPECT_EQ(agree, checked);
+}
+
+TEST(SceneSim, DriftDisplacesFeatures) {
+  SceneFixture fx;
+  s2::SceneSimulator sim(small_scene_config(), 31);
+  const geo::Xy drift{400.0, 0.0};
+  const auto moved = sim.render(fx.surface, drift, 500.0);
+  // truth at pixel p must equal the surface class at p - drift.
+  std::size_t checked = 0, agree = 0;
+  for (std::size_t r = 0; r < moved.truth_class.rows(); r += 17) {
+    for (std::size_t c = 0; c < moved.truth_class.cols(); c += 13) {
+      const geo::Xy p = moved.truth_class.transform().pixel_center(r, c);
+      const SurfaceClass want = fx.surface.class_at_xy({p.x - drift.x, p.y - drift.y});
+      if (want == SurfaceClass::Unknown) continue;
+      ++checked;
+      if (moved.truth_class.at(r, c) == want) ++agree;
+    }
+  }
+  ASSERT_GT(checked, 100u);
+  EXPECT_EQ(agree, checked);
+}
+
+TEST(SceneSim, CloudCoverApproximatesTarget) {
+  SceneFixture fx(8'000.0);
+  s2::SceneSimulator sim(small_scene_config(0.3), 37);
+  const auto scene = sim.render(fx.surface, {0.0, 0.0}, 100.0);
+  std::size_t cloudy = 0;
+  for (float tau : scene.cloud_tau)
+    if (tau > 0.0f) ++cloudy;
+  const double frac = static_cast<double>(cloudy) / static_cast<double>(scene.cloud_tau.size());
+  EXPECT_GT(frac, 0.08);
+  EXPECT_LT(frac, 0.6);
+}
+
+TEST(SceneSim, BandsOrderedByClassBrightness) {
+  SceneFixture fx(15'000.0);
+  s2::SceneSimulator sim(small_scene_config(), 41);
+  const auto scene = sim.render(fx.surface, {0.0, 0.0}, 100.0);
+  double vis_sum[3] = {0, 0, 0};
+  std::size_t n[3] = {0, 0, 0};
+  for (std::size_t r = 0; r < scene.image.rows(); r += 3) {
+    for (std::size_t c = 0; c < scene.image.cols(); c += 3) {
+      const SurfaceClass cls = scene.truth_class.at(r, c);
+      if (cls == SurfaceClass::Unknown) continue;
+      vis_sum[static_cast<int>(cls)] +=
+          scene.image.at(s2::Band::B04, r, c) + scene.image.at(s2::Band::B03, r, c);
+      ++n[static_cast<int>(cls)];
+    }
+  }
+  ASSERT_GT(n[0], 0u);
+  ASSERT_GT(n[1], 0u);
+  ASSERT_GT(n[2], 0u);
+  EXPECT_GT(vis_sum[0] / n[0], vis_sum[1] / n[1]);
+  EXPECT_GT(vis_sum[1] / n[1], vis_sum[2] / n[2]);
+}
+
+TEST(KMeans, SeparatesObviousClusters) {
+  util::Rng rng(5);
+  std::vector<float> pts;
+  for (int i = 0; i < 300; ++i) {
+    const int c = i % 3;
+    pts.push_back(static_cast<float>(c * 10.0 + rng.normal(0.0, 0.3)));
+    pts.push_back(static_cast<float>(c * -5.0 + rng.normal(0.0, 0.3)));
+  }
+  const auto result = s2::kmeans(pts, 2, 3, util::Rng(9));
+  // All points of the same generating cluster share a k-means label.
+  for (int c = 0; c < 3; ++c) {
+    const auto want = result.labels[static_cast<std::size_t>(c)];
+    for (std::size_t i = static_cast<std::size_t>(c); i < 300; i += 3)
+      EXPECT_EQ(result.labels[i], want);
+  }
+  EXPECT_GT(result.iterations, 0);
+}
+
+TEST(KMeans, AssignMatchesTraining) {
+  util::Rng rng(6);
+  std::vector<float> pts;
+  for (int i = 0; i < 200; ++i) pts.push_back(static_cast<float>(rng.uniform(0, 1)));
+  const auto result = s2::kmeans(pts, 1, 4, util::Rng(10));
+  const auto labels = s2::kmeans_assign(pts, 1, result.centroids);
+  EXPECT_EQ(labels, result.labels);
+}
+
+TEST(KMeans, RejectsBadInput) {
+  EXPECT_THROW(s2::kmeans({1.0f, 2.0f, 3.0f}, 2, 1, util::Rng(1)), std::invalid_argument);
+  EXPECT_THROW(s2::kmeans({1.0f, 2.0f}, 1, 5, util::Rng(1)), std::invalid_argument);
+}
+
+TEST(Segmentation, HighAccuracyOnClearScene) {
+  SceneFixture fx(10'000.0);
+  s2::SceneSimulator sim(small_scene_config(0.0), 51);
+  const auto scene = sim.render(fx.surface, {0.0, 0.0}, 100.0);
+  const auto result = s2::segment(scene.image);
+  const auto score = s2::score_segmentation(result.labels, scene.truth_class);
+  EXPECT_GT(score.accuracy, 0.85);
+  EXPECT_GT(score.evaluated, 10'000u);
+}
+
+TEST(Segmentation, CloudyScene_MasksAndStaysUsable) {
+  SceneFixture fx(10'000.0);
+  s2::SceneSimulator sim(small_scene_config(0.25), 52);
+  const auto scene = sim.render(fx.surface, {0.0, 0.0}, 100.0);
+  const auto result = s2::segment(scene.image);
+  EXPECT_GT(result.thick_cloud_pixels, 0u);
+  EXPECT_GT(result.thin_cloud_corrected, 0u);
+  const auto score = s2::score_segmentation(result.labels, scene.truth_class);
+  EXPECT_GT(score.accuracy, 0.75);  // degraded but usable (paper: mislabeling happens)
+}
+
+TEST(Segmentation, AllCloudSceneDegradesGracefully) {
+  SceneFixture fx(3'000.0);
+  s2::SceneConfig cfg = small_scene_config(1.0);
+  cfg.thin_cloud_fraction = 0.0;  // everything is opaque cloud
+  s2::SceneSimulator sim(cfg, 53);
+  const auto scene = sim.render(fx.surface, {0.0, 0.0}, 100.0);
+  const auto result = s2::segment(scene.image);
+  const auto frac = result.labels.class_fractions();
+  EXPECT_GT(frac[3], 0.5);  // mostly Unknown
+}
+
+}  // namespace

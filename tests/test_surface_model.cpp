@@ -1,0 +1,175 @@
+// Surface process tests: segment structure, class statistics, height
+// physics, 1-D/2-D consistency and determinism.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "atl03/surface_model.hpp"
+#include "geo/polar_stereo.hpp"
+
+namespace {
+
+using namespace is2;
+using atl03::SurfaceClass;
+using atl03::SurfaceConfig;
+using atl03::SurfaceModel;
+
+geo::GroundTrack test_track() {
+  const auto proj = geo::PolarStereo::epsg3976();
+  return geo::GroundTrack(proj.forward({-170.0, -75.0}), 0.7);
+}
+
+SurfaceModel make_model(double length = 30'000.0, std::uint64_t seed = 42) {
+  SurfaceConfig cfg;
+  cfg.length_m = length;
+  static const geo::GeoCorrections corrections(7);
+  return SurfaceModel(cfg, test_track(), corrections, seed);
+}
+
+TEST(SurfaceModel, SegmentsTileTheTrack) {
+  const auto model = make_model();
+  const auto& segs = model.segments();
+  ASSERT_FALSE(segs.empty());
+  EXPECT_DOUBLE_EQ(segs.front().s_begin, 0.0);
+  for (std::size_t i = 1; i < segs.size(); ++i)
+    EXPECT_DOUBLE_EQ(segs[i].s_begin, segs[i - 1].s_end);
+  EXPECT_DOUBLE_EQ(segs.back().s_end, 30'000.0);
+}
+
+TEST(SurfaceModel, AdjacentSegmentsChangeClass) {
+  const auto model = make_model();
+  const auto& segs = model.segments();
+  for (std::size_t i = 1; i < segs.size(); ++i)
+    EXPECT_NE(segs[i].cls, segs[i - 1].cls) << "at segment " << i;
+}
+
+TEST(SurfaceModel, ThickIceDominates) {
+  const auto model = make_model(100'000.0);
+  const auto frac = model.class_fractions();
+  EXPECT_GT(frac[0], 0.55);           // thick ice majority (class imbalance)
+  EXPECT_GT(frac[1], 0.01);           // thin ice present
+  EXPECT_GT(frac[2], 0.005);          // open water present but rare
+  EXPECT_NEAR(frac[0] + frac[1] + frac[2], 1.0, 1e-12);
+  EXPECT_GT(frac[0], frac[1]);
+  EXPECT_GT(frac[1], frac[2]);
+}
+
+TEST(SurfaceModel, FreeboardOrderingByClass) {
+  const auto model = make_model(60'000.0);
+  double sum[3] = {0, 0, 0};
+  std::size_t n[3] = {0, 0, 0};
+  for (double s = 10.0; s < model.length(); s += 10.0) {
+    const auto sample = model.sample(s);
+    const auto c = static_cast<std::size_t>(sample.cls);
+    sum[c] += sample.freeboard;
+    ++n[c];
+  }
+  ASSERT_GT(n[0], 0u);
+  ASSERT_GT(n[1], 0u);
+  ASSERT_GT(n[2], 0u);
+  const double thick = sum[0] / n[0], thin = sum[1] / n[1], water = sum[2] / n[2];
+  EXPECT_GT(thick, 0.2);
+  EXPECT_GT(thick, thin);
+  EXPECT_GT(thin, water);
+  EXPECT_DOUBLE_EQ(water, 0.0);
+}
+
+TEST(SurfaceModel, ReflectanceOrderingByClass) {
+  const auto model = make_model(60'000.0);
+  double sum[3] = {0, 0, 0};
+  std::size_t n[3] = {0, 0, 0};
+  for (double s = 5.0; s < model.length(); s += 7.0) {
+    const auto sample = model.sample(s);
+    const auto c = static_cast<std::size_t>(sample.cls);
+    sum[c] += sample.reflectance;
+    ++n[c];
+  }
+  EXPECT_GT(sum[0] / n[0], sum[1] / n[1]);
+  EXPECT_GT(sum[1] / n[1], sum[2] / n[2]);
+}
+
+TEST(SurfaceModel, OnTrackXyMatches1d) {
+  const auto model = make_model();
+  const auto& track = model.track();
+  for (double s : {100.0, 5'000.0, 17'500.0, 29'000.0}) {
+    EXPECT_EQ(model.class_at_xy(track.at(s)), model.class_at(s));
+    const auto a = model.sample_xy(track.at(s));
+    const auto b = model.sample(s);
+    EXPECT_EQ(a.cls, b.cls);
+    // Exactly on the track the meander vanishes; only floating-point dust in
+    // the along-track projection separates the two paths.
+    EXPECT_NEAR(a.freeboard, b.freeboard, 1e-6);
+  }
+}
+
+TEST(SurfaceModel, OffSceneIsUnknown) {
+  const auto model = make_model();
+  const auto& track = model.track();
+  EXPECT_EQ(model.class_at_xy(track.at(-500.0)), SurfaceClass::Unknown);
+  EXPECT_EQ(model.class_at_xy(track.at(30'500.0)), SurfaceClass::Unknown);
+  EXPECT_EQ(model.sample_xy(track.at(-500.0)).cls, SurfaceClass::Unknown);
+}
+
+TEST(SurfaceModel, SurfaceHeightIsSshPlusFreeboard) {
+  const auto model = make_model();
+  for (double s : {100.0, 1'000.0, 20'000.0}) {
+    const double t = 3'600.0;
+    EXPECT_NEAR(model.surface_height(s, t),
+                model.sea_surface_height(s, t) + model.sample(s).freeboard, 1e-12);
+  }
+}
+
+TEST(SurfaceModel, SshResidualSmall) {
+  const auto model = make_model();
+  for (double s = 0.0; s < model.length(); s += 500.0)
+    EXPECT_LT(std::abs(model.ssh_residual(s)), 0.1);
+}
+
+TEST(SurfaceModel, DeterministicAcrossInstances) {
+  const auto a = make_model(20'000.0, 99);
+  const auto b = make_model(20'000.0, 99);
+  ASSERT_EQ(a.segments().size(), b.segments().size());
+  for (double s = 0.0; s < 20'000.0; s += 111.0) {
+    EXPECT_EQ(a.class_at(s), b.class_at(s));
+    EXPECT_DOUBLE_EQ(a.sample(s).freeboard, b.sample(s).freeboard);
+  }
+}
+
+TEST(SurfaceModel, DifferentSeedsProduceDifferentScenes) {
+  const auto a = make_model(20'000.0, 1);
+  const auto b = make_model(20'000.0, 2);
+  std::size_t differ = 0, total = 0;
+  for (double s = 0.0; s < 20'000.0; s += 53.0) {
+    if (a.class_at(s) != b.class_at(s)) ++differ;
+    ++total;
+  }
+  EXPECT_GT(differ, total / 20);
+}
+
+TEST(SurfaceModel, RejectsNonPositiveLength) {
+  SurfaceConfig cfg;
+  cfg.length_m = 0.0;
+  const geo::GeoCorrections corrections(7);
+  EXPECT_THROW(SurfaceModel(cfg, test_track(), corrections, 1), std::invalid_argument);
+}
+
+class PolynyaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(PolynyaSweep, MoreOpenWaterWithHigherPolynyaProbability) {
+  SurfaceConfig lo_cfg;
+  lo_cfg.length_m = 80'000.0;
+  lo_cfg.polynya_prob = 0.0;
+  SurfaceConfig hi_cfg = lo_cfg;
+  hi_cfg.polynya_prob = GetParam();
+  const geo::GeoCorrections corrections(7);
+  const SurfaceModel lo(lo_cfg, test_track(), corrections, 5);
+  const SurfaceModel hi(hi_cfg, test_track(), corrections, 5);
+  // Non-thick fraction should not shrink when polynya events are added.
+  const auto fl = lo.class_fractions();
+  const auto fh = hi.class_fractions();
+  EXPECT_GE(fh[1] + fh[2], (fl[1] + fl[2]) * 0.9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Probabilities, PolynyaSweep, ::testing::Values(0.05, 0.15, 0.4));
+
+}  // namespace

@@ -1,0 +1,214 @@
+// Unit tests for util: RNG determinism/distributions, statistics, the
+// thread pool and the table renderer.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace is2::util;
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next() == b.next()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ForkIndependentAndReproducible) {
+  Rng parent(7);
+  Rng f1 = parent.fork(1);
+  Rng f1_again = Rng(7).fork(1);
+  Rng f2 = parent.fork(2);
+  EXPECT_EQ(f1.next(), f1_again.next());
+  EXPECT_NE(f1.next(), f2.next());
+}
+
+TEST(Rng, UniformBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveRangeCoversAll) {
+  Rng rng(6);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_int(-2, 3));
+  EXPECT_EQ(seen.size(), 6u);
+  EXPECT_EQ(*seen.begin(), -2);
+  EXPECT_EQ(*seen.rbegin(), 3);
+}
+
+TEST(Rng, NormalMomentsApproximatelyCorrect) {
+  Rng rng(11);
+  RunningStats s;
+  for (int i = 0; i < 200'000; ++i) s.add(rng.normal(2.0, 3.0));
+  EXPECT_NEAR(s.mean(), 2.0, 0.05);
+  EXPECT_NEAR(s.stddev(), 3.0, 0.05);
+}
+
+TEST(Rng, PoissonMeanMatches) {
+  Rng rng(12);
+  for (double mean : {0.3, 2.0, 10.0, 100.0}) {
+    RunningStats s;
+    for (int i = 0; i < 50'000; ++i) s.add(rng.poisson(mean));
+    EXPECT_NEAR(s.mean(), mean, mean * 0.05 + 0.05) << "mean=" << mean;
+  }
+}
+
+TEST(Rng, ExponentialMeanMatches) {
+  Rng rng(13);
+  RunningStats s;
+  for (int i = 0; i < 100'000; ++i) s.add(rng.exponential(4.0));
+  EXPECT_NEAR(s.mean(), 0.25, 0.01);
+}
+
+TEST(Rng, CategoricalRespectsWeights) {
+  Rng rng(14);
+  std::vector<double> w{1.0, 3.0, 0.0, 6.0};
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < 100'000; ++i) ++counts[rng.categorical(w)];
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(counts[1] / 100'000.0, 0.3, 0.02);
+  EXPECT_NEAR(counts[3] / 100'000.0, 0.6, 0.02);
+}
+
+TEST(Rng, CategoricalRejectsBadWeights) {
+  Rng rng(15);
+  EXPECT_THROW(rng.categorical({0.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(rng.categorical({1.0, -0.5}), std::invalid_argument);
+}
+
+TEST(RunningStats, MatchesBatchFormulas) {
+  Rng rng(21);
+  RunningStats rs;
+  std::vector<double> xs;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(5.0, 2.0);
+    rs.add(x);
+    xs.push_back(x);
+  }
+  EXPECT_NEAR(rs.mean(), mean(xs), 1e-9);
+  EXPECT_NEAR(rs.variance(), variance(xs), 1e-9);
+  EXPECT_EQ(rs.count(), xs.size());
+}
+
+TEST(RunningStats, MergeEqualsConcatenation) {
+  Rng rng(22);
+  RunningStats a, b, whole;
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.uniform(-1, 1);
+    a.add(x);
+    whole.add(x);
+  }
+  for (int i = 0; i < 700; ++i) {
+    const double x = rng.normal(3, 1);
+    b.add(x);
+    whole.add(x);
+  }
+  a.merge(b);
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-9);
+  EXPECT_EQ(a.min(), whole.min());
+  EXPECT_EQ(a.max(), whole.max());
+}
+
+TEST(Stats, MedianAndPercentile) {
+  std::vector<double> xs{5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(median(xs), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 25), 2.0);
+}
+
+TEST(Stats, PearsonPerfectCorrelation) {
+  std::vector<double> x{1, 2, 3, 4}, y{2, 4, 6, 8}, z{8, 6, 4, 2};
+  EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+  EXPECT_NEAR(pearson(x, z), -1.0, 1e-12);
+}
+
+TEST(Histogram, BinningAndClamping) {
+  Histogram h(0.0, 1.0, 10);
+  h.add(0.05);   // bin 0
+  h.add(0.95);   // bin 9
+  h.add(-5.0);   // clamps to bin 0
+  h.add(99.0);   // clamps to bin 9
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(9), 2u);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_NEAR(h.bin_center(0), 0.05, 1e-12);
+}
+
+TEST(Histogram, ModeAndDensity) {
+  Histogram h(0.0, 1.0, 4);
+  for (int i = 0; i < 10; ++i) h.add(0.6);
+  h.add(0.1);
+  EXPECT_NEAR(h.mode(), 0.625, 1e-12);
+  double integral = 0.0;
+  for (std::size_t b = 0; b < h.bins(); ++b) integral += h.density(b) * h.bin_width();
+  EXPECT_NEAR(integral, 1.0, 1e-12);
+}
+
+TEST(Histogram, MergeRequiresSameBinning) {
+  Histogram a(0, 1, 4), b(0, 1, 4), c(0, 2, 4);
+  a.add(0.5);
+  b.add(0.7);
+  a.merge(b);
+  EXPECT_EQ(a.total(), 2u);
+  EXPECT_THROW(a.merge(c), std::invalid_argument);
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(1000, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, SubmitReturnsResults) {
+  ThreadPool pool(2);
+  auto f1 = pool.submit([] { return 41; });
+  auto f2 = pool.submit([] { return 1; });
+  EXPECT_EQ(f1.get() + f2.get(), 42);
+}
+
+TEST(ThreadPool, ExceptionPropagates) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for(10, [](std::size_t i) {
+        if (i == 5) throw std::runtime_error("boom");
+      }),
+      std::runtime_error);
+}
+
+TEST(Table, RendersHeaderAndRows) {
+  Table t("Demo");
+  t.set_header({"a", "bb"});
+  t.add_row({"1", "2"});
+  t.add_row_numeric({3.14159, 2.71828}, 2);
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("Demo"), std::string::npos);
+  EXPECT_NE(s.find("bb"), std::string::npos);
+  EXPECT_NE(s.find("3.14"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("a,bb"), std::string::npos);
+}
+
+}  // namespace
