@@ -1,0 +1,192 @@
+// Serving throughput bench: QPS and p50/p99 latency of the GranuleService
+// under cold (every request builds) and warm (every request hits the LRU
+// product cache) traffic, across worker counts, plus a cache-size sweep
+// under repeat traffic with evictions.
+//
+//   ./bench/bench_serve_throughput
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include "core/campaign.hpp"
+#include "core/config.hpp"
+#include "serve/service.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace is2;
+using atl03::BeamId;
+
+struct TrafficResult {
+  double wall_s = 0.0;
+  std::vector<double> latency_ms;
+
+  double qps() const { return wall_s > 0 ? static_cast<double>(latency_ms.size()) / wall_s : 0; }
+  double p50() const { return util::percentile(latency_ms, 50.0); }
+  double p99() const { return util::percentile(latency_ms, 99.0); }
+};
+
+/// Drive `requests` through the service from `clients` concurrent threads,
+/// measuring per-request latency at the submit->get boundary.
+TrafficResult drive(serve::GranuleService& service,
+                    const std::vector<serve::ProductRequest>& requests, std::size_t clients) {
+  TrafficResult out;
+  std::vector<std::vector<double>> per_client(clients);
+  std::atomic<std::size_t> next{0};
+  util::Timer wall;
+  std::vector<std::thread> threads;
+  for (std::size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1);
+        if (i >= requests.size()) return;
+        util::Timer t;
+        const auto response = service.submit(requests[i]).get();
+        if (!response.product) std::abort();
+        per_client[c].push_back(t.millis());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  out.wall_s = wall.seconds();
+  for (auto& v : per_client)
+    out.latency_ms.insert(out.latency_ms.end(), v.begin(), v.end());
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const core::PipelineConfig config = core::PipelineConfig::tiny();
+  const core::Campaign campaign(config);
+
+  std::printf("== generating campaign pair 2 (tiny scale) ==\n");
+  const core::PairDataset pair = campaign.generate(1);
+
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / ("is2_serve_bench_" + std::to_string(::getpid())))
+          .string();
+  std::filesystem::create_directories(dir);
+  core::ShardSet shards;
+  core::write_shards(pair.granule, 0, /*chunks_per_beam=*/2, dir, shards);
+  const serve::ShardIndex index = serve::ShardIndex::build(shards.files);
+
+  // Scaler fit on the first beam's features (as the batch pipeline would).
+  const auto merged = serve::ShardIndex::load_merged(*index.find(pair.granule.id, BeamId::Gt1r));
+  const auto pre = atl03::preprocess_beam(merged, merged.beams[0], campaign.corrections(),
+                                          config.preprocess);
+  auto segs = resample::resample(pre, config.segmenter);
+  const resample::FirstPhotonBiasCorrector fpb(config.instrument.dead_time_m,
+                                               config.instrument.strong_channels);
+  fpb.apply(segs);
+  const resample::FeatureScaler scaler =
+      resample::FeatureScaler::fit(resample::to_features(segs, resample::rolling_baseline(segs)));
+
+  const auto model_factory = [&config] {
+    util::Rng rng(99);
+    return nn::make_lstm_model(config.sequence_window, resample::FeatureRow::kDim, rng);
+  };
+
+  // The request universe: every strong beam x every sea surface method.
+  std::vector<serve::ProductRequest> universe;
+  for (const BeamId beam : {BeamId::Gt1r, BeamId::Gt2r, BeamId::Gt3r})
+    for (const auto method :
+         {seasurface::Method::NasaEquation, seasurface::Method::MinElevation,
+          seasurface::Method::AverageElevation, seasurface::Method::NearestMinElevation}) {
+      serve::ProductRequest r;
+      r.granule_id = pair.granule.id;
+      r.beam = beam;
+      r.method = method;
+      universe.push_back(r);
+    }
+
+  const std::size_t warm_requests = 500;
+  util::Rng traffic_rng(7);
+  std::vector<serve::ProductRequest> warm_traffic;
+  warm_traffic.reserve(warm_requests);
+  for (std::size_t i = 0; i < warm_requests; ++i)
+    warm_traffic.push_back(universe[traffic_rng.next() % universe.size()]);
+
+  util::Table table("GranuleService throughput (tiny campaign, " +
+                    std::to_string(universe.size()) + " distinct products)");
+  table.set_header({"workers", "cold QPS", "cold p50 ms", "cold p99 ms", "warm QPS",
+                    "warm p50 ms", "warm p99 ms", "speedup"});
+
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    serve::ServiceConfig cfg;
+    cfg.workers = workers;
+    cfg.queue_capacity = 64;
+    cfg.cache_bytes = 512u << 20;  // everything fits: warm pass is all hits
+    serve::GranuleService service(cfg, config, campaign.corrections(), index, model_factory,
+                                  scaler);
+
+    const TrafficResult cold = drive(service, universe, workers);
+    const TrafficResult warm = drive(service, warm_traffic, workers > 1 ? workers * 2 : 2);
+    const double speedup = warm.qps() / (cold.qps() > 0 ? cold.qps() : 1e-9);
+
+    table.add_row({std::to_string(workers), std::to_string(cold.qps()).substr(0, 7),
+                   std::to_string(cold.p50()).substr(0, 7),
+                   std::to_string(cold.p99()).substr(0, 7),
+                   std::to_string(warm.qps()).substr(0, 9),
+                   std::to_string(warm.p50()).substr(0, 7),
+                   std::to_string(warm.p99()).substr(0, 7),
+                   std::to_string(speedup).substr(0, 8) + "x"});
+
+    const auto m = service.metrics();
+    std::printf(
+        "workers=%zu  dispatched=%llu coalesced=%llu fast_hits=%llu  cache: %llu hits / %llu "
+        "misses, %zu entries, %.1f MiB  inference: %llu windows in %llu batches\n",
+        workers, static_cast<unsigned long long>(m.scheduler.dispatched),
+        static_cast<unsigned long long>(m.scheduler.coalesced),
+        static_cast<unsigned long long>(m.fast_hits),
+        static_cast<unsigned long long>(m.cache.hits),
+        static_cast<unsigned long long>(m.cache.misses), m.cache.entries,
+        static_cast<double>(m.cache.bytes) / (1024.0 * 1024.0),
+        static_cast<unsigned long long>(m.inference_windows),
+        static_cast<unsigned long long>(m.inference_batches));
+  }
+  std::printf("\n%s\n", table.to_string().c_str());
+
+  // Cache-size sweep: repeat traffic with a budget too small for the working
+  // set keeps rebuilding; a full-size budget serves it entirely from memory.
+  std::printf("== cache-size sweep (2 workers, %zu repeat requests) ==\n", warm_requests / 4);
+  util::Table sweep("Cache size vs hit rate");
+  sweep.set_header({"cache budget", "QPS", "hit rate", "evictions", "builds"});
+  std::size_t one_product_bytes = 0;
+  for (const double scale : {0.4, 2.0, 100.0}) {
+    serve::ServiceConfig cfg;
+    cfg.workers = 2;
+    cfg.cache_shards = 1;
+    if (one_product_bytes == 0) {
+      // Probe one build to size the budget in product units.
+      serve::GranuleService probe(cfg, config, campaign.corrections(), index, model_factory,
+                                  scaler);
+      one_product_bytes = probe.submit(universe[0]).get().product->approx_bytes();
+    }
+    cfg.cache_bytes = static_cast<std::size_t>(static_cast<double>(one_product_bytes) * scale);
+    serve::GranuleService service(cfg, config, campaign.corrections(), index, model_factory,
+                                  scaler);
+    std::vector<serve::ProductRequest> repeat(warm_traffic.begin(),
+                                              warm_traffic.begin() + warm_requests / 4);
+    const TrafficResult r = drive(service, repeat, 2);
+    const auto m = service.metrics();
+    sweep.add_row({std::to_string(scale).substr(0, 5) + " products",
+                   std::to_string(r.qps()).substr(0, 8),
+                   std::to_string(m.cache.hit_rate()).substr(0, 5),
+                   std::to_string(m.cache.evictions),
+                   std::to_string(m.scheduler.dispatched)});
+  }
+  std::printf("%s\n", sweep.to_string().c_str());
+
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  return 0;
+}

@@ -24,22 +24,39 @@ void Engine::run_stage_impl(std::size_t n_tasks, const std::function<void(std::s
   for (std::size_t e = 0; e < n_exec; ++e)
     cursors.push_back(std::make_unique<std::atomic<std::size_t>>(0));
 
+  // Task exceptions are collected and rethrown only after every core has
+  // drained: rethrowing from the first get() would unwind this frame while
+  // other cores still reference `assignment`/`cursors`/`task` on it.
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
   std::vector<std::future<void>> futures;
   futures.reserve(n_exec * topology_.cores_per_executor);
   for (std::size_t e = 0; e < n_exec; ++e) {
     const auto& queue = assignment[e];
     auto& cursor = *cursors[e];
     for (std::size_t core = 0; core < topology_.cores_per_executor; ++core) {
-      futures.push_back(executors_[e]->submit([&queue, &cursor, &task] {
+      futures.push_back(executors_[e]->submit([&] {
         for (;;) {
+          if (failed.load(std::memory_order_relaxed)) return;
           const std::size_t slot = cursor.fetch_add(1, std::memory_order_relaxed);
           if (slot >= queue.size()) return;
-          task(queue[slot]);
+          try {
+            task(queue[slot]);
+          } catch (...) {
+            {
+              std::lock_guard lock(error_mutex);
+              if (!first_error) first_error = std::current_exception();
+            }
+            failed.store(true, std::memory_order_relaxed);
+          }
         }
       }));
     }
   }
-  for (auto& f : futures) f.get();  // propagate the first task exception
+  for (auto& f : futures) f.get();  // barrier: all cores idle again
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 }  // namespace is2::mapred

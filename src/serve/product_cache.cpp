@@ -1,0 +1,107 @@
+#include "serve/product_cache.hpp"
+
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace is2::serve {
+
+std::size_t ProductKeyHash::operator()(const ProductKey& key) const {
+  std::uint64_t h = std::hash<std::string>{}(key.granule_id);
+  h = util::hash64(h ^ (static_cast<std::uint64_t>(key.beam) + 0x9E3779B97F4A7C15ULL));
+  h = util::hash64(h ^ key.config_hash);
+  return static_cast<std::size_t>(h);
+}
+
+std::size_t GranuleProduct::approx_bytes() const {
+  std::size_t bytes = sizeof(GranuleProduct);
+  bytes += granule_id.capacity();
+  bytes += segments.capacity() * sizeof(resample::Segment);
+  bytes += classes.capacity() * sizeof(atl03::SurfaceClass);
+  bytes += sea_surface.points().capacity() * sizeof(seasurface::SeaSurfacePoint);
+  bytes += freeboard.points.capacity() * sizeof(freeboard::FreeboardPoint);
+  return bytes;
+}
+
+ProductCache::ProductCache(std::size_t byte_budget, std::size_t num_shards)
+    : byte_budget_(byte_budget) {
+  if (num_shards == 0) num_shards = 1;
+  shard_budget_ = byte_budget_ / num_shards;
+  if (shard_budget_ == 0) shard_budget_ = 1;
+  shards_.reserve(num_shards);
+  for (std::size_t i = 0; i < num_shards; ++i) shards_.push_back(std::make_unique<Shard>());
+}
+
+ProductCache::Shard& ProductCache::shard_for(const ProductKey& key) const {
+  return *shards_[ProductKeyHash{}(key) % shards_.size()];
+}
+
+std::shared_ptr<const GranuleProduct> ProductCache::get(const ProductKey& key) {
+  Shard& shard = shard_for(key);
+  std::lock_guard lock(shard.mutex);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    ++shard.misses;
+    return nullptr;
+  }
+  ++shard.hits;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);  // refresh
+  return it->second->product;
+}
+
+void ProductCache::put(const ProductKey& key, std::shared_ptr<const GranuleProduct> product) {
+  if (!product) throw std::invalid_argument("ProductCache::put: null product");
+  const std::size_t bytes = product->approx_bytes();
+  Shard& shard = shard_for(key);
+  std::lock_guard lock(shard.mutex);
+
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    shard.bytes -= it->second->bytes;
+    shard.lru.erase(it->second);
+    shard.index.erase(it);
+  }
+  shard.lru.push_front(Entry{key, std::move(product), bytes});
+  shard.index[key] = shard.lru.begin();
+  shard.bytes += bytes;
+  ++shard.insertions;
+
+  while (shard.bytes > shard_budget_ && shard.lru.size() > 1) {
+    const Entry& victim = shard.lru.back();
+    shard.bytes -= victim.bytes;
+    shard.index.erase(victim.key);
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+}
+
+bool ProductCache::contains(const ProductKey& key) const {
+  Shard& shard = shard_for(key);
+  std::lock_guard lock(shard.mutex);
+  return shard.index.count(key) != 0;
+}
+
+CacheStats ProductCache::stats() const {
+  CacheStats out;
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->mutex);
+    out.hits += shard->hits;
+    out.misses += shard->misses;
+    out.evictions += shard->evictions;
+    out.insertions += shard->insertions;
+    out.bytes += shard->bytes;
+    out.entries += shard->lru.size();
+  }
+  return out;
+}
+
+void ProductCache::clear() {
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->mutex);
+    shard->lru.clear();
+    shard->index.clear();
+    shard->bytes = 0;
+  }
+}
+
+}  // namespace is2::serve

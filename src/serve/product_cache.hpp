@@ -1,0 +1,118 @@
+// Sharded LRU cache for served granule products (the hot half of the
+// `is2::serve` subsystem). Entries are keyed by (granule_id, beam,
+// config-hash) so a config or model change never serves stale products, and
+// eviction is byte-budgeted: each shard evicts from its least-recently-used
+// end until it fits, so total resident bytes stay near the budget no matter
+// how large individual products are. Sharding (key-hash -> shard) keeps lock
+// contention low under concurrent mixed hit/miss traffic.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "atl03/types.hpp"
+#include "freeboard/freeboard.hpp"
+#include "resample/segmenter.hpp"
+#include "seasurface/detector.hpp"
+
+namespace is2::serve {
+
+/// Cache identity of one served product. `config_hash` fingerprints every
+/// pipeline/config input that affects the product bytes (see
+/// `config_fingerprint` in serve/service.hpp).
+struct ProductKey {
+  std::string granule_id;
+  atl03::BeamId beam = atl03::BeamId::Gt1r;
+  std::uint64_t config_hash = 0;
+
+  bool operator==(const ProductKey& o) const {
+    return config_hash == o.config_hash && beam == o.beam && granule_id == o.granule_id;
+  }
+};
+
+struct ProductKeyHash {
+  std::size_t operator()(const ProductKey& key) const;
+};
+
+/// Fully materialized serving product for one (granule, beam, config):
+/// everything a consumer of the paper's pipeline asks for at once.
+struct GranuleProduct {
+  std::string granule_id;
+  atl03::BeamId beam = atl03::BeamId::Gt1r;
+  std::vector<resample::Segment> segments;          ///< 2m resampled, FPB-corrected
+  std::vector<atl03::SurfaceClass> classes;         ///< model classification per segment
+  seasurface::SeaSurfaceProfile sea_surface;        ///< local sea surface profile
+  freeboard::FreeboardProduct freeboard;            ///< per-segment freeboard points
+
+  /// Resident-size estimate used for byte-budget eviction.
+  std::size_t approx_bytes() const;
+};
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t insertions = 0;
+  std::size_t bytes = 0;    ///< resident product bytes
+  std::size_t entries = 0;  ///< resident product count
+
+  double hit_rate() const {
+    const std::uint64_t n = hits + misses;
+    return n ? static_cast<double>(hits) / static_cast<double>(n) : 0.0;
+  }
+};
+
+class ProductCache {
+ public:
+  /// `byte_budget` is split evenly across `num_shards` independent LRU lists.
+  explicit ProductCache(std::size_t byte_budget, std::size_t num_shards = 8);
+
+  ProductCache(const ProductCache&) = delete;
+  ProductCache& operator=(const ProductCache&) = delete;
+
+  /// Look up a product; a hit refreshes its LRU position.
+  std::shared_ptr<const GranuleProduct> get(const ProductKey& key);
+
+  /// Insert (or refresh) a product, then evict least-recently-used entries
+  /// until the shard fits its budget again. The entry just inserted is never
+  /// evicted by its own insertion, so an oversized product still serves the
+  /// requests that are already waiting on it.
+  void put(const ProductKey& key, std::shared_ptr<const GranuleProduct> product);
+
+  /// Lookup without touching LRU order or hit/miss counters.
+  bool contains(const ProductKey& key) const;
+
+  CacheStats stats() const;
+  void clear();
+
+  std::size_t byte_budget() const { return byte_budget_; }
+  std::size_t num_shards() const { return shards_.size(); }
+
+ private:
+  struct Entry {
+    ProductKey key;
+    std::shared_ptr<const GranuleProduct> product;
+    std::size_t bytes = 0;
+  };
+  struct Shard {
+    mutable std::mutex mutex;
+    std::list<Entry> lru;  ///< front = most recently used
+    std::unordered_map<ProductKey, std::list<Entry>::iterator, ProductKeyHash> index;
+    std::size_t bytes = 0;
+    std::uint64_t hits = 0, misses = 0, evictions = 0, insertions = 0;
+  };
+
+  Shard& shard_for(const ProductKey& key) const;
+
+  std::size_t byte_budget_;
+  std::size_t shard_budget_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace is2::serve

@@ -1,0 +1,129 @@
+#include "serve/scheduler.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace is2::serve {
+
+BatchScheduler::BatchScheduler(const Config& config, Builder builder)
+    : config_(config),
+      builder_(std::move(builder)),
+      queue_(config.queue_capacity),
+      pool_(config.workers ? config.workers : 1) {
+  if (!builder_) throw std::invalid_argument("BatchScheduler: null builder");
+  drains_.reserve(pool_.size());
+  for (std::size_t w = 0; w < pool_.size(); ++w)
+    drains_.push_back(pool_.submit([this] { drain_loop(); }));
+}
+
+BatchScheduler::~BatchScheduler() { shutdown(); }
+
+BatchScheduler::JobPtr BatchScheduler::make_job(const ProductRequest& request,
+                                                const ProductKey& key) const {
+  auto job = std::make_shared<Job>();
+  job->request = request;
+  job->key = key;
+  job->future = job->promise.get_future().share();
+  return job;
+}
+
+namespace {
+
+ProductFuture broken_future(const char* what) {
+  std::promise<ProductResponse> p;
+  p.set_exception(std::make_exception_ptr(std::runtime_error(what)));
+  return p.get_future().share();
+}
+
+}  // namespace
+
+ProductFuture BatchScheduler::submit(const ProductRequest& request, const ProductKey& key) {
+  JobPtr job;
+  {
+    std::lock_guard lock(mutex_);
+    if (shut_down_) return broken_future("BatchScheduler: shut down");
+    auto it = inflight_.find(key);
+    if (it != inflight_.end()) {
+      ++coalesced_;
+      return it->second->future;  // single-flight: attach to the live build
+    }
+    job = make_job(request, key);
+    inflight_[key] = job;
+    ++dispatched_;
+  }
+  // Blocking push outside the lock so other submitters can still coalesce
+  // onto this job while we wait for queue space (that is the backpressure).
+  if (!queue_.push(job)) {
+    {
+      std::lock_guard lock(mutex_);
+      inflight_.erase(key);
+      --dispatched_;
+    }
+    job->promise.set_exception(
+        std::make_exception_ptr(std::runtime_error("BatchScheduler: shut down")));
+  }
+  return job->future;
+}
+
+std::optional<ProductFuture> BatchScheduler::try_submit(const ProductRequest& request,
+                                                        const ProductKey& key) {
+  std::lock_guard lock(mutex_);
+  // A shut-down scheduler is not "full, retry later": return a broken
+  // future (like submit) so load-shedding clients don't spin forever.
+  if (shut_down_) return broken_future("BatchScheduler: shut down");
+  auto it = inflight_.find(key);
+  if (it != inflight_.end()) {
+    ++coalesced_;
+    return it->second->future;
+  }
+  JobPtr job = make_job(request, key);
+  // Non-blocking push under the scheduler lock: either the job becomes
+  // visible as in-flight and queued atomically, or nobody ever saw it.
+  if (!queue_.try_push(job)) {
+    ++rejected_;
+    return std::nullopt;
+  }
+  inflight_[key] = job;
+  ++dispatched_;
+  return job->future;
+}
+
+void BatchScheduler::drain_loop() {
+  while (auto popped = queue_.pop()) {
+    JobPtr job = std::move(*popped);
+    try {
+      ProductResponse response = builder_(job->request, job->key);
+      response.service_ms = job->enqueued.millis();
+      job->promise.set_value(std::move(response));
+    } catch (...) {
+      job->promise.set_exception(std::current_exception());
+    }
+    std::lock_guard lock(mutex_);
+    inflight_.erase(job->key);
+    ++completed_;
+  }
+}
+
+SchedulerStats BatchScheduler::stats() const {
+  SchedulerStats out;
+  std::lock_guard lock(mutex_);
+  out.dispatched = dispatched_;
+  out.coalesced = coalesced_;
+  out.rejected = rejected_;
+  out.completed = completed_;
+  out.queue_depth = queue_.size();
+  out.in_flight = inflight_.size();
+  return out;
+}
+
+void BatchScheduler::shutdown() {
+  {
+    std::lock_guard lock(mutex_);
+    if (shut_down_) return;
+    shut_down_ = true;
+  }
+  queue_.close();  // workers drain what was accepted, then exit
+  for (auto& d : drains_) d.get();
+}
+
+}  // namespace is2::serve

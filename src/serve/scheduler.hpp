@@ -1,0 +1,185 @@
+// Request admission and dispatch for the serving subsystem:
+//
+//  * `BoundedQueue<T>` — a bounded MPMC queue. push() blocks while the queue
+//    is full (backpressure toward the client), try_push() sheds load
+//    instead; pop() blocks while empty and drains remaining items after
+//    close() so shutdown never drops accepted work.
+//  * `BatchScheduler` — coalesces concurrent requests for the same
+//    (granule, beam, config) into a single build job (single-flight), queues
+//    cold jobs through the bounded queue, and executes them on a
+//    `util::ThreadPool` of worker threads. The builder callback runs the
+//    heavy granule pipeline (and performs its own cache insert/recheck), so
+//    a key is never built twice concurrently and every attached requester
+//    shares one `ProductResponse`.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+#include "serve/product_cache.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace is2::serve {
+
+/// One client request: which product to materialize and with which sea
+/// surface estimator (the method participates in the config hash, so every
+/// method gets its own cache entry).
+struct ProductRequest {
+  std::string granule_id;
+  atl03::BeamId beam = atl03::BeamId::Gt1r;
+  seasurface::Method method = seasurface::Method::NasaEquation;
+};
+
+/// Outcome shared by every request coalesced onto one build.
+struct ProductResponse {
+  std::shared_ptr<const GranuleProduct> product;
+  bool from_cache = false;  ///< no pipeline ran to answer this response
+  double service_ms = 0.0;  ///< queue wait + build wall time (0 on fast path)
+};
+
+using ProductFuture = std::shared_future<ProductResponse>;
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity ? capacity : 1) {}
+
+  /// Blocking push; returns false iff the queue was closed.
+  bool push(T item) {
+    std::unique_lock lock(mutex_);
+    space_cv_.wait(lock, [this] { return closed_ || items_.size() < capacity_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    item_cv_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking push; returns false when full or closed.
+  bool try_push(T item) {
+    {
+      std::lock_guard lock(mutex_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    item_cv_.notify_one();
+    return true;
+  }
+
+  /// Blocking pop; empty optional once closed and drained.
+  std::optional<T> pop() {
+    std::unique_lock lock(mutex_);
+    item_cv_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    space_cv_.notify_one();
+    return item;
+  }
+
+  void close() {
+    {
+      std::lock_guard lock(mutex_);
+      closed_ = true;
+    }
+    item_cv_.notify_all();
+    space_cv_.notify_all();
+  }
+
+  std::size_t size() const {
+    std::lock_guard lock(mutex_);
+    return items_.size();
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable item_cv_;   ///< signaled on push/close
+  std::condition_variable space_cv_;  ///< signaled on pop/close
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+struct SchedulerStats {
+  std::uint64_t dispatched = 0;  ///< build jobs accepted into the queue
+  std::uint64_t coalesced = 0;   ///< requests attached to an in-flight build
+  std::uint64_t rejected = 0;    ///< try_submit requests shed (queue full)
+  std::uint64_t completed = 0;   ///< build jobs finished (ok or error)
+  std::size_t queue_depth = 0;   ///< jobs waiting for a worker right now
+  std::size_t in_flight = 0;     ///< keys queued or building right now
+};
+
+class BatchScheduler {
+ public:
+  /// Runs the heavy pipeline for one key. Called on a worker thread; must
+  /// be thread-safe across distinct keys.
+  using Builder = std::function<ProductResponse(const ProductRequest&, const ProductKey&)>;
+
+  struct Config {
+    std::size_t workers = 4;
+    std::size_t queue_capacity = 64;
+  };
+
+  BatchScheduler(const Config& config, Builder builder);
+  ~BatchScheduler();
+
+  BatchScheduler(const BatchScheduler&) = delete;
+  BatchScheduler& operator=(const BatchScheduler&) = delete;
+
+  /// Submit with backpressure: blocks while the queue is full. Requests for
+  /// a key already queued or building attach to that job without blocking.
+  ProductFuture submit(const ProductRequest& request, const ProductKey& key);
+
+  /// Load-shedding submit: returns std::nullopt instead of blocking when the
+  /// queue is full (still attaches to in-flight jobs for free). After
+  /// shutdown() both submit flavors return a broken future, so "retry later"
+  /// (nullopt) is never confused with "service is down".
+  std::optional<ProductFuture> try_submit(const ProductRequest& request, const ProductKey& key);
+
+  SchedulerStats stats() const;
+
+  /// Stop accepting work, finish everything already accepted, join workers.
+  void shutdown();
+
+ private:
+  struct Job {
+    ProductRequest request;
+    ProductKey key;
+    std::promise<ProductResponse> promise;
+    ProductFuture future;
+    util::Timer enqueued;  ///< measures queue wait + build = service time
+  };
+  using JobPtr = std::shared_ptr<Job>;
+
+  JobPtr make_job(const ProductRequest& request, const ProductKey& key) const;
+  void drain_loop();
+
+  Config config_;
+  Builder builder_;
+  BoundedQueue<JobPtr> queue_;
+
+  mutable std::mutex mutex_;  ///< guards inflight_ + counters
+  std::unordered_map<ProductKey, JobPtr, ProductKeyHash> inflight_;
+  std::uint64_t dispatched_ = 0;
+  std::uint64_t coalesced_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::uint64_t completed_ = 0;
+  bool shut_down_ = false;
+
+  util::ThreadPool pool_;
+  std::vector<std::future<void>> drains_;
+};
+
+}  // namespace is2::serve

@@ -1,0 +1,406 @@
+#include "serve/service.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+
+#include "atl03/preprocess.hpp"
+#include "h5lite/granule_io.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace is2::serve {
+
+// ---------------------------------------------------------------------------
+// ShardIndex
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Parse "<granule_id>#<beam>c<chunk>" shard ids; whole-granule files (no
+/// '#') index as chunk 0 under their own id.
+void parse_shard_id(const std::string& id, std::string& base, std::size_t& chunk) {
+  const auto hash = id.find('#');
+  if (hash == std::string::npos) {
+    base = id;
+    chunk = 0;
+    return;
+  }
+  base = id.substr(0, hash);
+  const auto c = id.find_last_of('c');
+  chunk = 0;
+  if (c != std::string::npos && c > hash) {
+    try {
+      chunk = static_cast<std::size_t>(std::stoul(id.substr(c + 1)));
+    } catch (const std::exception&) {
+      chunk = 0;
+    }
+  }
+}
+
+}  // namespace
+
+ShardIndex ShardIndex::build(const std::vector<std::string>& shard_files) {
+  // (granule, beam) -> [(chunk, file)] so chunks can be ordered along-track.
+  std::map<std::pair<std::string, int>, std::vector<std::pair<std::size_t, std::string>>> grouped;
+  for (const auto& file : shard_files) {
+    const atl03::Granule shard = h5::load_granule(file);
+    if (shard.beams.size() != 1)
+      throw std::invalid_argument("ShardIndex: shard must hold exactly one beam: " + file);
+    std::string base;
+    std::size_t chunk = 0;
+    parse_shard_id(shard.id, base, chunk);
+    grouped[{base, static_cast<int>(shard.beams[0].beam)}].emplace_back(chunk, file);
+  }
+
+  ShardIndex out;
+  for (auto& [key, chunks] : grouped) {
+    std::sort(chunks.begin(), chunks.end());
+    auto& files = out.beams_[key];
+    files.reserve(chunks.size());
+    for (auto& [chunk, file] : chunks) files.push_back(std::move(file));
+  }
+  return out;
+}
+
+const std::vector<std::string>* ShardIndex::find(const std::string& granule_id,
+                                                 atl03::BeamId beam) const {
+  const auto it = beams_.find({granule_id, static_cast<int>(beam)});
+  return it == beams_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::pair<std::string, atl03::BeamId>> ShardIndex::entries() const {
+  std::vector<std::pair<std::string, atl03::BeamId>> out;
+  out.reserve(beams_.size());
+  for (const auto& [key, files] : beams_)
+    out.emplace_back(key.first, static_cast<atl03::BeamId>(key.second));
+  return out;
+}
+
+atl03::Granule ShardIndex::load_merged(const std::vector<std::string>& files) {
+  if (files.empty()) throw std::invalid_argument("ShardIndex::load_merged: no files");
+  atl03::Granule out = h5::load_granule(files[0]);
+  if (out.beams.size() != 1)
+    throw std::invalid_argument("ShardIndex::load_merged: shard must hold exactly one beam");
+  const auto hash = out.id.find('#');
+  if (hash != std::string::npos) out.id = out.id.substr(0, hash);
+
+  atl03::BeamData& merged = out.beams[0];
+  for (std::size_t f = 1; f < files.size(); ++f) {
+    const atl03::Granule next = h5::load_granule(files[f]);
+    if (next.beams.size() != 1 || next.beams[0].beam != merged.beam)
+      throw std::invalid_argument("ShardIndex::load_merged: mixed beams in chunk list");
+    const atl03::BeamData& b = next.beams[0];
+    merged.delta_time.insert(merged.delta_time.end(), b.delta_time.begin(), b.delta_time.end());
+    merged.lat.insert(merged.lat.end(), b.lat.begin(), b.lat.end());
+    merged.lon.insert(merged.lon.end(), b.lon.begin(), b.lon.end());
+    merged.h.insert(merged.h.end(), b.h.begin(), b.h.end());
+    merged.along_track.insert(merged.along_track.end(), b.along_track.begin(),
+                              b.along_track.end());
+    merged.signal_conf.insert(merged.signal_conf.end(), b.signal_conf.begin(),
+                              b.signal_conf.end());
+    merged.truth_class.insert(merged.truth_class.end(), b.truth_class.begin(),
+                              b.truth_class.end());
+    // Chunk shards carry overlapping background bins (1-bin margins); keep
+    // only bins past the last merged timestamp.
+    const double last_t = merged.bckgrd_delta_time.empty()
+                              ? -std::numeric_limits<double>::infinity()
+                              : merged.bckgrd_delta_time.back();
+    for (std::size_t j = 0; j < b.bckgrd_delta_time.size(); ++j) {
+      if (b.bckgrd_delta_time[j] <= last_t) continue;
+      merged.bckgrd_delta_time.push_back(b.bckgrd_delta_time[j]);
+      merged.bckgrd_rate.push_back(b.bckgrd_rate[j]);
+    }
+  }
+  merged.check_consistent();
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Config fingerprint
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  return util::hash64(h ^ (v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2)));
+}
+
+std::uint64_t mix(std::uint64_t h, double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  return mix(h, bits);
+}
+
+}  // namespace
+
+std::uint64_t config_fingerprint(const core::PipelineConfig& config,
+                                 seasurface::Method method) {
+  std::uint64_t h = 0x15ECE5E1CEu;  // arbitrary domain tag
+  h = mix(h, config.seed);
+  h = mix(h, static_cast<std::uint64_t>(config.sequence_window));
+  h = mix(h, config.track_length_m);
+  // Segmentation / preprocessing inputs.
+  h = mix(h, config.segmenter.window_m);
+  h = mix(h, config.segmenter.shot_spacing_m);
+  h = mix(h, static_cast<std::uint64_t>(config.segmenter.min_photons));
+  h = mix(h, static_cast<std::uint64_t>(config.preprocess.min_conf));
+  h = mix(h, static_cast<std::uint64_t>(config.preprocess.apply_geo_correction));
+  h = mix(h, config.preprocess.outlier_bin_m);
+  h = mix(h, config.preprocess.outlier_threshold_m);
+  // First-photon-bias calibration inputs.
+  h = mix(h, config.instrument.dead_time_m);
+  h = mix(h, static_cast<std::uint64_t>(config.instrument.strong_channels));
+  // Sea surface estimator.
+  h = mix(h, static_cast<std::uint64_t>(method));
+  h = mix(h, config.seasurface.window_m);
+  h = mix(h, config.seasurface.stride_m);
+  h = mix(h, config.seasurface.lead_gap_m);
+  h = mix(h, config.seasurface.sigma_floor);
+  h = mix(h, static_cast<std::uint64_t>(config.seasurface.min_lead_segments));
+  h = mix(h, config.seasurface.outlier_mad_k);
+  // Freeboard clipping.
+  h = mix(h, config.freeboard.max_freeboard_m);
+  h = mix(h, config.freeboard.min_freeboard_m);
+  h = mix(h, static_cast<std::uint64_t>(config.freeboard.include_open_water));
+  return h;
+}
+
+// ---------------------------------------------------------------------------
+// GranuleService
+// ---------------------------------------------------------------------------
+
+GranuleService::GranuleService(const ServiceConfig& config,
+                               const core::PipelineConfig& pipeline,
+                               const geo::GeoCorrections& corrections, ShardIndex index,
+                               ModelFactory model_factory, resample::FeatureScaler scaler)
+    : config_(config),
+      pipeline_(pipeline),
+      corrections_(corrections),
+      index_(std::move(index)),
+      scaler_(scaler),
+      fpb_(pipeline.instrument.dead_time_m, pipeline.instrument.strong_channels),
+      cache_(config.cache_bytes, config.cache_shards) {
+  if (!model_factory) throw std::invalid_argument("GranuleService: null model factory");
+  const std::size_t workers = config_.workers ? config_.workers : 1;
+  replicas_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i)
+    replicas_.push_back(std::make_unique<nn::Sequential>(model_factory()));
+  scheduler_ = std::make_unique<BatchScheduler>(
+      BatchScheduler::Config{workers, config_.queue_capacity},
+      [this](const ProductRequest& request, const ProductKey& key) {
+        return build(request, key);
+      });
+}
+
+GranuleService::~GranuleService() { shutdown(); }
+
+void GranuleService::shutdown() {
+  if (scheduler_) scheduler_->shutdown();
+}
+
+ProductKey GranuleService::key_for(const ProductRequest& request) const {
+  ProductKey key;
+  key.granule_id = request.granule_id;
+  key.beam = request.beam;
+  key.config_hash =
+      mix(config_fingerprint(pipeline_, request.method), config_.model_version);
+  return key;
+}
+
+void GranuleService::record(StageLatency ServiceMetrics::*stage, double ms) {
+  std::lock_guard lock(metrics_mutex_);
+  StageLatency& s = stage_metrics_.*stage;
+  s.stats.add(ms);
+  s.histogram.add(ms);
+}
+
+ProductFuture GranuleService::submit(const ProductRequest& request) {
+  {
+    std::lock_guard lock(metrics_mutex_);
+    ++stage_metrics_.requests;
+  }
+  const ProductKey key = key_for(request);
+  if (auto hit = cache_.get(key)) {
+    {
+      std::lock_guard lock(metrics_mutex_);
+      ++stage_metrics_.fast_hits;
+    }
+    std::promise<ProductResponse> ready;
+    ready.set_value(ProductResponse{std::move(hit), true, 0.0});
+    return ready.get_future().share();
+  }
+  return scheduler_->submit(request, key);
+}
+
+std::optional<ProductFuture> GranuleService::try_submit(const ProductRequest& request) {
+  {
+    std::lock_guard lock(metrics_mutex_);
+    ++stage_metrics_.requests;
+  }
+  const ProductKey key = key_for(request);
+  if (auto hit = cache_.get(key)) {
+    {
+      std::lock_guard lock(metrics_mutex_);
+      ++stage_metrics_.fast_hits;
+    }
+    std::promise<ProductResponse> ready;
+    ready.set_value(ProductResponse{std::move(hit), true, 0.0});
+    return ready.get_future().share();
+  }
+  return scheduler_->try_submit(request, key);
+}
+
+std::size_t GranuleService::warm(const std::vector<ProductRequest>& requests,
+                                 mapred::Engine& engine) {
+  std::atomic<std::size_t> built{0};
+  engine.run_stage(requests.size(), [&](std::size_t i) {
+    const ProductKey key = key_for(requests[i]);
+    if (cache_.contains(key)) return;
+    // build() rechecks the cache, so a concurrent scheduler job for the
+    // same key costs at most one wasted build — never a wrong answer.
+    const ProductResponse response = build(requests[i], key);
+    if (!response.from_cache) built.fetch_add(1, std::memory_order_relaxed);
+  });
+  return built.load();
+}
+
+ProductResponse GranuleService::build(const ProductRequest& request, const ProductKey& key) {
+  if (auto hit = cache_.get(key)) return ProductResponse{std::move(hit), true, 0.0};
+
+  util::Timer build_timer;
+  util::Timer stage_timer;
+
+  const std::vector<std::string>* files = index_.find(request.granule_id, request.beam);
+  if (!files)
+    throw std::runtime_error("GranuleService: unknown (granule, beam): " +
+                             request.granule_id + "/" + atl03::beam_name(request.beam));
+
+  // LOAD: shard read + merge + preprocess + 2m resample + FPB correction.
+  atl03::Granule merged = ShardIndex::load_merged(*files);
+  const atl03::PreprocessedBeam pre =
+      atl03::preprocess_beam(merged, merged.beams[0], corrections_, pipeline_.preprocess);
+  auto segments = resample::resample(pre, pipeline_.segmenter);
+  fpb_.apply(segments);
+  record(&ServiceMetrics::load, stage_timer.millis());
+  stage_timer.reset();
+
+  // FEATURES: rolling sea-level baseline + the paper's six features.
+  const std::vector<double> baseline = resample::rolling_baseline(segments);
+  const std::vector<resample::FeatureRow> features = resample::to_features(segments, baseline);
+  record(&ServiceMetrics::features, stage_timer.millis());
+  stage_timer.reset();
+
+  // INFERENCE: batched sliding-window classification on a model replica.
+  std::vector<atl03::SurfaceClass> classes = classify_batched(features);
+  record(&ServiceMetrics::inference, stage_timer.millis());
+  stage_timer.reset();
+
+  // SEA SURFACE + FREEBOARD.
+  const seasurface::SeaSurfaceProfile profile = seasurface::detect_sea_surface(
+      segments, classes, request.method, pipeline_.seasurface);
+  record(&ServiceMetrics::seasurface, stage_timer.millis());
+  stage_timer.reset();
+
+  freeboard::FreeboardProduct fb =
+      freeboard::compute_freeboard(segments, classes, profile, pipeline_.freeboard);
+  record(&ServiceMetrics::freeboard, stage_timer.millis());
+
+  auto product = std::make_shared<GranuleProduct>();
+  product->granule_id = request.granule_id;
+  product->beam = request.beam;
+  product->segments = std::move(segments);
+  product->classes = std::move(classes);
+  product->sea_surface = profile;
+  product->freeboard = std::move(fb);
+  cache_.put(key, product);
+
+  record(&ServiceMetrics::total, build_timer.millis());
+  return ProductResponse{std::move(product), false, 0.0};
+}
+
+std::vector<atl03::SurfaceClass> GranuleService::classify_batched(
+    const std::vector<resample::FeatureRow>& features) {
+  using atl03::SurfaceClass;
+  const std::size_t window = pipeline_.sequence_window;
+  const std::size_t n = features.size();
+  std::vector<SurfaceClass> out(n, SurfaceClass::Unknown);
+  if (n < window || window == 0) return out;
+  const std::size_t half = window / 2;
+  constexpr int kDim = resample::FeatureRow::kDim;
+
+  // Standardize once (mirrors core::classify_segments exactly).
+  std::vector<float> scaled(n * kDim);
+  for (std::size_t i = 0; i < n; ++i)
+    for (int d = 0; d < kDim; ++d)
+      scaled[i * kDim + d] = (features[i].v[d] - scaler_.mean[d]) / scaler_.std[d];
+
+  const std::size_t n_windows = n - window + 1;
+  const std::size_t batch =
+      config_.inference_batch_windows ? config_.inference_batch_windows : 256;
+
+  // Check a model replica out of the pool (inference mutates layer state).
+  std::unique_ptr<nn::Sequential> model;
+  {
+    std::unique_lock lock(replica_mutex_);
+    replica_cv_.wait(lock, [this] { return !replicas_.empty(); });
+    model = std::move(replicas_.back());
+    replicas_.pop_back();
+  }
+
+  std::vector<std::uint8_t> pred(n_windows);
+  std::uint64_t batches = 0;
+  try {
+    for (std::size_t w0 = 0; w0 < n_windows; w0 += batch) {
+      const std::size_t rows = std::min(batch, n_windows - w0);
+      nn::Tensor3 x(rows, window, kDim);
+      for (std::size_t r = 0; r < rows; ++r) {
+        const std::size_t w = w0 + r;
+        std::copy(scaled.begin() + static_cast<std::ptrdiff_t>(w * kDim),
+                  scaled.begin() + static_cast<std::ptrdiff_t>((w + window) * kDim),
+                  x.at(r, 0));
+      }
+      const std::vector<std::uint8_t> p = model->predict(x, rows);  // one forward pass
+      std::copy(p.begin(), p.end(), pred.begin() + static_cast<std::ptrdiff_t>(w0));
+      ++batches;
+    }
+  } catch (...) {
+    std::lock_guard lock(replica_mutex_);
+    replicas_.push_back(std::move(model));
+    replica_cv_.notify_one();
+    throw;
+  }
+  {
+    std::lock_guard lock(replica_mutex_);
+    replicas_.push_back(std::move(model));
+  }
+  replica_cv_.notify_one();
+
+  {
+    std::lock_guard lock(metrics_mutex_);
+    stage_metrics_.inference_batches += batches;
+    stage_metrics_.inference_windows += n_windows;
+  }
+
+  for (std::size_t w = 0; w < n_windows; ++w)
+    out[w + half] = static_cast<SurfaceClass>(pred[w]);
+  for (std::size_t i = 0; i < half; ++i) out[i] = out[half];
+  for (std::size_t i = n - half; i < n; ++i) out[i] = out[n - half - 1];
+  return out;
+}
+
+ServiceMetrics GranuleService::metrics() const {
+  ServiceMetrics out;
+  {
+    std::lock_guard lock(metrics_mutex_);
+    out = stage_metrics_;
+  }
+  out.cache = cache_.stats();
+  out.scheduler = scheduler_->stats();
+  return out;
+}
+
+}  // namespace is2::serve

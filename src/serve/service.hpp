@@ -1,0 +1,173 @@
+// GranuleService — the serving façade of the `is2::serve` subsystem.
+//
+// Wires the batch pipeline's stages behind a single asynchronous
+// `submit(request) -> future<ProductResponse>` API:
+//
+//   ShardIndex (h5lite shard files, merged per beam)
+//     -> atl03::preprocess_beam -> resample (2m) -> first-photon-bias
+//     -> features -> batched nn::Sequential inference (per-worker replicas)
+//     -> seasurface::detect_sea_surface -> freeboard::compute_freeboard
+//
+// A sharded LRU `ProductCache` answers repeat requests without re-running
+// inference; a coalescing `BatchScheduler` makes cold keys single-flight
+// and applies queue backpressure. Every stage is latency-instrumented
+// (util::Timer -> util::RunningStats + util::Histogram) and exposed in a
+// `ServiceMetrics` snapshot. `warm()` bulk-prefetches products onto a
+// `mapred::Engine`, the same cluster abstraction the batch jobs use.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "atl03/granule.hpp"
+#include "core/config.hpp"
+#include "geo/corrections.hpp"
+#include "mapred/engine.hpp"
+#include "nn/model.hpp"
+#include "resample/fpb.hpp"
+#include "serve/product_cache.hpp"
+#include "serve/scheduler.hpp"
+#include "util/stats.hpp"
+
+namespace is2::serve {
+
+/// Maps (granule_id, beam) to the ordered along-track chunk shard files
+/// written by `core::write_shards` (shard ids look like
+/// "<granule_id>#<beam>c<chunk>").
+class ShardIndex {
+ public:
+  ShardIndex() = default;
+
+  /// Read every shard file's metadata and group by (granule, beam).
+  static ShardIndex build(const std::vector<std::string>& shard_files);
+
+  /// Ordered chunk files for one beam; nullptr when unknown.
+  const std::vector<std::string>* find(const std::string& granule_id,
+                                       atl03::BeamId beam) const;
+
+  /// Every (granule_id, beam) this index can serve.
+  std::vector<std::pair<std::string, atl03::BeamId>> entries() const;
+
+  std::size_t size() const { return beams_.size(); }
+
+  /// Load the ordered chunk shards of one beam and merge them back into a
+  /// single-beam granule (photons concatenated in along-track order,
+  /// background bins deduplicated across chunk overlaps).
+  static atl03::Granule load_merged(const std::vector<std::string>& files);
+
+ private:
+  // key: (granule_id, beam as int) -> ordered chunk file list
+  std::map<std::pair<std::string, int>, std::vector<std::string>> beams_;
+};
+
+/// Fingerprint of every configuration input that changes served bytes: the
+/// pipeline's resampling/preprocess/sea-surface/freeboard settings plus the
+/// requested sea surface method. Model identity is mixed in by the service
+/// (`ServiceConfig::model_version`).
+std::uint64_t config_fingerprint(const core::PipelineConfig& config,
+                                 seasurface::Method method);
+
+/// Latency distribution of one pipeline stage, in milliseconds.
+/// (Out-of-range samples clamp into the edge bins — see util::Histogram.)
+struct StageLatency {
+  util::RunningStats stats;
+  util::Histogram histogram{0.0, 500.0, 50};
+};
+
+struct ServiceMetrics {
+  CacheStats cache;
+  SchedulerStats scheduler;
+  std::uint64_t requests = 0;   ///< submit + try_submit calls
+  std::uint64_t fast_hits = 0;  ///< answered from cache without dispatch
+  std::uint64_t inference_batches = 0;
+  std::uint64_t inference_windows = 0;
+  StageLatency load;        ///< shard read + preprocess + resample + FPB
+  StageLatency features;    ///< baseline + feature rows + standardization
+  StageLatency inference;   ///< batched model forward passes
+  StageLatency seasurface;  ///< local sea surface detection
+  StageLatency freeboard;   ///< freeboard computation
+  StageLatency total{util::RunningStats{},
+                     util::Histogram{0.0, 2000.0, 50}};  ///< whole build (cold only)
+};
+
+struct ServiceConfig {
+  std::size_t workers = 4;            ///< scheduler worker threads / model replicas
+  std::size_t queue_capacity = 64;    ///< bounded request queue (backpressure)
+  std::size_t cache_bytes = 256u << 20;
+  std::size_t cache_shards = 8;
+  std::size_t inference_batch_windows = 256;  ///< windows per forward pass
+  std::uint64_t model_version = 0;    ///< bump when weights change
+};
+
+class GranuleService {
+ public:
+  /// Builds one model replica per worker; every invocation must produce an
+  /// architecturally and numerically identical model (e.g. construct and
+  /// then load the same weight snapshot).
+  using ModelFactory = std::function<nn::Sequential()>;
+
+  GranuleService(const ServiceConfig& config, const core::PipelineConfig& pipeline,
+                 const geo::GeoCorrections& corrections, ShardIndex index,
+                 ModelFactory model_factory, resample::FeatureScaler scaler);
+  ~GranuleService();
+
+  GranuleService(const GranuleService&) = delete;
+  GranuleService& operator=(const GranuleService&) = delete;
+
+  /// Asynchronous serve: cache fast path resolves immediately; cold keys
+  /// dispatch through the coalescing scheduler (blocking when the queue is
+  /// full). Unknown (granule, beam) resolves to a broken future.
+  ProductFuture submit(const ProductRequest& request);
+
+  /// Load-shedding variant: std::nullopt when the queue is full.
+  std::optional<ProductFuture> try_submit(const ProductRequest& request);
+
+  /// Bulk cache warm-up on a map-reduce engine (one task per request).
+  /// Returns the number of products actually built (cache misses).
+  std::size_t warm(const std::vector<ProductRequest>& requests, mapred::Engine& engine);
+
+  /// Cache key a request resolves to (exposed for tests / cache probes).
+  ProductKey key_for(const ProductRequest& request) const;
+
+  ServiceMetrics metrics() const;
+
+  const ServiceConfig& config() const { return config_; }
+  const ShardIndex& index() const { return index_; }
+
+  /// Drain accepted work and stop the workers (idempotent).
+  void shutdown();
+
+ private:
+  ProductResponse build(const ProductRequest& request, const ProductKey& key);
+  std::vector<atl03::SurfaceClass> classify_batched(
+      const std::vector<resample::FeatureRow>& features);
+  void record(StageLatency ServiceMetrics::*stage, double ms);
+
+  ServiceConfig config_;
+  core::PipelineConfig pipeline_;
+  geo::GeoCorrections corrections_;
+  ShardIndex index_;
+  resample::FeatureScaler scaler_;
+  resample::FirstPhotonBiasCorrector fpb_;
+  ProductCache cache_;
+
+  // Checkout pool of model replicas (inference mutates Sequential state).
+  std::mutex replica_mutex_;
+  std::condition_variable replica_cv_;
+  std::vector<std::unique_ptr<nn::Sequential>> replicas_;
+
+  mutable std::mutex metrics_mutex_;
+  ServiceMetrics stage_metrics_;  ///< cache/scheduler fields filled at snapshot
+
+  std::unique_ptr<BatchScheduler> scheduler_;  ///< last: destroyed first
+};
+
+}  // namespace is2::serve

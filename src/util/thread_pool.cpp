@@ -6,7 +6,10 @@
 namespace is2::util {
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
-  if (num_threads == 0) throw std::invalid_argument("ThreadPool: need at least one thread");
+  // Clamp rather than throw: a zero-thread pool would make submit() /
+  // parallel_for() block forever, and callers routinely size pools from
+  // hardware_concurrency(), which may legitimately report 0.
+  if (num_threads == 0) num_threads = 1;
   workers_.reserve(num_threads);
   for (std::size_t i = 0; i < num_threads; ++i)
     workers_.emplace_back([this] { worker_loop(); });
@@ -38,19 +41,36 @@ void ThreadPool::worker_loop() {
 void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
   std::atomic<std::size_t> next{0};
+  // Exceptions are collected, not rethrown from get(): an early rethrow
+  // would unwind this frame while other workers still hold references to
+  // `next`/`fn` on it (observed as segfaults and as workers spinning on the
+  // dangling counter forever, hanging the pool destructor's join).
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
   const std::size_t num_workers = std::min(n, workers_.size());
   std::vector<std::future<void>> futures;
   futures.reserve(num_workers);
   for (std::size_t w = 0; w < num_workers; ++w) {
     futures.push_back(submit([&] {
       for (;;) {
+        if (failed.load(std::memory_order_relaxed)) return;
         const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
         if (i >= n) return;
-        fn(i);
+        try {
+          fn(i);
+        } catch (...) {
+          {
+            std::lock_guard lock(error_mutex);
+            if (!first_error) first_error = std::current_exception();
+          }
+          failed.store(true, std::memory_order_relaxed);
+        }
       }
     }));
   }
-  for (auto& f : futures) f.get();  // rethrows the first worker exception
+  for (auto& f : futures) f.get();  // barrier: every worker has left the lambda
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 }  // namespace is2::util

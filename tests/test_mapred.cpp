@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
+#include <thread>
 
 #include "mapred/engine.hpp"
 
@@ -92,6 +94,9 @@ TEST(MapReduce, StagedJobProducesResultsAndTimings) {
 TEST(MapReduce, ParallelReduceIsFasterOnCpuBoundWork) {
   // Coarse sanity: 16 workers should beat 1 worker on an embarrassingly
   // parallel compute load (not a precise benchmark, generous margin).
+  if (std::thread::hardware_concurrency() < 4)
+    GTEST_SKIP() << "wall-clock speedup needs >= 4 hardware threads, have "
+                 << std::thread::hardware_concurrency();
   auto work = [](int& seed, std::size_t) {
     volatile double acc = 0.0;
     for (int i = 0; i < 2'000'000; ++i) acc = acc + static_cast<double>((seed + i) % 97) * 1e-9;
@@ -108,6 +113,79 @@ TEST(MapReduce, ParallelReduceIsFasterOnCpuBoundWork) {
   const double serial = run({1, 1});
   const double parallel = run({4, 4});
   EXPECT_LT(parallel, serial * 0.5);
+}
+
+TEST(Engine, UnevenTaskDurationsPreserveResultOrder) {
+  // Straggler-heavy load: durations vary ~10x across tasks, so fast cores
+  // overtake slow ones. Results must still land in task order, exactly once.
+  Engine engine({2, 2});
+  std::vector<std::atomic<int>> runs(48);
+  const auto results = engine.run_stage<std::size_t>(48, [&](std::size_t i) {
+    std::this_thread::sleep_for(std::chrono::microseconds((i % 7) * 300));
+    runs[i].fetch_add(1);
+    return i * 3 + 1;
+  });
+  ASSERT_EQ(results.size(), 48u);
+  for (std::size_t i = 0; i < 48; ++i) {
+    EXPECT_EQ(results[i], i * 3 + 1);
+    EXPECT_EQ(runs[i].load(), 1);
+  }
+}
+
+TEST(Engine, WideVsDeepTopologiesAgree) {
+  // executors=1,cores=N (one big machine) vs executors=N,cores=1 (N small
+  // machines): same tasks, same results, same order.
+  auto run = [](ClusterTopology topo) {
+    Engine engine(topo);
+    return engine.run_stage<double>(
+        64, [](std::size_t i) { return static_cast<double>(i * i) + 0.25; });
+  };
+  const auto wide = run({1, 4});
+  const auto deep = run({4, 1});
+  ASSERT_EQ(wide.size(), deep.size());
+  for (std::size_t i = 0; i < wide.size(); ++i) EXPECT_EQ(wide[i], deep[i]);
+}
+
+TEST(Engine, RoundRobinPlacementWithoutCrossExecutorStealing) {
+  // With single-core executors, every task assigned to executor e (tasks
+  // with i % executors == e) must run on that executor's one thread — even
+  // when the other executor idles. Uneven durations make stealing tempting:
+  // executor 0 gets all the slow tasks, executor 1 finishes early.
+  Engine engine({2, 1});
+  std::vector<std::thread::id> ran_on(30);
+  engine.run_stage(30, [&](std::size_t i) {
+    if (i % 2 == 0) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    ran_on[i] = std::this_thread::get_id();
+  });
+  for (std::size_t i = 0; i < 30; ++i) {
+    EXPECT_EQ(ran_on[i], ran_on[i % 2]) << "task " << i << " migrated executors";
+  }
+  EXPECT_NE(ran_on[0], ran_on[1]);  // the two executors are distinct threads
+}
+
+TEST(Engine, ThrowingTaskDoesNotLeaveDanglingWorkers) {
+  // Regression (same race as ThreadPool::parallel_for): a task exception
+  // must not unwind run_stage while other cores still use its stack state.
+  for (int rep = 0; rep < 50; ++rep) {
+    Engine engine({2, 2});
+    EXPECT_THROW(engine.run_stage(32,
+                                  [](std::size_t i) {
+                                    if (i == 1) throw std::runtime_error("partition lost");
+                                  }),
+                 std::runtime_error);
+  }
+}
+
+TEST(Engine, StageBarrierCompletesBeforeReturn) {
+  // run_stage is a barrier: when it returns, every task's side effect is
+  // visible, even under a straggler distribution.
+  Engine engine({3, 2});
+  std::atomic<int> done{0};
+  engine.run_stage(25, [&](std::size_t i) {
+    std::this_thread::sleep_for(std::chrono::microseconds(i * 50));
+    done.fetch_add(1);
+  });
+  EXPECT_EQ(done.load(), 25);
 }
 
 }  // namespace

@@ -1,0 +1,587 @@
+// Serving subsystem tests: LRU product cache eviction/counters, bounded
+// queue semantics, request coalescing and backpressure in the scheduler,
+// cache-hit serving without re-dispatch, bulk warm-up via mapred::Engine,
+// concurrent mixed hit/miss traffic, and bit-identity of served products
+// with the batch pipeline.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <future>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+#include "core/campaign.hpp"
+#include "core/config.hpp"
+#include "core/pipeline.hpp"
+#include "serve/product_cache.hpp"
+#include "serve/scheduler.hpp"
+#include "serve/service.hpp"
+
+namespace {
+
+using namespace is2;
+using atl03::BeamId;
+using atl03::SurfaceClass;
+using serve::BoundedQueue;
+using serve::GranuleProduct;
+using serve::ProductCache;
+using serve::ProductKey;
+using serve::ProductRequest;
+using serve::ProductResponse;
+
+// ---------------------------------------------------------------------------
+// ProductCache
+// ---------------------------------------------------------------------------
+
+std::shared_ptr<const GranuleProduct> make_product(const std::string& id,
+                                                   std::size_t n_segments) {
+  auto p = std::make_shared<GranuleProduct>();
+  p->granule_id = id;
+  p->segments.resize(n_segments);
+  p->classes.resize(n_segments, SurfaceClass::ThickIce);
+  return p;
+}
+
+ProductKey key_of(const std::string& id, std::uint64_t config_hash = 7) {
+  return ProductKey{id, BeamId::Gt1r, config_hash};
+}
+
+TEST(ProductCache, LruEvictionOrder) {
+  const std::size_t entry = make_product("x", 100)->approx_bytes();
+  ProductCache cache(entry * 3 + entry / 2, /*num_shards=*/1);
+
+  cache.put(key_of("a"), make_product("a", 100));
+  cache.put(key_of("b"), make_product("b", 100));
+  cache.put(key_of("c"), make_product("c", 100));
+  ASSERT_EQ(cache.stats().entries, 3u);
+
+  ASSERT_NE(cache.get(key_of("a")), nullptr);  // refresh "a" -> "b" is now LRU
+  cache.put(key_of("d"), make_product("d", 100));
+
+  EXPECT_TRUE(cache.contains(key_of("a")));
+  EXPECT_FALSE(cache.contains(key_of("b")));
+  EXPECT_TRUE(cache.contains(key_of("c")));
+  EXPECT_TRUE(cache.contains(key_of("d")));
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.entries, 3u);
+  EXPECT_LE(stats.bytes, cache.byte_budget());
+}
+
+TEST(ProductCache, CountersAndReplacement) {
+  ProductCache cache(10u << 20, 1);
+  EXPECT_EQ(cache.get(key_of("a")), nullptr);  // miss
+  cache.put(key_of("a"), make_product("a", 10));
+  EXPECT_NE(cache.get(key_of("a")), nullptr);  // hit
+  const std::size_t bytes_one = cache.stats().bytes;
+  cache.put(key_of("a"), make_product("a", 10));  // replace, not accumulate
+  EXPECT_EQ(cache.stats().bytes, bytes_one);
+
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.insertions, 2u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_NEAR(stats.hit_rate(), 0.5, 1e-12);
+}
+
+TEST(ProductCache, OversizedEntryStillServes) {
+  auto big = make_product("big", 100'000);
+  ProductCache cache(big->approx_bytes() / 4, 1);
+  cache.put(key_of("small"), make_product("small", 10));
+  cache.put(key_of("big"), big);
+  // The oversized product evicted everything else but is itself resident, so
+  // coalesced requesters still get an answer.
+  EXPECT_TRUE(cache.contains(key_of("big")));
+  EXPECT_FALSE(cache.contains(key_of("small")));
+  EXPECT_EQ(cache.stats().entries, 1u);
+}
+
+TEST(ProductCache, DistinctConfigHashesAreDistinctEntries) {
+  ProductCache cache(10u << 20, 4);
+  cache.put(key_of("a", 1), make_product("a", 10));
+  cache.put(key_of("a", 2), make_product("a", 10));
+  EXPECT_EQ(cache.stats().entries, 2u);
+  EXPECT_TRUE(cache.contains(key_of("a", 1)));
+  EXPECT_TRUE(cache.contains(key_of("a", 2)));
+  EXPECT_FALSE(cache.contains(key_of("a", 3)));
+}
+
+TEST(ConfigFingerprint, SensitiveToConfigAndMethod) {
+  const core::PipelineConfig base = core::PipelineConfig::tiny();
+  core::PipelineConfig changed = base;
+  changed.sequence_window += 2;
+  const auto nasa = seasurface::Method::NasaEquation;
+  EXPECT_NE(serve::config_fingerprint(base, nasa),
+            serve::config_fingerprint(changed, nasa));
+  EXPECT_NE(serve::config_fingerprint(base, nasa),
+            serve::config_fingerprint(base, seasurface::Method::MinElevation));
+  EXPECT_EQ(serve::config_fingerprint(base, nasa),
+            serve::config_fingerprint(core::PipelineConfig::tiny(), nasa));
+}
+
+// ---------------------------------------------------------------------------
+// BoundedQueue
+// ---------------------------------------------------------------------------
+
+TEST(BoundedQueue, FifoTryPushAndClose) {
+  BoundedQueue<int> q(2);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_FALSE(q.try_push(3));  // full
+  EXPECT_EQ(q.size(), 2u);
+
+  auto a = q.pop();
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(*a, 1);
+  EXPECT_TRUE(q.try_push(3));
+
+  q.close();
+  EXPECT_FALSE(q.try_push(4));
+  EXPECT_FALSE(q.push(4));
+  // Drains accepted items, then reports closed.
+  EXPECT_EQ(*q.pop(), 2);
+  EXPECT_EQ(*q.pop(), 3);
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(BoundedQueue, BlockingPushResumesAfterPop) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.push(1));
+  std::atomic<bool> pushed{false};
+  std::thread t([&] {
+    q.push(2);  // blocks until the pop below
+    pushed = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(pushed.load());
+  EXPECT_EQ(*q.pop(), 1);
+  t.join();
+  EXPECT_TRUE(pushed.load());
+  EXPECT_EQ(*q.pop(), 2);
+}
+
+// ---------------------------------------------------------------------------
+// BatchScheduler (controlled builder: no campaign needed)
+// ---------------------------------------------------------------------------
+
+struct GatedBuilder {
+  std::promise<void> gate;
+  std::shared_future<void> open = gate.get_future().share();
+  std::atomic<int> builds{0};
+
+  serve::BatchScheduler::Builder fn() {
+    return [this](const ProductRequest&, const ProductKey& key) {
+      open.wait();
+      builds.fetch_add(1);
+      auto p = std::make_shared<GranuleProduct>();
+      p->granule_id = key.granule_id;
+      return ProductResponse{p, false, 0.0};
+    };
+  }
+};
+
+ProductRequest req_named(const std::string& id) {
+  ProductRequest r;
+  r.granule_id = id;
+  return r;
+}
+
+TEST(BatchScheduler, CoalescesConcurrentRequestsForOneKey) {
+  GatedBuilder builder;
+  serve::BatchScheduler sched({/*workers=*/2, /*queue_capacity=*/8}, builder.fn());
+
+  auto f1 = sched.submit(req_named("k1"), key_of("k1"));
+  auto f2 = sched.submit(req_named("k1"), key_of("k1"));
+  auto f3 = sched.submit(req_named("k1"), key_of("k1"));
+  {
+    const auto stats = sched.stats();
+    EXPECT_EQ(stats.dispatched, 1u);
+    EXPECT_EQ(stats.coalesced, 2u);
+  }
+
+  builder.gate.set_value();
+  const ProductResponse r1 = f1.get(), r2 = f2.get(), r3 = f3.get();
+  EXPECT_EQ(r1.product.get(), r2.product.get());  // one build shared by all
+  EXPECT_EQ(r1.product.get(), r3.product.get());
+  EXPECT_EQ(builder.builds.load(), 1);
+  EXPECT_GE(r1.service_ms, 0.0);
+
+  sched.shutdown();
+  EXPECT_EQ(sched.stats().completed, 1u);
+  EXPECT_EQ(sched.stats().in_flight, 0u);
+}
+
+TEST(BatchScheduler, BackpressureRejectsAndBlocks) {
+  GatedBuilder builder;
+  serve::BatchScheduler sched({/*workers=*/1, /*queue_capacity=*/1}, builder.fn());
+
+  // k1 gets popped by the (gated) worker; wait until it leaves the queue.
+  auto f1 = sched.submit(req_named("k1"), key_of("k1"));
+  while (sched.stats().queue_depth != 0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+  auto f2 = sched.submit(req_named("k2"), key_of("k2"));  // fills the queue
+  EXPECT_EQ(sched.stats().queue_depth, 1u);
+
+  // Cold third key: shed.
+  EXPECT_FALSE(sched.try_submit(req_named("k3"), key_of("k3")).has_value());
+  EXPECT_EQ(sched.stats().rejected, 1u);
+  // try_submit for an in-flight key still attaches for free.
+  auto f2b = sched.try_submit(req_named("k2"), key_of("k2"));
+  ASSERT_TRUE(f2b.has_value());
+  EXPECT_EQ(sched.stats().coalesced, 1u);
+
+  // Blocking submit parks on the full queue until the worker frees space.
+  std::atomic<bool> accepted{false};
+  std::thread t([&] {
+    auto f4 = sched.submit(req_named("k4"), key_of("k4"));
+    accepted = true;
+    f4.wait();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_FALSE(accepted.load());  // worker is gated, queue still full
+
+  builder.gate.set_value();
+  t.join();
+  EXPECT_TRUE(accepted.load());
+  EXPECT_EQ(f1.get().product->granule_id, "k1");
+  EXPECT_EQ(f2.get().product.get(), f2b->get().product.get());
+  sched.shutdown();
+  EXPECT_EQ(sched.stats().completed, 3u);  // k1, k2, k4
+}
+
+TEST(BatchScheduler, ShutdownDrainsAcceptedWork) {
+  GatedBuilder builder;
+  builder.gate.set_value();  // builds run immediately
+  std::vector<serve::ProductFuture> futures;
+  {
+    serve::BatchScheduler sched({2, 16}, builder.fn());
+    for (int i = 0; i < 8; ++i) {
+      const std::string id = "g" + std::to_string(i);
+      futures.push_back(sched.submit(req_named(id), key_of(id)));
+    }
+    sched.shutdown();
+  }
+  for (auto& f : futures) EXPECT_NE(f.get().product, nullptr);
+  EXPECT_EQ(builder.builds.load(), 8);
+}
+
+TEST(BatchScheduler, SubmitAfterShutdownIsBrokenNotRetryable) {
+  GatedBuilder builder;
+  builder.gate.set_value();
+  serve::BatchScheduler sched({1, 4}, builder.fn());
+  sched.shutdown();
+
+  // Not nullopt: load-shedding clients must be able to tell "full, retry
+  // later" apart from "down for good".
+  auto maybe = sched.try_submit(req_named("k1"), key_of("k1"));
+  ASSERT_TRUE(maybe.has_value());
+  EXPECT_THROW(maybe->get(), std::runtime_error);
+  EXPECT_THROW(sched.submit(req_named("k2"), key_of("k2")).get(), std::runtime_error);
+  EXPECT_EQ(sched.stats().rejected, 0u);
+  EXPECT_EQ(sched.stats().dispatched, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// GranuleService on a tiny campaign
+// ---------------------------------------------------------------------------
+
+class ServeCampaign : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    config_ = new core::PipelineConfig(core::PipelineConfig::tiny());
+    campaign_ = new core::Campaign(*config_);
+    pair_ = new core::PairDataset(campaign_->generate(1));  // pair 2: zero drift
+
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("is2_serve_test_" + std::to_string(::getpid())))
+               .string();
+    std::filesystem::create_directories(dir_);
+    shards_ = new core::ShardSet();
+    core::write_shards(pair_->granule, 0, /*chunks_per_beam=*/2, dir_, *shards_);
+    index_ = new serve::ShardIndex(serve::ShardIndex::build(shards_->files));
+
+    // Fit the scaler the way the batch pipeline would (on beam features).
+    const auto* files = index_->find(pair_->granule.id, BeamId::Gt1r);
+    ASSERT_NE(files, nullptr);
+    const auto merged = serve::ShardIndex::load_merged(*files);
+    const auto pre = atl03::preprocess_beam(merged, merged.beams[0],
+                                            campaign_->corrections(), config_->preprocess);
+    auto segments = resample::resample(pre, config_->segmenter);
+    const resample::FirstPhotonBiasCorrector fpb(config_->instrument.dead_time_m,
+                                                 config_->instrument.strong_channels);
+    fpb.apply(segments);
+    const auto features =
+        resample::to_features(segments, resample::rolling_baseline(segments));
+    scaler_ = new resample::FeatureScaler(resample::FeatureScaler::fit(features));
+  }
+
+  static void TearDownTestSuite() {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+    delete scaler_;
+    delete index_;
+    delete shards_;
+    delete pair_;
+    delete campaign_;
+    delete config_;
+    scaler_ = nullptr;
+    index_ = nullptr;
+    shards_ = nullptr;
+    pair_ = nullptr;
+    campaign_ = nullptr;
+    config_ = nullptr;
+  }
+
+  /// Deterministic replica source: every call yields identical weights.
+  static nn::Sequential make_model() {
+    util::Rng rng(99);
+    return nn::make_lstm_model(config_->sequence_window, resample::FeatureRow::kDim, rng);
+  }
+
+  static std::unique_ptr<serve::GranuleService> make_service(serve::ServiceConfig cfg) {
+    return std::make_unique<serve::GranuleService>(cfg, *config_, campaign_->corrections(),
+                                                   *index_, &ServeCampaign::make_model,
+                                                   *scaler_);
+  }
+
+  static ProductRequest request(BeamId beam,
+                                seasurface::Method method = seasurface::Method::NasaEquation) {
+    ProductRequest r;
+    r.granule_id = pair_->granule.id;
+    r.beam = beam;
+    r.method = method;
+    return r;
+  }
+
+  /// The batch pipeline run by hand on the same shards: the ground truth the
+  /// served product must match bit for bit.
+  static GranuleProduct batch_reference(BeamId beam, seasurface::Method method) {
+    const auto* files = index_->find(pair_->granule.id, beam);
+    EXPECT_NE(files, nullptr);
+    const auto merged = serve::ShardIndex::load_merged(*files);
+    const auto pre = atl03::preprocess_beam(merged, merged.beams[0],
+                                            campaign_->corrections(), config_->preprocess);
+    auto segments = resample::resample(pre, config_->segmenter);
+    const resample::FirstPhotonBiasCorrector fpb(config_->instrument.dead_time_m,
+                                                 config_->instrument.strong_channels);
+    fpb.apply(segments);
+    const auto features =
+        resample::to_features(segments, resample::rolling_baseline(segments));
+    nn::Sequential model = make_model();
+    GranuleProduct out;
+    out.granule_id = pair_->granule.id;
+    out.beam = beam;
+    out.classes =
+        core::classify_segments(model, *scaler_, features, config_->sequence_window);
+    out.sea_surface =
+        seasurface::detect_sea_surface(segments, out.classes, method, config_->seasurface);
+    out.freeboard =
+        freeboard::compute_freeboard(segments, out.classes, out.sea_surface,
+                                     config_->freeboard);
+    out.segments = std::move(segments);
+    return out;
+  }
+
+  static void expect_bit_identical(const GranuleProduct& a, const GranuleProduct& b) {
+    ASSERT_EQ(a.segments.size(), b.segments.size());
+    for (std::size_t i = 0; i < a.segments.size(); ++i) {
+      EXPECT_EQ(a.segments[i].s, b.segments[i].s);
+      EXPECT_EQ(a.segments[i].h_mean, b.segments[i].h_mean);
+      EXPECT_EQ(a.segments[i].h_std, b.segments[i].h_std);
+      EXPECT_EQ(a.segments[i].photon_rate, b.segments[i].photon_rate);
+    }
+    ASSERT_EQ(a.classes, b.classes);
+    ASSERT_EQ(a.sea_surface.points().size(), b.sea_surface.points().size());
+    for (std::size_t i = 0; i < a.sea_surface.points().size(); ++i) {
+      EXPECT_EQ(a.sea_surface.points()[i].s, b.sea_surface.points()[i].s);
+      EXPECT_EQ(a.sea_surface.points()[i].h_ref, b.sea_surface.points()[i].h_ref);
+    }
+    ASSERT_EQ(a.freeboard.points.size(), b.freeboard.points.size());
+    for (std::size_t i = 0; i < a.freeboard.points.size(); ++i) {
+      EXPECT_EQ(a.freeboard.points[i].s, b.freeboard.points[i].s);
+      EXPECT_EQ(a.freeboard.points[i].freeboard, b.freeboard.points[i].freeboard);
+      EXPECT_EQ(a.freeboard.points[i].cls, b.freeboard.points[i].cls);
+    }
+  }
+
+  static core::PipelineConfig* config_;
+  static core::Campaign* campaign_;
+  static core::PairDataset* pair_;
+  static core::ShardSet* shards_;
+  static serve::ShardIndex* index_;
+  static resample::FeatureScaler* scaler_;
+  static std::string dir_;
+};
+
+core::PipelineConfig* ServeCampaign::config_ = nullptr;
+core::Campaign* ServeCampaign::campaign_ = nullptr;
+core::PairDataset* ServeCampaign::pair_ = nullptr;
+core::ShardSet* ServeCampaign::shards_ = nullptr;
+serve::ShardIndex* ServeCampaign::index_ = nullptr;
+resample::FeatureScaler* ServeCampaign::scaler_ = nullptr;
+std::string ServeCampaign::dir_;
+
+TEST_F(ServeCampaign, ShardIndexCoversStrongBeams) {
+  // 3 strong beams x 2 chunks -> 3 servable (granule, beam) entries.
+  EXPECT_EQ(index_->size(), 3u);
+  for (const BeamId beam : {BeamId::Gt1r, BeamId::Gt2r, BeamId::Gt3r}) {
+    const auto* files = index_->find(pair_->granule.id, beam);
+    ASSERT_NE(files, nullptr);
+    EXPECT_EQ(files->size(), 2u);
+  }
+  EXPECT_EQ(index_->find("nope", BeamId::Gt1r), nullptr);
+
+  // Merging the chunks loses no photons vs the original full beam.
+  const auto merged =
+      serve::ShardIndex::load_merged(*index_->find(pair_->granule.id, BeamId::Gt1r));
+  EXPECT_EQ(merged.beams[0].size(), pair_->granule.beam(BeamId::Gt1r).size());
+  EXPECT_EQ(merged.id, pair_->granule.id);
+}
+
+TEST_F(ServeCampaign, ServedProductMatchesBatchPipelineBitIdentically) {
+  serve::ServiceConfig cfg;
+  cfg.workers = 2;
+  auto service = make_service(cfg);
+
+  const auto response =
+      service->submit(request(BeamId::Gt1r, seasurface::Method::NasaEquation)).get();
+  ASSERT_NE(response.product, nullptr);
+  EXPECT_FALSE(response.from_cache);
+  EXPECT_GT(response.service_ms, 0.0);
+
+  const GranuleProduct reference =
+      batch_reference(BeamId::Gt1r, seasurface::Method::NasaEquation);
+  expect_bit_identical(*response.product, reference);
+
+  // Per-stage latency histograms saw exactly one build.
+  const auto m = service->metrics();
+  EXPECT_EQ(m.total.stats.count(), 1u);
+  EXPECT_EQ(m.load.stats.count(), 1u);
+  EXPECT_EQ(m.inference.stats.count(), 1u);
+  EXPECT_GT(m.inference_windows, 0u);
+  EXPECT_GT(m.inference_batches, 1u);  // windows split into multiple batches
+  EXPECT_EQ(m.total.histogram.total(), 1u);
+}
+
+TEST_F(ServeCampaign, SecondRequestServedFromCacheWithoutDispatch) {
+  serve::ServiceConfig cfg;
+  cfg.workers = 2;
+  auto service = make_service(cfg);
+  const ProductRequest r = request(BeamId::Gt2r);
+
+  const auto first = service->submit(r).get();
+  ASSERT_NE(first.product, nullptr);
+  const auto m1 = service->metrics();
+  EXPECT_EQ(m1.scheduler.dispatched, 1u);
+  EXPECT_EQ(m1.fast_hits, 0u);
+
+  const auto second = service->submit(r).get();
+  EXPECT_TRUE(second.from_cache);
+  // Same resident object: bit-identical by construction, no copy, and the
+  // hit/miss counters prove no inference re-ran.
+  EXPECT_EQ(second.product.get(), first.product.get());
+
+  const auto m2 = service->metrics();
+  EXPECT_EQ(m2.scheduler.dispatched, 1u);  // unchanged: no new job
+  EXPECT_EQ(m2.fast_hits, 1u);
+  EXPECT_GE(m2.cache.hits, 1u);
+  EXPECT_EQ(m2.inference_windows, m1.inference_windows);  // no extra inference
+}
+
+TEST_F(ServeCampaign, DifferentMethodIsADifferentCacheEntry) {
+  serve::ServiceConfig cfg;
+  cfg.workers = 1;
+  auto service = make_service(cfg);
+  const auto nasa = service->submit(request(BeamId::Gt1r, seasurface::Method::NasaEquation));
+  const auto minimum =
+      service->submit(request(BeamId::Gt1r, seasurface::Method::MinElevation));
+  ASSERT_NE(nasa.get().product, nullptr);
+  ASSERT_NE(minimum.get().product, nullptr);
+  EXPECT_EQ(service->metrics().scheduler.dispatched, 2u);
+  EXPECT_EQ(service->metrics().cache.entries, 2u);
+}
+
+TEST_F(ServeCampaign, WarmViaEngineThenEverythingHits) {
+  serve::ServiceConfig cfg;
+  cfg.workers = 2;
+  auto service = make_service(cfg);
+
+  std::vector<ProductRequest> all;
+  for (const auto& [granule, beam] : index_->entries()) {
+    ProductRequest r;
+    r.granule_id = granule;
+    r.beam = beam;
+    all.push_back(r);
+  }
+  mapred::Engine engine({1, 2});
+  EXPECT_EQ(service->warm(all, engine), all.size());
+  EXPECT_EQ(service->warm(all, engine), 0u);  // idempotent
+
+  for (const auto& r : all) {
+    const auto response = service->submit(r).get();
+    EXPECT_TRUE(response.from_cache);
+    EXPECT_EQ(response.product->granule_id, r.granule_id);
+    EXPECT_EQ(response.product->beam, r.beam);
+  }
+  const auto m = service->metrics();
+  EXPECT_EQ(m.scheduler.dispatched, 0u);  // warm bypasses the queue entirely
+  EXPECT_EQ(m.fast_hits, all.size());
+}
+
+TEST_F(ServeCampaign, ConcurrentMixedTrafficUnderEvictionPressure) {
+  serve::ServiceConfig cfg;
+  cfg.workers = 2;
+  cfg.queue_capacity = 32;
+  cfg.cache_shards = 1;
+  // Budget ~one product: repeat traffic keeps missing, so hits, misses and
+  // evictions all race against each other.
+  {
+    auto probe = make_service(cfg);
+    const auto r = probe->submit(request(BeamId::Gt1r)).get();
+    cfg.cache_bytes = r.product->approx_bytes() + r.product->approx_bytes() / 2;
+  }
+  auto service = make_service(cfg);
+
+  const BeamId beams[] = {BeamId::Gt1r, BeamId::Gt2r, BeamId::Gt3r};
+  const seasurface::Method methods[] = {seasurface::Method::NasaEquation,
+                                        seasurface::Method::MinElevation};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 4; ++c) {
+    clients.emplace_back([&, c] {
+      util::Rng rng(1000 + c);
+      for (int i = 0; i < 8; ++i) {
+        const auto r = request(beams[rng.next() % 3], methods[rng.next() % 2]);
+        const auto response = service->submit(r).get();
+        if (!response.product || response.product->beam != r.beam) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  const auto m = service->metrics();
+  EXPECT_EQ(m.requests, 32u);
+  EXPECT_GT(m.cache.evictions, 0u);  // the pressure was real
+  EXPECT_LE(m.cache.bytes, cfg.cache_bytes);
+  // Every request was answered by a fast hit, a coalesced attach, or a build.
+  EXPECT_GE(m.fast_hits + m.scheduler.coalesced + m.scheduler.dispatched, 32u);
+}
+
+TEST_F(ServeCampaign, UnknownGranuleYieldsBrokenFuture) {
+  serve::ServiceConfig cfg;
+  cfg.workers = 1;
+  auto service = make_service(cfg);
+  ProductRequest r;
+  r.granule_id = "ATL03_does_not_exist";
+  auto f = service->submit(r);
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+}  // namespace

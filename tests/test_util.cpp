@@ -197,6 +197,39 @@ TEST(ThreadPool, ExceptionPropagates) {
       std::runtime_error);
 }
 
+TEST(ThreadPool, ThrowingTaskDoesNotLeaveDanglingWorkers) {
+  // Regression: parallel_for used to rethrow a task exception from the first
+  // future while sibling workers still referenced the call frame's shared
+  // counter, leaving them spinning on (or crashing over) dangling stack
+  // memory. Repeat to give the race room to show up.
+  for (int rep = 0; rep < 100; ++rep) {
+    ThreadPool pool(4);
+    std::atomic<int> ran{0};
+    EXPECT_THROW(pool.parallel_for(64,
+                                   [&](std::size_t i) {
+                                     ran.fetch_add(1);
+                                     if (i == 3) throw std::runtime_error("boom");
+                                   }),
+                 std::runtime_error);
+    EXPECT_GE(ran.load(), 1);
+  }
+}
+
+TEST(ThreadPool, ZeroThreadsClampsToOne) {
+  // Regression: a zero-thread pool used to be constructible in callers that
+  // sized pools from hardware_concurrency() (which may report 0), and every
+  // submit()/parallel_for() on it would then hang forever.
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+
+  auto f = pool.submit([] { return 42; });
+  EXPECT_EQ(f.get(), 42);
+
+  std::atomic<int> sum{0};
+  pool.parallel_for(100, [&](std::size_t i) { sum.fetch_add(static_cast<int>(i)); });
+  EXPECT_EQ(sum.load(), 4950);
+}
+
 TEST(Table, RendersHeaderAndRows) {
   Table t("Demo");
   t.set_header({"a", "bb"});
