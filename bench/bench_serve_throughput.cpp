@@ -3,10 +3,15 @@
 // product cache) traffic, across worker counts, plus a cache-size sweep
 // under repeat traffic with evictions.
 //
-//   ./bench/bench_serve_throughput
+//   ./bench/bench_serve_throughput [BENCH_serve.json]
+//
+// With a path argument, a machine-readable summary (per-worker QPS/latency,
+// per-stage cold-build means, cache sweep) is written there so CI can
+// accumulate the perf trajectory as build artifacts.
 #include <atomic>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <memory>
 #include <string>
 #include <thread>
@@ -62,9 +67,61 @@ TrafficResult drive(serve::GranuleService& service,
   return out;
 }
 
+struct WorkerRow {
+  std::size_t workers = 0;
+  double cold_qps = 0, cold_p50 = 0, cold_p99 = 0;
+  double warm_qps = 0, warm_p50 = 0, warm_p99 = 0;
+  serve::ServiceMetrics metrics;
+};
+
+struct SweepRow {
+  double scale = 0;
+  double qps = 0, hit_rate = 0;
+  std::uint64_t evictions = 0, builds = 0;
+};
+
+void write_json(const std::string& path, const std::vector<WorkerRow>& rows,
+                const std::vector<SweepRow>& sweep) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  auto stage = [&](const char* name, const serve::StageLatency& s, bool last = false) {
+    out << "      \"" << name << "\": {\"count\": " << s.stats.count()
+        << ", \"mean_ms\": " << s.stats.mean() << ", \"max_ms\": " << s.stats.max() << "}"
+        << (last ? "\n" : ",\n");
+  };
+  out << "{\n  \"scenario\": \"tiny\",\n  \"workers\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const WorkerRow& r = rows[i];
+    out << "    {\"workers\": " << r.workers << ", \"cold_qps\": " << r.cold_qps
+        << ", \"cold_p50_ms\": " << r.cold_p50 << ", \"cold_p99_ms\": " << r.cold_p99
+        << ", \"warm_qps\": " << r.warm_qps << ", \"warm_p50_ms\": " << r.warm_p50
+        << ", \"warm_p99_ms\": " << r.warm_p99 << ",\n     \"stages\": {\n";
+    stage("load", r.metrics.load);
+    stage("features", r.metrics.features);
+    stage("inference", r.metrics.inference);
+    stage("seasurface", r.metrics.seasurface);
+    stage("freeboard", r.metrics.freeboard);
+    stage("total", r.metrics.total, /*last=*/true);
+    out << "    }}" << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"cache_sweep\": [\n";
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    const SweepRow& r = sweep[i];
+    out << "    {\"budget_products\": " << r.scale << ", \"qps\": " << r.qps
+        << ", \"hit_rate\": " << r.hit_rate << ", \"evictions\": " << r.evictions
+        << ", \"builds\": " << r.builds << "}" << (i + 1 < sweep.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::printf("wrote %s\n", path.c_str());
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_path = argc > 1 ? argv[1] : "";
   const core::PipelineConfig config = core::PipelineConfig::tiny();
   const core::Campaign campaign(config);
 
@@ -120,6 +177,8 @@ int main() {
   table.set_header({"workers", "cold QPS", "cold p50 ms", "cold p99 ms", "warm QPS",
                     "warm p50 ms", "warm p99 ms", "speedup"});
 
+  std::vector<WorkerRow> worker_rows;
+  std::vector<SweepRow> sweep_rows;
   for (const std::size_t workers : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
     serve::ServiceConfig cfg;
     cfg.workers = workers;
@@ -141,6 +200,8 @@ int main() {
                    std::to_string(speedup).substr(0, 8) + "x"});
 
     const auto m = service.metrics();
+    worker_rows.push_back(WorkerRow{workers, cold.qps(), cold.p50(), cold.p99(), warm.qps(),
+                                    warm.p50(), warm.p99(), m});
     std::printf(
         "workers=%zu  dispatched=%llu coalesced=%llu fast_hits=%llu  cache: %llu hits / %llu "
         "misses, %zu entries, %.1f MiB  inference: %llu windows in %llu batches\n",
@@ -178,6 +239,8 @@ int main() {
                                               warm_traffic.begin() + warm_requests / 4);
     const TrafficResult r = drive(service, repeat, 2);
     const auto m = service.metrics();
+    sweep_rows.push_back(
+        SweepRow{scale, r.qps(), m.cache.hit_rate(), m.cache.evictions, m.scheduler.dispatched});
     sweep.add_row({std::to_string(scale).substr(0, 5) + " products",
                    std::to_string(r.qps()).substr(0, 8),
                    std::to_string(m.cache.hit_rate()).substr(0, 5),
@@ -185,6 +248,8 @@ int main() {
                    std::to_string(m.scheduler.dispatched)});
   }
   std::printf("%s\n", sweep.to_string().c_str());
+
+  if (!json_path.empty()) write_json(json_path, worker_rows, sweep_rows);
 
   std::error_code ec;
   std::filesystem::remove_all(dir, ec);

@@ -121,7 +121,7 @@ int main() {
               "seasurface %.1f | freeboard %.1f | total %.1f\n",
               m.load.stats.mean(), m.features.stats.mean(), m.inference.stats.mean(),
               m.seasurface.stats.mean(), m.freeboard.stats.mean(), m.total.stats.mean());
-  std::printf("\nbuild latency distribution [ms]:\n%s", m.total.histogram.render(40).c_str());
+  std::printf("\nbuild latency distribution (log-scale bins):\n%s", m.total.render(40).c_str());
 
   std::error_code ec;
   std::filesystem::remove_all(dir, ec);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/rolling_percentile.hpp"
 #include "util/stats.hpp"
 
 namespace is2::baseline {
@@ -70,20 +71,24 @@ Atl07Product build_atl07(const atl03::PreprocessedBeam& beam, const Atl07Config&
   }
 
   // Rolling sea-level proxy over segment heights (the product classifies on
-  // heights relative to its own local sea surface estimate).
+  // heights relative to its own local sea surface estimate). Incremental
+  // order statistics: bit-identical to the old per-step percentile recompute.
   std::vector<double> baseline(product.segments.size(), 0.0);
   {
+    util::RollingPercentile window(cfg.baseline_percentile);
     std::size_t lo = 0, hi = 0;
-    std::vector<double> window;
     for (std::size_t k = 0; k < product.segments.size(); ++k) {
       const double s = product.segments[k].s_center;
       while (hi < product.segments.size() &&
-             product.segments[hi].s_center <= s + cfg.baseline_window_m / 2.0)
+             product.segments[hi].s_center <= s + cfg.baseline_window_m / 2.0) {
+        window.insert(product.segments[hi].h);
         ++hi;
-      while (lo < hi && product.segments[lo].s_center < s - cfg.baseline_window_m / 2.0) ++lo;
-      window.clear();
-      for (std::size_t q = lo; q < hi; ++q) window.push_back(product.segments[q].h);
-      baseline[k] = util::percentile(window, cfg.baseline_percentile);
+      }
+      while (lo < hi && product.segments[lo].s_center < s - cfg.baseline_window_m / 2.0) {
+        window.erase(product.segments[lo].h);
+        ++lo;
+      }
+      baseline[k] = window.query();
     }
   }
 

@@ -22,6 +22,7 @@ LabeledPair label_pair(const PairDataset& pair, const geo::GeoCorrections& corre
     fpb.apply(segments);
 
     label::AutoLabelConfig al = config.autolabel;
+    if (al.feature_gap_m < 0.0) al.feature_gap_m = config.segmenter.window_m * 1.5;
     al.seed = config.seed ^ util::hash64(static_cast<std::uint64_t>(beam.beam) + 11);
     if (estimate_drift_instead) {
       const auto baseline = resample::rolling_baseline(segments);
@@ -166,6 +167,7 @@ AutoLabelJobStats run_autolabel_job(mapred::Engine& engine, const ShardSet& shar
         auto segments = partition_segments(shard, corrections, config, fpb);
 
         label::AutoLabelConfig al = config.autolabel;
+        if (al.feature_gap_m < 0.0) al.feature_gap_m = config.segmenter.window_m * 1.5;
         al.seed = config.seed ^ util::hash64(i * 31 + 5);
         al.overlay.shift = drifts[pair];
         const label::LabeledBeam lb =
@@ -230,6 +232,7 @@ FreeboardJobStats run_freeboard_job(mapred::Engine& engine, const ShardSet& shar
         // (the scaling experiment measures the freeboard computation, so the
         // classifier here is the fast overlay+rules path).
         label::AutoLabelConfig al = config.autolabel;
+        if (al.feature_gap_m < 0.0) al.feature_gap_m = config.segmenter.window_m * 1.5;
         al.seed = config.seed ^ util::hash64(i * 67 + 9);
         al.overlay.shift = drifts[pair];
         const label::LabeledBeam lb =

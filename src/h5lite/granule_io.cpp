@@ -1,8 +1,17 @@
 #include "h5lite/granule_io.hpp"
 
+#include <atomic>
 #include <cstdint>
 
 namespace is2::h5 {
+
+namespace {
+std::atomic<std::uint64_t> g_load_granule_calls{0};
+}  // namespace
+
+std::uint64_t load_granule_call_count() {
+  return g_load_granule_calls.load(std::memory_order_relaxed);
+}
 
 using atl03::BeamData;
 using atl03::BeamId;
@@ -72,6 +81,30 @@ void save_granule(const Granule& granule, const std::string& filename) {
   to_file(granule).save(filename);
 }
 
-Granule load_granule(const std::string& filename) { return from_file(File::load(filename)); }
+Granule load_granule(const std::string& filename) {
+  g_load_granule_calls.fetch_add(1, std::memory_order_relaxed);
+  return from_file(File::load(filename));
+}
+
+GranuleMeta read_granule_meta(const std::string& filename) {
+  const FileMeta meta = File::scan(filename);
+
+  GranuleMeta out;
+  const auto id = meta.attrs.find("/ancillary_data/granule_id");
+  if (id == meta.attrs.end() || !std::holds_alternative<std::string>(id->second))
+    throw H5Error("granule_io: missing granule_id attribute in " + filename);
+  out.id = std::get<std::string>(id->second);
+  for (const auto& [path, info] : meta.datasets) out.payload_bytes += info.nbytes;
+
+  for (int bi = 0; bi < 6; ++bi) {
+    const auto beam = static_cast<BeamId>(bi);
+    const auto it = meta.datasets.find(std::string("/") + atl03::beam_name(beam) +
+                                       "/heights/h_ph");
+    if (it == meta.datasets.end()) continue;
+    out.beams.push_back(BeamMeta{beam, it->second.count()});
+  }
+  if (out.beams.empty()) throw H5Error("granule_io: file contains no beams");
+  return out;
+}
 
 }  // namespace is2::h5

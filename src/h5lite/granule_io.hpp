@@ -20,4 +20,34 @@ atl03::Granule from_file(const File& file);
 void save_granule(const atl03::Granule& granule, const std::string& filename);
 atl03::Granule load_granule(const std::string& filename);
 
+/// Process-wide count of load_granule() calls. Cheap observability hook for
+/// code (and tests) that must prove a path avoids full granule decodes —
+/// e.g. serve::ShardIndex::build, which reads shard metadata only.
+std::uint64_t load_granule_call_count();
+
+/// One beam as described by a granule file's headers.
+struct BeamMeta {
+  atl03::BeamId beam = atl03::BeamId::Gt1r;
+  std::uint64_t n_photons = 0;
+};
+
+/// Granule identity and per-beam photon counts, read via File::scan without
+/// decoding any dataset payload: O(entries) instead of O(photons), so index
+/// construction over large shard sets stays near-instant.
+struct GranuleMeta {
+  std::string id;
+  std::vector<BeamMeta> beams;
+  std::uint64_t payload_bytes = 0;  ///< total dataset bytes (size proxy)
+
+  const BeamMeta* find(atl03::BeamId beam) const {
+    for (const auto& b : beams)
+      if (b.beam == beam) return &b;
+    return nullptr;
+  }
+};
+
+/// Header-only metadata read (id / beams / photon counts). Throws H5Error on
+/// malformed files or when no beam group is present.
+GranuleMeta read_granule_meta(const std::string& filename);
+
 }  // namespace is2::h5

@@ -240,6 +240,95 @@ void File::save(const std::string& filename) const {
   if (!out) throw H5Error("h5lite: write failed: " + filename);
 }
 
+namespace {
+
+/// Incremental little-endian reads off a stream for File::scan (the buffer
+/// Reader above requires the whole file in memory, which scan avoids).
+/// Lengths read from the file are validated against the file size before
+/// any allocation or seek, so a corrupt length field raises H5Error instead
+/// of attempting a multi-GiB allocation.
+class StreamReader {
+ public:
+  StreamReader(std::ifstream& in, std::uint64_t file_size) : in_(in), file_size_(file_size) {}
+
+  template <typename T>
+  T raw() {
+    T v;
+    in_.read(reinterpret_cast<char*>(&v), sizeof(T));
+    if (!in_) throw H5Error("h5lite: truncated file");
+    return v;
+  }
+  std::string str() {
+    const auto n = raw<std::uint32_t>();
+    check_remaining(n, "h5lite: truncated string");
+    std::string s(n, '\0');
+    in_.read(s.data(), static_cast<std::streamsize>(n));
+    if (!in_) throw H5Error("h5lite: truncated string");
+    return s;
+  }
+  void skip(std::uint64_t n) {
+    check_remaining(n, "h5lite: truncated file");
+    in_.seekg(static_cast<std::streamoff>(n), std::ios::cur);
+    if (!in_) throw H5Error("h5lite: truncated file");
+  }
+
+ private:
+  void check_remaining(std::uint64_t n, const char* what) const {
+    const auto pos = static_cast<std::uint64_t>(in_.tellg());
+    if (pos > file_size_ || n > file_size_ - pos) throw H5Error(what);
+  }
+
+  std::ifstream& in_;
+  std::uint64_t file_size_;
+};
+
+}  // namespace
+
+FileMeta File::scan(const std::string& filename) {
+  std::ifstream in(filename, std::ios::binary | std::ios::ate);
+  if (!in) throw H5Error("h5lite: cannot open: " + filename);
+  const auto file_size = static_cast<std::uint64_t>(in.tellg());
+  in.seekg(0);
+  StreamReader r(in, file_size);
+
+  char magic[4];
+  in.read(magic, 4);
+  if (!in || std::memcmp(magic, kMagic, 4) != 0) throw H5Error("h5lite: bad magic");
+  const auto version = r.raw<std::uint32_t>();
+  if (version != kVersion) throw H5Error("h5lite: unsupported version");
+
+  FileMeta meta;
+  meta.payload_bytes = r.raw<std::uint64_t>();
+  const auto n_datasets = r.raw<std::uint32_t>();
+  for (std::uint32_t i = 0; i < n_datasets; ++i) {
+    const std::string path = r.str();
+    DatasetInfo info;
+    const auto dtype_raw = r.raw<std::uint8_t>();
+    if (dtype_raw > static_cast<std::uint8_t>(DType::I8)) throw H5Error("h5lite: bad dtype");
+    info.dtype = static_cast<DType>(dtype_raw);
+    const auto ndim = r.raw<std::uint8_t>();
+    info.shape.resize(ndim);
+    for (auto& d : info.shape) d = r.raw<std::uint64_t>();
+    info.nbytes = r.raw<std::uint64_t>();
+    if (info.nbytes != info.count() * dtype_size(info.dtype))
+      throw H5Error("h5lite: dataset size mismatch");
+    r.skip(info.nbytes);  // the point of scan: never touch the payload
+    meta.datasets[path] = std::move(info);
+  }
+  const auto n_attrs = r.raw<std::uint32_t>();
+  for (std::uint32_t i = 0; i < n_attrs; ++i) {
+    const std::string path = r.str();
+    const auto kind = r.raw<std::uint8_t>();
+    switch (kind) {
+      case 0: meta.attrs[path] = r.raw<double>(); break;
+      case 1: meta.attrs[path] = r.raw<std::int64_t>(); break;
+      case 2: meta.attrs[path] = r.str(); break;
+      default: throw H5Error("h5lite: bad attribute kind");
+    }
+  }
+  return meta;
+}
+
 File File::load(const std::string& filename) {
   std::ifstream in(filename, std::ios::binary | std::ios::ate);
   if (!in) throw H5Error("h5lite: cannot open: " + filename);

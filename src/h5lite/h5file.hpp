@@ -46,6 +46,33 @@ class H5Error : public std::runtime_error {
 
 using AttrValue = std::variant<double, std::int64_t, std::string>;
 
+/// Shape/dtype of one dataset as recorded in its on-disk header.
+struct DatasetInfo {
+  DType dtype = DType::F64;
+  std::vector<std::uint64_t> shape;
+  std::uint64_t nbytes = 0;
+
+  std::uint64_t count() const {
+    std::uint64_t n = 1;
+    for (auto d : shape) n *= d;
+    return n;
+  }
+};
+
+/// Everything a file describes about itself without its dataset payloads:
+/// per-dataset dtype/shape and all attributes. Produced by File::scan, which
+/// seeks over the raw dataset bytes instead of reading them, so the cost is
+/// proportional to the number of entries, not the data volume. Because the
+/// payload is never read, the trailing CRC is NOT verified — use File::load
+/// when integrity matters more than speed.
+struct FileMeta {
+  std::map<std::string, DatasetInfo> datasets;
+  std::map<std::string, AttrValue> attrs;
+  std::uint64_t payload_bytes = 0;  ///< serialized body size from the file header
+
+  bool contains(const std::string& path) const { return datasets.count(path) != 0; }
+};
+
 /// In-memory file tree with binary (de)serialization.
 class File {
  public:
@@ -104,6 +131,9 @@ class File {
 
   void save(const std::string& filename) const;
   static File load(const std::string& filename);
+  /// Header-only read: dataset dtypes/shapes and attributes, skipping every
+  /// dataset payload (and therefore the CRC check). O(entries), not O(bytes).
+  static FileMeta scan(const std::string& filename);
 
   std::vector<std::uint8_t> serialize() const;
   static File deserialize(std::span<const std::uint8_t> buffer);

@@ -24,7 +24,8 @@ LabeledBeam auto_label(const s2::ClassRaster& raster, std::vector<resample::Segm
   LabeledBeam out;
   out.segments = std::move(segments);
   out.baseline = resample::rolling_baseline(out.segments);
-  out.features = resample::to_features(out.segments, out.baseline);
+  out.features = resample::to_features(out.segments, out.baseline,
+                                       cfg.feature_gap_m < 0.0 ? 3.0 : cfg.feature_gap_m);
   out.labels = overlay_labels(raster, out.segments, cfg.overlay);
 
   const std::size_t n = out.segments.size();

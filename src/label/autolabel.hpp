@@ -28,6 +28,10 @@ struct AutoLabelConfig {
   double manual_fix_rate = 0.75;    ///< fraction of flagged segments a human fixes
   double water_h_max = 0.12;        ///< plausibility: open water must be below this
   double thick_h_min = 0.20;        ///< plausibility: thick ice must be above this
+  /// Along-track gap beyond which to_features zeroes the delta features.
+  /// < 0 = auto: 1.5x the segmenter window (resolved by the pipeline; 3 m
+  /// when auto_label is called standalone); 0 = never break; > 0 = metres.
+  double feature_gap_m = -1.0;
   std::uint64_t seed = 1234;
 };
 

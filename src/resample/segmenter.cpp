@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/rolling_percentile.hpp"
 #include "util/stats.hpp"
 
 namespace is2::resample {
@@ -72,9 +73,34 @@ std::vector<double> rolling_baseline(const std::vector<Segment>& segments, doubl
   std::vector<double> baseline(segments.size(), 0.0);
   if (segments.empty()) return baseline;
 
-  // Two-pointer sliding window over the along-track-sorted segments; the
-  // percentile is recomputed per step from the window's heights. Window
-  // moves are incremental so the cost stays near-linear.
+  // Two-pointer sliding window over the along-track-sorted segments. The
+  // window contents change by a handful of segments per step, so the
+  // percentile is maintained incrementally by a streaming order-statistics
+  // engine instead of re-sorted from scratch: O(n log w) overall, and
+  // bit-identical to util::percentile on the same window (see
+  // rolling_baseline_reference, the test oracle).
+  util::RollingPercentile window(percentile);
+  std::size_t lo = 0, hi = 0;
+  for (std::size_t k = 0; k < segments.size(); ++k) {
+    const double s = segments[k].s;
+    while (hi < segments.size() && segments[hi].s <= s + window_m / 2.0) {
+      window.insert(segments[hi].h_mean);
+      ++hi;
+    }
+    while (lo < hi && segments[lo].s < s - window_m / 2.0) {
+      window.erase(segments[lo].h_mean);
+      ++lo;
+    }
+    baseline[k] = window.query();
+  }
+  return baseline;
+}
+
+std::vector<double> rolling_baseline_reference(const std::vector<Segment>& segments,
+                                               double window_m, double percentile) {
+  std::vector<double> baseline(segments.size(), 0.0);
+  if (segments.empty()) return baseline;
+
   std::size_t lo = 0, hi = 0;
   std::vector<double> window;
   for (std::size_t k = 0; k < segments.size(); ++k) {
@@ -90,7 +116,7 @@ std::vector<double> rolling_baseline(const std::vector<Segment>& segments, doubl
 }
 
 std::vector<FeatureRow> to_features(const std::vector<Segment>& segments,
-                                    const std::vector<double>& baseline) {
+                                    const std::vector<double>& baseline, double max_gap_m) {
   if (!baseline.empty() && baseline.size() != segments.size())
     throw std::invalid_argument("to_features: baseline size mismatch");
   std::vector<FeatureRow> rows(segments.size());
@@ -98,13 +124,18 @@ std::vector<FeatureRow> to_features(const std::vector<Segment>& segments,
     const Segment& s = segments[i];
     FeatureRow& r = rows[i];
     const double rel = baseline.empty() ? s.h_mean : s.h_mean - baseline[i];
+    // A delta across an along-track gap (windows dropped by min_photons)
+    // would difference physically non-adjacent surface: treat the segment
+    // after a gap like a track start and zero its deltas.
+    const bool adjacent = i > 0 && (max_gap_m <= 0.0 || s.s - segments[i - 1].s <= max_gap_m);
     r.v[0] = static_cast<float>(rel);
     r.v[1] = static_cast<float>(s.h_std);
     r.v[2] = static_cast<float>(s.photon_rate);
-    r.v[3] = i > 0 ? static_cast<float>(s.photon_rate - segments[i - 1].photon_rate) : 0.0f;
+    r.v[3] = adjacent ? static_cast<float>(s.photon_rate - segments[i - 1].photon_rate) : 0.0f;
     r.v[4] = static_cast<float>(s.bckgrd_rate * 1e-6);  // Hz -> MHz
-    r.v[5] = i > 0 ? static_cast<float>((s.bckgrd_rate - segments[i - 1].bckgrd_rate) * 1e-6)
-                   : 0.0f;
+    r.v[5] = adjacent
+                 ? static_cast<float>((s.bckgrd_rate - segments[i - 1].bckgrd_rate) * 1e-6)
+                 : 0.0f;
   }
   return rows;
 }

@@ -56,14 +56,29 @@ std::vector<Segment> resample(const atl03::PreprocessedBeam& beam,
 
 /// Rolling low-percentile height baseline used as a sea-level proxy when
 /// building the relative-elevation feature (and by the drift estimator).
-/// Returns one baseline value per segment.
+/// Returns one baseline value per segment. Runs in O(n log w) via
+/// util::RollingPercentile, bit-identical to rolling_baseline_reference.
 std::vector<double> rolling_baseline(const std::vector<Segment>& segments,
                                      double window_m = 10'000.0, double percentile = 5.0);
 
+/// Reference oracle for rolling_baseline: recomputes the percentile from a
+/// freshly gathered window at every step (O(n·w) with a sort-based
+/// percentile per window). Kept for property tests and benchmark guards;
+/// production code should call rolling_baseline.
+std::vector<double> rolling_baseline_reference(const std::vector<Segment>& segments,
+                                               double window_m = 10'000.0,
+                                               double percentile = 5.0);
+
 /// Build feature rows; `baseline` must be rolling_baseline(segments) or
-/// empty (absolute elevation is then used).
+/// empty (absolute elevation is then used). The photon-rate and
+/// background-rate deltas (v[3]/v[5]) difference against the previous
+/// segment only when it is within `max_gap_m` along-track (default 1.5x the
+/// nominal 2 m window, so any window dropped by min_photons breaks the
+/// chain); across larger gaps the deltas are zeroed like at a track start.
+/// Pass max_gap_m <= 0 to difference unconditionally (legacy behavior).
 std::vector<FeatureRow> to_features(const std::vector<Segment>& segments,
-                                    const std::vector<double>& baseline);
+                                    const std::vector<double>& baseline,
+                                    double max_gap_m = 3.0);
 
 /// Feature-wise standardization parameters (fit on training data only).
 struct FeatureScaler {

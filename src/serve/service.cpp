@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstdio>
 #include <cstring>
 #include <limits>
 #include <stdexcept>
@@ -44,15 +45,18 @@ void parse_shard_id(const std::string& id, std::string& base, std::size_t& chunk
 
 ShardIndex ShardIndex::build(const std::vector<std::string>& shard_files) {
   // (granule, beam) -> [(chunk, file)] so chunks can be ordered along-track.
+  // Only the id and beam are needed here, so each shard is scanned header-
+  // only (h5::read_granule_meta) instead of fully decoded: index build cost
+  // is per-file, not per-photon.
   std::map<std::pair<std::string, int>, std::vector<std::pair<std::size_t, std::string>>> grouped;
   for (const auto& file : shard_files) {
-    const atl03::Granule shard = h5::load_granule(file);
-    if (shard.beams.size() != 1)
+    const h5::GranuleMeta meta = h5::read_granule_meta(file);
+    if (meta.beams.size() != 1)
       throw std::invalid_argument("ShardIndex: shard must hold exactly one beam: " + file);
     std::string base;
     std::size_t chunk = 0;
-    parse_shard_id(shard.id, base, chunk);
-    grouped[{base, static_cast<int>(shard.beams[0].beam)}].emplace_back(chunk, file);
+    parse_shard_id(meta.id, base, chunk);
+    grouped[{base, static_cast<int>(meta.beams[0].beam)}].emplace_back(chunk, file);
   }
 
   ShardIndex out;
@@ -211,11 +215,35 @@ ProductKey GranuleService::key_for(const ProductRequest& request) const {
   return key;
 }
 
+std::string StageLatency::render(std::size_t max_width) const {
+  const std::size_t n = histogram.bins();
+  std::size_t first = n, last = 0;
+  for (std::size_t b = 0; b < n; ++b) {
+    if (histogram.count(b) == 0) continue;
+    first = std::min(first, b);
+    last = b;
+  }
+  if (first == n) return "(no samples)\n";
+  std::size_t peak = 1;
+  for (std::size_t b = first; b <= last; ++b) peak = std::max(peak, histogram.count(b));
+  std::string out;
+  char buf[64];
+  for (std::size_t b = first; b <= last; ++b) {
+    std::snprintf(buf, sizeof buf, "%9.3g ms | ", bin_lo_ms(b));
+    out += buf;
+    const auto w = static_cast<std::size_t>(static_cast<double>(histogram.count(b)) /
+                                            static_cast<double>(peak) *
+                                            static_cast<double>(max_width));
+    out.append(w, '#');
+    std::snprintf(buf, sizeof buf, " %zu\n", histogram.count(b));
+    out += buf;
+  }
+  return out;
+}
+
 void GranuleService::record(StageLatency ServiceMetrics::*stage, double ms) {
   std::lock_guard lock(metrics_mutex_);
-  StageLatency& s = stage_metrics_.*stage;
-  s.stats.add(ms);
-  s.histogram.add(ms);
+  (stage_metrics_.*stage).add(ms);
 }
 
 ProductFuture GranuleService::submit(const ProductRequest& request) {
@@ -288,9 +316,11 @@ ProductResponse GranuleService::build(const ProductRequest& request, const Produ
   record(&ServiceMetrics::load, stage_timer.millis());
   stage_timer.reset();
 
-  // FEATURES: rolling sea-level baseline + the paper's six features.
+  // FEATURES: rolling sea-level baseline + the paper's six features (deltas
+  // break across gaps wider than 1.5x the configured resampling window).
   const std::vector<double> baseline = resample::rolling_baseline(segments);
-  const std::vector<resample::FeatureRow> features = resample::to_features(segments, baseline);
+  const std::vector<resample::FeatureRow> features =
+      resample::to_features(segments, baseline, pipeline_.segmenter.window_m * 1.5);
   record(&ServiceMetrics::features, stage_timer.millis());
   stage_timer.reset();
 

@@ -16,6 +16,8 @@
 // `mapred::Engine`, the same cluster abstraction the batch jobs use.
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -75,11 +77,30 @@ class ShardIndex {
 std::uint64_t config_fingerprint(const core::PipelineConfig& config,
                                  seasurface::Method method);
 
-/// Latency distribution of one pipeline stage, in milliseconds.
-/// (Out-of-range samples clamp into the edge bins — see util::Histogram.)
+/// Latency distribution of one pipeline stage, in milliseconds. The
+/// histogram bins log10(ms) over [10 us, 100 s] — 10 bins per decade — so a
+/// sub-millisecond cache probe and a near-second cold build are both
+/// representable without saturating an edge bin (fixed 0-500 ms bins used to
+/// dump every ~790 ms cold build into the last bin).
 struct StageLatency {
+  static constexpr double kMinMs = 1e-2;  ///< 10 us: below this clamps low
+  static constexpr double kMaxMs = 1e5;   ///< 100 s: above this clamps high
+  static constexpr std::size_t kBinsPerDecade = 10;
+
   util::RunningStats stats;
-  util::Histogram histogram{0.0, 500.0, 50};
+  util::Histogram histogram{-2.0, 5.0, 7 * kBinsPerDecade};  ///< bins log10(ms)
+
+  void add(double ms) {
+    stats.add(ms);
+    histogram.add(std::log10(std::clamp(ms, kMinMs, kMaxMs)));
+  }
+  /// Lower edge of a histogram bin, back in milliseconds.
+  double bin_lo_ms(std::size_t bin) const {
+    return std::pow(10.0, histogram.lo() + static_cast<double>(bin) * histogram.bin_width());
+  }
+  /// Render the latency distribution with millisecond bin labels (log axis),
+  /// skipping empty leading/trailing decades.
+  std::string render(std::size_t max_width = 60) const;
 };
 
 struct ServiceMetrics {
@@ -94,8 +115,7 @@ struct ServiceMetrics {
   StageLatency inference;   ///< batched model forward passes
   StageLatency seasurface;  ///< local sea surface detection
   StageLatency freeboard;   ///< freeboard computation
-  StageLatency total{util::RunningStats{},
-                     util::Histogram{0.0, 2000.0, 50}};  ///< whole build (cold only)
+  StageLatency total;       ///< whole build (cold only)
 };
 
 struct ServiceConfig {

@@ -1,0 +1,67 @@
+#include "util/rolling_percentile.hpp"
+
+#include <stdexcept>
+
+namespace is2::util {
+
+RollingPercentile::RollingPercentile(double p) : p_(p) {
+  if (p < 0.0 || p > 100.0)
+    throw std::invalid_argument("RollingPercentile: p outside [0,100]");
+}
+
+void RollingPercentile::insert(double x) {
+  if (low_.empty() || x <= *low_.rbegin())
+    low_.insert(x);
+  else
+    high_.insert(x);
+  rebalance();
+}
+
+void RollingPercentile::erase(double x) {
+  if (auto it = low_.find(x); it != low_.end()) {
+    low_.erase(it);
+  } else if (auto jt = high_.find(x); jt != high_.end()) {
+    high_.erase(jt);
+  } else {
+    throw std::invalid_argument("RollingPercentile::erase: value not in window");
+  }
+  rebalance();
+}
+
+void RollingPercentile::clear() {
+  low_.clear();
+  high_.clear();
+}
+
+void RollingPercentile::rebalance() {
+  const std::size_t n = size();
+  if (n == 0) return;
+  // Same rank split as util::percentile: rank = p/100*(n-1), low_ holds the
+  // floor(rank)+1 smallest values. The target moves by at most one per
+  // insert/erase, so each rebalance is O(log w) amortized.
+  const double rank = p_ / 100.0 * static_cast<double>(n - 1);
+  const std::size_t target_low = static_cast<std::size_t>(rank) + 1;
+  while (low_.size() < target_low) {
+    const auto it = high_.begin();
+    low_.insert(*it);
+    high_.erase(it);
+  }
+  while (low_.size() > target_low) {
+    const auto it = std::prev(low_.end());
+    high_.insert(*it);
+    low_.erase(it);
+  }
+}
+
+double RollingPercentile::query() const {
+  const std::size_t n = size();
+  if (n == 0) return 0.0;
+  const double rank = p_ / 100.0 * static_cast<double>(n - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  const double v_lo = *low_.rbegin();
+  const double v_hi = high_.empty() ? v_lo : *high_.begin();
+  return v_lo * (1.0 - frac) + v_hi * frac;
+}
+
+}  // namespace is2::util

@@ -1,0 +1,50 @@
+// Streaming order-statistics engine for sliding-window percentiles.
+//
+// The 2 m resampler's rolling sea-level baseline slides a ~10 km window over
+// along-track segments and asks for a low percentile at every step; doing
+// that with a copy + sort per step is O(n·w log w) and dominated serve
+// cold-build latency. RollingPercentile keeps the window as two multisets
+// split at the percentile rank (the classic dual-heap median design,
+// generalized to any p), giving amortized O(log w) insert/erase and O(1)
+// query, while producing output bit-identical to util::percentile on the
+// same window contents: both select the same two order statistics and apply
+// the same linear interpolation, and IEEE arithmetic on identical inputs is
+// deterministic.
+#pragma once
+
+#include <cstddef>
+#include <set>
+
+namespace is2::util {
+
+/// Sliding-window percentile with amortized O(log w) updates and O(1) query.
+/// The percentile `p` is fixed at construction (in [0,100]); query() matches
+/// util::percentile(window_contents, p) bit for bit.
+class RollingPercentile {
+ public:
+  /// Throws std::invalid_argument when p is outside [0,100].
+  explicit RollingPercentile(double p);
+
+  void insert(double x);
+  /// Removes one instance of x; throws std::invalid_argument when absent.
+  void erase(double x);
+  void clear();
+
+  std::size_t size() const { return low_.size() + high_.size(); }
+  bool empty() const { return low_.empty() && high_.empty(); }
+
+  /// Linear-interpolated percentile of the current window; 0.0 when empty
+  /// (mirroring util::percentile on an empty span).
+  double query() const;
+
+ private:
+  void rebalance();
+
+  double p_;
+  // low_ holds the smallest floor(rank)+1 values (its max is the lower
+  // interpolation endpoint), high_ the rest (its min is the upper endpoint).
+  std::multiset<double> low_;
+  std::multiset<double> high_;
+};
+
+}  // namespace is2::util

@@ -62,12 +62,22 @@ double percentile(std::span<const double> xs, double p) {
   if (xs.empty()) return 0.0;
   if (p < 0.0 || p > 100.0) throw std::invalid_argument("percentile: p outside [0,100]");
   std::vector<double> v(xs.begin(), xs.end());
-  std::sort(v.begin(), v.end());
   const double rank = p / 100.0 * static_cast<double>(v.size() - 1);
   const auto lo = static_cast<std::size_t>(rank);
   const auto hi = std::min(lo + 1, v.size() - 1);
   const double frac = rank - static_cast<double>(lo);
-  return v[lo] * (1.0 - frac) + v[hi] * frac;
+  // Two order-statistic selections instead of a full sort: after the first,
+  // everything past position lo is >= v[lo], so the second selection over
+  // the tail yields the hi-th order statistic.
+  const auto mid = v.begin() + static_cast<std::ptrdiff_t>(lo);
+  std::nth_element(v.begin(), mid, v.end());
+  const double v_lo = v[lo];
+  double v_hi = v_lo;
+  if (hi != lo) {
+    std::nth_element(mid + 1, v.begin() + static_cast<std::ptrdiff_t>(hi), v.end());
+    v_hi = v[hi];
+  }
+  return v_lo * (1.0 - frac) + v_hi * frac;
 }
 
 Histogram::Histogram(double lo, double hi, std::size_t bins)
@@ -77,9 +87,19 @@ Histogram::Histogram(double lo, double hi, std::size_t bins)
 }
 
 void Histogram::add(double x) {
-  auto bin = static_cast<std::ptrdiff_t>(std::floor((x - lo_) / width_));
-  bin = std::clamp<std::ptrdiff_t>(bin, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
-  ++counts_[static_cast<std::size_t>(bin)];
+  // NaN must never reach a float->integer cast: std::floor(NaN) is NaN and
+  // converting it is undefined behavior. Count such samples separately.
+  if (std::isnan(x)) {
+    ++nan_;
+    return;
+  }
+  // Clamp in floating point BEFORE the integer cast so +/-inf (and anything
+  // past ptrdiff_t range) lands in an edge bin instead of hitting the same
+  // undefined cast.
+  const double idx = std::floor((x - lo_) / width_);
+  const double last = static_cast<double>(counts_.size() - 1);
+  const auto bin = static_cast<std::size_t>(std::clamp(idx, 0.0, last));
+  ++counts_[bin];
   ++total_;
 }
 
@@ -88,6 +108,7 @@ void Histogram::merge(const Histogram& other) {
     throw std::invalid_argument("Histogram::merge: incompatible binning");
   for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
   total_ += other.total_;
+  nan_ += other.nan_;
 }
 
 double Histogram::bin_center(std::size_t bin) const {

@@ -43,7 +43,8 @@ double median(std::span<const double> xs);
 double percentile(std::span<const double> xs, double p);
 
 /// Fixed-width histogram over [lo, hi); out-of-range samples clamp to the
-/// edge bins so freeboard tails remain visible in distribution plots.
+/// edge bins so freeboard tails remain visible in distribution plots. NaN
+/// samples are counted separately (nan_count) and never binned.
 class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t bins);
@@ -54,6 +55,8 @@ class Histogram {
   std::size_t bins() const { return counts_.size(); }
   std::size_t count(std::size_t bin) const { return counts_[bin]; }
   std::size_t total() const { return total_; }
+  /// NaN samples seen by add(); excluded from total() and every bin.
+  std::size_t nan_count() const { return nan_; }
   double bin_center(std::size_t bin) const;
   double bin_width() const { return width_; }
   double lo() const { return lo_; }
@@ -71,6 +74,7 @@ class Histogram {
   double width_;
   std::vector<std::size_t> counts_;
   std::size_t total_ = 0;
+  std::size_t nan_ = 0;
 };
 
 /// Pearson correlation; returns 0 for degenerate inputs.

@@ -62,6 +62,42 @@ TEST(GranuleIo, DiskRoundTrip) {
   std::remove(path.c_str());
 }
 
+TEST(GranuleIo, ReadGranuleMetaMatchesFullLoadWithoutDecoding) {
+  const auto g = make_granule(1'000.0);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "is2_granule_meta.h5l").string();
+  h5::save_granule(g, path);
+
+  const auto full_loads_before = h5::load_granule_call_count();
+  const h5::GranuleMeta meta = h5::read_granule_meta(path);
+  EXPECT_EQ(h5::load_granule_call_count(), full_loads_before);  // header scan only
+
+  EXPECT_EQ(meta.id, g.id);
+  ASSERT_EQ(meta.beams.size(), g.beams.size());
+  for (std::size_t b = 0; b < g.beams.size(); ++b) {
+    EXPECT_EQ(meta.beams[b].beam, g.beams[b].beam);
+    EXPECT_EQ(meta.beams[b].n_photons, g.beams[b].size());
+    const auto* found = meta.find(g.beams[b].beam);
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ(found->n_photons, g.beams[b].size());
+  }
+  EXPECT_EQ(meta.payload_bytes, h5::to_file(g).payload_bytes());
+  EXPECT_EQ(meta.find(BeamId::Gt1l), nullptr);  // weak beams not simulated
+
+  std::remove(path.c_str());
+  EXPECT_THROW(h5::read_granule_meta(path), h5::H5Error);
+}
+
+TEST(GranuleIo, ReadGranuleMetaRejectsBeamlessFile) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "is2_granule_meta_empty.h5l").string();
+  h5::File f;
+  f.set_attr("/ancillary_data/granule_id", std::string("empty"));
+  f.save(path);
+  EXPECT_THROW(h5::read_granule_meta(path), h5::H5Error);
+  std::remove(path.c_str());
+}
+
 TEST(GranuleIo, SchemaUsesAtl03Paths) {
   const auto f = h5::to_file(make_granule(500.0));
   EXPECT_TRUE(f.contains("/gt2r/heights/h_ph"));

@@ -4,6 +4,7 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 
 #include "h5lite/h5file.hpp"
 
@@ -127,6 +128,67 @@ TEST(H5Lite, PayloadBytesCounts) {
   f.put<std::uint8_t>("/b", std::vector<std::uint8_t>(3));
   EXPECT_EQ(f.payload_bytes(), 83u);
   EXPECT_EQ(f.dataset_count(), 2u);
+}
+
+TEST(H5Lite, ScanReadsMetadataWithoutPayload) {
+  const std::string path = temp_path("is2_h5lite_scan.h5l");
+  File f;
+  std::vector<double> m(12);
+  f.put<double>("/g/matrix", m, {3, 4});
+  f.put<std::int8_t>("/g/conf", std::vector<std::int8_t>(7));
+  f.set_attr("/id", std::string("scan-me"));
+  f.set_attr("/pi", 3.25);
+  f.set_attr("/n", std::int64_t{42});
+  f.save(path);
+
+  const FileMeta meta = File::scan(path);
+  EXPECT_EQ(meta.datasets.size(), 2u);
+  ASSERT_TRUE(meta.contains("/g/matrix"));
+  EXPECT_EQ(meta.datasets.at("/g/matrix").dtype, DType::F64);
+  EXPECT_EQ(meta.datasets.at("/g/matrix").shape, (std::vector<std::uint64_t>{3, 4}));
+  EXPECT_EQ(meta.datasets.at("/g/matrix").count(), 12u);
+  EXPECT_EQ(meta.datasets.at("/g/matrix").nbytes, 96u);
+  EXPECT_EQ(meta.datasets.at("/g/conf").dtype, DType::I8);
+  EXPECT_EQ(std::get<std::string>(meta.attrs.at("/id")), "scan-me");
+  EXPECT_EQ(std::get<double>(meta.attrs.at("/pi")), 3.25);
+  EXPECT_EQ(std::get<std::int64_t>(meta.attrs.at("/n")), 42);
+  EXPECT_EQ(meta.payload_bytes, f.serialize().size() - 16 - 4);  // body bytes
+
+  std::remove(path.c_str());
+  EXPECT_THROW(File::scan(path), H5Error);
+}
+
+TEST(H5Lite, ScanRejectsTruncationAndBadMagic) {
+  const std::string path = temp_path("is2_h5lite_scan_bad.h5l");
+  File f;
+  f.put<double>("/data", std::vector<double>(64, 1.0));
+  {
+    auto buf = f.serialize();
+    buf.resize(buf.size() / 2);  // cut inside the dataset payload
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(buf.data()),
+              static_cast<std::streamsize>(buf.size()));
+  }
+  EXPECT_THROW(File::scan(path), H5Error);
+  {
+    auto buf = f.serialize();
+    buf[0] = 'X';
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(buf.data()),
+              static_cast<std::streamsize>(buf.size()));
+  }
+  EXPECT_THROW(File::scan(path), H5Error);
+  {
+    // Corrupt the first dataset's path-length field to ~4 GiB: scan must
+    // raise H5Error without attempting the allocation.
+    auto buf = f.serialize();
+    buf[20] = buf[21] = buf[22] = buf[23] = 0xFF;  // header(16) + n_datasets(4)
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(buf.data()),
+              static_cast<std::streamsize>(buf.size()));
+  }
+  EXPECT_THROW(File::scan(path), H5Error);
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -96,6 +96,75 @@ TEST(Resample, RollingBaselineTracksLowPercentile) {
   for (std::size_t i = 50; i < 950; ++i) EXPECT_LT(baseline[i], 0.2) << i;
 }
 
+TEST(Resample, RollingBaselineMatchesReferenceOracle) {
+  // Property test: the O(n log w) incremental baseline must be bit-identical
+  // to the gather-and-sort reference over randomized tracks with duplicate
+  // along-track coordinates, duplicate heights and large gaps.
+  util::Rng rng(77);
+  for (int trial = 0; trial < 6; ++trial) {
+    std::vector<Segment> segs;
+    double s = 0.0;
+    const int n = 1 + static_cast<int>(rng.next() % 300);
+    for (int i = 0; i < n; ++i) {
+      const double r = rng.uniform();
+      if (r < 0.15) {
+        // duplicate s: two windows can legitimately share a center
+      } else if (r < 0.9) {
+        s += 2.0;
+      } else {
+        s += 2.0 * static_cast<double>(1 + rng.next() % 50);  // min_photons gap
+      }
+      Segment seg;
+      seg.s = s;
+      seg.h_mean = (!segs.empty() && rng.uniform() < 0.1) ? segs.back().h_mean
+                                                          : rng.normal(0.0, 1.0);
+      segs.push_back(seg);
+    }
+    for (const double window_m : {6.0, 100.0, 1e9}) {
+      for (const double p : {0.0, 5.0, 50.0, 100.0}) {
+        const auto fast = resample::rolling_baseline(segs, window_m, p);
+        const auto oracle = resample::rolling_baseline_reference(segs, window_m, p);
+        ASSERT_EQ(fast.size(), oracle.size());
+        for (std::size_t i = 0; i < fast.size(); ++i)
+          ASSERT_EQ(fast[i], oracle[i])
+              << "trial=" << trial << " w=" << window_m << " p=" << p << " i=" << i;
+      }
+    }
+  }
+
+  // Degenerate inputs: empty and size-1 tracks.
+  EXPECT_TRUE(resample::rolling_baseline({}, 100.0, 5.0).empty());
+  std::vector<Segment> one(1);
+  one[0].s = 3.0;
+  one[0].h_mean = -1.5;
+  EXPECT_EQ(resample::rolling_baseline(one)[0], -1.5);
+  EXPECT_EQ(resample::rolling_baseline_reference(one)[0], -1.5);
+}
+
+TEST(Resample, FeatureDeltasZeroedAcrossGaps) {
+  // Windows dropped by min_photons leave along-track gaps; differencing
+  // across them compares physically non-adjacent surface. Deltas reset to 0
+  // there, like at a track start.
+  std::vector<Segment> segs(4);
+  const double s_values[] = {0.0, 2.0, 8.0, 10.0};  // 6 m gap after segment 1
+  for (int i = 0; i < 4; ++i) {
+    segs[i].s = s_values[i];
+    segs[i].photon_rate = 1.0 + i;
+    segs[i].bckgrd_rate = (1.0 + i) * 1e6;
+  }
+  const auto rows = resample::to_features(segs, {});  // default 3 m gap limit
+  EXPECT_FLOAT_EQ(rows[1].v[3], 1.0f);  // 2 m spacing: normal delta
+  EXPECT_FLOAT_EQ(rows[2].v[3], 0.0f);  // across the gap: zeroed
+  EXPECT_FLOAT_EQ(rows[2].v[5], 0.0f);
+  EXPECT_FLOAT_EQ(rows[3].v[3], 1.0f);  // chain restarts after the gap
+  EXPECT_FLOAT_EQ(rows[3].v[5], 1.0f);  // MHz
+
+  // max_gap_m <= 0 restores unconditional differencing (legacy behavior).
+  const auto legacy = resample::to_features(segs, {}, 0.0);
+  EXPECT_FLOAT_EQ(legacy[2].v[3], 1.0f);
+  EXPECT_FLOAT_EQ(legacy[2].v[5], 1.0f);
+}
+
 TEST(Resample, FeatureDeltasAgainstPreviousSegment) {
   std::vector<Segment> segs(3);
   segs[0].photon_rate = 1.0;

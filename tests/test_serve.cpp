@@ -17,6 +17,7 @@
 #include "core/campaign.hpp"
 #include "core/config.hpp"
 #include "core/pipeline.hpp"
+#include "h5lite/granule_io.hpp"
 #include "serve/product_cache.hpp"
 #include "serve/scheduler.hpp"
 #include "serve/service.hpp"
@@ -442,6 +443,44 @@ TEST_F(ServeCampaign, ShardIndexCoversStrongBeams) {
       serve::ShardIndex::load_merged(*index_->find(pair_->granule.id, BeamId::Gt1r));
   EXPECT_EQ(merged.beams[0].size(), pair_->granule.beam(BeamId::Gt1r).size());
   EXPECT_EQ(merged.id, pair_->granule.id);
+}
+
+TEST_F(ServeCampaign, ShardIndexBuildReadsMetadataOnly) {
+  // Index construction must stay header-only: no full granule decode per
+  // shard (h5::read_granule_meta, not h5::load_granule).
+  const auto full_loads_before = h5::load_granule_call_count();
+  const serve::ShardIndex rebuilt = serve::ShardIndex::build(shards_->files);
+  EXPECT_EQ(h5::load_granule_call_count(), full_loads_before);
+
+  // The metadata-built index matches the one the suite serves from.
+  EXPECT_EQ(rebuilt.size(), index_->size());
+  for (const auto& [granule, beam] : index_->entries()) {
+    const auto* files = rebuilt.find(granule, beam);
+    ASSERT_NE(files, nullptr);
+    EXPECT_EQ(*files, *index_->find(granule, beam));
+  }
+}
+
+TEST_F(ServeCampaign, ColdBuildLatencyRepresentableInStageHistograms) {
+  // Regression: fixed 0-500 ms bins put every ~790 ms cold build in the edge
+  // bin. With log-scale bins the whole build (and every stage) must land
+  // strictly inside the histogram range.
+  serve::ServiceConfig cfg;
+  cfg.workers = 1;
+  auto service = make_service(cfg);
+  ASSERT_NE(service->submit(request(BeamId::Gt1r)).get().product, nullptr);
+
+  const auto m = service->metrics();
+  for (const auto* stage :
+       {&m.total, &m.load, &m.features, &m.inference, &m.seasurface, &m.freeboard}) {
+    if (stage->stats.count() == 0) continue;
+    // p99 (here: the max) is representable, and the edge bins did not
+    // swallow the distribution.
+    EXPECT_LT(stage->stats.max(), serve::StageLatency::kMaxMs);
+    EXPECT_EQ(stage->histogram.count(stage->histogram.bins() - 1), 0u);
+    EXPECT_EQ(stage->histogram.total(), stage->stats.count());
+  }
+  EXPECT_EQ(m.total.stats.count(), 1u);
 }
 
 TEST_F(ServeCampaign, ServedProductMatchesBatchPipelineBitIdentically) {

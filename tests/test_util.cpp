@@ -1,12 +1,15 @@
 // Unit tests for util: RNG determinism/distributions, statistics, the
-// thread pool and the table renderer.
+// rolling-percentile engine, the thread pool and the table renderer.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <deque>
 #include <set>
 
 #include "util/rng.hpp"
+#include "util/rolling_percentile.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
@@ -137,6 +140,75 @@ TEST(Stats, MedianAndPercentile) {
   EXPECT_DOUBLE_EQ(percentile(xs, 25), 2.0);
 }
 
+TEST(Stats, PercentileMatchesSortedReference) {
+  // Regression for the nth_element-based percentile: must stay bit-identical
+  // to the full-sort + linear-interpolation definition.
+  Rng rng(41);
+  for (const int n : {1, 2, 3, 5, 10, 101, 256}) {
+    std::vector<double> xs(static_cast<std::size_t>(n));
+    for (auto& x : xs) x = rng.normal(0.0, 5.0);
+    if (n > 2) xs[1] = xs[static_cast<std::size_t>(n) - 1];  // exercise ties
+    for (const double p : {0.0, 1.0, 25.0, 50.0, 66.6, 99.0, 100.0}) {
+      std::vector<double> v = xs;
+      std::sort(v.begin(), v.end());
+      const double rank = p / 100.0 * static_cast<double>(v.size() - 1);
+      const auto lo = static_cast<std::size_t>(rank);
+      const auto hi = std::min(lo + 1, v.size() - 1);
+      const double frac = rank - static_cast<double>(lo);
+      const double want = v[lo] * (1.0 - frac) + v[hi] * frac;
+      EXPECT_EQ(percentile(xs, p), want) << "n=" << n << " p=" << p;
+    }
+  }
+}
+
+TEST(RollingPercentile, MatchesBatchPercentileUnderSlidingWindow) {
+  // Property test: under a random grow/shrink window over a random series
+  // (with exact duplicates), every query must be bit-identical to
+  // util::percentile over the same window contents.
+  Rng rng(31);
+  for (const double p : {0.0, 5.0, 37.5, 50.0, 93.0, 100.0}) {
+    RollingPercentile rp(p);
+    std::deque<double> window;
+    std::vector<double> series;
+    for (int i = 0; i < 800; ++i)
+      series.push_back(rng.uniform() < 0.15 ? -1.25 : rng.normal(0.0, 1.0));
+    std::size_t lo = 0;
+    for (std::size_t hi = 0; hi < series.size(); ++hi) {
+      rp.insert(series[hi]);
+      window.push_back(series[hi]);
+      while (lo < hi && rng.uniform() < 0.4) {
+        rp.erase(series[lo]);
+        window.pop_front();
+        ++lo;
+      }
+      ASSERT_EQ(rp.size(), window.size());
+      const std::vector<double> contents(window.begin(), window.end());
+      ASSERT_EQ(rp.query(), percentile(contents, p)) << "p=" << p << " step=" << hi;
+    }
+  }
+}
+
+TEST(RollingPercentile, EdgeCasesAndErrors) {
+  EXPECT_THROW(RollingPercentile(-1.0), std::invalid_argument);
+  EXPECT_THROW(RollingPercentile(100.5), std::invalid_argument);
+
+  RollingPercentile rp(50.0);
+  EXPECT_TRUE(rp.empty());
+  EXPECT_EQ(rp.query(), 0.0);  // mirrors util::percentile on an empty span
+  EXPECT_THROW(rp.erase(1.0), std::invalid_argument);
+
+  rp.insert(3.5);
+  EXPECT_EQ(rp.size(), 1u);
+  EXPECT_EQ(rp.query(), 3.5);
+  EXPECT_THROW(rp.erase(3.4999), std::invalid_argument);  // value must match
+
+  rp.insert(3.5);  // duplicate values coexist
+  rp.erase(3.5);
+  EXPECT_EQ(rp.query(), 3.5);
+  rp.clear();
+  EXPECT_TRUE(rp.empty());
+}
+
 TEST(Stats, PearsonPerfectCorrelation) {
   std::vector<double> x{1, 2, 3, 4}, y{2, 4, 6, 8}, z{8, 6, 4, 2};
   EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
@@ -163,6 +235,33 @@ TEST(Histogram, ModeAndDensity) {
   double integral = 0.0;
   for (std::size_t b = 0; b < h.bins(); ++b) integral += h.density(b) * h.bin_width();
   EXPECT_NEAR(integral, 1.0, 1e-12);
+}
+
+TEST(Histogram, NanSamplesCountedNotBinned) {
+  // Regression: std::floor(NaN) used to flow through clamp (all comparisons
+  // false) into an undefined float -> ptrdiff_t cast.
+  Histogram h(0.0, 1.0, 4);
+  h.add(std::numeric_limits<double>::quiet_NaN());
+  h.add(0.5);
+  EXPECT_EQ(h.total(), 1u);
+  EXPECT_EQ(h.nan_count(), 1u);
+  std::size_t binned = 0;
+  for (std::size_t b = 0; b < h.bins(); ++b) binned += h.count(b);
+  EXPECT_EQ(binned, 1u);
+
+  Histogram other(0.0, 1.0, 4);
+  other.add(std::nan(""));
+  h.merge(other);
+  EXPECT_EQ(h.nan_count(), 2u);
+  EXPECT_EQ(h.total(), 1u);
+
+  // +/-inf are ordinary out-of-range samples: clamp to the edge bins.
+  h.add(std::numeric_limits<double>::infinity());
+  h.add(-std::numeric_limits<double>::infinity());
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(3), 1u);
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_EQ(h.nan_count(), 2u);
 }
 
 TEST(Histogram, MergeRequiresSameBinning) {
