@@ -1,13 +1,20 @@
 // Serving throughput bench: QPS and p50/p99 latency of the GranuleService
 // under cold (every request builds) and warm (every request hits the LRU
 // product cache) traffic, across worker counts, plus a cache-size sweep
-// under repeat traffic with evictions.
+// under repeat traffic with evictions, a cache-tier sweep (full rebuild vs
+// warm-disk cold start vs warm-RAM) and a priority-mix run under a
+// saturated queue (per-class sheds + latency).
 //
 //   ./bench/bench_serve_throughput [BENCH_serve.json]
 //
 // With a path argument, a machine-readable summary (per-worker QPS/latency,
-// per-stage cold-build means, cache sweep) is written there so CI can
-// accumulate the perf trajectory as build artifacts.
+// per-stage cold-build means, cache sweep, cache-tier sweep, priority mix)
+// is written there so CI can accumulate the perf trajectory as build
+// artifacts.
+//
+// Tripwire (exit 1): the warm-disk cold start must be >= 5x faster than a
+// full rebuild on the tiny scenario — the reason the disk tier exists.
+#include <array>
 #include <atomic>
 #include <cstdio>
 #include <filesystem>
@@ -37,6 +44,7 @@ struct TrafficResult {
   double qps() const { return wall_s > 0 ? static_cast<double>(latency_ms.size()) / wall_s : 0; }
   double p50() const { return util::percentile(latency_ms, 50.0); }
   double p99() const { return util::percentile(latency_ms, 99.0); }
+  double mean() const { return util::mean(latency_ms); }
 };
 
 /// Drive `requests` through the service from `clients` concurrent threads,
@@ -80,8 +88,28 @@ struct SweepRow {
   std::uint64_t evictions = 0, builds = 0;
 };
 
+/// One pass of the cache-tier sweep: the same request universe served by a
+/// full rebuild, a warm-disk cold start (fresh service, populated disk
+/// directory, empty RAM tier) and a warm RAM tier.
+struct TierSweep {
+  double rebuild_mean_ms = 0, rebuild_p99_ms = 0;
+  double warm_disk_mean_ms = 0, warm_disk_p99_ms = 0;
+  double warm_ram_mean_ms = 0, warm_ram_p99_ms = 0;
+  std::uint64_t disk_hits = 0, disk_bytes = 0;
+
+  double disk_speedup() const {
+    return warm_disk_mean_ms > 0 ? rebuild_mean_ms / warm_disk_mean_ms : 0.0;
+  }
+};
+
+struct ClassRow {
+  std::uint64_t requests = 0, shed = 0;
+  double mean_ms = 0, max_ms = 0;
+};
+
 void write_json(const std::string& path, const std::vector<WorkerRow>& rows,
-                const std::vector<SweepRow>& sweep) {
+                const std::vector<SweepRow>& sweep, const TierSweep& tiers,
+                const std::array<ClassRow, serve::kPriorityClasses>& classes) {
   std::ofstream out(path, std::ios::trunc);
   if (!out) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -114,7 +142,25 @@ void write_json(const std::string& path, const std::vector<WorkerRow>& rows,
         << ", \"hit_rate\": " << r.hit_rate << ", \"evictions\": " << r.evictions
         << ", \"builds\": " << r.builds << "}" << (i + 1 < sweep.size() ? "," : "") << "\n";
   }
-  out << "  ]\n}\n";
+  out << "  ],\n  \"cache_tiers\": {\n"
+      << "    \"rebuild_mean_ms\": " << tiers.rebuild_mean_ms
+      << ", \"rebuild_p99_ms\": " << tiers.rebuild_p99_ms << ",\n"
+      << "    \"warm_disk_mean_ms\": " << tiers.warm_disk_mean_ms
+      << ", \"warm_disk_p99_ms\": " << tiers.warm_disk_p99_ms << ",\n"
+      << "    \"warm_ram_mean_ms\": " << tiers.warm_ram_mean_ms
+      << ", \"warm_ram_p99_ms\": " << tiers.warm_ram_p99_ms << ",\n"
+      << "    \"disk_hits\": " << tiers.disk_hits
+      << ", \"disk_bytes\": " << tiers.disk_bytes
+      << ", \"disk_speedup\": " << tiers.disk_speedup() << "\n  },\n"
+      << "  \"priority_mix\": {\n";
+  for (std::size_t c = 0; c < serve::kPriorityClasses; ++c) {
+    const ClassRow& r = classes[c];
+    out << "    \"" << serve::priority_name(static_cast<serve::Priority>(c))
+        << "\": {\"requests\": " << r.requests << ", \"shed\": " << r.shed
+        << ", \"mean_ms\": " << r.mean_ms << ", \"max_ms\": " << r.max_ms << "}"
+        << (c + 1 < serve::kPriorityClasses ? "," : "") << "\n";
+  }
+  out << "  }\n}\n";
   std::printf("wrote %s\n", path.c_str());
 }
 
@@ -249,9 +295,128 @@ int main(int argc, char** argv) {
   }
   std::printf("%s\n", sweep.to_string().c_str());
 
-  if (!json_path.empty()) write_json(json_path, worker_rows, sweep_rows);
+  // Cache-tier sweep: the same 12-product universe served three ways. The
+  // first service populates the disk tier while building cold; a fresh
+  // service over the same directory then cold-starts from disk (RAM empty);
+  // repeats hit RAM. This is the restart / eviction recovery path the disk
+  // tier exists for.
+  std::printf("== cache-tier sweep (2 workers, %zu distinct products) ==\n", universe.size());
+  TierSweep tiers;
+  const std::string disk_dir = dir + "/disk_tier";
+  {
+    serve::ServiceConfig cfg;
+    cfg.workers = 2;
+    cfg.cache_bytes = 512u << 20;
+    cfg.disk_cache_dir = disk_dir;
+    {
+      serve::GranuleService rebuild_svc(cfg, config, campaign.corrections(), index,
+                                        model_factory, scaler);
+      const TrafficResult rebuild = drive(rebuild_svc, universe, 2);
+      tiers.rebuild_mean_ms = rebuild.mean();
+      tiers.rebuild_p99_ms = rebuild.p99();
+      rebuild_svc.wait_disk_writebacks();  // every product lands on disk
+    }
+    serve::GranuleService warm_svc(cfg, config, campaign.corrections(), index, model_factory,
+                                   scaler);
+    const TrafficResult warm_disk = drive(warm_svc, universe, 2);
+    tiers.warm_disk_mean_ms = warm_disk.mean();
+    tiers.warm_disk_p99_ms = warm_disk.p99();
+    const TrafficResult warm_ram = drive(warm_svc, universe, 2);
+    tiers.warm_ram_mean_ms = warm_ram.mean();
+    tiers.warm_ram_p99_ms = warm_ram.p99();
+    const auto m = warm_svc.metrics();
+    tiers.disk_hits = m.disk.hits;
+    tiers.disk_bytes = m.disk.bytes;
+  }
+  util::Table tier_table("Cache tiers: mean / p99 per-request latency");
+  tier_table.set_header({"tier", "mean ms", "p99 ms", "vs rebuild"});
+  tier_table.add_row({"full rebuild", std::to_string(tiers.rebuild_mean_ms).substr(0, 7),
+                      std::to_string(tiers.rebuild_p99_ms).substr(0, 7), "1x"});
+  tier_table.add_row({"warm disk (cold start)",
+                      std::to_string(tiers.warm_disk_mean_ms).substr(0, 7),
+                      std::to_string(tiers.warm_disk_p99_ms).substr(0, 7),
+                      std::to_string(tiers.disk_speedup()).substr(0, 7) + "x"});
+  tier_table.add_row({"warm RAM", std::to_string(tiers.warm_ram_mean_ms).substr(0, 7),
+                      std::to_string(tiers.warm_ram_p99_ms).substr(0, 7),
+                      std::to_string(tiers.warm_ram_mean_ms > 0
+                                         ? tiers.rebuild_mean_ms / tiers.warm_ram_mean_ms
+                                         : 0.0)
+                              .substr(0, 7) +
+                          "x"});
+  std::printf("%s\n", tier_table.to_string().c_str());
+
+  // Priority mix under saturation: one worker, a tiny queue, load-shedding
+  // submits from four clients with a 20/30/50 interactive/batch/background
+  // mix. Background must absorb most of the shedding; interactive latency
+  // stays bounded by the weighted dequeue.
+  std::printf("== priority mix (1 worker, queue=4, 200 try_submits) ==\n");
+  std::array<ClassRow, serve::kPriorityClasses> class_rows{};
+  {
+    serve::ServiceConfig cfg;
+    cfg.workers = 1;
+    cfg.queue_capacity = 4;
+    cfg.cache_bytes = 1;  // ~no RAM tier: every distinct key keeps rebuilding
+    cfg.cache_shards = 1;
+    serve::GranuleService service(cfg, config, campaign.corrections(), index, model_factory,
+                                  scaler);
+    // Fire-and-forget so the queue actually saturates (a client that waits
+    // for each response self-throttles to the build rate and nothing sheds).
+    std::vector<std::vector<serve::ProductFuture>> futures(4);
+    std::vector<std::thread> clients;
+    for (int c = 0; c < 4; ++c) {
+      clients.emplace_back([&, c] {
+        util::Rng rng(42 + c);
+        for (int i = 0; i < 50; ++i) {
+          serve::ProductRequest r = universe[rng.next() % universe.size()];
+          const double u = rng.uniform();
+          r.priority = u < 0.2   ? serve::Priority::interactive
+                       : u < 0.5 ? serve::Priority::batch
+                                 : serve::Priority::background;
+          if (auto f = service.try_submit(r)) futures[static_cast<std::size_t>(c)].push_back(*f);
+        }
+      });
+    }
+    for (auto& t : clients) t.join();
+    std::size_t displaced_waits = 0;
+    for (auto& v : futures)
+      for (auto& f : v) {
+        try {
+          (void)f.get();
+        } catch (const serve::ShedError&) {
+          ++displaced_waits;  // queued job displaced by a higher class
+        }
+      }
+    std::printf("futures that saw ShedError: %zu\n", displaced_waits);
+    const auto m = service.metrics();
+    util::Table prio("Priority classes under saturation");
+    prio.set_header({"class", "requests", "shed", "mean ms", "max ms"});
+    for (std::size_t c = 0; c < serve::kPriorityClasses; ++c) {
+      class_rows[c].requests = m.by_class[c].requests;
+      class_rows[c].shed = m.scheduler.shed_by_class[c];
+      class_rows[c].mean_ms = m.by_class[c].latency.stats.mean();
+      class_rows[c].max_ms = m.by_class[c].latency.stats.max();
+      prio.add_row({serve::priority_name(static_cast<serve::Priority>(c)),
+                    std::to_string(class_rows[c].requests), std::to_string(class_rows[c].shed),
+                    std::to_string(class_rows[c].mean_ms).substr(0, 7),
+                    std::to_string(class_rows[c].max_ms).substr(0, 7)});
+    }
+    std::printf("%s\n", prio.to_string().c_str());
+  }
+
+  if (!json_path.empty()) write_json(json_path, worker_rows, sweep_rows, tiers, class_rows);
 
   std::error_code ec;
   std::filesystem::remove_all(dir, ec);
+
+  // Tripwire: the disk tier must keep paying for itself.
+  if (tiers.disk_speedup() < 5.0) {
+    std::fprintf(stderr,
+                 "FAIL: warm-disk cold start only %.2fx faster than full rebuild "
+                 "(need >= 5x): rebuild %.2f ms vs warm-disk %.2f ms\n",
+                 tiers.disk_speedup(), tiers.rebuild_mean_ms, tiers.warm_disk_mean_ms);
+    return 1;
+  }
+  std::printf("warm-disk cold start: %.1fx faster than full rebuild (>= 5x required)\n",
+              tiers.disk_speedup());
   return 0;
 }

@@ -1,9 +1,12 @@
 // Serving demo: stand up a GranuleService over a sharded tiny campaign and
 // drive mixed hot/cold traffic at it — a skewed workload where one popular
-// product takes most of the requests (the "dashboard granule") while a long
-// tail of cold (beam, method) combinations trickles in. Prints the
-// ServiceMetrics snapshot: cache hit rate, coalescing, backpressure sheds
-// and per-stage latency distributions.
+// product takes most of the requests (the "dashboard granule", submitted as
+// `interactive`) while a long tail of cold (beam, method) combinations
+// trickles in as `background`. Prints the ServiceMetrics snapshot: cache
+// hit rates on both tiers, coalescing, class-aware sheds and per-stage /
+// per-class latency distributions — then "restarts" the service over the
+// same disk cache directory to show the warm-disk cold start (products come
+// back from the disk tier without any shard IO or inference).
 //
 //   ./examples/granule_service
 #include <cstdio>
@@ -58,16 +61,19 @@ int main() {
     return nn::make_lstm_model(config.sequence_window, resample::FeatureRow::kDim, rng);
   };
 
-  // 3. The service: 2 workers, a bounded queue, a 64 MiB product cache.
+  // 3. The service: 2 workers, a bounded queue, a 64 MiB RAM product cache
+  //    and a persistent disk tier under the demo directory.
   serve::ServiceConfig cfg;
   cfg.workers = 2;
   cfg.queue_capacity = 16;
   cfg.cache_bytes = 64u << 20;
+  cfg.disk_cache_dir = dir + "/product_cache";
   serve::GranuleService service(cfg, config, campaign.corrections(), index, model_factory,
                                 scaler);
 
-  // 4. Mixed hot/cold traffic: 70% of requests hit the hot product, the rest
-  //    spread over every (beam, method) combination.
+  // 4. Mixed hot/cold traffic: 70% of requests hit the hot product at
+  //    interactive priority, the rest spread over every (beam, method)
+  //    combination as background backfill.
   const BeamId beams[] = {BeamId::Gt1r, BeamId::Gt2r, BeamId::Gt3r};
   const seasurface::Method methods[] = {
       seasurface::Method::NasaEquation, seasurface::Method::MinElevation,
@@ -75,8 +81,9 @@ int main() {
   serve::ProductRequest hot;
   hot.granule_id = pair.granule.id;
   hot.beam = BeamId::Gt1r;
+  hot.priority = serve::Priority::interactive;
 
-  std::printf("== driving 80 requests (70%% hot) from 4 clients ==\n");
+  std::printf("== driving 80 requests (70%% hot/interactive) from 4 clients ==\n");
   std::vector<std::thread> clients;
   for (int c = 0; c < 4; ++c) {
     clients.emplace_back([&, c] {
@@ -86,12 +93,18 @@ int main() {
         if (rng.uniform() > 0.7) {
           r.beam = beams[rng.next() % 3];
           r.method = methods[rng.next() % 4];
+          r.priority = serve::Priority::background;
         }
-        // Load-shedding submit: a full queue drops the request (a real
-        // frontend would return 429); fall back to the hot product.
+        // Load-shedding submit: under saturation a queued background job is
+        // displaced before an interactive request is refused (a real
+        // frontend would answer 429 / retry-later for the shed class).
         if (auto f = service.try_submit(r)) {
-          const auto response = f->get();
-          (void)response;
+          try {
+            const auto response = f->get();
+            (void)response;
+          } catch (const serve::ShedError&) {
+            // our queued job was displaced by a more important one
+          }
         }
       }
     });
@@ -108,12 +121,24 @@ int main() {
               static_cast<unsigned long long>(m.scheduler.dispatched),
               static_cast<unsigned long long>(m.scheduler.coalesced),
               static_cast<unsigned long long>(m.scheduler.rejected));
-  std::printf("cache             %llu hits / %llu misses (%.0f%% hit rate), %zu products, "
+  std::printf("RAM cache         %llu hits / %llu misses (%.0f%% hit rate), %zu products, "
               "%.1f MiB resident, %llu evictions\n",
               static_cast<unsigned long long>(m.cache.hits),
               static_cast<unsigned long long>(m.cache.misses), m.cache.hit_rate() * 100.0,
               m.cache.entries, static_cast<double>(m.cache.bytes) / (1024.0 * 1024.0),
               static_cast<unsigned long long>(m.cache.evictions));
+  std::printf("disk cache        %llu hits / %llu misses, %zu files, %.1f MiB, "
+              "%llu writes\n",
+              static_cast<unsigned long long>(m.disk.hits),
+              static_cast<unsigned long long>(m.disk.misses), m.disk.entries,
+              static_cast<double>(m.disk.bytes) / (1024.0 * 1024.0),
+              static_cast<unsigned long long>(m.disk.writes));
+  for (std::size_t c = 0; c < serve::kPriorityClasses; ++c)
+    std::printf("class %-11s %llu requests, %llu shed, mean %.2f ms\n",
+                serve::priority_name(static_cast<serve::Priority>(c)),
+                static_cast<unsigned long long>(m.by_class[c].requests),
+                static_cast<unsigned long long>(m.scheduler.shed_by_class[c]),
+                m.by_class[c].latency.stats.mean());
   std::printf("inference         %llu windows in %llu batches\n",
               static_cast<unsigned long long>(m.inference_windows),
               static_cast<unsigned long long>(m.inference_batches));
@@ -122,6 +147,24 @@ int main() {
               m.load.stats.mean(), m.features.stats.mean(), m.inference.stats.mean(),
               m.seasurface.stats.mean(), m.freeboard.stats.mean(), m.total.stats.mean());
   std::printf("\nbuild latency distribution (log-scale bins):\n%s", m.total.render(40).c_str());
+
+  // 6. Restart onto the same disk tier: the RAM cache is empty but every
+  //    product persisted, so the cold start deserializes files instead of
+  //    re-running the pipeline (no shard IO, no inference).
+  service.shutdown();  // drains pending disk write-backs
+  std::printf("\n== restarting over the same disk cache dir ==\n");
+  serve::GranuleService restarted(cfg, config, campaign.corrections(), index, model_factory,
+                                  scaler);
+  util::Timer cold_start;
+  std::size_t from_disk = 0;
+  for (const BeamId beam : beams) {
+    serve::ProductRequest r = hot;
+    r.beam = beam;
+    const auto response = restarted.submit(r).get();
+    if (response.source == serve::ServedFrom::disk) ++from_disk;
+  }
+  std::printf("3 products in %.1f ms, %zu from the disk tier (build would be ~%.0f ms each)\n",
+              cold_start.millis(), from_disk, m.total.stats.mean());
 
   std::error_code ec;
   std::filesystem::remove_all(dir, ec);

@@ -1,8 +1,13 @@
 #include "h5lite/h5file.hpp"
 
 #include <array>
+#include <atomic>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
+#include <system_error>
+
+#include <unistd.h>
 
 namespace is2::h5 {
 
@@ -99,54 +104,49 @@ namespace {
 constexpr char kMagic[4] = {'H', '5', 'L', 'T'};
 constexpr std::uint32_t kVersion = 1;
 
-class Writer {
- public:
-  std::vector<std::uint8_t> buf;
-
-  template <typename T>
-  void raw(const T& v) {
-    const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
-    buf.insert(buf.end(), p, p + sizeof(T));
-  }
-  void bytes(const std::uint8_t* p, std::size_t n) { buf.insert(buf.end(), p, p + n); }
-  void str(const std::string& s) {
-    raw(static_cast<std::uint32_t>(s.size()));
-    bytes(reinterpret_cast<const std::uint8_t*>(s.data()), s.size());
-  }
-};
-
-class Reader {
- public:
-  explicit Reader(std::span<const std::uint8_t> b) : buf_(b) {}
-
-  template <typename T>
-  T raw() {
-    if (pos_ + sizeof(T) > buf_.size()) throw H5Error("h5lite: truncated file");
-    T v;
-    std::memcpy(&v, buf_.data() + pos_, sizeof(T));
-    pos_ += sizeof(T);
-    return v;
-  }
-  void bytes(std::uint8_t* p, std::size_t n) {
-    if (pos_ + n > buf_.size()) throw H5Error("h5lite: truncated file");
-    std::memcpy(p, buf_.data() + pos_, n);
-    pos_ += n;
-  }
-  std::string str() {
-    const auto n = raw<std::uint32_t>();
-    if (pos_ + n > buf_.size()) throw H5Error("h5lite: truncated string");
-    std::string s(reinterpret_cast<const char*>(buf_.data() + pos_), n);
-    pos_ += n;
-    return s;
-  }
-  std::size_t pos() const { return pos_; }
-
- private:
-  std::span<const std::uint8_t> buf_;
-  std::size_t pos_ = 0;
-};
+using Writer = ByteWriter;
+using Reader = ByteReader;
 
 }  // namespace
+
+std::vector<std::uint8_t> read_file_bytes(const std::string& filename) {
+  std::ifstream in(filename, std::ios::binary | std::ios::ate);
+  if (!in) throw H5Error("h5lite: cannot open: " + filename);
+  const auto size = static_cast<std::size_t>(in.tellg());
+  in.seekg(0);
+  std::vector<std::uint8_t> buf(size);
+  in.read(reinterpret_cast<char*>(buf.data()), static_cast<std::streamsize>(size));
+  if (!in) throw H5Error("h5lite: read failed: " + filename);
+  return buf;
+}
+
+void write_file_atomic(const std::string& filename, std::span<const std::uint8_t> bytes) {
+  // Same-directory temp name (rename across filesystems is not atomic).
+  // pid + counter keeps concurrent writers of the same target from
+  // clobbering each other's temp file.
+  static std::atomic<std::uint64_t> seq{0};
+  const std::string tmp = filename + ".tmp." + std::to_string(::getpid()) + "." +
+                          std::to_string(seq.fetch_add(1));
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw H5Error("h5lite: cannot open for writing: " + tmp);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out) {
+      std::error_code ec;
+      std::filesystem::remove(tmp, ec);
+      throw H5Error("h5lite: write failed: " + tmp);
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, filename, ec);
+  if (ec) {
+    std::error_code rm;
+    std::filesystem::remove(tmp, rm);
+    throw H5Error("h5lite: rename failed: " + tmp + " -> " + filename + ": " + ec.message());
+  }
+}
 
 std::vector<std::uint8_t> File::serialize() const {
   Writer body;
@@ -233,11 +233,9 @@ File File::deserialize(std::span<const std::uint8_t> buffer) {
 }
 
 void File::save(const std::string& filename) const {
-  const auto buf = serialize();
-  std::ofstream out(filename, std::ios::binary | std::ios::trunc);
-  if (!out) throw H5Error("h5lite: cannot open for writing: " + filename);
-  out.write(reinterpret_cast<const char*>(buf.data()), static_cast<std::streamsize>(buf.size()));
-  if (!out) throw H5Error("h5lite: write failed: " + filename);
+  // Atomic write-then-rename: a crash mid-save leaves the previous file (or
+  // nothing), never a truncated container.
+  write_file_atomic(filename, serialize());
 }
 
 namespace {
@@ -330,14 +328,7 @@ FileMeta File::scan(const std::string& filename) {
 }
 
 File File::load(const std::string& filename) {
-  std::ifstream in(filename, std::ios::binary | std::ios::ate);
-  if (!in) throw H5Error("h5lite: cannot open: " + filename);
-  const auto size = static_cast<std::size_t>(in.tellg());
-  in.seekg(0);
-  std::vector<std::uint8_t> buf(size);
-  in.read(reinterpret_cast<char*>(buf.data()), static_cast<std::streamsize>(size));
-  if (!in) throw H5Error("h5lite: read failed: " + filename);
-  return deserialize(buf);
+  return deserialize(read_file_bytes(filename));
 }
 
 }  // namespace is2::h5

@@ -19,6 +19,7 @@
 #include <span>
 #include <stdexcept>
 #include <string>
+#include <type_traits>
 #include <variant>
 #include <vector>
 
@@ -154,5 +155,74 @@ class File {
 
 /// CRC-32 (IEEE 802.3) used for file integrity.
 std::uint32_t crc32(std::span<const std::uint8_t> data);
+
+// ---------------------------------------------------------------------------
+// Generic little-endian block IO
+// ---------------------------------------------------------------------------
+// The primitives the h5lite format is built from, exposed so other versioned
+// binary formats (e.g. the serve disk product cache) share one set of
+// bounds-checked encode/decode routines instead of reinventing them.
+
+/// Append-only little-endian byte buffer: fixed-width scalars via raw<T>(),
+/// length-prefixed strings via str().
+class ByteWriter {
+ public:
+  std::vector<std::uint8_t> buf;
+
+  template <typename T>
+  void raw(const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
+    buf.insert(buf.end(), p, p + sizeof(T));
+  }
+  void bytes(const std::uint8_t* p, std::size_t n) { buf.insert(buf.end(), p, p + n); }
+  void str(const std::string& s) {
+    raw(static_cast<std::uint32_t>(s.size()));
+    bytes(reinterpret_cast<const std::uint8_t*>(s.data()), s.size());
+  }
+};
+
+/// Bounds-checked sequential reader over an in-memory buffer; every read
+/// past the end throws H5Error("truncated ...") instead of reading garbage.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> b) : buf_(b) {}
+
+  template <typename T>
+  T raw() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (pos_ + sizeof(T) > buf_.size()) throw H5Error("h5lite: truncated file");
+    T v;
+    std::memcpy(&v, buf_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+  void bytes(std::uint8_t* p, std::size_t n) {
+    if (pos_ + n > buf_.size()) throw H5Error("h5lite: truncated file");
+    std::memcpy(p, buf_.data() + pos_, n);
+    pos_ += n;
+  }
+  std::string str() {
+    const auto n = raw<std::uint32_t>();
+    if (pos_ + n > buf_.size()) throw H5Error("h5lite: truncated string");
+    std::string s(reinterpret_cast<const char*>(buf_.data() + pos_), n);
+    pos_ += n;
+    return s;
+  }
+  std::size_t pos() const { return pos_; }
+  std::size_t remaining() const { return buf_.size() - pos_; }
+
+ private:
+  std::span<const std::uint8_t> buf_;
+  std::size_t pos_ = 0;
+};
+
+/// Whole-file read into memory; throws H5Error when unreadable.
+std::vector<std::uint8_t> read_file_bytes(const std::string& filename);
+
+/// Crash-safe whole-file write: the bytes land in a same-directory temp file
+/// which is atomically renamed over `filename`, so readers only ever see the
+/// old content or the complete new content — never a partial write.
+void write_file_atomic(const std::string& filename, std::span<const std::uint8_t> bytes);
 
 }  // namespace is2::h5

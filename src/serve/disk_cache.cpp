@@ -1,0 +1,305 @@
+#include "serve/disk_cache.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+#include <utility>
+
+#include "h5lite/h5file.hpp"
+
+namespace is2::serve {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr char kMagic[4] = {'I', 'S', '2', 'P'};
+constexpr std::size_t kIdentityPrefixBytes = 4 + 4 + 8 + 1;  ///< magic..beam, before id
+
+/// Fixed-size header fields shared by serialize/deserialize/manifest-scan.
+struct Identity {
+  std::uint32_t version = 0;
+  ProductKey key;
+};
+
+/// Parse the identity header off the front of a buffer. Throws h5::H5Error
+/// on truncation or bad magic; version checking is the caller's decision
+/// (the manifest scan wants to *detect* stale versions, not choke on them).
+Identity read_identity(h5::ByteReader& r) {
+  char magic[4];
+  r.bytes(reinterpret_cast<std::uint8_t*>(magic), 4);
+  if (std::memcmp(magic, kMagic, 4) != 0) throw h5::H5Error("disk_cache: bad magic");
+  Identity id;
+  id.version = r.raw<std::uint32_t>();
+  id.key.config_hash = r.raw<std::uint64_t>();
+  id.key.beam = static_cast<atl03::BeamId>(r.raw<std::uint8_t>());
+  id.key.granule_id = r.str();
+  return id;
+}
+
+void write_segment(h5::ByteWriter& w, const resample::Segment& s) {
+  w.raw(s.s); w.raw(s.t); w.raw(s.x); w.raw(s.y);
+  w.raw(s.h_mean); w.raw(s.h_median); w.raw(s.h_std); w.raw(s.h_min);
+  w.raw(s.n_photons); w.raw(s.photon_rate); w.raw(s.bckgrd_rate);
+  w.raw(static_cast<std::uint8_t>(s.truth));
+}
+
+resample::Segment read_segment(h5::ByteReader& r) {
+  resample::Segment s;
+  s.s = r.raw<double>(); s.t = r.raw<double>(); s.x = r.raw<double>(); s.y = r.raw<double>();
+  s.h_mean = r.raw<double>(); s.h_median = r.raw<double>();
+  s.h_std = r.raw<double>(); s.h_min = r.raw<double>();
+  s.n_photons = r.raw<std::uint32_t>();
+  s.photon_rate = r.raw<double>(); s.bckgrd_rate = r.raw<double>();
+  s.truth = static_cast<atl03::SurfaceClass>(r.raw<std::uint8_t>());
+  return s;
+}
+
+/// Element counts read from disk are validated against the bytes actually
+/// remaining before any allocation, so a corrupt count raises H5Error
+/// instead of attempting a multi-GiB vector resize.
+std::size_t checked_count(h5::ByteReader& r, std::size_t min_elem_bytes) {
+  const auto n = r.raw<std::uint64_t>();
+  if (min_elem_bytes && n > r.remaining() / min_elem_bytes)
+    throw h5::H5Error("disk_cache: corrupt element count");
+  return static_cast<std::size_t>(n);
+}
+
+}  // namespace
+
+std::string DiskCache::filename_for(const ProductKey& key) {
+  std::string id = key.granule_id;
+  for (char& c : id)
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '-' && c != '_') c = '-';
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "_%s_%016llx_%016llx.is2p", atl03::beam_name(key.beam),
+                static_cast<unsigned long long>(key.config_hash),
+                static_cast<unsigned long long>(ProductKeyHash{}(key)));
+  return id + buf;
+}
+
+std::vector<std::uint8_t> DiskCache::serialize(const ProductKey& key,
+                                               const GranuleProduct& product) {
+  h5::ByteWriter body;
+  body.raw(static_cast<std::uint64_t>(product.segments.size()));
+  for (const auto& s : product.segments) write_segment(body, s);
+  body.raw(static_cast<std::uint64_t>(product.classes.size()));
+  for (const auto c : product.classes) body.raw(static_cast<std::uint8_t>(c));
+  const auto& surface = product.sea_surface.points();
+  body.raw(static_cast<std::uint64_t>(surface.size()));
+  for (const auto& p : surface) {
+    body.raw(p.s); body.raw(p.h_ref); body.raw(p.sigma);
+    body.raw(p.n_leads); body.raw(p.n_water_segments);
+    body.raw(static_cast<std::uint8_t>(p.interpolated));
+  }
+  body.raw(static_cast<std::uint64_t>(product.freeboard.points.size()));
+  for (const auto& p : product.freeboard.points) {
+    body.raw(p.s); body.raw(p.x); body.raw(p.y); body.raw(p.freeboard);
+    body.raw(static_cast<std::uint8_t>(p.cls));
+    body.raw(static_cast<std::uint8_t>(p.truth));
+  }
+
+  h5::ByteWriter out;
+  out.bytes(reinterpret_cast<const std::uint8_t*>(kMagic), 4);
+  out.raw(kFormatVersion);
+  out.raw(key.config_hash);
+  out.raw(static_cast<std::uint8_t>(key.beam));
+  out.str(key.granule_id);
+  out.raw(static_cast<std::uint64_t>(body.buf.size()));
+  out.bytes(body.buf.data(), body.buf.size());
+  out.raw(h5::crc32(body.buf));
+  return out.buf;
+}
+
+GranuleProduct DiskCache::deserialize(std::span<const std::uint8_t> bytes,
+                                      const ProductKey& expect) {
+  h5::ByteReader r(bytes);
+  const Identity id = read_identity(r);
+  if (id.version != kFormatVersion) throw h5::H5Error("disk_cache: stale format version");
+  if (!(id.key == expect)) throw h5::H5Error("disk_cache: key mismatch");
+  const auto payload = r.raw<std::uint64_t>();
+  if (payload > r.remaining() || r.remaining() - payload < 4)
+    throw h5::H5Error("disk_cache: truncated payload");
+  const auto payload_span = bytes.subspan(r.pos(), static_cast<std::size_t>(payload));
+  h5::ByteReader crc_r(bytes.subspan(r.pos() + static_cast<std::size_t>(payload)));
+  if (crc_r.raw<std::uint32_t>() != h5::crc32(payload_span))
+    throw h5::H5Error("disk_cache: checksum mismatch (corrupt file)");
+
+  h5::ByteReader body(payload_span);
+  GranuleProduct product;
+  product.granule_id = expect.granule_id;
+  product.beam = expect.beam;
+  const std::size_t n_segments = checked_count(body, 8);
+  product.segments.reserve(n_segments);
+  for (std::size_t i = 0; i < n_segments; ++i)
+    product.segments.push_back(read_segment(body));
+  product.classes.resize(checked_count(body, 1));
+  for (auto& c : product.classes)
+    c = static_cast<atl03::SurfaceClass>(body.raw<std::uint8_t>());
+  std::vector<seasurface::SeaSurfacePoint> surface(checked_count(body, 8));
+  for (auto& p : surface) {
+    p.s = body.raw<double>(); p.h_ref = body.raw<double>(); p.sigma = body.raw<double>();
+    p.n_leads = body.raw<std::uint32_t>();
+    p.n_water_segments = body.raw<std::uint32_t>();
+    p.interpolated = body.raw<std::uint8_t>() != 0;
+  }
+  product.sea_surface = seasurface::SeaSurfaceProfile(std::move(surface));
+  product.freeboard.points.resize(checked_count(body, 8));
+  for (auto& p : product.freeboard.points) {
+    p.s = body.raw<double>(); p.x = body.raw<double>(); p.y = body.raw<double>();
+    p.freeboard = body.raw<double>();
+    p.cls = static_cast<atl03::SurfaceClass>(body.raw<std::uint8_t>());
+    p.truth = static_cast<atl03::SurfaceClass>(body.raw<std::uint8_t>());
+  }
+  if (body.remaining() != 0) throw h5::H5Error("disk_cache: trailing bytes in payload");
+  return product;
+}
+
+DiskCache::DiskCache(DiskCacheConfig config) : config_(std::move(config)) {
+  if (config_.dir.empty()) throw std::invalid_argument("DiskCache: empty directory");
+  fs::create_directories(config_.dir);
+
+  // Rebuild the manifest from what survived on disk. Only the identity
+  // prefix of each file is read here (not the payload); anything that fails
+  // even that — leftover temp files from a crashed writer, truncated or
+  // foreign files, stale format versions — is deleted now rather than probed
+  // forever.
+  struct Found {
+    fs::file_time_type mtime;
+    Entry entry;
+  };
+  std::vector<Found> found;
+  for (const auto& de : fs::directory_iterator(config_.dir)) {
+    if (!de.is_regular_file()) continue;
+    const std::string path = de.path().string();
+    if (de.path().extension() != ".is2p") {
+      if (path.find(".is2p.tmp.") != std::string::npos) {  // crashed mid-write
+        std::error_code ec;
+        fs::remove(de.path(), ec);
+        ++corrupt_dropped_;
+      }
+      continue;
+    }
+    try {
+      const auto head_bytes = static_cast<std::size_t>(
+          std::min<std::uintmax_t>(de.file_size(), kIdentityPrefixBytes + 4 + 4096));
+      std::vector<std::uint8_t> head(head_bytes);
+      std::ifstream in(path, std::ios::binary);
+      if (!in) throw h5::H5Error("disk_cache: cannot open: " + path);
+      in.read(reinterpret_cast<char*>(head.data()), static_cast<std::streamsize>(head.size()));
+      if (!in) throw h5::H5Error("disk_cache: cannot read: " + path);
+      h5::ByteReader r(head);
+      const Identity id = read_identity(r);
+      if (id.version != kFormatVersion) throw h5::H5Error("disk_cache: stale format version");
+      found.push_back(
+          {de.last_write_time(),
+           Entry{id.key, path, static_cast<std::size_t>(de.file_size())}});
+    } catch (const std::exception&) {
+      std::error_code ec;
+      fs::remove(de.path(), ec);
+      ++corrupt_dropped_;
+    }
+  }
+  // Oldest files become the LRU end (first eviction candidates).
+  std::sort(found.begin(), found.end(),
+            [](const Found& a, const Found& b) { return a.mtime > b.mtime; });
+  for (auto& f : found) {
+    if (index_.count(f.entry.key)) continue;  // duplicate key: keep the newest
+    bytes_ += f.entry.bytes;
+    lru_.push_back(std::move(f.entry));
+    index_[lru_.back().key] = std::prev(lru_.end());
+  }
+  evict_over_budget_locked();
+}
+
+void DiskCache::drop_entry_locked(std::list<Entry>::iterator it, bool corrupt) {
+  std::error_code ec;
+  fs::remove(it->path, ec);
+  bytes_ -= it->bytes;
+  index_.erase(it->key);
+  lru_.erase(it);
+  if (corrupt)
+    ++corrupt_dropped_;
+  else
+    ++evictions_;
+}
+
+void DiskCache::evict_over_budget_locked() {
+  while (bytes_ > config_.byte_budget && lru_.size() > 1)
+    drop_entry_locked(std::prev(lru_.end()), /*corrupt=*/false);
+}
+
+std::shared_ptr<const GranuleProduct> DiskCache::get(const ProductKey& key) {
+  std::lock_guard lock(mutex_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  try {
+    const auto bytes = h5::read_file_bytes(it->second->path);
+    auto product = std::make_shared<GranuleProduct>(deserialize(bytes, key));
+    lru_.splice(lru_.begin(), lru_, it->second);  // refresh
+    ++hits_;
+    return product;
+  } catch (const std::exception&) {
+    // Truncated / corrupt / stale-version / mismatched file: never served.
+    drop_entry_locked(it->second, /*corrupt=*/true);
+    ++misses_;
+    return nullptr;
+  }
+}
+
+void DiskCache::put(const ProductKey& key, const GranuleProduct& product) {
+  const std::vector<std::uint8_t> bytes = serialize(key, product);
+  const std::string path = (fs::path(config_.dir) / filename_for(key)).string();
+  h5::write_file_atomic(path, bytes);
+
+  std::lock_guard lock(mutex_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {  // replaced in place by the rename
+    bytes_ -= it->second->bytes;
+    lru_.erase(it->second);
+    index_.erase(it);
+  }
+  lru_.push_front(Entry{key, path, bytes.size()});
+  index_[key] = lru_.begin();
+  bytes_ += bytes.size();
+  ++writes_;
+  evict_over_budget_locked();
+}
+
+bool DiskCache::contains(const ProductKey& key) const {
+  std::lock_guard lock(mutex_);
+  return index_.count(key) != 0;
+}
+
+DiskCacheStats DiskCache::stats() const {
+  std::lock_guard lock(mutex_);
+  DiskCacheStats out;
+  out.hits = hits_;
+  out.misses = misses_;
+  out.writes = writes_;
+  out.evictions = evictions_;
+  out.corrupt_dropped = corrupt_dropped_;
+  out.bytes = bytes_;
+  out.entries = lru_.size();
+  return out;
+}
+
+void DiskCache::clear() {
+  std::lock_guard lock(mutex_);
+  for (const auto& e : lru_) {
+    std::error_code ec;
+    fs::remove(e.path, ec);
+  }
+  lru_.clear();
+  index_.clear();
+  bytes_ = 0;
+}
+
+}  // namespace is2::serve

@@ -1,0 +1,132 @@
+// Disk tier of the two-tier `is2::serve` product cache: fully built
+// `GranuleProduct`s persisted as versioned binary files, so a restarted (or
+// RAM-evicted) service answers repeat requests by deserializing one file
+// instead of re-reading every shard and re-running inference.
+//
+// Ownership / threading contract:
+//  * One `DiskCache` owns one directory; do not point two instances at the
+//    same directory in the same process (cross-process sharing is safe for
+//    readers because writes are atomic rename-on-publish, but the LRU
+//    manifests will disagree about residency).
+//  * All public methods are thread-safe behind a single mutex. `get()` and
+//    `put()` perform file IO while holding it, so calls block for the
+//    duration of one (de)serialization — callers that care (the service's
+//    write-back) run them on a background thread.
+//  * Entries are keyed by the same `ProductKey` as the RAM tier. The
+//    config-hash and a format version live in every file header, so a config,
+//    model or format change makes old entries unreadable-as-stale: they are
+//    treated as misses and deleted (self-invalidation), never served.
+//  * Crash safety: files are written to a temp name and atomically renamed
+//    (h5::write_file_atomic); a partially written, truncated, corrupt or
+//    wrong-version file is deleted on probe and reported as a miss.
+//  * The directory is byte-budgeted: an LRU manifest (rebuilt from file
+//    headers at startup, ordered by mtime) evicts least-recently-used files
+//    until the directory fits.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/product_cache.hpp"
+
+namespace is2::serve {
+
+struct DiskCacheConfig {
+  std::string dir;                         ///< cache directory (created if absent)
+  std::size_t byte_budget = 1ull << 30;    ///< total on-disk bytes before LRU eviction
+};
+
+struct DiskCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t writes = 0;            ///< successful put() publishes
+  std::uint64_t evictions = 0;         ///< files deleted by the byte budget
+  std::uint64_t corrupt_dropped = 0;   ///< stale/corrupt/partial files deleted
+  std::size_t bytes = 0;               ///< resident on-disk bytes
+  std::size_t entries = 0;             ///< resident files
+
+  double hit_rate() const {
+    const std::uint64_t n = hits + misses;
+    return n ? static_cast<double>(hits) / static_cast<double>(n) : 0.0;
+  }
+};
+
+class DiskCache {
+ public:
+  /// Bump when the product payload layout changes: every existing cache file
+  /// self-invalidates on the next probe.
+  static constexpr std::uint32_t kFormatVersion = 1;
+
+  /// Creates the directory if needed, deletes leftover temp files, rebuilds
+  /// the LRU manifest from the surviving file headers (oldest mtime = first
+  /// eviction candidate) and evicts down to the byte budget.
+  explicit DiskCache(DiskCacheConfig config);
+
+  DiskCache(const DiskCache&) = delete;
+  DiskCache& operator=(const DiskCache&) = delete;
+
+  /// Probe + deserialize; refreshes LRU position on hit. Any unreadable file
+  /// (truncated, bad CRC, wrong version, key mismatch) is deleted and
+  /// reported as a miss — a corrupt entry is never served. Blocks for the
+  /// file read.
+  std::shared_ptr<const GranuleProduct> get(const ProductKey& key);
+
+  /// Serialize + atomically publish, then evict LRU files over budget.
+  /// Blocks for the file write; errors (e.g. disk full) throw.
+  void put(const ProductKey& key, const GranuleProduct& product);
+
+  /// Manifest-only probe: no file IO, no LRU refresh, no counters.
+  bool contains(const ProductKey& key) const;
+
+  DiskCacheStats stats() const;
+
+  /// Delete every cache file and reset the manifest (not the counters).
+  void clear();
+
+  const std::string& dir() const { return config_.dir; }
+  std::size_t byte_budget() const { return config_.byte_budget; }
+
+  // Format layer, exposed for tests and offline tooling ----------------------
+  //
+  // File layout (little-endian, h5::ByteWriter/ByteReader):
+  //   magic "IS2P" | u32 format_version | u64 config_hash | u8 beam
+  //   | str granule_id | u64 payload_bytes | payload | u32 crc32(payload)
+
+  /// Encode one product under its cache key.
+  static std::vector<std::uint8_t> serialize(const ProductKey& key,
+                                             const GranuleProduct& product);
+
+  /// Decode; throws h5::H5Error on any malformation, version or CRC mismatch,
+  /// or when the embedded key differs from `expect` (filename collision).
+  static GranuleProduct deserialize(std::span<const std::uint8_t> bytes,
+                                    const ProductKey& expect);
+
+  /// Deterministic per-key file name within the cache directory.
+  static std::string filename_for(const ProductKey& key);
+
+ private:
+  struct Entry {
+    ProductKey key;
+    std::string path;       ///< absolute path of the cache file
+    std::size_t bytes = 0;  ///< on-disk size
+  };
+
+  void evict_over_budget_locked();
+  void drop_entry_locked(std::list<Entry>::iterator it, bool corrupt);
+
+  DiskCacheConfig config_;
+  mutable std::mutex mutex_;
+  std::list<Entry> lru_;  ///< front = most recently used
+  std::unordered_map<ProductKey, std::list<Entry>::iterator, ProductKeyHash> index_;
+  std::size_t bytes_ = 0;
+  std::uint64_t hits_ = 0, misses_ = 0, writes_ = 0, evictions_ = 0, corrupt_dropped_ = 0;
+};
+
+}  // namespace is2::serve

@@ -1,10 +1,17 @@
-// Sharded LRU cache for served granule products (the hot half of the
-// `is2::serve` subsystem). Entries are keyed by (granule_id, beam,
-// config-hash) so a config or model change never serves stale products, and
-// eviction is byte-budgeted: each shard evicts from its least-recently-used
-// end until it fits, so total resident bytes stay near the budget no matter
-// how large individual products are. Sharding (key-hash -> shard) keeps lock
+// Sharded LRU cache for served granule products (the RAM tier of the
+// two-tier `is2::serve` product cache; the disk tier is serve/disk_cache).
+// Entries are keyed by ProductKey = (granule_id, beam, config-hash) so a
+// config or model change never serves stale products, and eviction is
+// byte-budgeted: each shard evicts from its least-recently-used end until it
+// fits, so total resident bytes stay near the budget no matter how large
+// individual products are. Sharding (key-hash -> shard) keeps lock
 // contention low under concurrent mixed hit/miss traffic.
+//
+// Ownership / threading contract: every method is thread-safe; a call locks
+// exactly one shard mutex (stats()/clear() lock each in turn) and performs
+// no IO, so nothing here blocks beyond a short critical section. Products
+// are immutable once inserted and handed out as shared_ptr<const>, so a hit
+// stays valid after eviction; callers never copy product bytes.
 #pragma once
 
 #include <cstddef>

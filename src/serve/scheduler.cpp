@@ -5,10 +5,19 @@
 
 namespace is2::serve {
 
+const char* priority_name(Priority p) {
+  switch (p) {
+    case Priority::interactive: return "interactive";
+    case Priority::batch: return "batch";
+    case Priority::background: return "background";
+  }
+  return "?";
+}
+
 BatchScheduler::BatchScheduler(const Config& config, Builder builder)
     : config_(config),
       builder_(std::move(builder)),
-      queue_(config.queue_capacity),
+      queue_(config.queue_capacity, config.class_weights),
       pool_(config.workers ? config.workers : 1) {
   if (!builder_) throw std::invalid_argument("BatchScheduler: null builder");
   drains_.reserve(pool_.size());
@@ -23,6 +32,7 @@ BatchScheduler::JobPtr BatchScheduler::make_job(const ProductRequest& request,
   auto job = std::make_shared<Job>();
   job->request = request;
   job->key = key;
+  job->cls = request.priority;
   job->future = job->promise.get_future().share();
   return job;
 }
@@ -45,28 +55,54 @@ ProductFuture BatchScheduler::submit(const ProductRequest& request, const Produc
     auto it = inflight_.find(key);
     if (it != inflight_.end()) {
       ++coalesced_;
-      return it->second->future;  // single-flight: attach to the live build
+      // Single-flight: attach to the live build. A higher-priority requester
+      // drags a still-queued job up to its class so it cannot be displaced
+      // by (or starved behind) traffic the requester outranks. Job::cls is
+      // updated even when the queue promote misses (the job may still be
+      // inside submit()'s blocking push, in no lane yet); the pusher
+      // re-promotes from Job::cls once the push lands.
+      if (static_cast<std::uint8_t>(request.priority) <
+          static_cast<std::uint8_t>(it->second->cls)) {
+        it->second->cls = request.priority;
+        queue_.promote(it->second, request.priority);
+      }
+      return it->second->future;
     }
     job = make_job(request, key);
     inflight_[key] = job;
     ++dispatched_;
+    ++dispatched_by_class_[static_cast<std::size_t>(job->cls)];
   }
   // Blocking push outside the lock so other submitters can still coalesce
   // onto this job while we wait for queue space (that is the backpressure).
-  if (!queue_.push(job)) {
+  if (!queue_.push(job, request.priority)) {
     {
       std::lock_guard lock(mutex_);
       inflight_.erase(key);
       --dispatched_;
+      --dispatched_by_class_[static_cast<std::size_t>(request.priority)];
     }
     job->promise.set_exception(
         std::make_exception_ptr(std::runtime_error("BatchScheduler: shut down")));
+    return job->future;
+  }
+  {
+    // A coalescer may have raised Job::cls while we were blocked in push()
+    // (its queue promote found nothing to move). Re-apply it now that the
+    // job is in a lane, so the promoted-jobs-can't-be-displaced invariant
+    // holds across the push window.
+    std::lock_guard lock(mutex_);
+    if (static_cast<std::uint8_t>(job->cls) <
+        static_cast<std::uint8_t>(request.priority))
+      queue_.promote(job, job->cls);
   }
   return job->future;
 }
 
 std::optional<ProductFuture> BatchScheduler::try_submit(const ProductRequest& request,
-                                                        const ProductKey& key) {
+                                                        const ProductKey& key,
+                                                        std::optional<Priority>* shed_class) {
+  if (shed_class) shed_class->reset();
   std::lock_guard lock(mutex_);
   // A shut-down scheduler is not "full, retry later": return a broken
   // future (like submit) so load-shedding clients don't spin forever.
@@ -74,27 +110,49 @@ std::optional<ProductFuture> BatchScheduler::try_submit(const ProductRequest& re
   auto it = inflight_.find(key);
   if (it != inflight_.end()) {
     ++coalesced_;
+    if (static_cast<std::uint8_t>(request.priority) <
+        static_cast<std::uint8_t>(it->second->cls)) {
+      it->second->cls = request.priority;  // pusher re-promotes on a miss
+      queue_.promote(it->second, request.priority);
+    }
     return it->second->future;
   }
   JobPtr job = make_job(request, key);
   // Non-blocking push under the scheduler lock: either the job becomes
   // visible as in-flight and queued atomically, or nobody ever saw it.
-  if (!queue_.try_push(job)) {
+  std::optional<std::pair<JobPtr, Priority>> victim;
+  if (!queue_.try_push(job, request.priority, &victim)) {
     ++rejected_;
+    ++shed_by_class_[static_cast<std::size_t>(request.priority)];
+    if (shed_class) *shed_class = request.priority;
     return std::nullopt;
+  }
+  if (victim) {
+    // A queued lower-class job was displaced to admit this one. Its waiters
+    // (original submitter + anyone coalesced) see ShedError and may retry.
+    inflight_.erase(victim->first->key);
+    ++displaced_;
+    ++shed_by_class_[static_cast<std::size_t>(victim->second)];
+    if (shed_class) *shed_class = victim->second;
+    victim->first->promise.set_exception(std::make_exception_ptr(
+        ShedError("BatchScheduler: shed " + std::string(priority_name(victim->second)) +
+                  " job for " + std::string(priority_name(request.priority)) + " admission")));
   }
   inflight_[key] = job;
   ++dispatched_;
+  ++dispatched_by_class_[static_cast<std::size_t>(job->cls)];
   return job->future;
 }
 
 void BatchScheduler::drain_loop() {
   while (auto popped = queue_.pop()) {
-    JobPtr job = std::move(*popped);
+    JobPtr job = std::move(popped->first);
     try {
       ProductResponse response = builder_(job->request, job->key);
       response.service_ms = job->enqueued.millis();
+      const double service_ms = response.service_ms;
       job->promise.set_value(std::move(response));
+      if (config_.on_served) config_.on_served(job->request.priority, service_ms);
     } catch (...) {
       job->promise.set_exception(std::current_exception());
     }
@@ -110,9 +168,14 @@ SchedulerStats BatchScheduler::stats() const {
   out.dispatched = dispatched_;
   out.coalesced = coalesced_;
   out.rejected = rejected_;
+  out.displaced = displaced_;
   out.completed = completed_;
   out.queue_depth = queue_.size();
   out.in_flight = inflight_.size();
+  out.shed_by_class = shed_by_class_;
+  out.dispatched_by_class = dispatched_by_class_;
+  for (std::size_t c = 0; c < kPriorityClasses; ++c)
+    out.queue_depth_by_class[c] = queue_.size(static_cast<Priority>(c));
   return out;
 }
 

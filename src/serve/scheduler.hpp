@@ -1,18 +1,38 @@
-// Request admission and dispatch for the serving subsystem:
+// Request admission and dispatch for the serving subsystem.
 //
-//  * `BoundedQueue<T>` — a bounded MPMC queue. push() blocks while the queue
-//    is full (backpressure toward the client), try_push() sheds load
-//    instead; pop() blocks while empty and drains remaining items after
-//    close() so shutdown never drops accepted work.
+// Ownership / threading contract: every type here is thread-safe; the
+// scheduler owns its worker threads and joins them in shutdown()/dtor.
+//
+//  * `Priority` — the three admission classes. Lower enum value = more
+//    important. `interactive` is user-facing traffic, `batch` is planned
+//    reprocessing, `background` is opportunistic work (prefetch, backfill)
+//    that is always the first to be shed.
+//  * `BoundedQueue<T>` — a single-class bounded MPMC queue. push() blocks
+//    while the queue is full (backpressure toward the client), try_push()
+//    sheds load instead; pop() blocks while empty and drains remaining items
+//    after close() so shutdown never drops accepted work.
+//  * `PriorityQueue<T>` — the per-class variant the scheduler dispatches
+//    from: one bounded deque per `Priority` sharing a total capacity,
+//    weighted-round-robin pop (so a flood of interactive work cannot starve
+//    background forever, and vice versa), and displacement on try_push: when
+//    full, the newest queued item of the lowest class strictly below the
+//    incoming one is shed to make room (background first). promote() moves a
+//    queued item to a higher class when an important requester coalesces
+//    onto a job queued by a less important one.
 //  * `BatchScheduler` — coalesces concurrent requests for the same
 //    (granule, beam, config) into a single build job (single-flight), queues
-//    cold jobs through the bounded queue, and executes them on a
+//    cold jobs through the priority queue, and executes them on a
 //    `util::ThreadPool` of worker threads. The builder callback runs the
 //    heavy granule pipeline (and performs its own cache insert/recheck), so
 //    a key is never built twice concurrently and every attached requester
-//    shares one `ProductResponse`.
+//    shares one `ProductResponse`. Which methods block: submit() (while the
+//    queue is full); try_submit() never blocks — it sheds instead and
+//    reports the shed class. Displaced jobs fail their shared future with
+//    `ShedError`.
 #pragma once
 
+#include <algorithm>
+#include <array>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -22,7 +42,9 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <stdexcept>
 #include <unordered_map>
+#include <utility>
 
 #include "serve/product_cache.hpp"
 #include "util/thread_pool.hpp"
@@ -30,20 +52,45 @@
 
 namespace is2::serve {
 
-/// One client request: which product to materialize and with which sea
-/// surface estimator (the method participates in the config hash, so every
-/// method gets its own cache entry).
+/// Admission class of a request. Order matters: smaller value = higher
+/// priority, and shedding walks from the back of this enum forward.
+enum class Priority : std::uint8_t { interactive = 0, batch = 1, background = 2 };
+
+inline constexpr std::size_t kPriorityClasses = 3;
+
+/// Per-class counts/weights, indexed by static_cast<std::size_t>(Priority).
+using ClassWeights = std::array<std::size_t, kPriorityClasses>;
+
+const char* priority_name(Priority p);
+
+/// Raised through the shared future of a queued job that was displaced by a
+/// higher-priority admission (distinct from the shutdown runtime_error so
+/// clients can retry shed work but not shutdown work).
+class ShedError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// One client request: which product to materialize, with which sea surface
+/// estimator (the method participates in the config hash, so every method
+/// gets its own cache entry), and at which admission priority.
 struct ProductRequest {
   std::string granule_id;
   atl03::BeamId beam = atl03::BeamId::Gt1r;
   seasurface::Method method = seasurface::Method::NasaEquation;
+  Priority priority = Priority::batch;
 };
+
+/// Where a response came from. `ram` and `disk` are the two cache tiers;
+/// `build` means the full pipeline ran.
+enum class ServedFrom : std::uint8_t { build = 0, ram = 1, disk = 2 };
 
 /// Outcome shared by every request coalesced onto one build.
 struct ProductResponse {
   std::shared_ptr<const GranuleProduct> product;
   bool from_cache = false;  ///< no pipeline ran to answer this response
   double service_ms = 0.0;  ///< queue wait + build wall time (0 on fast path)
+  ServedFrom source = ServedFrom::build;
 };
 
 using ProductFuture = std::shared_future<ProductResponse>;
@@ -112,13 +159,161 @@ class BoundedQueue {
   bool closed_ = false;
 };
 
+/// Bounded MPMC queue with one FIFO lane per `Priority`, a shared total
+/// capacity, weighted-round-robin dequeue and class-aware displacement.
+/// Thread-safe; push() blocks, everything else does not.
+template <typename T>
+class PriorityQueue {
+ public:
+  using Weights = ClassWeights;
+
+  /// `weights` are dequeues granted per class per round-robin cycle
+  /// (work-conserving: an empty class forfeits its turns, and a zero weight
+  /// only defers a non-empty class until every other class is empty or out
+  /// of credit).
+  explicit PriorityQueue(std::size_t capacity, Weights weights = {8, 3, 1})
+      : capacity_(capacity ? capacity : 1), weights_(weights), credits_(weights) {}
+
+  /// Blocking push; waits for total space. Returns false iff closed.
+  bool push(T item, Priority cls) {
+    std::unique_lock lock(mutex_);
+    space_cv_.wait(lock, [this] { return closed_ || total_locked() < capacity_; });
+    if (closed_) return false;
+    lane(cls).push_back(std::move(item));
+    lock.unlock();
+    item_cv_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking push with displacement. When the queue is full, the newest
+  /// queued item of the lowest non-empty class *strictly below* `cls` is
+  /// removed into *victim to make room (shed background first). Returns
+  /// false — the push itself is shed — when closed, or when full with
+  /// nothing lower-class queued.
+  bool try_push(T item, Priority cls,
+                std::optional<std::pair<T, Priority>>* victim = nullptr) {
+    std::unique_lock lock(mutex_);
+    if (victim) victim->reset();
+    if (closed_) return false;
+    if (total_locked() >= capacity_) {
+      const auto incoming = static_cast<std::size_t>(cls);
+      std::size_t shed = kPriorityClasses;
+      for (std::size_t c = kPriorityClasses; c-- > incoming + 1;) {
+        if (!items_[c].empty()) {
+          shed = c;
+          break;
+        }
+      }
+      if (shed == kPriorityClasses) return false;
+      if (victim) victim->emplace(std::move(items_[shed].back()), static_cast<Priority>(shed));
+      items_[shed].pop_back();
+    }
+    lane(cls).push_back(std::move(item));
+    lock.unlock();
+    item_cv_.notify_one();
+    return true;
+  }
+
+  /// Move a queued item to a higher class; no-op (false) when the item is
+  /// not queued below `to` (e.g. already being built).
+  bool promote(const T& item, Priority to) {
+    std::lock_guard lock(mutex_);
+    for (std::size_t c = static_cast<std::size_t>(to) + 1; c < kPriorityClasses; ++c) {
+      auto& dq = items_[c];
+      const auto it = std::find(dq.begin(), dq.end(), item);
+      if (it == dq.end()) continue;
+      dq.erase(it);
+      lane(to).push_back(item);
+      return true;
+    }
+    return false;
+  }
+
+  /// Blocking weighted pop; empty optional once closed and drained. Classes
+  /// are scanned highest-priority-first, each consuming up to its weight in
+  /// credits before yielding the cycle; credits refill when no eligible
+  /// class has any left.
+  std::optional<std::pair<T, Priority>> pop() {
+    std::unique_lock lock(mutex_);
+    item_cv_.wait(lock, [this] { return closed_ || total_locked() > 0; });
+    if (total_locked() == 0) return std::nullopt;
+    std::size_t pick = kPriorityClasses;
+    for (int round = 0; round < 2 && pick == kPriorityClasses; ++round) {
+      for (std::size_t c = 0; c < kPriorityClasses; ++c) {
+        if (!items_[c].empty() && credits_[c] > 0) {
+          pick = c;
+          break;
+        }
+      }
+      if (pick == kPriorityClasses) credits_ = weights_;  // cycle exhausted
+    }
+    if (pick == kPriorityClasses) {  // only zero-weight classes are non-empty
+      for (std::size_t c = 0; c < kPriorityClasses; ++c)
+        if (!items_[c].empty()) {
+          pick = c;
+          break;
+        }
+    }
+    if (credits_[pick] > 0) --credits_[pick];
+    std::pair<T, Priority> out{std::move(items_[pick].front()), static_cast<Priority>(pick)};
+    items_[pick].pop_front();
+    lock.unlock();
+    space_cv_.notify_one();
+    return out;
+  }
+
+  void close() {
+    {
+      std::lock_guard lock(mutex_);
+      closed_ = true;
+    }
+    item_cv_.notify_all();
+    space_cv_.notify_all();
+  }
+
+  std::size_t size() const {
+    std::lock_guard lock(mutex_);
+    return total_locked();
+  }
+
+  std::size_t size(Priority cls) const {
+    std::lock_guard lock(mutex_);
+    return items_[static_cast<std::size_t>(cls)].size();
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  std::deque<T>& lane(Priority cls) { return items_[static_cast<std::size_t>(cls)]; }
+  std::size_t total_locked() const {
+    std::size_t n = 0;
+    for (const auto& dq : items_) n += dq.size();
+    return n;
+  }
+
+  const std::size_t capacity_;
+  const Weights weights_;
+  mutable std::mutex mutex_;
+  std::condition_variable item_cv_;   ///< signaled on push/close
+  std::condition_variable space_cv_;  ///< signaled on pop/close
+  std::array<std::deque<T>, kPriorityClasses> items_;
+  Weights credits_;  ///< remaining dequeues this cycle, guarded by mutex_
+  bool closed_ = false;
+};
+
 struct SchedulerStats {
   std::uint64_t dispatched = 0;  ///< build jobs accepted into the queue
   std::uint64_t coalesced = 0;   ///< requests attached to an in-flight build
-  std::uint64_t rejected = 0;    ///< try_submit requests shed (queue full)
+  std::uint64_t rejected = 0;    ///< try_submit requests shed on arrival
+  std::uint64_t displaced = 0;   ///< queued jobs shed to admit a higher class
   std::uint64_t completed = 0;   ///< build jobs finished (ok or error)
   std::size_t queue_depth = 0;   ///< jobs waiting for a worker right now
   std::size_t in_flight = 0;     ///< keys queued or building right now
+  /// Shed totals by the class of what was lost: a rejected arrival counts
+  /// under its own class, a displaced queued job under the class it held.
+  std::array<std::uint64_t, kPriorityClasses> shed_by_class{};
+  std::array<std::uint64_t, kPriorityClasses> dispatched_by_class{};
+  std::array<std::size_t, kPriorityClasses> queue_depth_by_class{};
 };
 
 class BatchScheduler {
@@ -130,6 +325,14 @@ class BatchScheduler {
   struct Config {
     std::size_t workers = 4;
     std::size_t queue_capacity = 64;
+    /// Weighted-round-robin dequeue shares per class (interactive, batch,
+    /// background) per cycle.
+    ClassWeights class_weights = {8, 3, 1};
+    /// Called once per successfully served job (not per coalesced waiter)
+    /// with the submitting request's class and the job's service time
+    /// (queue wait + execution) — the quantity the weighted dequeue and
+    /// displacement actually shape. Runs on a worker thread.
+    std::function<void(Priority, double service_ms)> on_served;
   };
 
   BatchScheduler(const Config& config, Builder builder);
@@ -139,14 +342,21 @@ class BatchScheduler {
   BatchScheduler& operator=(const BatchScheduler&) = delete;
 
   /// Submit with backpressure: blocks while the queue is full. Requests for
-  /// a key already queued or building attach to that job without blocking.
+  /// a key already queued or building attach to that job without blocking
+  /// (and promote it to their class when that class is higher).
   ProductFuture submit(const ProductRequest& request, const ProductKey& key);
 
-  /// Load-shedding submit: returns std::nullopt instead of blocking when the
-  /// queue is full (still attaches to in-flight jobs for free). After
-  /// shutdown() both submit flavors return a broken future, so "retry later"
-  /// (nullopt) is never confused with "service is down".
-  std::optional<ProductFuture> try_submit(const ProductRequest& request, const ProductKey& key);
+  /// Load-shedding submit: never blocks. When the queue is full, a queued
+  /// job of a class strictly below the request's is displaced to admit it
+  /// (the victim's waiters see ShedError); when nothing lower is queued the
+  /// request itself is shed and std::nullopt is returned. `shed_class`, when
+  /// non-null, reports which class paid: the victim's on displacement, the
+  /// request's own on rejection, unset otherwise. Still attaches to
+  /// in-flight jobs for free. After shutdown() both submit flavors return a
+  /// broken future, so "retry later" (nullopt) is never confused with
+  /// "service is down".
+  std::optional<ProductFuture> try_submit(const ProductRequest& request, const ProductKey& key,
+                                          std::optional<Priority>* shed_class = nullptr);
 
   SchedulerStats stats() const;
 
@@ -157,6 +367,7 @@ class BatchScheduler {
   struct Job {
     ProductRequest request;
     ProductKey key;
+    Priority cls = Priority::batch;  ///< current queue class, guarded by mutex_
     std::promise<ProductResponse> promise;
     ProductFuture future;
     util::Timer enqueued;  ///< measures queue wait + build = service time
@@ -168,14 +379,17 @@ class BatchScheduler {
 
   Config config_;
   Builder builder_;
-  BoundedQueue<JobPtr> queue_;
+  PriorityQueue<JobPtr> queue_;
 
-  mutable std::mutex mutex_;  ///< guards inflight_ + counters
+  mutable std::mutex mutex_;  ///< guards inflight_ + counters + Job::cls
   std::unordered_map<ProductKey, JobPtr, ProductKeyHash> inflight_;
   std::uint64_t dispatched_ = 0;
   std::uint64_t coalesced_ = 0;
   std::uint64_t rejected_ = 0;
+  std::uint64_t displaced_ = 0;
   std::uint64_t completed_ = 0;
+  std::array<std::uint64_t, kPriorityClasses> shed_by_class_{};
+  std::array<std::uint64_t, kPriorityClasses> dispatched_by_class_{};
   bool shut_down_ = false;
 
   util::ThreadPool pool_;

@@ -189,13 +189,27 @@ GranuleService::GranuleService(const ServiceConfig& config,
       fpb_(pipeline.instrument.dead_time_m, pipeline.instrument.strong_channels),
       cache_(config.cache_bytes, config.cache_shards) {
   if (!model_factory) throw std::invalid_argument("GranuleService: null model factory");
+  if (!config_.disk_cache_dir.empty()) {
+    disk_ = std::make_unique<DiskCache>(
+        DiskCacheConfig{config_.disk_cache_dir, config_.disk_cache_bytes});
+    writeback_pool_ = std::make_unique<util::ThreadPool>(1);
+  }
   const std::size_t workers = config_.workers ? config_.workers : 1;
   replicas_.reserve(workers);
   for (std::size_t i = 0; i < workers; ++i)
     replicas_.push_back(std::make_unique<nn::Sequential>(model_factory()));
+  BatchScheduler::Config sched_cfg;
+  sched_cfg.workers = workers;
+  sched_cfg.queue_capacity = config_.queue_capacity;
+  sched_cfg.class_weights = config_.class_weights;
+  // Per-class latency is attributed at job completion with service_ms
+  // (queue wait + execution) — the quantity the weighted dequeue shapes —
+  // not the builder's inner wall time.
+  sched_cfg.on_served = [this](Priority cls, double service_ms) {
+    record_class(cls, service_ms);
+  };
   scheduler_ = std::make_unique<BatchScheduler>(
-      BatchScheduler::Config{workers, config_.queue_capacity},
-      [this](const ProductRequest& request, const ProductKey& key) {
+      sched_cfg, [this](const ProductRequest& request, const ProductKey& key) {
         return build(request, key);
       });
 }
@@ -204,6 +218,37 @@ GranuleService::~GranuleService() { shutdown(); }
 
 void GranuleService::shutdown() {
   if (scheduler_) scheduler_->shutdown();
+  // After the workers drained, no new write-backs can be scheduled; let the
+  // ones already scheduled land so a restart finds a complete disk tier.
+  wait_disk_writebacks();
+}
+
+void GranuleService::wait_disk_writebacks() {
+  std::unique_lock lock(writeback_mutex_);
+  writeback_cv_.wait(lock, [this] { return writebacks_pending_ == 0; });
+}
+
+void GranuleService::schedule_writeback(const ProductKey& key,
+                                        std::shared_ptr<const GranuleProduct> product) {
+  {
+    std::lock_guard lock(writeback_mutex_);
+    ++writebacks_pending_;
+  }
+  writeback_pool_->submit([this, key, product = std::move(product)] {
+    try {
+      disk_->put(key, *product);
+    } catch (const std::exception&) {
+      // Disk-full or IO error: the RAM tier still has the product, so serve
+      // traffic is unaffected — count it and move on.
+      std::lock_guard lock(metrics_mutex_);
+      ++stage_metrics_.writeback_failures;
+    }
+    {
+      std::lock_guard lock(writeback_mutex_);
+      --writebacks_pending_;
+    }
+    writeback_cv_.notify_all();
+  });
 }
 
 ProductKey GranuleService::key_for(const ProductRequest& request) const {
@@ -246,10 +291,16 @@ void GranuleService::record(StageLatency ServiceMetrics::*stage, double ms) {
   (stage_metrics_.*stage).add(ms);
 }
 
+void GranuleService::record_class(Priority cls, double ms) {
+  std::lock_guard lock(metrics_mutex_);
+  stage_metrics_.by_class[static_cast<std::size_t>(cls)].latency.add(ms);
+}
+
 ProductFuture GranuleService::submit(const ProductRequest& request) {
   {
     std::lock_guard lock(metrics_mutex_);
     ++stage_metrics_.requests;
+    ++stage_metrics_.by_class[static_cast<std::size_t>(request.priority)].requests;
   }
   const ProductKey key = key_for(request);
   if (auto hit = cache_.get(key)) {
@@ -257,17 +308,20 @@ ProductFuture GranuleService::submit(const ProductRequest& request) {
       std::lock_guard lock(metrics_mutex_);
       ++stage_metrics_.fast_hits;
     }
+    record_class(request.priority, 0.0);
     std::promise<ProductResponse> ready;
-    ready.set_value(ProductResponse{std::move(hit), true, 0.0});
+    ready.set_value(ProductResponse{std::move(hit), true, 0.0, ServedFrom::ram});
     return ready.get_future().share();
   }
   return scheduler_->submit(request, key);
 }
 
-std::optional<ProductFuture> GranuleService::try_submit(const ProductRequest& request) {
+std::optional<ProductFuture> GranuleService::try_submit(
+    const ProductRequest& request, std::optional<Priority>* shed_class) {
   {
     std::lock_guard lock(metrics_mutex_);
     ++stage_metrics_.requests;
+    ++stage_metrics_.by_class[static_cast<std::size_t>(request.priority)].requests;
   }
   const ProductKey key = key_for(request);
   if (auto hit = cache_.get(key)) {
@@ -275,11 +329,13 @@ std::optional<ProductFuture> GranuleService::try_submit(const ProductRequest& re
       std::lock_guard lock(metrics_mutex_);
       ++stage_metrics_.fast_hits;
     }
+    record_class(request.priority, 0.0);
+    if (shed_class) shed_class->reset();
     std::promise<ProductResponse> ready;
-    ready.set_value(ProductResponse{std::move(hit), true, 0.0});
+    ready.set_value(ProductResponse{std::move(hit), true, 0.0, ServedFrom::ram});
     return ready.get_future().share();
   }
-  return scheduler_->try_submit(request, key);
+  return scheduler_->try_submit(request, key, shed_class);
 }
 
 std::size_t GranuleService::warm(const std::vector<ProductRequest>& requests,
@@ -297,10 +353,22 @@ std::size_t GranuleService::warm(const std::vector<ProductRequest>& requests,
 }
 
 ProductResponse GranuleService::build(const ProductRequest& request, const ProductKey& key) {
-  if (auto hit = cache_.get(key)) return ProductResponse{std::move(hit), true, 0.0};
+  if (auto hit = cache_.get(key)) return ProductResponse{std::move(hit), true, 0.0, ServedFrom::ram};
 
   util::Timer build_timer;
   util::Timer stage_timer;
+
+  // DISK TIER: probed before any shard IO — a disk hit deserializes one
+  // file and promotes it to RAM instead of re-reading every chunk shard
+  // through ShardIndex::load_merged and re-running inference.
+  if (disk_) {
+    if (auto product = disk_->get(key)) {
+      cache_.put(key, product);
+      record(&ServiceMetrics::disk_load, stage_timer.millis());
+      return ProductResponse{std::move(product), true, 0.0, ServedFrom::disk};
+    }
+    stage_timer.reset();
+  }
 
   const std::vector<std::string>* files = index_.find(request.granule_id, request.beam);
   if (!files)
@@ -347,9 +415,10 @@ ProductResponse GranuleService::build(const ProductRequest& request, const Produ
   product->sea_surface = profile;
   product->freeboard = std::move(fb);
   cache_.put(key, product);
+  if (disk_) schedule_writeback(key, product);
 
   record(&ServiceMetrics::total, build_timer.millis());
-  return ProductResponse{std::move(product), false, 0.0};
+  return ProductResponse{std::move(product), false, 0.0, ServedFrom::build};
 }
 
 std::vector<atl03::SurfaceClass> GranuleService::classify_batched(
@@ -429,6 +498,7 @@ ServiceMetrics GranuleService::metrics() const {
     out = stage_metrics_;
   }
   out.cache = cache_.stats();
+  if (disk_) out.disk = disk_->stats();
   out.scheduler = scheduler_->stats();
   return out;
 }

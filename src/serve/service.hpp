@@ -8,12 +8,25 @@
 //     -> features -> batched nn::Sequential inference (per-worker replicas)
 //     -> seasurface::detect_sea_surface -> freeboard::compute_freeboard
 //
-// A sharded LRU `ProductCache` answers repeat requests without re-running
-// inference; a coalescing `BatchScheduler` makes cold keys single-flight
-// and applies queue backpressure. Every stage is latency-instrumented
-// (util::Timer -> util::RunningStats + util::Histogram) and exposed in a
+// Two cache tiers answer repeat requests without re-running the pipeline: a
+// sharded in-RAM LRU `ProductCache`, then (when `ServiceConfig::
+// disk_cache_dir` is set) a persistent `DiskCache` probed before any shard
+// IO — a RAM miss that disk-hits deserializes one file, promotes the
+// product to RAM and never touches the shards. Products built cold are
+// written back to disk asynchronously on a dedicated write-back thread, so
+// the build's caller never waits for disk. A coalescing `BatchScheduler`
+// makes cold keys single-flight, applies queue backpressure, and admits by
+// `Priority` class (weighted dequeue; background shed first under
+// saturation). Every stage is latency-instrumented (util::Timer ->
+// util::RunningStats + util::Histogram), end-to-end service latency is
+// additionally split per priority class, and everything lands in one
 // `ServiceMetrics` snapshot. `warm()` bulk-prefetches products onto a
 // `mapred::Engine`, the same cluster abstraction the batch jobs use.
+//
+// Threading contract: every public method is thread-safe. submit() blocks
+// only while the scheduler queue is full; try_submit() never blocks;
+// warm() and wait_disk_writebacks() block until done; shutdown() drains
+// accepted work, then pending disk write-backs, and is idempotent.
 #pragma once
 
 #include <algorithm>
@@ -35,9 +48,11 @@
 #include "mapred/engine.hpp"
 #include "nn/model.hpp"
 #include "resample/fpb.hpp"
+#include "serve/disk_cache.hpp"
 #include "serve/product_cache.hpp"
 #include "serve/scheduler.hpp"
 #include "util/stats.hpp"
+#include "util/thread_pool.hpp"
 
 namespace is2::serve {
 
@@ -62,7 +77,10 @@ class ShardIndex {
 
   /// Load the ordered chunk shards of one beam and merge them back into a
   /// single-beam granule (photons concatenated in along-track order,
-  /// background bins deduplicated across chunk overlaps).
+  /// background bins deduplicated across chunk overlaps). This is the
+  /// expensive per-request IO (a full decode of every chunk): the service
+  /// only reaches it after both cache tiers miss — a disk-tier hit never
+  /// re-reads shards.
   static atl03::Granule load_merged(const std::vector<std::string>& files);
 
  private:
@@ -103,11 +121,24 @@ struct StageLatency {
   std::string render(std::size_t max_width = 60) const;
 };
 
+/// Per-priority-class slice of the service metrics: how much traffic the
+/// class sent and the service latency it observed. Fast RAM hits record ~0
+/// (bottom histogram bin); scheduled jobs record queue wait + execution
+/// (disk load or full build) once per job at completion — coalesced waiters
+/// share that job's sample, so under same-key races latency.count() can be
+/// below requests.
+struct ClassMetrics {
+  std::uint64_t requests = 0;
+  StageLatency latency;  ///< RAM probe ~0 / queue wait + disk load / + build
+};
+
 struct ServiceMetrics {
-  CacheStats cache;
+  CacheStats cache;          ///< RAM tier
+  DiskCacheStats disk;       ///< disk tier (zeroed when no disk_cache_dir)
   SchedulerStats scheduler;
   std::uint64_t requests = 0;   ///< submit + try_submit calls
-  std::uint64_t fast_hits = 0;  ///< answered from cache without dispatch
+  std::uint64_t fast_hits = 0;  ///< answered from RAM cache without dispatch
+  std::uint64_t writeback_failures = 0;  ///< async disk writes that threw
   std::uint64_t inference_batches = 0;
   std::uint64_t inference_windows = 0;
   StageLatency load;        ///< shard read + preprocess + resample + FPB
@@ -115,7 +146,9 @@ struct ServiceMetrics {
   StageLatency inference;   ///< batched model forward passes
   StageLatency seasurface;  ///< local sea surface detection
   StageLatency freeboard;   ///< freeboard computation
+  StageLatency disk_load;   ///< disk-tier hit: read + deserialize + promote
   StageLatency total;       ///< whole build (cold only)
+  std::array<ClassMetrics, kPriorityClasses> by_class;  ///< index = Priority
 };
 
 struct ServiceConfig {
@@ -125,6 +158,13 @@ struct ServiceConfig {
   std::size_t cache_shards = 8;
   std::size_t inference_batch_windows = 256;  ///< windows per forward pass
   std::uint64_t model_version = 0;    ///< bump when weights change
+  /// Disk cache tier; empty = RAM tier only. Products persist here across
+  /// service restarts (keyed by config/model hash, so stale entries are
+  /// never served) and are written back asynchronously after cold builds.
+  std::string disk_cache_dir;
+  std::size_t disk_cache_bytes = 1ull << 30;
+  /// Scheduler weighted-dequeue shares (interactive, batch, background).
+  ClassWeights class_weights = {8, 3, 1};
 };
 
 class GranuleService {
@@ -147,8 +187,13 @@ class GranuleService {
   /// full). Unknown (granule, beam) resolves to a broken future.
   ProductFuture submit(const ProductRequest& request);
 
-  /// Load-shedding variant: std::nullopt when the queue is full.
-  std::optional<ProductFuture> try_submit(const ProductRequest& request);
+  /// Load-shedding variant: never blocks. Under saturation a queued job of a
+  /// class strictly below the request's is displaced first (background
+  /// before batch); only when nothing lower is queued is the request itself
+  /// shed (std::nullopt). `shed_class` reports which class paid, when
+  /// anything was shed.
+  std::optional<ProductFuture> try_submit(const ProductRequest& request,
+                                          std::optional<Priority>* shed_class = nullptr);
 
   /// Bulk cache warm-up on a map-reduce engine (one task per request).
   /// Returns the number of products actually built (cache misses).
@@ -161,8 +206,14 @@ class GranuleService {
 
   const ServiceConfig& config() const { return config_; }
   const ShardIndex& index() const { return index_; }
+  /// Disk tier handle (nullptr when disk_cache_dir is empty).
+  const DiskCache* disk_cache() const { return disk_.get(); }
 
-  /// Drain accepted work and stop the workers (idempotent).
+  /// Block until every scheduled asynchronous disk write-back has landed
+  /// (tests and orderly restarts; normal traffic never needs this).
+  void wait_disk_writebacks();
+
+  /// Drain accepted work, then pending disk write-backs (idempotent).
   void shutdown();
 
  private:
@@ -170,6 +221,9 @@ class GranuleService {
   std::vector<atl03::SurfaceClass> classify_batched(
       const std::vector<resample::FeatureRow>& features);
   void record(StageLatency ServiceMetrics::*stage, double ms);
+  void record_class(Priority cls, double ms);
+  void schedule_writeback(const ProductKey& key,
+                          std::shared_ptr<const GranuleProduct> product);
 
   ServiceConfig config_;
   core::PipelineConfig pipeline_;
@@ -178,6 +232,7 @@ class GranuleService {
   resample::FeatureScaler scaler_;
   resample::FirstPhotonBiasCorrector fpb_;
   ProductCache cache_;
+  std::unique_ptr<DiskCache> disk_;  ///< outlives the write-back pool below
 
   // Checkout pool of model replicas (inference mutates Sequential state).
   std::mutex replica_mutex_;
@@ -186,6 +241,13 @@ class GranuleService {
 
   mutable std::mutex metrics_mutex_;
   ServiceMetrics stage_metrics_;  ///< cache/scheduler fields filled at snapshot
+
+  // Asynchronous disk write-back: one thread so cold builds never wait for
+  // serialization + fsync-ish IO, with a drain counter for orderly restarts.
+  std::mutex writeback_mutex_;
+  std::condition_variable writeback_cv_;
+  std::size_t writebacks_pending_ = 0;
+  std::unique_ptr<util::ThreadPool> writeback_pool_;
 
   std::unique_ptr<BatchScheduler> scheduler_;  ///< last: destroyed first
 };

@@ -1,5 +1,10 @@
 // Tiny leveled logger. Benchmarks keep it at Warn so table output stays
 // clean; examples raise it to Info to narrate pipeline stages.
+//
+// Contract: the level is one process-wide atomic — set_log_level()/logf()
+// are safe from any thread and never block on anything but stderr itself.
+// Lines from concurrent logf() calls may interleave at the stream level
+// (each call is a few fprintf's, not one atomic write).
 #pragma once
 
 #include <cstdarg>

@@ -5,6 +5,11 @@
 // is2::util::Rng so a single seed reproduces an entire campaign bit-for-bit.
 // The generator is xoshiro256++ seeded via splitmix64, which passes BigCrush
 // and is cheap enough to sit inside per-photon loops.
+//
+// Contract: an Rng is mutable state with NO internal synchronization — give
+// each thread its own instance (seeded distinctly) rather than sharing one;
+// concurrent next() calls are a data race and would break reproducibility
+// anyway. hash64() is a pure function and safe from any thread.
 #pragma once
 
 #include <array>

@@ -10,6 +10,11 @@
 // same window contents: both select the same two order statistics and apply
 // the same linear interpolation, and IEEE arithmetic on identical inputs is
 // deterministic.
+//
+// Contract: one RollingPercentile is one thread's streaming state — no
+// internal synchronization, and insert()/erase() mutate both multisets.
+// erase() of a value not present throws rather than silently corrupting
+// the window.
 #pragma once
 
 #include <cstddef>

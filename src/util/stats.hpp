@@ -1,6 +1,13 @@
 // Streaming and batch statistics shared across the pipeline: per-segment
 // photon statistics, sea-surface error aggregation, benchmark summaries and
 // freeboard distributions.
+//
+// Contract: RunningStats and Histogram are plain accumulators with NO
+// internal synchronization — concurrent add() is a data race. Callers that
+// aggregate from several threads either hold their own lock (serve's
+// metrics mutex does this) or keep one accumulator per thread and combine
+// with merge(). The free functions (mean/percentile/...) are pure, copy
+// their input and never mutate it.
 #pragma once
 
 #include <cstddef>

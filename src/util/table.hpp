@@ -1,5 +1,8 @@
 // ASCII table / CSV emission used by every bench binary to print the rows
 // the paper's tables report.
+//
+// Contract: a Table is a single-threaded value type (no synchronization);
+// build it on one thread, then to_string()/to_csv() are const renders.
 #pragma once
 
 #include <string>

@@ -1,6 +1,15 @@
-// Minimal fixed-size thread pool used by the map-reduce engine and the
-// distributed-training harness for auxiliary work. Tasks are type-erased
-// void() callables; submit() returns a future for result plumbing.
+// Minimal fixed-size thread pool used by the map-reduce engine, the serving
+// subsystem and the distributed-training harness for auxiliary work. Tasks
+// are type-erased void() callables; submit() returns a future for result
+// plumbing.
+//
+// Ownership / threading contract: the pool owns its worker threads; the
+// destructor stops intake, *drains every task already queued*, then joins —
+// so work accepted before destruction always runs. submit() is thread-safe,
+// never blocks (it only enqueues) and throws after shutdown has begun;
+// parallel_for() blocks the caller until every index has run (or rethrows
+// the first task exception after all workers have left the loop). Task
+// exceptions surface through the returned future, never to the worker.
 #pragma once
 
 #include <condition_variable>

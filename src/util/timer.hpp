@@ -1,5 +1,10 @@
 // Wall-clock timing for the staged benchmarks (LOAD / MAP / REDUCE phases,
-// per-epoch training times).
+// per-epoch training times) and the serve latency metrics.
+//
+// Contract: a Timer is a trivially copyable value type over
+// std::chrono::steady_clock (monotonic — immune to wall-clock steps).
+// Concurrent seconds()/millis() reads are safe; reset() is not synchronized
+// with concurrent readers, so share a Timer read-only or not at all.
 #pragma once
 
 #include <chrono>

@@ -1,14 +1,19 @@
-// Serving subsystem tests: LRU product cache eviction/counters, bounded
-// queue semantics, request coalescing and backpressure in the scheduler,
-// cache-hit serving without re-dispatch, bulk warm-up via mapred::Engine,
-// concurrent mixed hit/miss traffic, and bit-identity of served products
-// with the batch pipeline.
+// Serving subsystem tests: LRU product cache eviction/counters, the disk
+// cache tier (round-trip bit-identity, crash safety on corrupt/truncated/
+// stale files, byte-budget eviction, manifest rebuild across restarts),
+// bounded + priority queue semantics (weighted dequeue, class-aware
+// displacement), request coalescing and backpressure in the scheduler,
+// priority-ordered shedding under saturation, cache-hit serving without
+// re-dispatch, bulk warm-up via mapred::Engine, concurrent mixed hit/miss
+// traffic, and bit-identity of served products with the batch pipeline
+// across all three serve paths (RAM hit / disk hit / rebuild).
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <future>
 #include <thread>
 #include <unistd.h>
@@ -18,9 +23,11 @@
 #include "core/config.hpp"
 #include "core/pipeline.hpp"
 #include "h5lite/granule_io.hpp"
+#include "serve/disk_cache.hpp"
 #include "serve/product_cache.hpp"
 #include "serve/scheduler.hpp"
 #include "serve/service.hpp"
+#include "util/rng.hpp"
 
 namespace {
 
@@ -28,11 +35,39 @@ using namespace is2;
 using atl03::BeamId;
 using atl03::SurfaceClass;
 using serve::BoundedQueue;
+using serve::DiskCache;
 using serve::GranuleProduct;
+using serve::Priority;
 using serve::ProductCache;
 using serve::ProductKey;
 using serve::ProductRequest;
 using serve::ProductResponse;
+using serve::ServedFrom;
+
+/// Field-exact comparison of two served products (the bit-identity bar every
+/// serve path — RAM hit, disk hit, rebuild — must clear vs the batch
+/// pipeline).
+void expect_bit_identical(const GranuleProduct& a, const GranuleProduct& b) {
+  ASSERT_EQ(a.segments.size(), b.segments.size());
+  for (std::size_t i = 0; i < a.segments.size(); ++i) {
+    EXPECT_EQ(a.segments[i].s, b.segments[i].s);
+    EXPECT_EQ(a.segments[i].h_mean, b.segments[i].h_mean);
+    EXPECT_EQ(a.segments[i].h_std, b.segments[i].h_std);
+    EXPECT_EQ(a.segments[i].photon_rate, b.segments[i].photon_rate);
+  }
+  ASSERT_EQ(a.classes, b.classes);
+  ASSERT_EQ(a.sea_surface.points().size(), b.sea_surface.points().size());
+  for (std::size_t i = 0; i < a.sea_surface.points().size(); ++i) {
+    EXPECT_EQ(a.sea_surface.points()[i].s, b.sea_surface.points()[i].s);
+    EXPECT_EQ(a.sea_surface.points()[i].h_ref, b.sea_surface.points()[i].h_ref);
+  }
+  ASSERT_EQ(a.freeboard.points.size(), b.freeboard.points.size());
+  for (std::size_t i = 0; i < a.freeboard.points.size(); ++i) {
+    EXPECT_EQ(a.freeboard.points[i].s, b.freeboard.points[i].s);
+    EXPECT_EQ(a.freeboard.points[i].freeboard, b.freeboard.points[i].freeboard);
+    EXPECT_EQ(a.freeboard.points[i].cls, b.freeboard.points[i].cls);
+  }
+}
 
 // ---------------------------------------------------------------------------
 // ProductCache
@@ -126,6 +161,228 @@ TEST(ConfigFingerprint, SensitiveToConfigAndMethod) {
 }
 
 // ---------------------------------------------------------------------------
+// DiskCache (synthetic products: no campaign needed)
+// ---------------------------------------------------------------------------
+
+/// A product with non-trivial values in every serialized field, so a
+/// round-trip that drops or reorders anything fails loudly.
+GranuleProduct rich_product(std::uint64_t seed, std::size_t n = 64) {
+  util::Rng rng(seed);
+  GranuleProduct p;
+  p.granule_id = "ATL03_rich_" + std::to_string(seed);
+  p.beam = BeamId::Gt2r;
+  p.segments.resize(n);
+  p.classes.resize(n);
+  std::vector<seasurface::SeaSurfacePoint> surface(n / 8 + 2);
+  p.freeboard.points.resize(n / 2 + 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto& s = p.segments[i];
+    s.s = 2.0 * static_cast<double>(i) + rng.uniform();
+    s.t = 1.0e8 + rng.uniform();
+    s.x = rng.normal();
+    s.y = rng.normal();
+    s.h_mean = rng.normal() * 0.3;
+    s.h_median = s.h_mean + rng.normal() * 0.01;
+    s.h_std = std::abs(rng.normal()) * 0.1;
+    s.h_min = s.h_mean - s.h_std;
+    s.n_photons = static_cast<std::uint32_t>(rng.next() % 500);
+    s.photon_rate = rng.uniform() * 3.0;
+    s.bckgrd_rate = rng.uniform() * 1e6;
+    s.truth = static_cast<SurfaceClass>(rng.next() % 3);
+    p.classes[i] = static_cast<SurfaceClass>(rng.next() % 3);
+  }
+  for (std::size_t i = 0; i < surface.size(); ++i) {
+    surface[i].s = 5000.0 * static_cast<double>(i);
+    surface[i].h_ref = rng.normal() * 0.05;
+    surface[i].sigma = rng.uniform() * 0.01;
+    surface[i].n_leads = static_cast<std::uint32_t>(rng.next() % 5);
+    surface[i].n_water_segments = static_cast<std::uint32_t>(rng.next() % 40);
+    surface[i].interpolated = (rng.next() % 2) == 0;
+  }
+  p.sea_surface = seasurface::SeaSurfaceProfile(std::move(surface));
+  for (std::size_t i = 0; i < p.freeboard.points.size(); ++i) {
+    auto& f = p.freeboard.points[i];
+    f.s = 2.0 * static_cast<double>(i);
+    f.x = rng.normal();
+    f.y = rng.normal();
+    f.freeboard = rng.uniform() * 0.6 - 0.05;
+    f.cls = static_cast<SurfaceClass>(rng.next() % 3);
+    f.truth = static_cast<SurfaceClass>(rng.next() % 3);
+  }
+  return p;
+}
+
+/// Exhaustive field comparison for the synthetic round-trip tests (covers
+/// the fields expect_bit_identical leaves to the pipeline tests).
+void expect_product_equal(const GranuleProduct& a, const GranuleProduct& b) {
+  EXPECT_EQ(a.granule_id, b.granule_id);
+  EXPECT_EQ(a.beam, b.beam);
+  expect_bit_identical(a, b);
+  ASSERT_EQ(a.segments.size(), b.segments.size());
+  for (std::size_t i = 0; i < a.segments.size(); ++i) {
+    EXPECT_EQ(a.segments[i].t, b.segments[i].t);
+    EXPECT_EQ(a.segments[i].x, b.segments[i].x);
+    EXPECT_EQ(a.segments[i].y, b.segments[i].y);
+    EXPECT_EQ(a.segments[i].h_median, b.segments[i].h_median);
+    EXPECT_EQ(a.segments[i].h_min, b.segments[i].h_min);
+    EXPECT_EQ(a.segments[i].n_photons, b.segments[i].n_photons);
+    EXPECT_EQ(a.segments[i].bckgrd_rate, b.segments[i].bckgrd_rate);
+    EXPECT_EQ(a.segments[i].truth, b.segments[i].truth);
+  }
+  for (std::size_t i = 0; i < a.sea_surface.points().size(); ++i) {
+    EXPECT_EQ(a.sea_surface.points()[i].sigma, b.sea_surface.points()[i].sigma);
+    EXPECT_EQ(a.sea_surface.points()[i].n_leads, b.sea_surface.points()[i].n_leads);
+    EXPECT_EQ(a.sea_surface.points()[i].n_water_segments,
+              b.sea_surface.points()[i].n_water_segments);
+    EXPECT_EQ(a.sea_surface.points()[i].interpolated, b.sea_surface.points()[i].interpolated);
+  }
+  for (std::size_t i = 0; i < a.freeboard.points.size(); ++i) {
+    EXPECT_EQ(a.freeboard.points[i].x, b.freeboard.points[i].x);
+    EXPECT_EQ(a.freeboard.points[i].y, b.freeboard.points[i].y);
+    EXPECT_EQ(a.freeboard.points[i].truth, b.freeboard.points[i].truth);
+  }
+}
+
+class DiskCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("is2_disk_cache_" + std::to_string(::getpid()) + "_" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name()))
+               .string();
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  ProductKey rich_key(std::uint64_t seed) const {
+    const GranuleProduct p = rich_product(seed);
+    return ProductKey{p.granule_id, p.beam, 0xC0FFEE00u + seed};
+  }
+
+  std::string path_for(const ProductKey& key) const {
+    return (std::filesystem::path(dir_) / DiskCache::filename_for(key)).string();
+  }
+
+  std::string dir_;
+};
+
+TEST_F(DiskCacheTest, SerializeRoundTripIsBitIdentical) {
+  const GranuleProduct p = rich_product(7);
+  const ProductKey key = rich_key(7);
+  const auto bytes = DiskCache::serialize(key, p);
+  const GranuleProduct back = DiskCache::deserialize(bytes, key);
+  expect_product_equal(back, p);
+
+  // A different expected key (e.g. filename collision) must not be served.
+  ProductKey other = key;
+  other.config_hash ^= 1;
+  EXPECT_THROW(DiskCache::deserialize(bytes, other), h5::H5Error);
+}
+
+TEST_F(DiskCacheTest, PutGetAcrossRestartAndLruEviction) {
+  const GranuleProduct p0 = rich_product(0), p1 = rich_product(1), p2 = rich_product(2);
+  const std::size_t file_bytes = DiskCache::serialize(rich_key(0), p0).size();
+  {
+    DiskCache cache({dir_, file_bytes * 2 + file_bytes / 2});
+    cache.put(rich_key(0), p0);
+    cache.put(rich_key(1), p1);
+    EXPECT_EQ(cache.stats().entries, 2u);
+    auto got = cache.get(rich_key(0));  // refresh key 0 -> key 1 is LRU
+    ASSERT_NE(got, nullptr);
+    expect_product_equal(*got, p0);
+    cache.put(rich_key(2), p2);  // evicts key 1
+    EXPECT_TRUE(cache.contains(rich_key(0)));
+    EXPECT_FALSE(cache.contains(rich_key(1)));
+    EXPECT_TRUE(cache.contains(rich_key(2)));
+    EXPECT_EQ(cache.stats().evictions, 1u);
+    EXPECT_LE(cache.stats().bytes, cache.byte_budget());
+  }
+  // Restart: the manifest is rebuilt from the surviving files.
+  DiskCache reopened({dir_, file_bytes * 4});
+  EXPECT_EQ(reopened.stats().entries, 2u);
+  auto got = reopened.get(rich_key(2));
+  ASSERT_NE(got, nullptr);
+  expect_product_equal(*got, p2);
+  EXPECT_EQ(reopened.get(rich_key(1)), nullptr);  // evicted stays evicted
+}
+
+TEST_F(DiskCacheTest, CorruptFilesAreMissesAndDeleted) {
+  const GranuleProduct p = rich_product(3);
+  const ProductKey key = rich_key(3);
+  const auto valid = DiskCache::serialize(key, p);
+
+  struct Case {
+    const char* name;
+    std::vector<std::uint8_t> bytes;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"truncated_mid_payload",
+                   {valid.begin(), valid.begin() + static_cast<long>(valid.size() / 2)}});
+  cases.push_back({"empty", {}});
+  Case bad_version{"wrong_format_version", valid};
+  bad_version.bytes[4] ^= 0x40;  // u32 version field after the 4-byte magic
+  cases.push_back(std::move(bad_version));
+  Case bad_crc{"payload_bit_flip", valid};
+  bad_crc.bytes[bad_crc.bytes.size() - 20] ^= 0x01;  // inside the payload
+  cases.push_back(std::move(bad_crc));
+  Case bad_magic{"foreign_file", valid};
+  bad_magic.bytes[0] = 'X';
+  cases.push_back(std::move(bad_magic));
+
+  for (const auto& c : cases) {
+    SCOPED_TRACE(c.name);
+    DiskCache cache({dir_, 64u << 20});
+    cache.put(key, p);
+    {  // overwrite the published file with the corrupt fixture
+      std::ofstream out(path_for(key), std::ios::binary | std::ios::trunc);
+      out.write(reinterpret_cast<const char*>(c.bytes.data()),
+                static_cast<std::streamsize>(c.bytes.size()));
+    }
+    EXPECT_EQ(cache.get(key), nullptr);  // never served
+    EXPECT_FALSE(std::filesystem::exists(path_for(key)));  // deleted
+    EXPECT_FALSE(cache.contains(key));
+    const auto stats = cache.stats();
+    EXPECT_EQ(stats.hits, 0u);
+    EXPECT_EQ(stats.misses, 1u);
+    EXPECT_EQ(stats.corrupt_dropped, 1u);
+    std::filesystem::remove_all(dir_);
+  }
+}
+
+TEST_F(DiskCacheTest, StartupScanDropsPartialAndStaleFiles) {
+  const GranuleProduct p = rich_product(4);
+  const ProductKey key = rich_key(4);
+  {
+    DiskCache cache({dir_, 64u << 20});
+    cache.put(key, p);
+  }
+  // A crashed writer's leftover temp file and a header-truncated cache file.
+  const std::string tmp_leftover = path_for(key) + ".tmp.12345.0";
+  {
+    std::ofstream out(tmp_leftover, std::ios::binary);
+    out << "partial";
+  }
+  const std::string truncated =
+      (std::filesystem::path(dir_) / "short.is2p").string();
+  {
+    std::ofstream out(truncated, std::ios::binary);
+    out << "IS";
+  }
+
+  DiskCache reopened({dir_, 64u << 20});
+  EXPECT_FALSE(std::filesystem::exists(tmp_leftover));
+  EXPECT_FALSE(std::filesystem::exists(truncated));
+  EXPECT_EQ(reopened.stats().corrupt_dropped, 2u);
+  EXPECT_EQ(reopened.stats().entries, 1u);  // the valid file survived
+  auto got = reopened.get(key);
+  ASSERT_NE(got, nullptr);
+  expect_product_equal(*got, p);
+}
+
+// ---------------------------------------------------------------------------
 // BoundedQueue
 // ---------------------------------------------------------------------------
 
@@ -164,6 +421,78 @@ TEST(BoundedQueue, BlockingPushResumesAfterPop) {
   t.join();
   EXPECT_TRUE(pushed.load());
   EXPECT_EQ(*q.pop(), 2);
+}
+
+// ---------------------------------------------------------------------------
+// PriorityQueue
+// ---------------------------------------------------------------------------
+
+TEST(PriorityQueue, WeightedDequeueAndFifoWithinClass) {
+  serve::PriorityQueue<int> q(16, {2, 1, 1});
+  ASSERT_TRUE(q.try_push(100, Priority::background));
+  ASSERT_TRUE(q.try_push(101, Priority::background));
+  ASSERT_TRUE(q.try_push(10, Priority::batch));
+  ASSERT_TRUE(q.try_push(11, Priority::batch));
+  ASSERT_TRUE(q.try_push(1, Priority::interactive));
+  ASSERT_TRUE(q.try_push(2, Priority::interactive));
+  EXPECT_EQ(q.size(), 6u);
+  EXPECT_EQ(q.size(Priority::background), 2u);
+
+  // Weights (2,1,1): interactive twice, then batch, then background, then a
+  // credit refill lets the remaining batch/background items through — FIFO
+  // within each class throughout.
+  std::vector<std::pair<int, Priority>> order;
+  for (int i = 0; i < 6; ++i) order.push_back(*q.pop());
+  const std::vector<std::pair<int, Priority>> expected = {
+      {1, Priority::interactive}, {2, Priority::interactive}, {10, Priority::batch},
+      {100, Priority::background}, {11, Priority::batch},     {101, Priority::background}};
+  EXPECT_EQ(order, expected);
+
+  q.close();
+  EXPECT_FALSE(q.pop().has_value());
+  EXPECT_FALSE(q.try_push(7, Priority::interactive));
+}
+
+TEST(PriorityQueue, DisplacementShedsBackgroundFirst) {
+  serve::PriorityQueue<int> q(3);
+  ASSERT_TRUE(q.try_push(1, Priority::batch));
+  ASSERT_TRUE(q.try_push(2, Priority::background));
+  ASSERT_TRUE(q.try_push(3, Priority::background));  // full
+
+  std::optional<std::pair<int, Priority>> victim;
+  // Interactive displaces the NEWEST background item first.
+  ASSERT_TRUE(q.try_push(4, Priority::interactive, &victim));
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(victim->first, 3);
+  EXPECT_EQ(victim->second, Priority::background);
+  ASSERT_TRUE(q.try_push(5, Priority::interactive, &victim));
+  EXPECT_EQ(victim->first, 2);
+  // Background exhausted: batch is next in the shed order.
+  ASSERT_TRUE(q.try_push(6, Priority::interactive, &victim));
+  EXPECT_EQ(victim->first, 1);
+  EXPECT_EQ(victim->second, Priority::batch);
+  // Nothing strictly below interactive remains: the push itself is shed.
+  EXPECT_FALSE(q.try_push(7, Priority::interactive, &victim));
+  EXPECT_FALSE(victim.has_value());
+  // A lower class never displaces its own or a higher class.
+  EXPECT_FALSE(q.try_push(8, Priority::background, &victim));
+  EXPECT_FALSE(victim.has_value());
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_EQ(q.size(Priority::interactive), 3u);
+}
+
+TEST(PriorityQueue, PromoteMovesQueuedItemToHigherClass) {
+  serve::PriorityQueue<int> q(8);
+  ASSERT_TRUE(q.try_push(1, Priority::background));
+  ASSERT_TRUE(q.try_push(2, Priority::background));
+  EXPECT_TRUE(q.promote(2, Priority::interactive));
+  EXPECT_EQ(q.size(Priority::interactive), 1u);
+  EXPECT_EQ(q.size(Priority::background), 1u);
+  // Promoted item dequeues before the background one it used to trail.
+  EXPECT_EQ(q.pop()->first, 2);
+  EXPECT_EQ(q.pop()->first, 1);
+  // Absent (already popped) items cannot be promoted.
+  EXPECT_FALSE(q.promote(1, Priority::interactive));
 }
 
 // ---------------------------------------------------------------------------
@@ -270,6 +599,95 @@ TEST(BatchScheduler, ShutdownDrainsAcceptedWork) {
   }
   for (auto& f : futures) EXPECT_NE(f.get().product, nullptr);
   EXPECT_EQ(builder.builds.load(), 8);
+}
+
+TEST(BatchScheduler, PrioritySheddingIsClassOrderedUnderSaturation) {
+  GatedBuilder builder;
+  serve::BatchScheduler sched({/*workers=*/1, /*queue_capacity=*/2}, builder.fn());
+
+  auto bg_req = [](const std::string& id) {
+    ProductRequest r = req_named(id);
+    r.priority = Priority::background;
+    return r;
+  };
+  auto fg_req = [](const std::string& id) {
+    ProductRequest r = req_named(id);
+    r.priority = Priority::interactive;
+    return r;
+  };
+
+  // k0 occupies the (gated) worker; wait until it leaves the queue, then
+  // saturate the queue with background work.
+  auto f0 = sched.submit(bg_req("k0"), key_of("k0"));
+  while (sched.stats().queue_depth != 0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  auto f1 = sched.submit(bg_req("k1"), key_of("k1"));
+  auto f2 = sched.submit(bg_req("k2"), key_of("k2"));
+  EXPECT_EQ(sched.stats().queue_depth_by_class[2], 2u);
+
+  // Interactive admission displaces the newest background job (k2); its
+  // waiters see ShedError, and the shed class is reported to the caller.
+  std::optional<Priority> shed;
+  auto fi1 = sched.try_submit(fg_req("k3"), key_of("k3"), &shed);
+  ASSERT_TRUE(fi1.has_value());
+  EXPECT_EQ(shed, Priority::background);
+  EXPECT_THROW(f2.get(), serve::ShedError);
+  auto fi2 = sched.try_submit(fg_req("k4"), key_of("k4"), &shed);
+  ASSERT_TRUE(fi2.has_value());
+  EXPECT_EQ(shed, Priority::background);
+  EXPECT_THROW(f1.get(), serve::ShedError);
+
+  // Queue now holds only interactive work: an incoming background (or equal
+  // interactive) request is shed itself instead of displacing anything.
+  EXPECT_FALSE(sched.try_submit(bg_req("k5"), key_of("k5"), &shed).has_value());
+  EXPECT_EQ(shed, Priority::background);
+  EXPECT_FALSE(sched.try_submit(fg_req("k6"), key_of("k6"), &shed).has_value());
+  EXPECT_EQ(shed, Priority::interactive);
+
+  builder.gate.set_value();
+  ASSERT_NE(f0.get().product, nullptr);
+  ASSERT_NE(fi1->get().product, nullptr);
+  ASSERT_NE(fi2->get().product, nullptr);
+  sched.shutdown();
+
+  const auto stats = sched.stats();
+  EXPECT_EQ(stats.displaced, 2u);
+  EXPECT_EQ(stats.rejected, 2u);
+  EXPECT_EQ(stats.shed_by_class[static_cast<std::size_t>(Priority::background)], 3u);
+  EXPECT_EQ(stats.shed_by_class[static_cast<std::size_t>(Priority::interactive)], 1u);
+  EXPECT_EQ(stats.completed, 3u);  // k0, k3, k4 built; k1/k2 shed pre-build
+}
+
+TEST(BatchScheduler, CoalescingPromotesQueuedJobClass) {
+  GatedBuilder builder;
+  serve::BatchScheduler sched({/*workers=*/1, /*queue_capacity=*/4}, builder.fn());
+
+  ProductRequest bg = req_named("k0");
+  bg.priority = Priority::background;
+  auto f0 = sched.submit(bg, key_of("k0"));  // occupies the gated worker
+  while (sched.stats().queue_depth != 0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+  ProductRequest queued_bg = req_named("k1");
+  queued_bg.priority = Priority::background;
+  auto f1 = sched.submit(queued_bg, key_of("k1"));
+  EXPECT_EQ(sched.stats().queue_depth_by_class[2], 1u);
+
+  // An interactive requester coalescing onto the queued background job
+  // drags it into the interactive lane (it now outranks later batch work
+  // and cannot be displaced by interactive admissions).
+  ProductRequest fg = queued_bg;
+  fg.priority = Priority::interactive;
+  auto f1b = sched.submit(fg, key_of("k1"));
+  EXPECT_EQ(sched.stats().coalesced, 1u);
+  EXPECT_EQ(sched.stats().queue_depth_by_class[0], 1u);
+  EXPECT_EQ(sched.stats().queue_depth_by_class[2], 0u);
+
+  builder.gate.set_value();
+  EXPECT_EQ(f1.get().product.get(), f1b.get().product.get());  // still one build
+  ASSERT_NE(f0.get().product, nullptr);
+  sched.shutdown();
+  EXPECT_EQ(sched.stats().completed, 2u);
 }
 
 TEST(BatchScheduler, SubmitAfterShutdownIsBrokenNotRetryable) {
@@ -387,28 +805,6 @@ class ServeCampaign : public ::testing::Test {
                                      config_->freeboard);
     out.segments = std::move(segments);
     return out;
-  }
-
-  static void expect_bit_identical(const GranuleProduct& a, const GranuleProduct& b) {
-    ASSERT_EQ(a.segments.size(), b.segments.size());
-    for (std::size_t i = 0; i < a.segments.size(); ++i) {
-      EXPECT_EQ(a.segments[i].s, b.segments[i].s);
-      EXPECT_EQ(a.segments[i].h_mean, b.segments[i].h_mean);
-      EXPECT_EQ(a.segments[i].h_std, b.segments[i].h_std);
-      EXPECT_EQ(a.segments[i].photon_rate, b.segments[i].photon_rate);
-    }
-    ASSERT_EQ(a.classes, b.classes);
-    ASSERT_EQ(a.sea_surface.points().size(), b.sea_surface.points().size());
-    for (std::size_t i = 0; i < a.sea_surface.points().size(); ++i) {
-      EXPECT_EQ(a.sea_surface.points()[i].s, b.sea_surface.points()[i].s);
-      EXPECT_EQ(a.sea_surface.points()[i].h_ref, b.sea_surface.points()[i].h_ref);
-    }
-    ASSERT_EQ(a.freeboard.points.size(), b.freeboard.points.size());
-    for (std::size_t i = 0; i < a.freeboard.points.size(); ++i) {
-      EXPECT_EQ(a.freeboard.points[i].s, b.freeboard.points[i].s);
-      EXPECT_EQ(a.freeboard.points[i].freeboard, b.freeboard.points[i].freeboard);
-      EXPECT_EQ(a.freeboard.points[i].cls, b.freeboard.points[i].cls);
-    }
   }
 
   static core::PipelineConfig* config_;
@@ -611,6 +1007,86 @@ TEST_F(ServeCampaign, ConcurrentMixedTrafficUnderEvictionPressure) {
   EXPECT_LE(m.cache.bytes, cfg.cache_bytes);
   // Every request was answered by a fast hit, a coalesced attach, or a build.
   EXPECT_GE(m.fast_hits + m.scheduler.coalesced + m.scheduler.dispatched, 32u);
+}
+
+TEST_F(ServeCampaign, DiskTierBitIdenticalAcrossRamHitDiskHitAndRebuild) {
+  serve::ServiceConfig cfg;
+  cfg.workers = 2;
+  cfg.disk_cache_dir = dir_ + "/disk_tier";
+  ProductRequest r = request(BeamId::Gt1r);
+  r.priority = Priority::interactive;
+
+  GranuleProduct rebuilt;
+  {
+    auto service = make_service(cfg);
+    const auto cold = service->submit(r).get();
+    ASSERT_NE(cold.product, nullptr);
+    EXPECT_EQ(cold.source, ServedFrom::build);
+    EXPECT_FALSE(cold.from_cache);
+    rebuilt = *cold.product;
+
+    const auto ram = service->submit(r).get();  // RAM tier
+    EXPECT_EQ(ram.source, ServedFrom::ram);
+    EXPECT_TRUE(ram.from_cache);
+    expect_bit_identical(*ram.product, rebuilt);
+
+    service->wait_disk_writebacks();
+    const auto m = service->metrics();
+    EXPECT_EQ(m.disk.writes, 1u);
+    EXPECT_EQ(m.writeback_failures, 0u);
+    EXPECT_EQ(m.by_class[static_cast<std::size_t>(Priority::interactive)].requests, 2u);
+    EXPECT_EQ(m.by_class[static_cast<std::size_t>(Priority::interactive)].latency.stats.count(),
+              2u);
+  }
+
+  // "Restart": a fresh service over the same directory, RAM tier cold. The
+  // disk hit must not touch the shards (no full granule decode) and must be
+  // bit-identical to both the rebuild and the batch pipeline.
+  {
+    auto service = make_service(cfg);
+    const auto full_loads_before = h5::load_granule_call_count();
+    const auto disk = service->submit(r).get();
+    ASSERT_NE(disk.product, nullptr);
+    EXPECT_EQ(disk.source, ServedFrom::disk);
+    EXPECT_TRUE(disk.from_cache);
+    EXPECT_EQ(h5::load_granule_call_count(), full_loads_before);  // no shard IO
+    expect_bit_identical(*disk.product, rebuilt);
+    expect_bit_identical(*disk.product,
+                         batch_reference(BeamId::Gt1r, seasurface::Method::NasaEquation));
+
+    // The disk hit promoted the product into RAM: the next hit is tier 1.
+    const auto ram = service->submit(r).get();
+    EXPECT_EQ(ram.source, ServedFrom::ram);
+    EXPECT_EQ(ram.product.get(), disk.product.get());
+
+    const auto m = service->metrics();
+    EXPECT_EQ(m.disk.hits, 1u);
+    EXPECT_EQ(m.disk_load.stats.count(), 1u);
+    EXPECT_EQ(m.total.stats.count(), 0u);  // no cold build ever ran here
+  }
+}
+
+TEST_F(ServeCampaign, DiskTierConfigChangeIsColdNotStale) {
+  serve::ServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.disk_cache_dir = dir_ + "/disk_stale";
+  const ProductRequest r = request(BeamId::Gt2r);
+  {
+    auto service = make_service(cfg);
+    ASSERT_NE(service->submit(r).get().product, nullptr);
+    service->wait_disk_writebacks();
+  }
+  // Same directory, bumped model version: the persisted product's key no
+  // longer matches, so the service must rebuild rather than serve stale.
+  cfg.model_version = 1;
+  auto service = make_service(cfg);
+  const auto response = service->submit(r).get();
+  ASSERT_NE(response.product, nullptr);
+  EXPECT_EQ(response.source, ServedFrom::build);
+  const auto m = service->metrics();
+  EXPECT_EQ(m.disk.hits, 0u);
+  EXPECT_GE(m.disk.misses, 1u);
+  EXPECT_EQ(m.total.stats.count(), 1u);
 }
 
 TEST_F(ServeCampaign, UnknownGranuleYieldsBrokenFuture) {
