@@ -5,39 +5,6 @@
 
 namespace is2::nn {
 
-float activate(Activation a, float x) {
-  switch (a) {
-    case Activation::Linear: return x;
-    case Activation::Relu: return x > 0.0f ? x : 0.0f;
-    case Activation::Elu: return x > 0.0f ? x : std::expm1(x);
-    case Activation::Tanh: return std::tanh(x);
-    case Activation::Sigmoid: return 1.0f / (1.0f + std::exp(-x));
-  }
-  return x;
-}
-
-float activate_grad(Activation a, float x, float y) {
-  switch (a) {
-    case Activation::Linear: return 1.0f;
-    case Activation::Relu: return x > 0.0f ? 1.0f : 0.0f;
-    case Activation::Elu: return x > 0.0f ? 1.0f : y + 1.0f;  // d/dx e^x - 1 = y + 1
-    case Activation::Tanh: return 1.0f - y * y;
-    case Activation::Sigmoid: return y * (1.0f - y);
-  }
-  return 1.0f;
-}
-
-float activate_grad_from_y(Activation a, float y) {
-  switch (a) {
-    case Activation::Linear: return 1.0f;
-    case Activation::Relu: return y > 0.0f ? 1.0f : 0.0f;
-    case Activation::Elu: return y > 0.0f ? 1.0f : y + 1.0f;
-    case Activation::Tanh: return 1.0f - y * y;
-    case Activation::Sigmoid: return y * (1.0f - y);
-  }
-  return 1.0f;
-}
-
 float init_bound(std::size_t fan_in, std::size_t fan_out) {
   // Glorot uniform, matching the Keras default the paper's models used.
   return std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
@@ -51,20 +18,23 @@ Dense::Dense(std::size_t in_dim, std::size_t out_dim, Activation act, util::Rng&
 }
 
 const Mat& Dense::forward(const Mat& x, bool training) {
-  (void)training;
-  x_ = x;
-  z_.resize(x.rows(), w_.rows());
-  gemm_nt(x, w_, z_);
-  for (std::size_t r = 0; r < z_.rows(); ++r) {
-    float* zr = z_.row(r);
-    for (std::size_t c = 0; c < z_.cols(); ++c) zr[c] += b_.at(0, c);
+  if (training) {
+    x_ = x;
+    dense_forward_train(x, w_, b_, act_, z_, y_);
+  } else {
+    // Inference fast path: bias + activation fused into the GEMM epilogue,
+    // no input copy, no pre-activation cache. Drop any stale training
+    // caches so a later backward() fails loudly instead of using them.
+    x_.resize(0, 0);
+    z_.resize(0, 0);
+    dense_forward_fused(x, w_, b_, act_, y_);
   }
-  y_.resize(z_.rows(), z_.cols());
-  for (std::size_t i = 0; i < z_.size(); ++i) y_.data()[i] = activate(act_, z_.data()[i]);
   return y_;
 }
 
 const Mat& Dense::backward(const Mat& grad_out) {
+  if (x_.empty() || z_.empty())
+    throw std::logic_error("Dense::backward: requires forward(x, training=true)");
   if (grad_out.rows() != y_.rows() || grad_out.cols() != y_.cols())
     throw std::invalid_argument("Dense::backward: grad shape mismatch");
   // dz = dy * act'(z)

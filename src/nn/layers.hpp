@@ -6,6 +6,12 @@
 // Layers own their parameters and gradient buffers; optimizers consume the
 // Param views. All randomness flows through an explicit Rng so replicated
 // models in the distributed trainer stay bit-identical across ranks.
+//
+// Forward contract: forward(x, training=true) caches everything backward()
+// needs; forward(x, training=false) is the inference fast path — it runs the
+// fused kernels, skips gradient caches and input copies, and reuses its
+// output buffers across calls (zero allocation at steady batch shape).
+// backward() after an inference-mode forward throws.
 #pragma once
 
 #include <memory>
@@ -24,21 +30,17 @@ struct Param {
   Mat* grad = nullptr;
 };
 
-enum class Activation { Linear, Relu, Elu, Tanh, Sigmoid };
-
-float activate(Activation a, float x);
-/// Derivative given pre-activation x and activated value y.
-float activate_grad(Activation a, float x, float y);
-/// Derivative recovered from the activated value alone (valid for the
-/// monotone activations used here; what BPTT uses when z isn't cached).
-float activate_grad_from_y(Activation a, float y);
+// Activation, activate(), activate_grad(), activate_grad_from_y() live in
+// tensor.hpp (included above) so the fused GEMM epilogues can use them; the
+// names are unchanged under is2::nn.
 
 /// 2-D layer interface: [batch, in] -> [batch, out].
 class Layer {
  public:
   virtual ~Layer() = default;
   virtual const Mat& forward(const Mat& x, bool training) = 0;
-  /// Returns grad wrt input; accumulates parameter grads.
+  /// Returns grad wrt input; accumulates parameter grads. Requires the
+  /// preceding forward to have run with training=true.
   virtual const Mat& backward(const Mat& grad_out) = 0;
   virtual std::vector<Param> params() { return {}; }
   virtual std::string name() const = 0;
@@ -65,7 +67,7 @@ class Dense : public Layer {
   Mat dw_;
   Mat db_;
   Activation act_;
-  // caches
+  // caches (x_/z_ filled only by training-mode forward)
   Mat x_;       // input
   Mat z_;       // pre-activation
   Mat y_;       // output

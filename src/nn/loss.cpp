@@ -7,6 +7,39 @@
 namespace is2::nn {
 
 void softmax_rows(const Mat& logits, Mat& probs) {
+  // Single-traversal online softmax: max, exp and sum are maintained in one
+  // pass over the row. When a new maximum appears, the entries already
+  // written are recomputed as exp(z - new_max) from the original logits —
+  // not rescaled by a multiplicative correction — so after the pass every
+  // p[c] equals exp(z[c] - final_max) exactly and the sum accumulates in
+  // index order, both identical to softmax_rows_reference bit for bit
+  // (verified in test_nn_core). Max updates are rare (expected O(log n) for
+  // exchangeable inputs, once for a front-loaded max), so the common case
+  // really is one traversal instead of three.
+  probs.resize(logits.rows(), logits.cols());
+  const std::size_t n = logits.cols();
+  for (std::size_t r = 0; r < logits.rows(); ++r) {
+    const float* z = logits.row(r);
+    float* p = probs.row(r);
+    float zmax = z[0];
+    float sum = 0.0f;
+    for (std::size_t c = 0; c < n; ++c) {
+      if (z[c] > zmax) {
+        zmax = z[c];
+        sum = 0.0f;
+        for (std::size_t j = 0; j < c; ++j) {
+          p[j] = std::exp(z[j] - zmax);
+          sum += p[j];
+        }
+      }
+      p[c] = std::exp(z[c] - zmax);
+      sum += p[c];
+    }
+    for (std::size_t c = 0; c < n; ++c) p[c] /= sum;
+  }
+}
+
+void softmax_rows_reference(const Mat& logits, Mat& probs) {
   probs.resize(logits.rows(), logits.cols());
   for (std::size_t r = 0; r < logits.rows(); ++r) {
     const float* z = logits.row(r);

@@ -47,7 +47,13 @@ class FocalLoss : public Loss {
   std::array<double, atl03::kNumClasses> alpha_;
 };
 
-/// Row-wise softmax (used by predict()).
+/// Row-wise softmax, single-traversal online form (max/exp/sum maintained in
+/// one pass; exact recompute on a new running max keeps it bit-identical to
+/// the three-pass reference).
 void softmax_rows(const Mat& logits, Mat& probs);
+
+/// The original three-pass implementation, kept as the bit-stability oracle
+/// for test_nn_core.
+void softmax_rows_reference(const Mat& logits, Mat& probs);
 
 }  // namespace is2::nn

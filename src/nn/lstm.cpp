@@ -28,10 +28,86 @@ Lstm::Lstm(std::size_t input_dim, std::size_t units, Activation activation, doub
   for (std::size_t u = 0; u < units; ++u) b_.at(0, units + u) = 1.0f;
 }
 
+namespace {
+
+/// One timestep's elementwise cell update: gates [i f g o] from the fused
+/// pre-activations, then c_t and h_t. Activations run as contiguous
+/// per-gate range loops (switch hoisted, sigmoid/ELU applied over whole
+/// subranges) rather than a per-element gate interleave. Shared by the
+/// training and inference paths so both produce bit-identical states.
+/// `g_store` may be null (the inference path keeps no activated gates, in
+/// which case z is clobbered in place as the gate buffer), `c_prev` null at
+/// t=0.
+void lstm_cell_rows(Mat& z, Activation act, std::size_t batch, std::size_t u, const Mat* c_prev,
+                    Mat* g_store, Mat& c_out, Mat* c_act_store, Mat& h_out) {
+  for (std::size_t i = 0; i < batch; ++i) {
+    const float* zr = z.row(i);
+    float* gr = g_store ? g_store->row(i) : z.row(i);
+    // Gate activations over contiguous stacked ranges [i f g o].
+    sigmoid_row(zr, gr, u);                          // i
+    sigmoid_row(zr + u, gr + u, u);                  // f
+    activate_row_copy(act, zr + 2 * u, gr + 2 * u, u);  // g (cell activation)
+    sigmoid_row(zr + 3 * u, gr + 3 * u, u);          // o
+    float* cr = c_out.row(i);
+    float* car = c_act_store ? c_act_store->row(i) : nullptr;
+    float* hr = h_out.row(i);
+    const float* cp = c_prev ? c_prev->row(i) : nullptr;
+    for (std::size_t q = 0; q < u; ++q)
+      cr[q] = gr[u + q] * (cp ? cp[q] : 0.0f) + gr[q] * gr[2 * u + q];
+    if (car) {
+      activate_row_copy(act, cr, car, u);
+      for (std::size_t q = 0; q < u; ++q) hr[q] = gr[3 * u + q] * car[q];
+    } else {
+      activate_row_copy(act, cr, hr, u);  // h = o * act(c), act staged in h
+      for (std::size_t q = 0; q < u; ++q) hr[q] *= gr[3 * u + q];
+    }
+  }
+}
+
+}  // namespace
+
 const Mat& Lstm::forward(const Tensor3& x, bool training) {
   if (x.d != input_dim_) throw std::invalid_argument("Lstm::forward: feature dim mismatch");
   const std::size_t batch = x.n, steps = x.t, u = units_;
   steps_ = steps;
+
+  if (!training) {
+    // Inference fast path: no BPTT history — two rolling (c, h) buffers and
+    // one z scratch, all members reused across calls so a steady batch
+    // shape allocates nothing. Drop stale training caches so backward()
+    // after an inference forward fails loudly.
+    xs_.clear();
+    gates_.clear();
+    cs_.clear();
+    c_acts_.clear();
+    hs_.clear();
+    transpose(wx_, wxt_);
+    transpose(wh_, wht_);
+    z_scratch_.resize(batch, 4 * u);
+    x_scratch_.resize(batch, input_dim_);
+    c_roll_[0].resize(batch, u);
+    c_roll_[1].resize(batch, u);
+    h_roll_[0].resize(batch, u);
+    h_roll_[1].resize(batch, u);
+
+    for (std::size_t t = 0; t < steps; ++t) {
+      Mat& xt = x_scratch_;
+      for (std::size_t i = 0; i < batch; ++i) {
+        const float* src = x.at(i, t);
+        std::copy(src, src + input_dim_, xt.row(i));
+      }
+      // z = xt Wx^T + b (bias fused, weights pre-transposed once per call),
+      // then z += h_{t-1} Wh^T — the same operation order as training.
+      dense_forward_pre(xt, wxt_, b_, Activation::Linear, nullptr, z_scratch_);
+      const std::size_t cur = t & 1, prev = 1 - cur;
+      if (t > 0) gemm_nn(h_roll_[prev], wht_, z_scratch_, /*accumulate=*/true);
+      lstm_cell_rows(z_scratch_, act_, batch, u, t > 0 ? &c_roll_[prev] : nullptr,
+                     /*g_store=*/nullptr, c_roll_[cur], /*c_act_store=*/nullptr, h_roll_[cur]);
+    }
+    h_out_ = h_roll_[(steps - 1) & 1];
+    return h_out_;
+  }
+
   xs_.assign(steps, Mat(batch, input_dim_));
   gates_.assign(steps, Mat(batch, 4 * u));
   cs_.assign(steps, Mat(batch, u));
@@ -39,7 +115,10 @@ const Mat& Lstm::forward(const Tensor3& x, bool training) {
   hs_.assign(steps, Mat(batch, u));
 
   const auto drop_scale = static_cast<float>(1.0 / (1.0 - dropout_));
-  Mat z(batch, 4 * u);
+  transpose(wx_, wxt_);
+  transpose(wh_, wht_);
+  Mat& z = z_scratch_;
+  z.resize(batch, 4 * u);
 
   for (std::size_t t = 0; t < steps; ++t) {
     // Input (with inverted dropout during training).
@@ -49,47 +128,17 @@ const Mat& Lstm::forward(const Tensor3& x, bool training) {
       float* dst = xt.row(i);
       for (std::size_t dI = 0; dI < input_dim_; ++dI) {
         float v = src[dI];
-        if (training && dropout_ > 0.0)
-          v = dropout_rng_.bernoulli(dropout_) ? 0.0f : v * drop_scale;
+        if (dropout_ > 0.0) v = dropout_rng_.bernoulli(dropout_) ? 0.0f : v * drop_scale;
         dst[dI] = v;
       }
     }
 
-    // z = xt Wx^T + h_{t-1} Wh^T + b
-    gemm_nt(xt, wx_, z);
-    if (t > 0) gemm_nt(hs_[t - 1], wh_, z, /*accumulate=*/true);
-    for (std::size_t i = 0; i < batch; ++i) {
-      float* zr = z.row(i);
-      for (std::size_t c = 0; c < 4 * u; ++c) zr[c] += b_.at(0, c);
-    }
+    // z = xt Wx^T + b, then z += h_{t-1} Wh^T (same order as inference).
+    dense_forward_pre(xt, wxt_, b_, Activation::Linear, nullptr, z);
+    if (t > 0) gemm_nn(hs_[t - 1], wht_, z, /*accumulate=*/true);
 
-    // Gates: [i f g o]; i/f/o sigmoid, g uses the cell activation.
-    Mat& g = gates_[t];
-    Mat& ct = cs_[t];
-    Mat& ca = c_acts_[t];
-    Mat& ht = hs_[t];
-    for (std::size_t i = 0; i < batch; ++i) {
-      const float* zr = z.row(i);
-      float* gr = g.row(i);
-      float* cr = ct.row(i);
-      float* car = ca.row(i);
-      float* hr = ht.row(i);
-      const float* c_prev = t > 0 ? cs_[t - 1].row(i) : nullptr;
-      for (std::size_t q = 0; q < u; ++q) {
-        const float gi = activate(Activation::Sigmoid, zr[q]);
-        const float gf = activate(Activation::Sigmoid, zr[u + q]);
-        const float gg = activate(act_, zr[2 * u + q]);
-        const float go = activate(Activation::Sigmoid, zr[3 * u + q]);
-        gr[q] = gi;
-        gr[u + q] = gf;
-        gr[2 * u + q] = gg;
-        gr[3 * u + q] = go;
-        const float c_old = c_prev ? c_prev[q] : 0.0f;
-        cr[q] = gf * c_old + gi * gg;
-        car[q] = activate(act_, cr[q]);
-        hr[q] = go * car[q];
-      }
-    }
+    lstm_cell_rows(z, act_, batch, u, t > 0 ? &cs_[t - 1] : nullptr, &gates_[t], cs_[t],
+                   &c_acts_[t], hs_[t]);
   }
   h_out_ = hs_[steps - 1];
   return h_out_;
@@ -98,6 +147,8 @@ const Mat& Lstm::forward(const Tensor3& x, bool training) {
 void Lstm::backward(const Mat& grad_out) {
   const std::size_t batch = grad_out.rows(), u = units_;
   if (grad_out.cols() != u) throw std::invalid_argument("Lstm::backward: grad shape mismatch");
+  if (hs_.size() != steps_ || steps_ == 0)
+    throw std::logic_error("Lstm::backward: requires forward(x, training=true)");
 
   Mat dh = grad_out;          // dL/dh_t
   Mat dc(batch, u);           // dL/dc_t

@@ -36,7 +36,8 @@ class Lstm : public FrontEnd {
   Mat b_;   // [1, 4U]
   Mat dwx_, dwh_, db_;
 
-  // Per-step caches for BPTT (resized each forward).
+  // Per-step caches for BPTT (filled by training-mode forward only; the
+  // inference path clears them and uses the rolling scratch below).
   std::size_t steps_ = 0;
   std::vector<Mat> xs_;      // dropped-out inputs per step [B, D]
   std::vector<Mat> gates_;   // activated gates per step [B, 4U]
@@ -44,6 +45,15 @@ class Lstm : public FrontEnd {
   std::vector<Mat> c_acts_;  // act(c_t) per step
   std::vector<Mat> hs_;      // hidden states per step (hs_[t] = output of step t)
   Mat h_out_;                // final hidden state (forward return)
+
+  // Inference scratch, reused across calls (no per-call allocation at a
+  // steady batch shape): gate pre-activations, the current timestep's
+  // input slice, and double-buffered cell/hidden state.
+  Mat z_scratch_;
+  Mat x_scratch_;
+  Mat c_roll_[2];
+  Mat h_roll_[2];
+  Mat wxt_, wht_;  ///< weight transposes, refreshed once per forward call
 };
 
 }  // namespace is2::nn

@@ -125,24 +125,40 @@ std::vector<EpochStats> Sequential::fit(const Dataset& train, const Loss& loss,
   return history;
 }
 
-std::vector<std::uint8_t> Sequential::predict(const Tensor3& x, std::size_t batch_size) {
-  std::vector<std::uint8_t> out(x.n);
-  Tensor3 xb;
+void Sequential::predict_into(const Tensor3& x, std::uint8_t* out, std::size_t batch_size) {
+  if (batch_size == 0) throw std::invalid_argument("Sequential::predict: zero batch size");
   const std::size_t ss = x.sample_size();
+  // One scratch batch reused across iterations (a member, so repeated calls
+  // at the same shape allocate nothing). Each window's logits depend only on
+  // its own row, so the batch partition never changes the predictions. A
+  // batch that spans all of x skips the staging copy entirely — the serve
+  // path assembles exactly-one-batch tensors, which would otherwise pay a
+  // second full copy here.
+  Tensor3& xb = predict_scratch_;
   for (std::size_t start = 0; start < x.n; start += batch_size) {
     const std::size_t bsz = std::min(batch_size, x.n - start);
-    xb = Tensor3(bsz, x.t, x.d);
-    std::copy(x.v.begin() + static_cast<std::ptrdiff_t>(start * ss),
-              x.v.begin() + static_cast<std::ptrdiff_t>((start + bsz) * ss), xb.v.begin());
-    const Mat& logits = forward(xb, /*training=*/false);
+    const Mat* logits;
+    if (bsz == x.n) {
+      logits = &forward(x, /*training=*/false);
+    } else {
+      xb.resize(bsz, x.t, x.d);
+      std::copy(x.v.begin() + static_cast<std::ptrdiff_t>(start * ss),
+                x.v.begin() + static_cast<std::ptrdiff_t>((start + bsz) * ss), xb.v.begin());
+      logits = &forward(xb, /*training=*/false);
+    }
     for (std::size_t i = 0; i < bsz; ++i) {
-      const float* row = logits.row(i);
+      const float* row = logits->row(i);
       std::size_t best = 0;
-      for (std::size_t c = 1; c < logits.cols(); ++c)
+      for (std::size_t c = 1; c < logits->cols(); ++c)
         if (row[c] > row[best]) best = c;
       out[start + i] = static_cast<std::uint8_t>(best);
     }
   }
+}
+
+std::vector<std::uint8_t> Sequential::predict(const Tensor3& x, std::size_t batch_size) {
+  std::vector<std::uint8_t> out(x.n);
+  predict_into(x, out.data(), batch_size);
   return out;
 }
 

@@ -68,6 +68,10 @@ class Sequential {
 
   /// Argmax predictions.
   std::vector<std::uint8_t> predict(const Tensor3& x, std::size_t batch_size = 256);
+  /// Allocation-free variant: writes one class per window into out[0, x.n).
+  /// Each window's logits depend only on its own row, so predictions are
+  /// identical for any batch_size (and any contiguous partition of x).
+  void predict_into(const Tensor3& x, std::uint8_t* out, std::size_t batch_size = 256);
   /// Metrics on a labeled dataset.
   Metrics evaluate(const Dataset& data, std::size_t batch_size = 256);
 
@@ -77,6 +81,7 @@ class Sequential {
  private:
   std::unique_ptr<FrontEnd> front_;
   std::vector<std::unique_ptr<Layer>> layers_;
+  Tensor3 predict_scratch_;  ///< batch staging buffer reused by predict_into
 };
 
 /// The paper's LSTM model: LSTM(16, ELU, dropout 0.2) followed by Dense

@@ -58,11 +58,16 @@ KMeansResult kmeans(const std::vector<float>& points, std::size_t dim, std::size
 
   std::vector<double> sums(k * dim);
   std::vector<std::size_t> counts(k);
+  std::vector<double> best_dist(n);
   for (int iter = 0; iter < max_iters; ++iter) {
     res.iterations = iter + 1;
-    // Assignment (parallel).
-    double inertia = 0.0;
-#pragma omp parallel for schedule(static) reduction(+ : inertia)
+    // Assignment (parallel). Per-point best distances land in a scratch
+    // array and are summed serially in index order below: a
+    // `reduction(+:inertia)` would combine partial sums in a
+    // thread-count-dependent order and perturb the float result, so the
+    // inertia would differ between OpenMP on/off runs. This way it is
+    // bit-identical to the serial loop for any thread count.
+#pragma omp parallel for schedule(static)
     for (std::ptrdiff_t ii = 0; ii < static_cast<std::ptrdiff_t>(n); ++ii) {
       const auto i = static_cast<std::size_t>(ii);
       double best = std::numeric_limits<double>::infinity();
@@ -75,8 +80,10 @@ KMeansResult kmeans(const std::vector<float>& points, std::size_t dim, std::size
         }
       }
       res.labels[i] = best_c;
-      inertia += best;
+      best_dist[i] = best;
     }
+    double inertia = 0.0;
+    for (std::size_t i = 0; i < n; ++i) inertia += best_dist[i];
 
     // Update.
     std::fill(sums.begin(), sums.end(), 0.0);

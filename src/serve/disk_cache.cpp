@@ -1,6 +1,9 @@
 #include "serve/disk_cache.hpp"
 
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
 #include <cctype>
 #include <cstdio>
 #include <cstring>
@@ -210,6 +213,7 @@ DiskCache::DiskCache(DiskCacheConfig config) : config_(std::move(config)) {
   for (auto& f : found) {
     if (index_.count(f.entry.key)) continue;  // duplicate key: keep the newest
     bytes_ += f.entry.bytes;
+    f.entry.gen = next_gen_++;
     lru_.push_back(std::move(f.entry));
     index_[lru_.back().key] = std::prev(lru_.end());
   }
@@ -234,39 +238,102 @@ void DiskCache::evict_over_budget_locked() {
 }
 
 std::shared_ptr<const GranuleProduct> DiskCache::get(const ProductKey& key) {
-  std::lock_guard lock(mutex_);
-  auto it = index_.find(key);
-  if (it == index_.end()) {
-    ++misses_;
-    return nullptr;
+  // Snapshot-then-read: the manifest lock covers only the index probe and
+  // the post-read bookkeeping — the file read and deserialization (the
+  // actual milliseconds) run unlocked, so one slow disk hit no longer
+  // serializes hits on other keys. The snapshot is the entry's path; a
+  // concurrent put() for the same key atomically replaces the file
+  // (rename-on-publish), so the unlocked read sees either the old or the
+  // new complete payload — both deserialize to a valid product for this
+  // key. A concurrent eviction can delete the file mid-read; that read
+  // fails and is recorded as a miss without touching any newer entry.
+  std::string path;
+  std::uint64_t gen = 0;
+  {
+    std::lock_guard lock(mutex_);
+    const auto it = index_.find(key);
+    if (it == index_.end()) {
+      ++misses_;
+      return nullptr;
+    }
+    path = it->second->path;
+    gen = it->second->gen;
   }
+
+  std::shared_ptr<GranuleProduct> product;
   try {
-    const auto bytes = h5::read_file_bytes(it->second->path);
-    auto product = std::make_shared<GranuleProduct>(deserialize(bytes, key));
-    lru_.splice(lru_.begin(), lru_, it->second);  // refresh
-    ++hits_;
-    return product;
+    const auto bytes = h5::read_file_bytes(path);
+    if (read_hook_) read_hook_(key);  // test-only concurrency probe
+    product = std::make_shared<GranuleProduct>(deserialize(bytes, key));
   } catch (const std::exception&) {
     // Truncated / corrupt / stale-version / mismatched file: never served.
-    drop_entry_locked(it->second, /*corrupt=*/true);
+    std::lock_guard lock(mutex_);
+    const auto it = index_.find(key);
+    // Drop (and delete) only if the entry is still the publish generation
+    // we failed on. This is airtight because a file can only appear at the
+    // (deterministic) path under the manifest lock: put() renames its temp
+    // file into place *while holding the lock* (see put), and eviction
+    // deletes under it too — so gen == our snapshot implies the file at
+    // `path` is still the one we failed to read, and a republished healthy
+    // file always carries a newer generation and is never deleted here.
+    if (it != index_.end() && it->second->gen == gen)
+      drop_entry_locked(it->second, /*corrupt=*/true);
     ++misses_;
     return nullptr;
   }
+
+  std::lock_guard lock(mutex_);
+  const auto it = index_.find(key);
+  if (it != index_.end()) lru_.splice(lru_.begin(), lru_, it->second);  // refresh
+  ++hits_;
+  return product;
 }
 
 void DiskCache::put(const ProductKey& key, const GranuleProduct& product) {
   const std::vector<std::uint8_t> bytes = serialize(key, product);
   const std::string path = (fs::path(config_.dir) / filename_for(key)).string();
-  h5::write_file_atomic(path, bytes);
+
+  // Serialization and the payload write happen outside the manifest lock
+  // (they are the milliseconds); only the rename-into-place happens under
+  // it. That ordering is load-bearing for get()'s corrupt-drop path: no
+  // file can appear at the deterministic per-key path without holding the
+  // lock, so a generation snapshot fully identifies which file a failed
+  // read saw. Same-directory temp name (rename across filesystems is not
+  // atomic); pid + counter keeps concurrent writers of the same target
+  // from clobbering each other's temp file, and the startup scan deletes
+  // any `.is2p.tmp.*` leftovers from a crashed writer.
+  static std::atomic<std::uint64_t> seq{0};
+  const std::string tmp =
+      path + ".tmp." + std::to_string(::getpid()) + "." + std::to_string(seq.fetch_add(1));
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw h5::H5Error("disk_cache: cannot open for writing: " + tmp);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    out.flush();
+    if (!out) {
+      std::error_code rm;
+      fs::remove(tmp, rm);
+      throw h5::H5Error("disk_cache: write failed: " + tmp);
+    }
+  }
 
   std::lock_guard lock(mutex_);
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    std::error_code rm;
+    fs::remove(tmp, rm);
+    throw h5::H5Error("disk_cache: rename failed: " + tmp + " -> " + path + ": " +
+                      ec.message());
+  }
   auto it = index_.find(key);
   if (it != index_.end()) {  // replaced in place by the rename
     bytes_ -= it->second->bytes;
     lru_.erase(it->second);
     index_.erase(it);
   }
-  lru_.push_front(Entry{key, path, bytes.size()});
+  lru_.push_front(Entry{key, path, bytes.size(), next_gen_++});
   index_[key] = lru_.begin();
   bytes_ += bytes.size();
   ++writes_;

@@ -8,10 +8,18 @@
 //    same directory in the same process (cross-process sharing is safe for
 //    readers because writes are atomic rename-on-publish, but the LRU
 //    manifests will disagree about residency).
-//  * All public methods are thread-safe behind a single mutex. `get()` and
-//    `put()` perform file IO while holding it, so calls block for the
-//    duration of one (de)serialization — callers that care (the service's
-//    write-back) run them on a background thread.
+//  * All public methods are thread-safe. The manifest mutex covers only
+//    index/LRU bookkeeping plus rename/delete of cache files: `get()`
+//    snapshots the entry's path + generation under the lock and performs
+//    the file read + deserialization unlocked (one slow disk hit never
+//    serializes hits on other keys); `put()` serializes and writes the
+//    payload to a temp file unlocked, then renames it into place under the
+//    lock. Because files only appear/disappear at their deterministic
+//    per-key path while the lock is held, a generation snapshot fully
+//    identifies which file a failed read saw — the corrupt-drop path can
+//    never delete a concurrently republished healthy file. The service's
+//    write-back still runs on a background thread so cold builds never
+//    wait on serialization.
 //  * Entries are keyed by the same `ProductKey` as the RAM tier. The
 //    config-hash and a format version live in every file header, so a config,
 //    model or format change makes old entries unreadable-as-stale: they are
@@ -26,6 +34,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <memory>
 #include <mutex>
@@ -74,9 +83,19 @@ class DiskCache {
 
   /// Probe + deserialize; refreshes LRU position on hit. Any unreadable file
   /// (truncated, bad CRC, wrong version, key mismatch) is deleted and
-  /// reported as a miss — a corrupt entry is never served. Blocks for the
-  /// file read.
+  /// reported as a miss — a corrupt entry is never served. The file read
+  /// and deserialization run outside the manifest lock (snapshot-then-read),
+  /// so concurrent get() calls on different keys proceed in parallel even
+  /// when one of them hits a slow disk.
   std::shared_ptr<const GranuleProduct> get(const ProductKey& key);
+
+  /// Test-only: invoked between the unlocked file read and re-acquiring the
+  /// manifest lock in get(). Lets tests hold one reader mid-flight and
+  /// prove other keys' hits are not serialized behind it. Not thread-safe
+  /// against concurrent get(); install before traffic starts.
+  void set_read_hook_for_tests(std::function<void(const ProductKey&)> hook) {
+    read_hook_ = std::move(hook);
+  }
 
   /// Serialize + atomically publish, then evict LRU files over budget.
   /// Blocks for the file write; errors (e.g. disk full) throw.
@@ -116,16 +135,23 @@ class DiskCache {
     ProductKey key;
     std::string path;       ///< absolute path of the cache file
     std::size_t bytes = 0;  ///< on-disk size
+    /// Monotonic publish generation. filename_for(key) is deterministic, so
+    /// a path comparison cannot tell "the file I failed to read" from "a
+    /// healthy file a concurrent put() republished at the same path" — the
+    /// generation can, and the corrupt-drop path in get() checks it.
+    std::uint64_t gen = 0;
   };
 
   void evict_over_budget_locked();
   void drop_entry_locked(std::list<Entry>::iterator it, bool corrupt);
 
   DiskCacheConfig config_;
+  std::function<void(const ProductKey&)> read_hook_;  ///< tests only
   mutable std::mutex mutex_;
   std::list<Entry> lru_;  ///< front = most recently used
   std::unordered_map<ProductKey, std::list<Entry>::iterator, ProductKeyHash> index_;
   std::size_t bytes_ = 0;
+  std::uint64_t next_gen_ = 1;  ///< publish generation source (under mutex_)
   std::uint64_t hits_ = 0, misses_ = 0, writes_ = 0, evictions_ = 0, corrupt_dropped_ = 0;
 };
 

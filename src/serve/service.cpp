@@ -195,9 +195,12 @@ GranuleService::GranuleService(const ServiceConfig& config,
     writeback_pool_ = std::make_unique<util::ThreadPool>(1);
   }
   const std::size_t workers = config_.workers ? config_.workers : 1;
-  replicas_.reserve(workers);
-  for (std::size_t i = 0; i < workers; ++i)
+  const std::size_t replica_count = workers + config_.inference_threads;
+  replicas_.reserve(replica_count);
+  for (std::size_t i = 0; i < replica_count; ++i)
     replicas_.push_back(std::make_unique<nn::Sequential>(model_factory()));
+  if (config_.inference_threads > 0)
+    inference_pool_ = std::make_unique<util::ThreadPool>(config_.inference_threads);
   BatchScheduler::Config sched_cfg;
   sched_cfg.workers = workers;
   sched_cfg.queue_capacity = config_.queue_capacity;
@@ -421,6 +424,52 @@ ProductResponse GranuleService::build(const ProductRequest& request, const Produ
   return ProductResponse{std::move(product), false, 0.0, ServedFrom::build};
 }
 
+std::unique_ptr<nn::Sequential> GranuleService::checkout_replica() {
+  std::unique_lock lock(replica_mutex_);
+  replica_cv_.wait(lock, [this] { return !replicas_.empty(); });
+  std::unique_ptr<nn::Sequential> model = std::move(replicas_.back());
+  replicas_.pop_back();
+  return model;
+}
+
+void GranuleService::return_replica(std::unique_ptr<nn::Sequential> model) {
+  {
+    std::lock_guard lock(replica_mutex_);
+    replicas_.push_back(std::move(model));
+  }
+  replica_cv_.notify_one();
+}
+
+std::uint64_t GranuleService::classify_span(const float* scaled, std::size_t w_begin,
+                                            std::size_t w_end, std::uint8_t* pred) {
+  const std::size_t window = pipeline_.sequence_window;
+  constexpr int kDim = resample::FeatureRow::kDim;
+  const std::size_t batch =
+      config_.inference_batch_windows ? config_.inference_batch_windows : 256;
+
+  // Check a model replica out of the pool (inference mutates layer state).
+  std::unique_ptr<nn::Sequential> model = checkout_replica();
+  std::uint64_t batches = 0;
+  try {
+    nn::Tensor3 x;  // staging buffer, reused across this span's batches
+    for (std::size_t w0 = w_begin; w0 < w_end; w0 += batch) {
+      const std::size_t rows = std::min(batch, w_end - w0);
+      x.resize(rows, window, kDim);
+      for (std::size_t r = 0; r < rows; ++r) {
+        const std::size_t w = w0 + r;
+        std::copy(scaled + w * kDim, scaled + (w + window) * kDim, x.at(r, 0));
+      }
+      model->predict_into(x, pred + w0, rows);  // one forward pass
+      ++batches;
+    }
+  } catch (...) {
+    return_replica(std::move(model));
+    throw;
+  }
+  return_replica(std::move(model));
+  return batches;
+}
+
 std::vector<atl03::SurfaceClass> GranuleService::classify_batched(
     const std::vector<resample::FeatureRow>& features) {
   using atl03::SurfaceClass;
@@ -441,42 +490,35 @@ std::vector<atl03::SurfaceClass> GranuleService::classify_batched(
   const std::size_t batch =
       config_.inference_batch_windows ? config_.inference_batch_windows : 256;
 
-  // Check a model replica out of the pool (inference mutates layer state).
-  std::unique_ptr<nn::Sequential> model;
-  {
-    std::unique_lock lock(replica_mutex_);
-    replica_cv_.wait(lock, [this] { return !replicas_.empty(); });
-    model = std::move(replicas_.back());
-    replicas_.pop_back();
-  }
-
   std::vector<std::uint8_t> pred(n_windows);
   std::uint64_t batches = 0;
-  try {
-    for (std::size_t w0 = 0; w0 < n_windows; w0 += batch) {
-      const std::size_t rows = std::min(batch, n_windows - w0);
-      nn::Tensor3 x(rows, window, kDim);
-      for (std::size_t r = 0; r < rows; ++r) {
-        const std::size_t w = w0 + r;
-        std::copy(scaled.begin() + static_cast<std::ptrdiff_t>(w * kDim),
-                  scaled.begin() + static_cast<std::ptrdiff_t>((w + window) * kDim),
-                  x.at(r, 0));
-      }
-      const std::vector<std::uint8_t> p = model->predict(x, rows);  // one forward pass
-      std::copy(p.begin(), p.end(), pred.begin() + static_cast<std::ptrdiff_t>(w0));
-      ++batches;
-    }
-  } catch (...) {
-    std::lock_guard lock(replica_mutex_);
-    replicas_.push_back(std::move(model));
-    replica_cv_.notify_one();
-    throw;
+
+  // Batch-level parallelism: one granule's windows fan out over the shared
+  // inference pool in contiguous spans, each on its own model replica.
+  // Every window's logits depend only on its own row, so the partition
+  // never changes the predictions — span results are bit-identical to the
+  // serial path for any span count. Spans are batch-aligned so parallelism
+  // doesn't change batch shapes (and therefore per-batch scratch reuse).
+  std::size_t spans = 1;
+  if (inference_pool_) {
+    const std::size_t full_batches = (n_windows + batch - 1) / batch;
+    spans = std::min(inference_pool_->size(), full_batches);
   }
-  {
-    std::lock_guard lock(replica_mutex_);
-    replicas_.push_back(std::move(model));
+  if (spans <= 1) {
+    batches = classify_span(scaled.data(), 0, n_windows, pred.data());
+  } else {
+    const std::size_t batches_per_span = (n_windows + batch * spans - 1) / (batch * spans);
+    const std::size_t span_stride = batches_per_span * batch;
+    std::atomic<std::uint64_t> batch_count{0};
+    inference_pool_->parallel_for(spans, [&](std::size_t s) {
+      const std::size_t w_begin = s * span_stride;
+      if (w_begin >= n_windows) return;
+      const std::size_t w_end = std::min(w_begin + span_stride, n_windows);
+      batch_count.fetch_add(classify_span(scaled.data(), w_begin, w_end, pred.data()),
+                            std::memory_order_relaxed);
+    });
+    batches = batch_count.load();
   }
-  replica_cv_.notify_one();
 
   {
     std::lock_guard lock(metrics_mutex_);

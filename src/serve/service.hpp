@@ -157,6 +157,13 @@ struct ServiceConfig {
   std::size_t cache_bytes = 256u << 20;
   std::size_t cache_shards = 8;
   std::size_t inference_batch_windows = 256;  ///< windows per forward pass
+  /// Batch-level inference parallelism: size of a shared ThreadPool that
+  /// fans one granule's windows out in contiguous batch-aligned spans, each
+  /// span on its own model replica. 0 = off (each build runs inference on
+  /// its scheduler worker alone, parallelism comes from replicas only).
+  /// Predictions are bit-identical for any value — windows are
+  /// row-independent — so this is purely a latency knob for wide granules.
+  std::size_t inference_threads = 0;
   std::uint64_t model_version = 0;    ///< bump when weights change
   /// Disk cache tier; empty = RAM tier only. Products persist here across
   /// service restarts (keyed by config/model hash, so stale entries are
@@ -220,6 +227,12 @@ class GranuleService {
   ProductResponse build(const ProductRequest& request, const ProductKey& key);
   std::vector<atl03::SurfaceClass> classify_batched(
       const std::vector<resample::FeatureRow>& features);
+  /// Classify windows [w_begin, w_end) into pred (absolute indices) on one
+  /// checked-out replica; returns the number of forward-pass batches.
+  std::uint64_t classify_span(const float* scaled, std::size_t w_begin, std::size_t w_end,
+                              std::uint8_t* pred);
+  std::unique_ptr<nn::Sequential> checkout_replica();
+  void return_replica(std::unique_ptr<nn::Sequential> model);
   void record(StageLatency ServiceMetrics::*stage, double ms);
   void record_class(Priority cls, double ms);
   void schedule_writeback(const ProductKey& key,
@@ -235,9 +248,14 @@ class GranuleService {
   std::unique_ptr<DiskCache> disk_;  ///< outlives the write-back pool below
 
   // Checkout pool of model replicas (inference mutates Sequential state).
+  // Sized workers + inference_threads so every scheduler worker and every
+  // inference-pool span can hold one concurrently (checkout never deadlocks:
+  // holders always return their replica).
   std::mutex replica_mutex_;
   std::condition_variable replica_cv_;
   std::vector<std::unique_ptr<nn::Sequential>> replicas_;
+  /// Shared batch-level inference pool (null when inference_threads == 0).
+  std::unique_ptr<util::ThreadPool> inference_pool_;
 
   mutable std::mutex metrics_mutex_;
   ServiceMetrics stage_metrics_;  ///< cache/scheduler fields filled at snapshot

@@ -158,8 +158,10 @@ void check_model_gradients(Sequential& model, const Tensor3& x,
   auto params = model.params();
   for (auto& p : params) p.grad->fill(0.0f);
   Mat grad;
-  model.forward(x, /*training=*/false);
-  loss.compute(model.forward(x, false), labels, grad);
+  // backward() requires a training-mode forward (the inference path skips
+  // gradient caches). The finite-difference probes below use the inference
+  // path, which for dropout-free models is numerically identical.
+  loss.compute(model.forward(x, /*training=*/true), labels, grad);
   model.backward(grad);
 
   Rng pick(7);

@@ -1,0 +1,188 @@
+// Threads-on vs threads-off determinism for every pipeline stage that runs
+// under an OpenMP pragma (activated by IS2_ENABLE_OPENMP): label overlay,
+// drift estimation, sentinel2 scene render, k-means and segmentation. Each
+// test runs the same computation at 1 and 4 OpenMP threads and requires
+// bit-identical results — the policy docs/performance.md documents (row-
+// partitioned work, fixed-order reductions, no `reduction(+:float)`).
+// Without OpenMP the pairs still guard run-to-run determinism.
+#include <gtest/gtest.h>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include <vector>
+
+#include "atl03/surface_model.hpp"
+#include "geo/polar_stereo.hpp"
+#include "label/drift.hpp"
+#include "label/overlay.hpp"
+#include "sentinel2/kmeans.hpp"
+#include "sentinel2/scene_sim.hpp"
+#include "sentinel2/segmentation.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace is2;
+using atl03::SurfaceClass;
+
+void set_threads(int n) {
+#ifdef _OPENMP
+  omp_set_num_threads(n);
+#else
+  (void)n;
+#endif
+}
+
+int saved_threads() {
+#ifdef _OPENMP
+  return omp_get_max_threads();
+#else
+  return 1;
+#endif
+}
+
+/// Striped raster + consistent segments (mirrors test_label's fixture).
+s2::ClassRaster striped_raster(double stripe_m = 400.0, double pixel = 10.0) {
+  s2::GeoTransform gt{0.0, 1'000.0, pixel};
+  const auto cols = static_cast<std::size_t>(3.0 * stripe_m / pixel);
+  s2::ClassRaster r(100, cols, gt);
+  for (std::size_t row = 0; row < 100; ++row)
+    for (std::size_t col = 0; col < cols; ++col) {
+      const double x = gt.pixel_center(row, col).x;
+      r.set(row, col,
+            x < stripe_m         ? SurfaceClass::OpenWater
+            : x < 2.0 * stripe_m ? SurfaceClass::ThinIce
+                                 : SurfaceClass::ThickIce);
+    }
+  return r;
+}
+
+std::vector<resample::Segment> striped_segments(double stripe_m = 400.0, double shift_x = 0.0) {
+  std::vector<resample::Segment> segs;
+  for (double x = 1.0; x < 3.0 * stripe_m; x += 2.0) {
+    resample::Segment s;
+    s.s = x;
+    s.x = x + shift_x;
+    s.y = 500.0;
+    s.h_mean = x < stripe_m ? 0.0 : x < 2 * stripe_m ? 0.06 : 0.45;
+    s.h_std = 0.02;
+    s.n_photons = 10;
+    segs.push_back(s);
+  }
+  return segs;
+}
+
+struct SceneFixture {
+  geo::GeoCorrections corrections{7};
+  atl03::SurfaceConfig scfg;
+  geo::GroundTrack track;
+  atl03::SurfaceModel surface;
+
+  SceneFixture()
+      : track(geo::PolarStereo::epsg3976().forward({-160.0, -76.0}), 0.9),
+        surface((scfg.length_m = 5'000.0, scfg), track, corrections, 77) {}
+};
+
+s2::Scene render_scene(const SceneFixture& fx, double cloud_cover) {
+  s2::SceneConfig cfg;
+  cfg.cross_track_halfwidth_m = 600.0;
+  cfg.margin_m = 200.0;
+  cfg.cloud_cover = cloud_cover;
+  s2::SceneSimulator sim(cfg, 31);
+  return sim.render(fx.surface, {120.0, -60.0}, 500.0);
+}
+
+TEST(ParallelDeterminism, OverlayLabels) {
+  const auto raster = striped_raster();
+  const auto segs = striped_segments();
+  label::OverlayConfig cfg;
+  cfg.vote_radius_px = 1;
+  const int saved = saved_threads();
+  set_threads(1);
+  const auto a = label::overlay_labels(raster, segs, cfg);
+  set_threads(4);
+  const auto b = label::overlay_labels(raster, segs, cfg);
+  set_threads(saved);
+  EXPECT_EQ(a, b);
+}
+
+TEST(ParallelDeterminism, DriftEstimate) {
+  const auto raster = striped_raster();
+  const auto segs = striped_segments(400.0, -150.0);
+  std::vector<double> baseline(segs.size(), 0.0);
+  label::DriftConfig cfg;
+  const int saved = saved_threads();
+  set_threads(1);
+  const auto a = label::estimate_drift(raster, segs, baseline, cfg);
+  set_threads(4);
+  const auto b = label::estimate_drift(raster, segs, baseline, cfg);
+  set_threads(saved);
+  EXPECT_EQ(a.shift.x, b.shift.x);
+  EXPECT_EQ(a.shift.y, b.shift.y);
+  EXPECT_EQ(a.score, b.score);
+  EXPECT_EQ(a.score_unshifted, b.score_unshifted);
+}
+
+TEST(ParallelDeterminism, SceneRender) {
+  SceneFixture fx;
+  const int saved = saved_threads();
+  set_threads(1);
+  const auto a = render_scene(fx, 0.25);
+  set_threads(4);
+  const auto b = render_scene(fx, 0.25);
+  set_threads(saved);
+  ASSERT_EQ(a.image.rows(), b.image.rows());
+  ASSERT_EQ(a.image.cols(), b.image.cols());
+  for (int band = 0; band < s2::kNumBands; ++band) {
+    const float* ab = a.image.band_data(static_cast<s2::Band>(band));
+    const float* bb = b.image.band_data(static_cast<s2::Band>(band));
+    for (std::size_t i = 0; i < a.image.pixel_count(); ++i)
+      ASSERT_EQ(ab[i], bb[i]) << "band " << band << " px " << i;
+  }
+  EXPECT_EQ(a.cloud_tau, b.cloud_tau);
+  for (std::size_t r = 0; r < a.truth_class.rows(); ++r)
+    for (std::size_t c = 0; c < a.truth_class.cols(); ++c)
+      ASSERT_EQ(a.truth_class.at(r, c), b.truth_class.at(r, c));
+}
+
+TEST(ParallelDeterminism, KMeansInertiaAndLabels) {
+  // The inertia reduction is the one float reduction among the parallel
+  // sites; it must be bit-identical across thread counts (fixed-order sum).
+  util::Rng rng(5);
+  std::vector<float> points(3 * 4000);
+  for (auto& v : points) v = static_cast<float>(rng.uniform(0.0, 1.0));
+  const int saved = saved_threads();
+  set_threads(1);
+  const auto a = s2::kmeans(points, 3, 5, util::Rng(11), 25);
+  set_threads(4);
+  const auto b = s2::kmeans(points, 3, 5, util::Rng(11), 25);
+  set_threads(saved);
+  EXPECT_EQ(a.labels, b.labels);
+  EXPECT_EQ(a.centroids, b.centroids);
+  EXPECT_EQ(a.inertia, b.inertia);
+  EXPECT_EQ(a.iterations, b.iterations);
+}
+
+TEST(ParallelDeterminism, Segmentation) {
+  SceneFixture fx;
+  const auto scene = render_scene(fx, 0.3);
+  s2::SegmentationConfig cfg;
+  const int saved = saved_threads();
+  set_threads(1);
+  const auto a = s2::segment(scene.image, cfg);
+  set_threads(4);
+  const auto b = s2::segment(scene.image, cfg);
+  set_threads(saved);
+  EXPECT_EQ(a.thick_cloud_pixels, b.thick_cloud_pixels);
+  EXPECT_EQ(a.thin_cloud_corrected, b.thin_cloud_corrected);
+  EXPECT_EQ(a.shadow_corrected, b.shadow_corrected);
+  ASSERT_EQ(a.labels.rows(), b.labels.rows());
+  ASSERT_EQ(a.labels.cols(), b.labels.cols());
+  for (std::size_t r = 0; r < a.labels.rows(); ++r)
+    for (std::size_t c = 0; c < a.labels.cols(); ++c)
+      ASSERT_EQ(a.labels.at(r, c), b.labels.at(r, c));
+}
+
+}  // namespace

@@ -1099,4 +1099,111 @@ TEST_F(ServeCampaign, UnknownGranuleYieldsBrokenFuture) {
   EXPECT_THROW(f.get(), std::runtime_error);
 }
 
+TEST_F(ServeCampaign, ParallelInferenceIsBitIdenticalToSerial) {
+  // Batch-level inference parallelism (inference_threads > 0) fans one
+  // granule's windows over a ThreadPool in batch-aligned spans; windows are
+  // row-independent, so the partition must not change a single prediction.
+  serve::ServiceConfig serial_cfg;
+  serial_cfg.workers = 1;
+  serve::ServiceConfig par_cfg;
+  par_cfg.workers = 1;
+  par_cfg.inference_threads = 3;
+  par_cfg.inference_batch_windows = 64;  // several spans even on tiny beams
+  auto serial_svc = make_service(serial_cfg);
+  auto par_svc = make_service(par_cfg);
+  for (const BeamId beam : {BeamId::Gt1r, BeamId::Gt2r}) {
+    const auto a = serial_svc->submit(request(beam)).get();
+    const auto b = par_svc->submit(request(beam)).get();
+    ASSERT_NE(a.product, nullptr);
+    ASSERT_NE(b.product, nullptr);
+    expect_bit_identical(*a.product, *b.product);
+  }
+  const auto m = par_svc->metrics();
+  EXPECT_GT(m.inference_batches, 2u);  // really did run multiple spans' batches
+}
+
+// ---------------------------------------------------------------------------
+// DiskCache concurrency (the mutex-held-across-file-IO fix)
+// ---------------------------------------------------------------------------
+
+TEST_F(DiskCacheTest, SlowReadDoesNotSerializeOtherKeys) {
+  DiskCache cache({dir_, 64u << 20});
+  const GranuleProduct p1 = rich_product(1), p2 = rich_product(2);
+  const ProductKey k1 = rich_key(1), k2 = rich_key(2);
+  cache.put(k1, p1);
+  cache.put(k2, p2);
+
+  // Reader A parks inside get(k1) between the unlocked file read and the
+  // manifest re-lock; reader B's get(k2) must complete while A is parked —
+  // impossible before the snapshot-then-read fix, which held the manifest
+  // mutex across the whole read.
+  std::promise<void> entered;
+  auto entered_f = entered.get_future();
+  std::promise<void> release;
+  auto release_f = release.get_future().share();
+  std::atomic<bool> k1_seen{false};
+  cache.set_read_hook_for_tests([&](const ProductKey& key) {
+    if (key == k1 && !k1_seen.exchange(true)) {
+      entered.set_value();
+      release_f.wait();
+    }
+  });
+
+  std::thread reader_a([&] {
+    const auto got = cache.get(k1);
+    ASSERT_NE(got, nullptr);
+    expect_product_equal(*got, p1);
+  });
+  ASSERT_EQ(entered_f.wait_for(std::chrono::seconds(10)), std::future_status::ready);
+
+  // A is parked mid-get(k1). This get(k2) must finish on its own.
+  const auto got2 = cache.get(k2);
+  ASSERT_NE(got2, nullptr);
+  expect_product_equal(*got2, p2);
+
+  release.set_value();
+  reader_a.join();
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_EQ(stats.misses, 0u);
+}
+
+TEST_F(DiskCacheTest, ConcurrentGetPutStressServesOnlyValidProducts) {
+  DiskCache cache({dir_, 64u << 20});
+  constexpr int kKeys = 6;
+  std::vector<GranuleProduct> products;
+  std::vector<ProductKey> keys;
+  for (int k = 0; k < kKeys; ++k) {
+    products.push_back(rich_product(static_cast<std::uint64_t>(k)));
+    keys.push_back(rich_key(static_cast<std::uint64_t>(k)));
+  }
+  // Seed half the keys so early gets see a mix of hits and misses.
+  for (int k = 0; k < kKeys; k += 2) cache.put(keys[static_cast<std::size_t>(k)],
+                                               products[static_cast<std::size_t>(k)]);
+
+  std::atomic<std::uint64_t> served{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      util::Rng rng(100 + static_cast<std::uint64_t>(t));
+      for (int i = 0; i < 60; ++i) {
+        const auto k = static_cast<std::size_t>(rng.next() % kKeys);
+        if (rng.uniform() < 0.3) {
+          cache.put(keys[k], products[k]);
+        } else if (auto got = cache.get(keys[k])) {
+          // Whatever was served must be the product for that key, intact.
+          EXPECT_EQ(got->segments.size(), products[k].segments.size());
+          EXPECT_EQ(got->classes, products[k].classes);
+          served.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_GT(served.load(), 0u);
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.corrupt_dropped, 0u);
+  EXPECT_EQ(stats.entries, static_cast<std::size_t>(kKeys));
+}
+
 }  // namespace

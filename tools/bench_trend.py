@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Append one bench-summary row per CI run to a trend CSV.
+
+Usage:
+    bench_trend.py BENCH_serve.json BENCH_nn.json bench_trend.csv
+
+Reads the two bench artifacts, extracts the headline numbers, and appends a
+row (creating the CSV with a header when absent). CI restores the CSV from
+the Actions cache and re-uploads it as the `bench-trend` artifact, so the
+perf trajectory across PRs accumulates as a single diffable file instead of
+being scattered across per-run artifacts.
+
+A missing input file contributes empty cells rather than failing the build:
+the trend step must never mask a real bench failure (the benches themselves
+gate with their own exit codes before this runs).
+"""
+
+import csv
+import json
+import os
+import sys
+from datetime import datetime, timezone
+
+COLUMNS = [
+    "commit",
+    "utc_time",
+    "cold_qps_w4",
+    "warm_qps_w4",
+    "inference_mean_ms_w4",
+    "build_total_mean_ms_w4",
+    "disk_speedup",
+    "nn_aggregate_speedup",
+    "nn_predict_windows_per_sec",
+]
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, ValueError) as err:
+        print(f"bench_trend: skipping {path}: {err}", file=sys.stderr)
+        return None
+
+
+def serve_fields(doc):
+    if not doc:
+        return {}
+    out = {}
+    workers = doc.get("workers", [])
+    if workers:
+        # Highest worker-count row: the configuration CI trends.
+        top = max(workers, key=lambda row: row.get("workers", 0))
+        out["cold_qps_w4"] = top.get("cold_qps")
+        out["warm_qps_w4"] = top.get("warm_qps")
+        stages = top.get("stages", {})
+        out["inference_mean_ms_w4"] = stages.get("inference", {}).get("mean_ms")
+        out["build_total_mean_ms_w4"] = stages.get("total", {}).get("mean_ms")
+    out["disk_speedup"] = doc.get("cache_tiers", {}).get("disk_speedup")
+    return out
+
+
+def nn_fields(doc):
+    if not doc:
+        return {}
+    return {
+        "nn_aggregate_speedup": doc.get("aggregate_speedup"),
+        "nn_predict_windows_per_sec": doc.get("predict_windows_per_sec"),
+    }
+
+
+def main(argv):
+    if len(argv) != 4:
+        print(__doc__, file=sys.stderr)
+        return 2
+    serve_path, nn_path, csv_path = argv[1:4]
+
+    row = {
+        "commit": os.environ.get("GITHUB_SHA", "local")[:12],
+        "utc_time": datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ"),
+    }
+    row.update(serve_fields(load(serve_path)))
+    row.update(nn_fields(load(nn_path)))
+
+    fresh = not os.path.exists(csv_path)
+    with open(csv_path, "a", newline="") as f:
+        writer = csv.DictWriter(f, fieldnames=COLUMNS)
+        if fresh:
+            writer.writeheader()
+        writer.writerow({k: ("" if row.get(k) is None else row.get(k)) for k in COLUMNS})
+
+    with open(csv_path) as f:
+        lines = f.read().splitlines()
+    print(f"bench_trend: {csv_path} now has {len(lines) - 1} run(s); latest:")
+    print(f"  {lines[0]}")
+    print(f"  {lines[-1]}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
