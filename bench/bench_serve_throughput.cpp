@@ -135,7 +135,20 @@ void write_json(const std::string& path, const std::vector<WorkerRow>& rows,
     stage("total", r.metrics.total, /*last=*/true);
     out << "    }}" << (i + 1 < rows.size() ? "," : "") << "\n";
   }
-  out << "  ],\n  \"cache_sweep\": [\n";
+  // Raw per-stage ProductBuilder timings (the seven stage-graph stages) from
+  // the highest worker-count run — what tools/bench_trend.py trends.
+  out << "  ],\n  \"builder_stages\": {\n";
+  if (!rows.empty()) {
+    const auto& builder = rows.back().metrics.builder;
+    for (std::size_t s = 0; s < is2::pipeline::kNumStages; ++s) {
+      const auto& lat = builder[s];
+      out << "    \"" << is2::pipeline::stage_name(static_cast<is2::pipeline::StageId>(s))
+          << "\": {\"count\": " << lat.stats.count() << ", \"mean_ms\": " << lat.stats.mean()
+          << ", \"max_ms\": " << lat.stats.max() << "}"
+          << (s + 1 < is2::pipeline::kNumStages ? "," : "") << "\n";
+    }
+  }
+  out << "  },\n  \"cache_sweep\": [\n";
   for (std::size_t i = 0; i < sweep.size(); ++i) {
     const SweepRow& r = sweep[i];
     out << "    {\"budget_products\": " << r.scale << ", \"qps\": " << r.qps

@@ -16,8 +16,10 @@
 #include <unistd.h>
 #include <vector>
 
+#include "baseline/decision_tree.hpp"
 #include "core/campaign.hpp"
 #include "core/config.hpp"
+#include "pipeline/kinds.hpp"
 #include "serve/service.hpp"
 #include "util/rng.hpp"
 
@@ -54,12 +56,24 @@ int main() {
   const resample::FirstPhotonBiasCorrector fpb(config.instrument.dead_time_m,
                                                config.instrument.strong_channels);
   fpb.apply(segs);
-  const resample::FeatureScaler scaler = resample::FeatureScaler::fit(
-      resample::to_features(segs, resample::rolling_baseline(segs)));
+  const auto features = resample::to_features(segs, resample::rolling_baseline(segs));
+  const resample::FeatureScaler scaler = resample::FeatureScaler::fit(features);
   const auto model_factory = [&config] {
     util::Rng rng(99);
     return nn::make_lstm_model(config.sequence_window, resample::FeatureRow::kDim, rng);
   };
+  // Second classifier backend: an ATL07-style decision tree (fit here on
+  // photon truth for brevity) served behind the same submit API.
+  std::vector<float> tx;
+  std::vector<std::uint8_t> ty;
+  for (std::size_t i = 0; i < segs.size(); ++i) {
+    if (segs[i].truth == atl03::SurfaceClass::Unknown) continue;
+    for (int d = 0; d < resample::FeatureRow::kDim; ++d) tx.push_back(features[i].v[d]);
+    ty.push_back(static_cast<std::uint8_t>(segs[i].truth));
+  }
+  baseline::DecisionTree tree;
+  tree.fit(tx, resample::FeatureRow::kDim, ty, atl03::kNumClasses);
+  const auto tree_factory = [tree] { return tree; };
 
   // 3. The service: 2 workers, a bounded queue, a 64 MiB RAM product cache
   //    and a persistent disk tier under the demo directory.
@@ -69,7 +83,27 @@ int main() {
   cfg.cache_bytes = 64u << 20;
   cfg.disk_cache_dir = dir + "/product_cache";
   serve::GranuleService service(cfg, config, campaign.corrections(), index, model_factory,
-                                scaler);
+                                scaler, tree_factory);
+
+  // 3b. Kind-aware serving: build the classification prefix first, then ask
+  //     for the full freeboard product — the second build *resumes* from the
+  //     cached prefix (only sea surface + freeboard run, no shard IO, no
+  //     inference). The decision-tree backend serves through the same API
+  //     under its own cache identity.
+  serve::ProductRequest hot0;
+  hot0.granule_id = pair.granule.id;
+  hot0.beam = BeamId::Gt1r;
+  serve::ProductRequest prefix = hot0;
+  prefix.kind = pipeline::ProductKind::classification;
+  service.submit(prefix).get();
+  service.submit(hot0).get();  // resumed build
+  serve::ProductRequest tree_req = hot0;
+  tree_req.backend = pipeline::Backend::decision_tree;
+  const auto tree_response = service.submit(tree_req).get();
+  std::printf("kinds/backends: classification prefix built, freeboard resumed from it "
+              "(%llu resumed build(s)); tree-backend product: %zu freeboard points\n",
+              static_cast<unsigned long long>(service.metrics().resumed_builds),
+              tree_response.product->freeboard.points.size());
 
   // 4. Mixed hot/cold traffic: 70% of requests hit the hot product at
   //    interactive priority, the rest spread over every (beam, method)
@@ -146,6 +180,10 @@ int main() {
               "seasurface %.1f | freeboard %.1f | total %.1f\n",
               m.load.stats.mean(), m.features.stats.mean(), m.inference.stats.mean(),
               m.seasurface.stats.mean(), m.freeboard.stats.mean(), m.total.stats.mean());
+  std::printf("builder stages    ");
+  for (std::size_t s = 0; s < pipeline::kNumStages; ++s)
+    std::printf("%s %.2f ms%s", pipeline::stage_name(static_cast<pipeline::StageId>(s)),
+                m.builder[s].stats.mean(), s + 1 < pipeline::kNumStages ? " | " : "\n");
   std::printf("\nbuild latency distribution (log-scale bins):\n%s", m.total.render(40).c_str());
 
   // 6. Restart onto the same disk tier: the RAM cache is empty but every

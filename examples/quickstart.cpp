@@ -10,6 +10,8 @@
 #include "core/config.hpp"
 #include "core/pipeline.hpp"
 #include "freeboard/freeboard.hpp"
+#include "pipeline/classifier.hpp"
+#include "pipeline/product_builder.hpp"
 #include "seasurface/detector.hpp"
 
 int main() {
@@ -49,18 +51,26 @@ int main() {
   std::printf("test accuracy %.2f%%  F1 %.2f%%\n", metrics.accuracy * 100.0,
               metrics.f1 * 100.0);
 
-  // 4. Classify a full beam, detect the local sea surface, compute freeboard.
+  // 4. Classify a full beam, then run the rest of the stage graph
+  //    (sea surface + freeboard) through is2::pipeline::ProductBuilder —
+  //    the same typed builder serve and the batch jobs use. The Artifacts
+  //    bundle resumes from the already-classified segments, so only the
+  //    missing stages run, and each stage is latency-instrumented.
   const auto& beam = labeled.labeled[0];
-  const auto classes =
-      core::classify_segments(model, data.scaler, beam.features, config.sequence_window);
-  const auto sea_surface = seasurface::detect_sea_surface(
-      beam.segments, classes, seasurface::Method::NasaEquation, config.seasurface);
-  const auto product =
-      freeboard::compute_freeboard(beam.segments, classes, sea_surface, config.freeboard);
+  const auto classes = pipeline::classify_windows(model, data.scaler, beam.features,
+                                                  config.sequence_window);
+  pipeline::ProductBuilder builder(config, campaign.corrections());
+  pipeline::Artifacts art = pipeline::Artifacts::resume(beam.segments, classes);
+  pipeline::StageTrace trace;
+  builder.build(art, pipeline::ProductKind::freeboard, /*backend=*/nullptr,
+                seasurface::Method::NasaEquation, &trace);
+  const freeboard::FreeboardProduct& product = art.freeboard_out();
 
   std::printf("== freeboard product (beam gt1r) ==\n");
   std::printf("%zu points (%.0f per km), mean freeboard %.3f m\n", product.points.size(),
               product.points_per_km(), product.stats().mean());
+  std::printf("stage latencies: seasurface %.2f ms, freeboard %.2f ms\n",
+              trace.at(pipeline::StageId::seasurface), trace.at(pipeline::StageId::freeboard));
   std::printf("distribution:\n%s", product.distribution(-0.2, 1.0, 24).render(40).c_str());
   return 0;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <cmath>
+#include <cstring>
 #include <stdexcept>
 
 namespace is2::baseline {
@@ -134,6 +135,31 @@ std::vector<std::uint8_t> DecisionTree::predict_batch(const std::vector<float>& 
   std::vector<std::uint8_t> out(n);
   for (std::size_t i = 0; i < n; ++i) out[i] = predict(&x[i * dim_]);
   return out;
+}
+
+std::uint64_t DecisionTree::structure_hash() const {
+  // FNV-1a over the fields that determine predictions. Thresholds hash by
+  // bit pattern, so any retraining that moves a split changes the hash.
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  auto mix = [&h](std::uint64_t v) {
+    for (int b = 0; b < 8; ++b) {
+      h ^= (v >> (8 * b)) & 0xFF;
+      h *= 0x100000001B3ULL;
+    }
+  };
+  mix(static_cast<std::uint64_t>(dim_));
+  mix(static_cast<std::uint64_t>(n_classes_));
+  mix(nodes_.size());
+  for (const Node& nd : nodes_) {
+    std::uint32_t tbits = 0;
+    static_assert(sizeof(tbits) == sizeof(nd.threshold));
+    std::memcpy(&tbits, &nd.threshold, sizeof(tbits));
+    mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(nd.feature)) << 32 | tbits);
+    mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(nd.left)) << 32 |
+        static_cast<std::uint32_t>(nd.right));
+    mix(nd.label);
+  }
+  return h;
 }
 
 }  // namespace is2::baseline

@@ -30,6 +30,12 @@ class DecisionTree {
   int depth() const { return depth_; }
   bool trained() const { return !nodes_.empty(); }
 
+  /// Stable 64-bit hash of the fitted tree (dims, classes, every node's
+  /// split/threshold/children/label). Two trees predict identically iff
+  /// structurally equal, so this is the tree's cache-identity fingerprint
+  /// (pipeline::DecisionTreeBackend mixes it into product keys).
+  std::uint64_t structure_hash() const;
+
  private:
   struct Node {
     int feature = -1;        ///< -1 for leaves

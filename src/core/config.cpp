@@ -1,6 +1,37 @@
 #include "core/config.hpp"
 
+#include <stdexcept>
+#include <string>
+
 namespace is2::core {
+
+void PipelineConfig::validate() const {
+  auto fail = [](const std::string& what) {
+    throw std::invalid_argument("PipelineConfig::validate: " + what);
+  };
+  // The classifier windows are centered on one segment: the window must be
+  // odd so "n-2..n+2 context" has a center, and non-zero so windows exist.
+  if (sequence_window == 0 || sequence_window % 2 == 0)
+    fail("sequence_window must be odd and non-zero (got " + std::to_string(sequence_window) +
+         ")");
+  if (chunks_per_beam == 0) fail("chunks_per_beam must be >= 1");
+  if (track_length_m <= 0.0) fail("track_length_m must be positive");
+  // surface.length_m is overridden to track_length_m when the scene is
+  // generated (Campaign); an explicit override that disagrees would silently
+  // simulate a different scene than the pipeline expects.
+  if (surface.length_m != atl03::SurfaceConfig{}.length_m && surface.length_m != track_length_m)
+    fail("surface.length_m (" + std::to_string(surface.length_m) +
+         ") disagrees with track_length_m (" + std::to_string(track_length_m) +
+         "); leave it at the default to inherit track_length_m");
+  if (segmenter.window_m <= 0.0) fail("segmenter.window_m must be positive");
+  if (segmenter.shot_spacing_m <= 0.0) fail("segmenter.shot_spacing_m must be positive");
+  if (seasurface.window_m <= 0.0) fail("seasurface.window_m must be positive");
+  if (seasurface.stride_m <= 0.0) fail("seasurface.stride_m must be positive");
+  if (instrument.dead_time_m < 0.0) fail("instrument.dead_time_m must be >= 0");
+  if (instrument.strong_channels == 0) fail("instrument.strong_channels must be >= 1");
+  if (freeboard.max_freeboard_m < freeboard.min_freeboard_m)
+    fail("freeboard.max_freeboard_m below min_freeboard_m");
+}
 
 PipelineConfig PipelineConfig::tiny() {
   PipelineConfig cfg;

@@ -48,6 +48,13 @@ struct PipelineConfig {
   static PipelineConfig small();
   /// ~50 km scenes — the bench scale.
   static PipelineConfig standard();
+
+  /// Reject inconsistent settings with std::invalid_argument (e.g. an even
+  /// or zero sequence_window, zero chunks_per_beam, a surface.length_m
+  /// override that disagrees with track_length_m, non-positive resampling
+  /// windows). Called at pipeline::ProductBuilder construction so a bad
+  /// config fails at the API boundary instead of deep inside a stage.
+  void validate() const;
 };
 
 }  // namespace is2::core

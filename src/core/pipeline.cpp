@@ -5,6 +5,7 @@
 
 #include "h5lite/granule_io.hpp"
 #include "label/drift.hpp"
+#include "pipeline/product_builder.hpp"
 #include "util/rng.hpp"
 
 namespace is2::core {
@@ -14,12 +15,14 @@ using atl03::SurfaceClass;
 LabeledPair label_pair(const PairDataset& pair, const geo::GeoCorrections& corrections,
                        const PipelineConfig& config, bool estimate_drift_instead) {
   LabeledPair out;
+  const pipeline::ProductBuilder builder(config, corrections);  // validates config
   out.beams = atl03::preprocess_strong_beams(pair.granule, corrections, config.preprocess);
-  const resample::FirstPhotonBiasCorrector fpb(config.instrument.dead_time_m, config.instrument.strong_channels);
 
   for (auto& beam : out.beams) {
-    auto segments = resample::resample(beam, config.segmenter);
-    fpb.apply(segments);
+    // Resample + FPB through the shared stage graph (preprocess is seeded).
+    pipeline::Artifacts art = pipeline::Artifacts::from_preprocessed(beam);
+    builder.run_until(art, pipeline::StageId::fpb);
+    auto segments = art.take_segments();
 
     label::AutoLabelConfig al = config.autolabel;
     if (al.feature_gap_m < 0.0) al.feature_gap_m = config.segmenter.window_m * 1.5;
@@ -87,48 +90,21 @@ std::vector<SurfaceClass> classify_segments(nn::Sequential& model,
                                             const resample::FeatureScaler& scaler,
                                             const std::vector<resample::FeatureRow>& features,
                                             std::size_t window) {
-  const std::size_t n = features.size();
-  std::vector<SurfaceClass> out(n, SurfaceClass::Unknown);
-  if (n < window) return out;
-  const std::size_t half = window / 2;
-
-  // Standardize and window.
-  std::vector<float> scaled(n * resample::FeatureRow::kDim);
-  for (std::size_t i = 0; i < n; ++i)
-    for (int d = 0; d < resample::FeatureRow::kDim; ++d)
-      scaled[i * resample::FeatureRow::kDim + d] =
-          (features[i].v[d] - scaler.mean[d]) / scaler.std[d];
-
-  const std::size_t n_windows = n - window + 1;
-  nn::Tensor3 x(n_windows, window, resample::FeatureRow::kDim);
-  for (std::size_t w = 0; w < n_windows; ++w)
-    std::copy(scaled.begin() + static_cast<std::ptrdiff_t>(w * resample::FeatureRow::kDim),
-              scaled.begin() +
-                  static_cast<std::ptrdiff_t>((w + window) * resample::FeatureRow::kDim),
-              x.at(w, 0));
-
-  const auto pred = model.predict(x);
-  for (std::size_t w = 0; w < n_windows; ++w)
-    out[w + half] = static_cast<SurfaceClass>(pred[w]);
-  // Edge fill.
-  for (std::size_t i = 0; i < half; ++i) out[i] = out[half];
-  for (std::size_t i = n - half; i < n; ++i) out[i] = out[n - half - 1];
-  return out;
+  // Deprecated wrapper: the algorithm moved to pipeline::classify_windows.
+  return pipeline::classify_windows(model, scaler, features, window);
 }
 
 namespace {
 
-/// Shared per-partition heavy path: load -> preprocess -> 2m resample -> FPB.
+/// Shared per-partition heavy path through the stage graph:
+/// preprocess -> 2m resample -> FPB on a single-beam shard.
 std::vector<resample::Segment> partition_segments(const atl03::Granule& shard,
-                                                  const geo::GeoCorrections& corrections,
-                                                  const PipelineConfig& config,
-                                                  const resample::FirstPhotonBiasCorrector& fpb) {
+                                                  const pipeline::ProductBuilder& builder) {
   if (shard.beams.size() != 1)
     throw std::invalid_argument("partition_segments: shard must hold exactly one beam");
-  const auto pre = atl03::preprocess_beam(shard, shard.beams[0], corrections, config.preprocess);
-  auto segments = resample::resample(pre, config.segmenter);
-  fpb.apply(segments);
-  return segments;
+  pipeline::Artifacts art = pipeline::Artifacts::from_beam(shard, shard.beams[0]);
+  builder.run_until(art, pipeline::StageId::fpb);
+  return art.take_segments();
 }
 
 }  // namespace
@@ -140,7 +116,7 @@ AutoLabelJobStats run_autolabel_job(mapred::Engine& engine, const ShardSet& shar
                                     const PipelineConfig& config) {
   if (shards.files.size() != shards.pair_of_file.size())
     throw std::invalid_argument("run_autolabel_job: malformed shard set");
-  const resample::FirstPhotonBiasCorrector fpb(config.instrument.dead_time_m, config.instrument.strong_channels);
+  const pipeline::ProductBuilder builder(config, corrections);  // validates config
 
   struct PartitionOut {
     std::size_t segments = 0;
@@ -164,7 +140,7 @@ AutoLabelJobStats run_autolabel_job(mapred::Engine& engine, const ShardSet& shar
       /*reduce=*/
       [&](atl03::Granule& shard, std::size_t i) {
         const std::size_t pair = shards.pair_of_file[i];
-        auto segments = partition_segments(shard, corrections, config, fpb);
+        auto segments = partition_segments(shard, builder);
 
         label::AutoLabelConfig al = config.autolabel;
         if (al.feature_gap_m < 0.0) al.feature_gap_m = config.segmenter.window_m * 1.5;
@@ -205,7 +181,7 @@ FreeboardJobStats run_freeboard_job(mapred::Engine& engine, const ShardSet& shar
                                     const PipelineConfig& config) {
   if (shards.files.size() != shards.pair_of_file.size())
     throw std::invalid_argument("run_freeboard_job: malformed shard set");
-  const resample::FirstPhotonBiasCorrector fpb(config.instrument.dead_time_m, config.instrument.strong_channels);
+  const pipeline::ProductBuilder builder(config, corrections);  // validates config
 
   struct PartitionOut {
     std::size_t points = 0;
@@ -226,7 +202,7 @@ FreeboardJobStats run_freeboard_job(mapred::Engine& engine, const ShardSet& shar
       /*reduce=*/
       [&](atl03::Granule& shard, std::size_t i) {
         const std::size_t pair = shards.pair_of_file[i];
-        auto segments = partition_segments(shard, corrections, config, fpb);
+        auto segments = partition_segments(shard, builder);
 
         // Classification stage output: the labeled classes along the chunk
         // (the scaling experiment measures the freeboard computation, so the
@@ -235,13 +211,15 @@ FreeboardJobStats run_freeboard_job(mapred::Engine& engine, const ShardSet& shar
         if (al.feature_gap_m < 0.0) al.feature_gap_m = config.segmenter.window_m * 1.5;
         al.seed = config.seed ^ util::hash64(i * 67 + 9);
         al.overlay.shift = drifts[pair];
-        const label::LabeledBeam lb =
-            label::auto_label(rasters[pair], std::move(segments), al);
+        label::LabeledBeam lb = label::auto_label(rasters[pair], std::move(segments), al);
 
-        const auto profile = seasurface::detect_sea_surface(
-            lb.segments, lb.labels, seasurface::Method::NasaEquation, config.seasurface);
-        const auto product =
-            freeboard::compute_freeboard(lb.segments, lb.labels, profile, config.freeboard);
+        // Sea surface + freeboard through the stage graph, resuming from the
+        // auto-label classes (no ClassifierBackend needed).
+        pipeline::Artifacts tail =
+            pipeline::Artifacts::resume(std::move(lb.segments), std::move(lb.labels));
+        builder.build(tail, pipeline::ProductKind::freeboard, /*backend=*/nullptr,
+                      seasurface::Method::NasaEquation);
+        const freeboard::FreeboardProduct& product = tail.freeboard_out();
 
         PartitionOut out;
         out.points = product.points.size();

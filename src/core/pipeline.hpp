@@ -2,6 +2,12 @@
 // 2m resampling -> auto-labeling -> model training -> inference -> local sea
 // surface -> freeboard, plus the two staged map-reduce jobs behind the
 // scaling experiments (Tables II and V).
+//
+// Since the `is2::pipeline` stage-graph redesign, everything here is a thin
+// composition over `pipeline::ProductBuilder` — the per-stage wiring lives
+// in exactly one place. `label_pair` and the jobs remain the stable batch
+// entry points; `classify_segments` is a DEPRECATED thin wrapper over
+// `pipeline::classify_windows` (kept for one release).
 #pragma once
 
 #include <cstdint>
@@ -48,7 +54,9 @@ TrainingData assemble_training_data(const std::vector<LabeledPair>& pairs,
 
 /// Classify every segment of a beam with a trained model: sliding windows
 /// over standardized features; edge segments inherit the nearest interior
-/// prediction.
+/// prediction. DEPRECATED thin wrapper over `pipeline::classify_windows`
+/// (identical algorithm; new code should use a `pipeline::ClassifierBackend`
+/// or call classify_windows directly).
 std::vector<atl03::SurfaceClass> classify_segments(
     nn::Sequential& model, const resample::FeatureScaler& scaler,
     const std::vector<resample::FeatureRow>& features, std::size_t window);

@@ -1,6 +1,7 @@
 #include "nn/layers.hpp"
 
 #include <cmath>
+#include <cstring>
 #include <stdexcept>
 
 namespace is2::nn {
@@ -27,7 +28,26 @@ const Mat& Dense::forward(const Mat& x, bool training) {
     // caches so a later backward() fails loudly instead of using them.
     x_.resize(0, 0);
     z_.resize(0, 0);
-    dense_forward_fused(x, w_, b_, act_, y_);
+    if (w_.rows() >= kDenseFusedColTile) {
+      // Wide layer: the packed kernel wants W^T. Reuse the cached transpose
+      // across calls; rebuild when the dirty flag is set or the weights no
+      // longer match the snapshot the cache was built from (sound against
+      // mutation through retained Param views). Bit-identical to
+      // transposing per call — same panel values into the same kernel.
+      const bool stale =
+          wt_dirty_ || wt_src_.size() != w_.size() ||
+          std::memcmp(wt_src_.data(), w_.data(), w_.size() * sizeof(float)) != 0;
+      if (stale) {
+        wt_src_ = w_;
+        transpose(w_, wt_);
+        wt_dirty_ = false;
+      }
+      dense_forward_pre(x, wt_, b_, act_, nullptr, y_);
+    } else {
+      // Narrow logits head: the lane-split row kernel reads w_ directly
+      // (no transpose exists to cache).
+      dense_forward_fused(x, w_, b_, act_, y_);
+    }
   }
   return y_;
 }
@@ -35,6 +55,7 @@ const Mat& Dense::forward(const Mat& x, bool training) {
 const Mat& Dense::backward(const Mat& grad_out) {
   if (x_.empty() || z_.empty())
     throw std::logic_error("Dense::backward: requires forward(x, training=true)");
+  wt_dirty_ = true;  // an optimizer step will mutate w_ right after this
   if (grad_out.rows() != y_.rows() || grad_out.cols() != y_.cols())
     throw std::invalid_argument("Dense::backward: grad shape mismatch");
   // dz = dy * act'(z)
@@ -53,6 +74,7 @@ const Mat& Dense::backward(const Mat& grad_out) {
 }
 
 std::vector<Param> Dense::params() {
+  wt_dirty_ = true;  // mutable views escape (optimizer steps, weight loads)
   return {{"w", &w_, &dw_}, {"b", &b_, &db_}};
 }
 

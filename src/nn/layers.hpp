@@ -48,6 +48,17 @@ class Layer {
 };
 
 /// Fully connected y = x W^T + b with fused activation.
+///
+/// The inference forward runs on a cached pre-transposed weight panel
+/// (`wt_`), rebuilt only when the weights actually changed. Staleness is
+/// detected soundly, not by convention: a dirty flag (set when a mutable
+/// weight handle escapes via params()/weights() or a backward pass runs)
+/// forces a rebuild, and on the flag-clean path a sequential memcmp against
+/// the snapshot the cache was built from catches mutations made through
+/// retained Param views (optimizers, finite-difference probes). The memcmp
+/// is a linear streaming pass — far cheaper than the strided transpose it
+/// avoids — and predictions are bit-identical to the transpose-per-call
+/// path (same packed kernel, same panel values).
 class Dense : public Layer {
  public:
   Dense(std::size_t in_dim, std::size_t out_dim, Activation act, util::Rng& rng);
@@ -58,8 +69,11 @@ class Dense : public Layer {
   std::string name() const override { return "dense"; }
   std::size_t output_dim(std::size_t) const override { return w_.rows(); }
 
-  Mat& weights() { return w_; }
-  Mat& bias() { return b_; }
+  Mat& weights() {
+    wt_dirty_ = true;  // mutable handle escapes: assume mutation
+    return w_;
+  }
+  Mat& bias() { return b_; }  // bias is read directly, never cached
 
  private:
   Mat w_;   // [out, in]
@@ -72,6 +86,12 @@ class Dense : public Layer {
   Mat z_;       // pre-activation
   Mat y_;       // output
   Mat dx_;
+  // Pre-transposed weights cached across forward calls (wide layers only;
+  // the narrow logits head never transposes), plus the weight snapshot the
+  // cache was built from (memcmp'd to detect out-of-band mutation).
+  Mat wt_;      // [in, out] = w_^T
+  Mat wt_src_;  // copy of w_ at cache build time
+  bool wt_dirty_ = true;
 };
 
 /// Inverted dropout; identity at inference.

@@ -1,6 +1,7 @@
 #include "nn/lstm.hpp"
 
 #include <cmath>
+#include <cstring>
 #include <stdexcept>
 
 namespace is2::nn {
@@ -81,8 +82,7 @@ const Mat& Lstm::forward(const Tensor3& x, bool training) {
     cs_.clear();
     c_acts_.clear();
     hs_.clear();
-    transpose(wx_, wxt_);
-    transpose(wh_, wht_);
+    refresh_weight_transposes();  // cached across calls; see lstm.hpp
     z_scratch_.resize(batch, 4 * u);
     x_scratch_.resize(batch, input_dim_);
     c_roll_[0].resize(batch, u);
@@ -115,8 +115,7 @@ const Mat& Lstm::forward(const Tensor3& x, bool training) {
   hs_.assign(steps, Mat(batch, u));
 
   const auto drop_scale = static_cast<float>(1.0 / (1.0 - dropout_));
-  transpose(wx_, wxt_);
-  transpose(wh_, wht_);
+  refresh_weight_transposes();  // cached across calls; see lstm.hpp
   Mat& z = z_scratch_;
   z.resize(batch, 4 * u);
 
@@ -145,6 +144,7 @@ const Mat& Lstm::forward(const Tensor3& x, bool training) {
 }
 
 void Lstm::backward(const Mat& grad_out) {
+  wt_dirty_ = true;  // an optimizer step will mutate wx_/wh_ right after this
   const std::size_t batch = grad_out.rows(), u = units_;
   if (grad_out.cols() != u) throw std::invalid_argument("Lstm::backward: grad shape mismatch");
   if (hs_.size() != steps_ || steps_ == 0)
@@ -203,7 +203,21 @@ void Lstm::backward(const Mat& grad_out) {
   }
 }
 
+void Lstm::refresh_weight_transposes() {
+  const bool stale =
+      wt_dirty_ || wx_src_.size() != wx_.size() || wh_src_.size() != wh_.size() ||
+      std::memcmp(wx_src_.data(), wx_.data(), wx_.size() * sizeof(float)) != 0 ||
+      std::memcmp(wh_src_.data(), wh_.data(), wh_.size() * sizeof(float)) != 0;
+  if (!stale) return;
+  wx_src_ = wx_;
+  wh_src_ = wh_;
+  transpose(wx_, wxt_);
+  transpose(wh_, wht_);
+  wt_dirty_ = false;
+}
+
 std::vector<Param> Lstm::params() {
+  wt_dirty_ = true;  // mutable views escape (optimizer steps, weight loads)
   return {{"wx", &wx_, &dwx_}, {"wh", &wh_, &dwh_}, {"b", &b_, &db_}};
 }
 

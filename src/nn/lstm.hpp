@@ -53,7 +53,18 @@ class Lstm : public FrontEnd {
   Mat x_scratch_;
   Mat c_roll_[2];
   Mat h_roll_[2];
-  Mat wxt_, wht_;  ///< weight transposes, refreshed once per forward call
+  /// Weight transposes cached across forward calls; rebuilt when the dirty
+  /// flag is set (params() handed out mutable views / backward ran) or when
+  /// the weights no longer memcmp-match the snapshots the cache was built
+  /// from (sound against mutation through retained Param views). The check
+  /// is a sequential streaming pass, far cheaper than the two strided
+  /// transposes it avoids; results are bit-identical either way.
+  Mat wxt_, wht_;
+  Mat wx_src_, wh_src_;  ///< weight snapshots at cache build time
+  bool wt_dirty_ = true;
+
+  /// Refresh wxt_/wht_ if stale (shared by both forward paths).
+  void refresh_weight_transposes();
 };
 
 }  // namespace is2::nn

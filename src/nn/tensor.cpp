@@ -141,8 +141,11 @@ constexpr std::size_t kParallelThreshold = 1u << 20;
 constexpr std::size_t kLanes = 8;
 
 // Register tile over output columns in gemm_nt: 4 B-rows share each A-row
-// load, quadrupling the arithmetic per byte of A traffic.
-constexpr std::size_t kColTile = 4;
+// load, quadrupling the arithmetic per byte of A traffic. Also the fused
+// dense forward's narrow/packed dispatch boundary — published in tensor.hpp
+// (kDenseFusedColTile) so external cached-transpose paths dispatch on the
+// same line.
+constexpr std::size_t kColTile = kDenseFusedColTile;
 
 // Panel blocking over k: bounds the column tile's live B working set
 // (kColTile * kPanelK floats = 16 KiB, half an L1) so an A row streams

@@ -113,6 +113,16 @@ void gemm_nt_reference(const Mat& a, const Mat& b, Mat& c, bool accumulate = fal
 void gemm_nn_reference(const Mat& a, const Mat& b, Mat& c, bool accumulate = false);
 void gemm_tn_reference(const Mat& a, const Mat& b, Mat& c, bool accumulate = false);
 
+/// Output-width threshold of the fused dense forward's kernel dispatch:
+/// layers with fewer than this many output columns take the lane-split
+/// narrow row kernel (reads W directly, no transpose), wider layers take
+/// the packed kernel on a pre-transposed panel. Exposed so callers that
+/// pre-transpose and cache W^T themselves (Dense's inference path) dispatch
+/// on exactly the same boundary — the two kernels have different float
+/// summation orders, so a mismatch would break inference==training
+/// bit-identity.
+inline constexpr std::size_t kDenseFusedColTile = 4;
+
 /// Fused dense-layer inference forward: y = act(x W^T + b) in a single pass
 /// over the output (bias add + activation happen while the block is still
 /// register/L1-hot). x:[m,k] w:[n,k] b:[1,n] y:[m,n] (y resized).

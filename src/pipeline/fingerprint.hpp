@@ -1,0 +1,24 @@
+// Canonical 64-bit fingerprint mixing used for pipeline/config/backend
+// identity hashes. One shared implementation so the config fingerprint, the
+// backend fingerprints and the serve cache keys can never drift apart.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+#include "util/rng.hpp"
+
+namespace is2::pipeline {
+
+inline std::uint64_t fp_mix(std::uint64_t h, std::uint64_t v) {
+  return util::hash64(h ^ (v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2)));
+}
+
+inline std::uint64_t fp_mix(std::uint64_t h, double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  return fp_mix(h, bits);
+}
+
+}  // namespace is2::pipeline

@@ -1,0 +1,52 @@
+// Shared vocabulary of the `is2::pipeline` stage-graph API: which product a
+// build materializes (`ProductKind`) and which classifier backend produces
+// the per-segment classes (`Backend`). Both participate in cache identity —
+// serve's RAM/disk product keys and the IS2P disk format carry them — so
+// they live in this tiny leaf header that `serve/` can include without
+// pulling in the whole builder.
+#pragma once
+
+#include <cstdint>
+
+namespace is2::pipeline {
+
+/// How deep a build runs the paper's Fig. 1 pipeline. A shallower kind is a
+/// strict prefix of a deeper one: a `classification` product holds exactly
+/// the artifacts the first stages of a `freeboard` build would produce, so a
+/// deeper request can resume from a cached shallower product (see
+/// ProductBuilder). Values are stable: they appear in serialized products.
+enum class ProductKind : std::uint8_t {
+  classification = 0,  ///< segments + per-segment surface classes
+  seasurface = 1,      ///< classification + local sea-surface profile
+  freeboard = 2,       ///< seasurface + per-segment freeboard points
+};
+
+inline constexpr std::size_t kProductKinds = 3;
+
+inline const char* product_kind_name(ProductKind k) {
+  switch (k) {
+    case ProductKind::classification: return "classification";
+    case ProductKind::seasurface: return "seasurface";
+    case ProductKind::freeboard: return "freeboard";
+  }
+  return "?";
+}
+
+/// Which classifier implementation fills the classes artifact. Values are
+/// stable (serialized in product cache keys).
+enum class Backend : std::uint8_t {
+  nn = 0,             ///< the paper's LSTM/MLP `nn::Sequential` replica path
+  decision_tree = 1,  ///< ATL07-style CART baseline (`baseline::DecisionTree`)
+};
+
+inline constexpr std::size_t kBackends = 2;
+
+inline const char* backend_name(Backend b) {
+  switch (b) {
+    case Backend::nn: return "nn";
+    case Backend::decision_tree: return "tree";
+  }
+  return "?";
+}
+
+}  // namespace is2::pipeline

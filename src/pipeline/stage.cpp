@@ -1,0 +1,33 @@
+#include "pipeline/stage.hpp"
+
+#include <cstdio>
+
+namespace is2::pipeline {
+
+std::string StageLatency::render(std::size_t max_width) const {
+  const std::size_t n = histogram.bins();
+  std::size_t first = n, last = 0;
+  for (std::size_t b = 0; b < n; ++b) {
+    if (histogram.count(b) == 0) continue;
+    first = std::min(first, b);
+    last = b;
+  }
+  if (first == n) return "(no samples)\n";
+  std::size_t peak = 1;
+  for (std::size_t b = first; b <= last; ++b) peak = std::max(peak, histogram.count(b));
+  std::string out;
+  char buf[64];
+  for (std::size_t b = first; b <= last; ++b) {
+    std::snprintf(buf, sizeof buf, "%9.3g ms | ", bin_lo_ms(b));
+    out += buf;
+    const auto w = static_cast<std::size_t>(static_cast<double>(histogram.count(b)) /
+                                            static_cast<double>(peak) *
+                                            static_cast<double>(max_width));
+    out.append(w, '#');
+    std::snprintf(buf, sizeof buf, " %zu\n", histogram.count(b));
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace is2::pipeline

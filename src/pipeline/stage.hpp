@@ -1,0 +1,141 @@
+// Stage identities and per-stage latency instrumentation for the
+// `is2::pipeline` stage graph.
+//
+// The seven paper stages (Fig. 1) are first-class values here so every
+// consumer — the batch jobs, `serve::GranuleService`, the benches — shares
+// one latency vocabulary instead of each keeping its own stopwatch code.
+// `StageLatency` (RunningStats + log-scale histogram) used to live in
+// `serve/service.hpp`; it moved down into the pipeline layer with the
+// builder so batch builds get the same distribution machinery for free
+// (serve keeps a `using` alias for source compatibility).
+//
+// Threading contract: `StageLatency`/`StageTrace` are plain values (callers
+// synchronize); `BuilderMetrics` is internally locked and safe to share
+// across concurrent builds.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstddef>
+#include <mutex>
+#include <string>
+
+#include "util/stats.hpp"
+
+namespace is2::pipeline {
+
+/// The seven stages of the paper's pipeline, in dependency order. A build
+/// that resumes from cached artifacts skips the prefix that is already done.
+enum class StageId : std::uint8_t {
+  preprocess = 0,  ///< photon selection, projection, height correction
+  resample = 1,    ///< 2 m windowed segments
+  fpb = 2,         ///< first-photon-bias correction (in place on segments)
+  features = 3,    ///< rolling baseline + the paper's six features
+  classify = 4,    ///< per-segment classes via a ClassifierBackend
+  seasurface = 5,  ///< local sea-surface profile
+  freeboard = 6,   ///< per-segment freeboard points
+};
+
+inline constexpr std::size_t kNumStages = 7;
+
+inline const char* stage_name(StageId id) {
+  switch (id) {
+    case StageId::preprocess: return "preprocess";
+    case StageId::resample: return "resample";
+    case StageId::fpb: return "fpb";
+    case StageId::features: return "features";
+    case StageId::classify: return "classify";
+    case StageId::seasurface: return "seasurface";
+    case StageId::freeboard: return "freeboard";
+  }
+  return "?";
+}
+
+/// Latency distribution of one pipeline stage, in milliseconds. The
+/// histogram bins log10(ms) over [10 us, 100 s] — 10 bins per decade — so a
+/// sub-millisecond cache probe and a near-second cold build are both
+/// representable without saturating an edge bin.
+struct StageLatency {
+  static constexpr double kMinMs = 1e-2;  ///< 10 us: below this clamps low
+  static constexpr double kMaxMs = 1e5;   ///< 100 s: above this clamps high
+  static constexpr std::size_t kBinsPerDecade = 10;
+
+  util::RunningStats stats;
+  util::Histogram histogram{-2.0, 5.0, 7 * kBinsPerDecade};  ///< bins log10(ms)
+
+  void add(double ms) {
+    stats.add(ms);
+    histogram.add(std::log10(std::clamp(ms, kMinMs, kMaxMs)));
+  }
+  /// Lower edge of a histogram bin, back in milliseconds.
+  double bin_lo_ms(std::size_t bin) const {
+    return std::pow(10.0, histogram.lo() + static_cast<double>(bin) * histogram.bin_width());
+  }
+  /// Render the latency distribution with millisecond bin labels (log axis),
+  /// skipping empty leading/trailing decades.
+  std::string render(std::size_t max_width = 60) const;
+};
+
+/// Wall time of each stage that ran during one build (ms; `ran` marks which
+/// entries are meaningful — resumed builds leave their skipped prefix
+/// untouched).
+struct StageTrace {
+  std::array<double, kNumStages> ms{};
+  std::array<bool, kNumStages> ran{};
+
+  double& at(StageId id) { return ms[static_cast<std::size_t>(id)]; }
+  double at(StageId id) const { return ms[static_cast<std::size_t>(id)]; }
+  bool did(StageId id) const { return ran[static_cast<std::size_t>(id)]; }
+  void mark(StageId id, double stage_ms) {
+    ms[static_cast<std::size_t>(id)] = stage_ms;
+    ran[static_cast<std::size_t>(id)] = true;
+  }
+  /// Sum over the stages that ran (a resumed build's total is its suffix).
+  double total_ms() const {
+    double t = 0.0;
+    for (std::size_t i = 0; i < kNumStages; ++i)
+      if (ran[i]) t += ms[i];
+    return t;
+  }
+};
+
+/// Per-stage latency distributions, aggregated across builds.
+using StageSnapshot = std::array<StageLatency, kNumStages>;
+
+/// Thread-safe aggregation of StageTraces: one StageLatency per stage plus a
+/// whole-build distribution over the stages that actually ran. Shared by
+/// every caller of one ProductBuilder (serve workers, mapred partitions).
+class BuilderMetrics {
+ public:
+  void record(const StageTrace& trace) {
+    std::lock_guard lock(mutex_);
+    for (std::size_t i = 0; i < kNumStages; ++i)
+      if (trace.ran[i]) stages_[i].add(trace.ms[i]);
+    build_.add(trace.total_ms());
+    ++builds_;
+  }
+
+  StageSnapshot stages() const {
+    std::lock_guard lock(mutex_);
+    return stages_;
+  }
+
+  StageLatency build() const {
+    std::lock_guard lock(mutex_);
+    return build_;
+  }
+
+  std::uint64_t builds() const {
+    std::lock_guard lock(mutex_);
+    return builds_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  StageSnapshot stages_;
+  StageLatency build_;  ///< total_ms per build (full or resumed suffix)
+  std::uint64_t builds_ = 0;
+};
+
+}  // namespace is2::pipeline

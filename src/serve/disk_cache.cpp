@@ -21,7 +21,8 @@ namespace fs = std::filesystem;
 namespace {
 
 constexpr char kMagic[4] = {'I', 'S', '2', 'P'};
-constexpr std::size_t kIdentityPrefixBytes = 4 + 4 + 8 + 1;  ///< magic..beam, before id
+///< magic..backend, before the granule id
+constexpr std::size_t kIdentityPrefixBytes = 4 + 4 + 8 + 1 + 1 + 1;
 
 /// Fixed-size header fields shared by serialize/deserialize/manifest-scan.
 struct Identity {
@@ -40,6 +41,8 @@ Identity read_identity(h5::ByteReader& r) {
   id.version = r.raw<std::uint32_t>();
   id.key.config_hash = r.raw<std::uint64_t>();
   id.key.beam = static_cast<atl03::BeamId>(r.raw<std::uint8_t>());
+  id.key.kind = static_cast<pipeline::ProductKind>(r.raw<std::uint8_t>());
+  id.key.backend = static_cast<pipeline::Backend>(r.raw<std::uint8_t>());
   id.key.granule_id = r.str();
   return id;
 }
@@ -78,8 +81,9 @@ std::string DiskCache::filename_for(const ProductKey& key) {
   std::string id = key.granule_id;
   for (char& c : id)
     if (!std::isalnum(static_cast<unsigned char>(c)) && c != '-' && c != '_') c = '-';
-  char buf[64];
-  std::snprintf(buf, sizeof buf, "_%s_%016llx_%016llx.is2p", atl03::beam_name(key.beam),
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "_%s_%s_%s_%016llx_%016llx.is2p", atl03::beam_name(key.beam),
+                pipeline::product_kind_name(key.kind), pipeline::backend_name(key.backend),
                 static_cast<unsigned long long>(key.config_hash),
                 static_cast<unsigned long long>(ProductKeyHash{}(key)));
   return id + buf;
@@ -111,6 +115,8 @@ std::vector<std::uint8_t> DiskCache::serialize(const ProductKey& key,
   out.raw(kFormatVersion);
   out.raw(key.config_hash);
   out.raw(static_cast<std::uint8_t>(key.beam));
+  out.raw(static_cast<std::uint8_t>(key.kind));
+  out.raw(static_cast<std::uint8_t>(key.backend));
   out.str(key.granule_id);
   out.raw(static_cast<std::uint64_t>(body.buf.size()));
   out.bytes(body.buf.data(), body.buf.size());
@@ -136,6 +142,7 @@ GranuleProduct DiskCache::deserialize(std::span<const std::uint8_t> bytes,
   GranuleProduct product;
   product.granule_id = expect.granule_id;
   product.beam = expect.beam;
+  product.kind = expect.kind;
   const std::size_t n_segments = checked_count(body, 8);
   product.segments.reserve(n_segments);
   for (std::size_t i = 0; i < n_segments; ++i)
@@ -238,6 +245,15 @@ void DiskCache::evict_over_budget_locked() {
 }
 
 std::shared_ptr<const GranuleProduct> DiskCache::get(const ProductKey& key) {
+  return get_impl(key, /*count_stats=*/true);
+}
+
+std::shared_ptr<const GranuleProduct> DiskCache::peek(const ProductKey& key) {
+  return get_impl(key, /*count_stats=*/false);
+}
+
+std::shared_ptr<const GranuleProduct> DiskCache::get_impl(const ProductKey& key,
+                                                          bool count_stats) {
   // Snapshot-then-read: the manifest lock covers only the index probe and
   // the post-read bookkeeping — the file read and deserialization (the
   // actual milliseconds) run unlocked, so one slow disk hit no longer
@@ -253,7 +269,7 @@ std::shared_ptr<const GranuleProduct> DiskCache::get(const ProductKey& key) {
     std::lock_guard lock(mutex_);
     const auto it = index_.find(key);
     if (it == index_.end()) {
-      ++misses_;
+      if (count_stats) ++misses_;
       return nullptr;
     }
     path = it->second->path;
@@ -278,14 +294,14 @@ std::shared_ptr<const GranuleProduct> DiskCache::get(const ProductKey& key) {
     // file always carries a newer generation and is never deleted here.
     if (it != index_.end() && it->second->gen == gen)
       drop_entry_locked(it->second, /*corrupt=*/true);
-    ++misses_;
+    if (count_stats) ++misses_;
     return nullptr;
   }
 
   std::lock_guard lock(mutex_);
   const auto it = index_.find(key);
   if (it != index_.end()) lru_.splice(lru_.begin(), lru_, it->second);  // refresh
-  ++hits_;
+  if (count_stats) ++hits_;
   return product;
 }
 

@@ -69,9 +69,12 @@ struct DiskCacheStats {
 
 class DiskCache {
  public:
-  /// Bump when the product payload layout changes: every existing cache file
-  /// self-invalidates on the next probe.
-  static constexpr std::uint32_t kFormatVersion = 1;
+  /// Bump when the product payload or key-block layout changes: every
+  /// existing cache file self-invalidates on the next probe. v2 extended the
+  /// key block with the product kind and classifier backend (the
+  /// is2::pipeline stage-graph redesign), so v1 files — which cannot say
+  /// which kind/backend they hold — are rejected, never served.
+  static constexpr std::uint32_t kFormatVersion = 2;
 
   /// Creates the directory if needed, deletes leftover temp files, rebuilds
   /// the LRU manifest from the surviving file headers (oldest mtime = first
@@ -88,6 +91,12 @@ class DiskCache {
   /// so concurrent get() calls on different keys proceed in parallel even
   /// when one of them hits a slow disk.
   std::shared_ptr<const GranuleProduct> get(const ProductKey& key);
+
+  /// get() minus the hit/miss counters (corrupt drops are still counted —
+  /// they report file health, not traffic). For speculative probes that are
+  /// not client requests (the service's shallower-kind resume probe), so
+  /// DiskCacheStats keeps reporting the client-visible hit rate.
+  std::shared_ptr<const GranuleProduct> peek(const ProductKey& key);
 
   /// Test-only: invoked between the unlocked file read and re-acquiring the
   /// manifest lock in get(). Lets tests hold one reader mid-flight and
@@ -116,7 +125,8 @@ class DiskCache {
   //
   // File layout (little-endian, h5::ByteWriter/ByteReader):
   //   magic "IS2P" | u32 format_version | u64 config_hash | u8 beam
-  //   | str granule_id | u64 payload_bytes | payload | u32 crc32(payload)
+  //   | u8 product_kind | u8 backend | str granule_id
+  //   | u64 payload_bytes | payload | u32 crc32(payload)
 
   /// Encode one product under its cache key.
   static std::vector<std::uint8_t> serialize(const ProductKey& key,
@@ -144,6 +154,7 @@ class DiskCache {
 
   void evict_over_budget_locked();
   void drop_entry_locked(std::list<Entry>::iterator it, bool corrupt);
+  std::shared_ptr<const GranuleProduct> get_impl(const ProductKey& key, bool count_stats);
 
   DiskCacheConfig config_;
   std::function<void(const ProductKey&)> read_hook_;  ///< tests only

@@ -10,6 +10,8 @@ std::size_t ProductKeyHash::operator()(const ProductKey& key) const {
   std::uint64_t h = std::hash<std::string>{}(key.granule_id);
   h = util::hash64(h ^ (static_cast<std::uint64_t>(key.beam) + 0x9E3779B97F4A7C15ULL));
   h = util::hash64(h ^ key.config_hash);
+  h = util::hash64(h ^ (static_cast<std::uint64_t>(key.kind) |
+                        static_cast<std::uint64_t>(key.backend) << 8));
   return static_cast<std::size_t>(h);
 }
 
@@ -45,6 +47,15 @@ std::shared_ptr<const GranuleProduct> ProductCache::get(const ProductKey& key) {
     return nullptr;
   }
   ++shard.hits;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);  // refresh
+  return it->second->product;
+}
+
+std::shared_ptr<const GranuleProduct> ProductCache::peek(const ProductKey& key) {
+  Shard& shard = shard_for(key);
+  std::lock_guard lock(shard.mutex);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) return nullptr;  // not a client miss: uncounted
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second);  // refresh
   return it->second->product;
 }

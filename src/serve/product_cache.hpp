@@ -25,21 +25,28 @@
 
 #include "atl03/types.hpp"
 #include "freeboard/freeboard.hpp"
+#include "pipeline/kinds.hpp"
 #include "resample/segmenter.hpp"
 #include "seasurface/detector.hpp"
 
 namespace is2::serve {
 
-/// Cache identity of one served product. `config_hash` fingerprints every
-/// pipeline/config input that affects the product bytes (see
-/// `config_fingerprint` in serve/service.hpp).
+/// Cache identity of one served product. `config_hash` is the stage-prefix-
+/// scoped `pipeline::product_fingerprint` — only the config inputs the
+/// kind's stages read, plus classifier backend identity — so e.g. a
+/// classification product keeps one identity across sea-surface methods.
+/// `kind` and `backend` are additionally explicit fields: the resume probe
+/// re-derives shallower keys per kind (see GranuleService::key_for_kind).
 struct ProductKey {
   std::string granule_id;
   atl03::BeamId beam = atl03::BeamId::Gt1r;
   std::uint64_t config_hash = 0;
+  pipeline::ProductKind kind = pipeline::ProductKind::freeboard;
+  pipeline::Backend backend = pipeline::Backend::nn;
 
   bool operator==(const ProductKey& o) const {
-    return config_hash == o.config_hash && beam == o.beam && granule_id == o.granule_id;
+    return config_hash == o.config_hash && beam == o.beam && kind == o.kind &&
+           backend == o.backend && granule_id == o.granule_id;
   }
 };
 
@@ -47,15 +54,19 @@ struct ProductKeyHash {
   std::size_t operator()(const ProductKey& key) const;
 };
 
-/// Fully materialized serving product for one (granule, beam, config):
-/// everything a consumer of the paper's pipeline asks for at once.
+/// Materialized serving product for one (granule, beam, config, kind,
+/// backend). How deep the artifact set goes is the key's `ProductKind`: a
+/// `classification` product carries segments + classes only (sea_surface /
+/// freeboard empty), and — kinds being strict stage-graph prefixes — seeds a
+/// deeper build via `pipeline::Artifacts::resume`.
 struct GranuleProduct {
   std::string granule_id;
   atl03::BeamId beam = atl03::BeamId::Gt1r;
+  pipeline::ProductKind kind = pipeline::ProductKind::freeboard;
   std::vector<resample::Segment> segments;          ///< 2m resampled, FPB-corrected
-  std::vector<atl03::SurfaceClass> classes;         ///< model classification per segment
-  seasurface::SeaSurfaceProfile sea_surface;        ///< local sea surface profile
-  freeboard::FreeboardProduct freeboard;            ///< per-segment freeboard points
+  std::vector<atl03::SurfaceClass> classes;         ///< classifier output per segment
+  seasurface::SeaSurfaceProfile sea_surface;        ///< empty below seasurface kind
+  freeboard::FreeboardProduct freeboard;            ///< empty below freeboard kind
 
   /// Resident-size estimate used for byte-budget eviction.
   std::size_t approx_bytes() const;
@@ -91,6 +102,12 @@ class ProductCache {
   /// evicted by its own insertion, so an oversized product still serves the
   /// requests that are already waiting on it.
   void put(const ProductKey& key, std::shared_ptr<const GranuleProduct> product);
+
+  /// Lookup without touching the hit/miss counters (a hit still refreshes
+  /// LRU order — it is a real use). For speculative probes that are not
+  /// client requests, e.g. the service's shallower-kind resume probe, so
+  /// stats keep reporting the client-visible hit rate.
+  std::shared_ptr<const GranuleProduct> peek(const ProductKey& key);
 
   /// Lookup without touching LRU order or hit/miss counters.
   bool contains(const ProductKey& key) const;

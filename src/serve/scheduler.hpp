@@ -71,14 +71,19 @@ class ShedError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
-/// One client request: which product to materialize, with which sea surface
-/// estimator (the method participates in the config hash, so every method
-/// gets its own cache entry), and at which admission priority.
+/// One client request: which product to materialize — how deep
+/// (`ProductKind`), with which classifier backend, with which sea surface
+/// estimator — and at which admission priority. Kind, backend and method all
+/// participate in the cache key, so each combination is its own entry; a
+/// deeper kind additionally *resumes* from a cached shallower one instead of
+/// rebuilding (see GranuleService::build).
 struct ProductRequest {
   std::string granule_id;
   atl03::BeamId beam = atl03::BeamId::Gt1r;
   seasurface::Method method = seasurface::Method::NasaEquation;
   Priority priority = Priority::batch;
+  pipeline::ProductKind kind = pipeline::ProductKind::freeboard;
+  pipeline::Backend backend = pipeline::Backend::nn;
 };
 
 /// Where a response came from. `ram` and `disk` are the two cache tiers;

@@ -123,54 +123,12 @@ atl03::Granule ShardIndex::load_merged(const std::vector<std::string>& files) {
 }
 
 // ---------------------------------------------------------------------------
-// Config fingerprint
+// Config fingerprint (deprecated wrapper; canonical impl: pipeline/)
 // ---------------------------------------------------------------------------
-
-namespace {
-
-std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
-  return util::hash64(h ^ (v + 0x9E3779B97F4A7C15ULL + (h << 6) + (h >> 2)));
-}
-
-std::uint64_t mix(std::uint64_t h, double v) {
-  std::uint64_t bits = 0;
-  static_assert(sizeof(bits) == sizeof(v));
-  std::memcpy(&bits, &v, sizeof(bits));
-  return mix(h, bits);
-}
-
-}  // namespace
 
 std::uint64_t config_fingerprint(const core::PipelineConfig& config,
                                  seasurface::Method method) {
-  std::uint64_t h = 0x15ECE5E1CEu;  // arbitrary domain tag
-  h = mix(h, config.seed);
-  h = mix(h, static_cast<std::uint64_t>(config.sequence_window));
-  h = mix(h, config.track_length_m);
-  // Segmentation / preprocessing inputs.
-  h = mix(h, config.segmenter.window_m);
-  h = mix(h, config.segmenter.shot_spacing_m);
-  h = mix(h, static_cast<std::uint64_t>(config.segmenter.min_photons));
-  h = mix(h, static_cast<std::uint64_t>(config.preprocess.min_conf));
-  h = mix(h, static_cast<std::uint64_t>(config.preprocess.apply_geo_correction));
-  h = mix(h, config.preprocess.outlier_bin_m);
-  h = mix(h, config.preprocess.outlier_threshold_m);
-  // First-photon-bias calibration inputs.
-  h = mix(h, config.instrument.dead_time_m);
-  h = mix(h, static_cast<std::uint64_t>(config.instrument.strong_channels));
-  // Sea surface estimator.
-  h = mix(h, static_cast<std::uint64_t>(method));
-  h = mix(h, config.seasurface.window_m);
-  h = mix(h, config.seasurface.stride_m);
-  h = mix(h, config.seasurface.lead_gap_m);
-  h = mix(h, config.seasurface.sigma_floor);
-  h = mix(h, static_cast<std::uint64_t>(config.seasurface.min_lead_segments));
-  h = mix(h, config.seasurface.outlier_mad_k);
-  // Freeboard clipping.
-  h = mix(h, config.freeboard.max_freeboard_m);
-  h = mix(h, config.freeboard.min_freeboard_m);
-  h = mix(h, static_cast<std::uint64_t>(config.freeboard.include_open_water));
-  return h;
+  return pipeline::config_fingerprint(config, method);
 }
 
 // ---------------------------------------------------------------------------
@@ -180,13 +138,12 @@ std::uint64_t config_fingerprint(const core::PipelineConfig& config,
 GranuleService::GranuleService(const ServiceConfig& config,
                                const core::PipelineConfig& pipeline,
                                const geo::GeoCorrections& corrections, ShardIndex index,
-                               ModelFactory model_factory, resample::FeatureScaler scaler)
+                               ModelFactory model_factory, resample::FeatureScaler scaler,
+                               TreeFactory tree_factory)
     : config_(config),
       pipeline_(pipeline),
-      corrections_(corrections),
       index_(std::move(index)),
-      scaler_(scaler),
-      fpb_(pipeline.instrument.dead_time_m, pipeline.instrument.strong_channels),
+      builder_(pipeline, corrections),  // validates the PipelineConfig
       cache_(config.cache_bytes, config.cache_shards) {
   if (!model_factory) throw std::invalid_argument("GranuleService: null model factory");
   if (!config_.disk_cache_dir.empty()) {
@@ -195,12 +152,14 @@ GranuleService::GranuleService(const ServiceConfig& config,
     writeback_pool_ = std::make_unique<util::ThreadPool>(1);
   }
   const std::size_t workers = config_.workers ? config_.workers : 1;
-  const std::size_t replica_count = workers + config_.inference_threads;
-  replicas_.reserve(replica_count);
-  for (std::size_t i = 0; i < replica_count; ++i)
-    replicas_.push_back(std::make_unique<nn::Sequential>(model_factory()));
-  if (config_.inference_threads > 0)
-    inference_pool_ = std::make_unique<util::ThreadPool>(config_.inference_threads);
+  // The nn backend owns the replica checkout pool (one per worker plus one
+  // per inference thread, so checkout never deadlocks) and the batch-level
+  // inference ThreadPool.
+  nn_backend_ = std::make_unique<pipeline::NnBackend>(
+      std::move(model_factory), scaler, pipeline_.sequence_window, workers,
+      config_.inference_batch_windows, config_.inference_threads, config_.model_version);
+  if (tree_factory)
+    tree_backend_ = std::make_unique<pipeline::DecisionTreeBackend>(tree_factory());
   BatchScheduler::Config sched_cfg;
   sched_cfg.workers = workers;
   sched_cfg.queue_capacity = config_.queue_capacity;
@@ -254,39 +213,37 @@ void GranuleService::schedule_writeback(const ProductKey& key,
   });
 }
 
+pipeline::ClassifierBackend& GranuleService::backend_for(pipeline::Backend backend) const {
+  switch (backend) {
+    case pipeline::Backend::nn:
+      return *nn_backend_;
+    case pipeline::Backend::decision_tree:
+      if (!tree_backend_)
+        throw std::invalid_argument(
+            "GranuleService: no decision-tree backend configured (pass a TreeFactory)");
+      return *tree_backend_;
+  }
+  throw std::invalid_argument("GranuleService: unknown classifier backend");
+}
+
 ProductKey GranuleService::key_for(const ProductRequest& request) const {
+  return key_for_kind(request, request.kind);
+}
+
+ProductKey GranuleService::key_for_kind(const ProductRequest& request,
+                                        pipeline::ProductKind kind) const {
   ProductKey key;
   key.granule_id = request.granule_id;
   key.beam = request.beam;
-  key.config_hash =
-      mix(config_fingerprint(pipeline_, request.method), config_.model_version);
+  key.kind = kind;
+  key.backend = request.backend;
+  // Backend identity (weights version / tree structure) is inside the
+  // product fingerprint; the fingerprint itself is stage-prefix-scoped, so
+  // a classification key ignores the sea-surface method and deeper config —
+  // one cached classification product serves resume for every method.
+  key.config_hash = pipeline::product_fingerprint(pipeline_, request.method,
+                                                  backend_for(request.backend), kind);
   return key;
-}
-
-std::string StageLatency::render(std::size_t max_width) const {
-  const std::size_t n = histogram.bins();
-  std::size_t first = n, last = 0;
-  for (std::size_t b = 0; b < n; ++b) {
-    if (histogram.count(b) == 0) continue;
-    first = std::min(first, b);
-    last = b;
-  }
-  if (first == n) return "(no samples)\n";
-  std::size_t peak = 1;
-  for (std::size_t b = first; b <= last; ++b) peak = std::max(peak, histogram.count(b));
-  std::string out;
-  char buf[64];
-  for (std::size_t b = first; b <= last; ++b) {
-    std::snprintf(buf, sizeof buf, "%9.3g ms | ", bin_lo_ms(b));
-    out += buf;
-    const auto w = static_cast<std::size_t>(static_cast<double>(histogram.count(b)) /
-                                            static_cast<double>(peak) *
-                                            static_cast<double>(max_width));
-    out.append(w, '#');
-    std::snprintf(buf, sizeof buf, " %zu\n", histogram.count(b));
-    out += buf;
-  }
-  return out;
 }
 
 void GranuleService::record(StageLatency ServiceMetrics::*stage, double ms) {
@@ -355,6 +312,32 @@ std::size_t GranuleService::warm(const std::vector<ProductRequest>& requests,
   return built.load();
 }
 
+std::shared_ptr<const GranuleProduct> GranuleService::probe_shallower(
+    const ProductRequest& request, pipeline::ProductKind* found_kind) {
+  // Deepest shallower kind first: resuming from seasurface runs one stage,
+  // from classification two — either way no shard IO and no inference.
+  // Keys are re-derived per kind (prefix-scoped fingerprints), so e.g. a
+  // classification product cached under any sea-surface method seeds this
+  // request's method too. peek(), not get(): these probes are speculative,
+  // not client requests, and must not skew the tiers' hit-rate stats.
+  for (int k = static_cast<int>(request.kind) - 1; k >= 0; --k) {
+    const ProductKey shallow =
+        key_for_kind(request, static_cast<pipeline::ProductKind>(k));
+    if (auto hit = cache_.peek(shallow)) {
+      *found_kind = shallow.kind;
+      return hit;
+    }
+    if (disk_) {
+      if (auto hit = disk_->peek(shallow)) {
+        cache_.put(shallow, hit);  // promote like any disk hit
+        *found_kind = shallow.kind;
+        return hit;
+      }
+    }
+  }
+  return nullptr;
+}
+
 ProductResponse GranuleService::build(const ProductRequest& request, const ProductKey& key) {
   if (auto hit = cache_.get(key)) return ProductResponse{std::move(hit), true, 0.0, ServedFrom::ram};
 
@@ -373,164 +356,76 @@ ProductResponse GranuleService::build(const ProductRequest& request, const Produ
     stage_timer.reset();
   }
 
-  const std::vector<std::string>* files = index_.find(request.granule_id, request.beam);
-  if (!files)
-    throw std::runtime_error("GranuleService: unknown (granule, beam): " +
-                             request.granule_id + "/" + atl03::beam_name(request.beam));
+  // RESUME: kinds are strict stage-graph prefixes, so a cached shallower
+  // product for the same (granule, beam, config, backend) seeds the build
+  // past its stages — only the missing suffix runs.
+  pipeline::ProductKind seed_kind = pipeline::ProductKind::classification;
+  std::shared_ptr<const GranuleProduct> seed;
+  if (request.kind != pipeline::ProductKind::classification)
+    seed = probe_shallower(request, &seed_kind);
 
-  // LOAD: shard read + merge + preprocess + 2m resample + FPB correction.
-  atl03::Granule merged = ShardIndex::load_merged(*files);
-  const atl03::PreprocessedBeam pre =
-      atl03::preprocess_beam(merged, merged.beams[0], corrections_, pipeline_.preprocess);
-  auto segments = resample::resample(pre, pipeline_.segmenter);
-  fpb_.apply(segments);
-  record(&ServiceMetrics::load, stage_timer.millis());
-  stage_timer.reset();
+  pipeline::Artifacts art;
+  atl03::Granule merged;  // outlives the build (Artifacts borrows the input)
+  double shard_ms = 0.0;
+  if (seed) {
+    art = pipeline::Artifacts::resume(seed->segments, seed->classes);
+    if (seed_kind >= pipeline::ProductKind::seasurface) {
+      art.sea_surface = seed->sea_surface;
+      art.mark_done(pipeline::StageId::seasurface);
+    }
+    std::lock_guard lock(metrics_mutex_);
+    ++stage_metrics_.resumed_builds;
+  } else {
+    const std::vector<std::string>* files = index_.find(request.granule_id, request.beam);
+    if (!files)
+      throw std::runtime_error("GranuleService: unknown (granule, beam): " +
+                               request.granule_id + "/" + atl03::beam_name(request.beam));
+    stage_timer.reset();
+    merged = ShardIndex::load_merged(*files);
+    shard_ms = stage_timer.millis();
+    art = pipeline::Artifacts::from_beam(merged, merged.beams[0]);
+  }
 
-  // FEATURES: rolling sea-level baseline + the paper's six features (deltas
-  // break across gaps wider than 1.5x the configured resampling window).
-  const std::vector<double> baseline = resample::rolling_baseline(segments);
-  const std::vector<resample::FeatureRow> features =
-      resample::to_features(segments, baseline, pipeline_.segmenter.window_m * 1.5);
-  record(&ServiceMetrics::features, stage_timer.millis());
-  stage_timer.reset();
+  pipeline::StageTrace trace;
+  builder_.build(art, request.kind, &backend_for(request.backend), request.method, &trace);
 
-  // INFERENCE: batched sliding-window classification on a model replica.
-  std::vector<atl03::SurfaceClass> classes = classify_batched(features);
-  record(&ServiceMetrics::inference, stage_timer.millis());
-  stage_timer.reset();
-
-  // SEA SURFACE + FREEBOARD.
-  const seasurface::SeaSurfaceProfile profile = seasurface::detect_sea_surface(
-      segments, classes, request.method, pipeline_.seasurface);
-  record(&ServiceMetrics::seasurface, stage_timer.millis());
-  stage_timer.reset();
-
-  freeboard::FreeboardProduct fb =
-      freeboard::compute_freeboard(segments, classes, profile, pipeline_.freeboard);
-  record(&ServiceMetrics::freeboard, stage_timer.millis());
+  // Fold the builder's stage trace into the service's legacy stage view
+  // (`load` additionally carries the serve-side shard IO). Stages a resumed
+  // build skipped record nothing, exactly like the disk fast path.
+  using pipeline::StageId;
+  auto fold = [&](StageLatency ServiceMetrics::*field, std::initializer_list<StageId> ids,
+                  double extra_ms, bool force) {
+    double ms = extra_ms;
+    bool any = force;
+    for (const StageId id : ids)
+      if (trace.did(id)) {
+        ms += trace.at(id);
+        any = true;
+      }
+    if (any) record(field, ms);
+  };
+  fold(&ServiceMetrics::load, {StageId::preprocess, StageId::resample, StageId::fpb}, shard_ms,
+       /*force=*/!seed);
+  fold(&ServiceMetrics::features, {StageId::features}, 0.0, false);
+  fold(&ServiceMetrics::inference, {StageId::classify}, 0.0, false);
+  fold(&ServiceMetrics::seasurface, {StageId::seasurface}, 0.0, false);
+  fold(&ServiceMetrics::freeboard, {StageId::freeboard}, 0.0, false);
 
   auto product = std::make_shared<GranuleProduct>();
   product->granule_id = request.granule_id;
   product->beam = request.beam;
-  product->segments = std::move(segments);
-  product->classes = std::move(classes);
-  product->sea_surface = profile;
-  product->freeboard = std::move(fb);
+  product->kind = request.kind;
+  product->segments = std::move(art.segments);
+  product->classes = std::move(art.classes);
+  if (request.kind >= pipeline::ProductKind::seasurface)
+    product->sea_surface = std::move(art.sea_surface);
+  if (request.kind >= pipeline::ProductKind::freeboard)
+    product->freeboard = std::move(art.freeboard);
   cache_.put(key, product);
   if (disk_) schedule_writeback(key, product);
 
   record(&ServiceMetrics::total, build_timer.millis());
   return ProductResponse{std::move(product), false, 0.0, ServedFrom::build};
-}
-
-std::unique_ptr<nn::Sequential> GranuleService::checkout_replica() {
-  std::unique_lock lock(replica_mutex_);
-  replica_cv_.wait(lock, [this] { return !replicas_.empty(); });
-  std::unique_ptr<nn::Sequential> model = std::move(replicas_.back());
-  replicas_.pop_back();
-  return model;
-}
-
-void GranuleService::return_replica(std::unique_ptr<nn::Sequential> model) {
-  {
-    std::lock_guard lock(replica_mutex_);
-    replicas_.push_back(std::move(model));
-  }
-  replica_cv_.notify_one();
-}
-
-std::uint64_t GranuleService::classify_span(const float* scaled, std::size_t w_begin,
-                                            std::size_t w_end, std::uint8_t* pred) {
-  const std::size_t window = pipeline_.sequence_window;
-  constexpr int kDim = resample::FeatureRow::kDim;
-  const std::size_t batch =
-      config_.inference_batch_windows ? config_.inference_batch_windows : 256;
-
-  // Check a model replica out of the pool (inference mutates layer state).
-  std::unique_ptr<nn::Sequential> model = checkout_replica();
-  std::uint64_t batches = 0;
-  try {
-    nn::Tensor3 x;  // staging buffer, reused across this span's batches
-    for (std::size_t w0 = w_begin; w0 < w_end; w0 += batch) {
-      const std::size_t rows = std::min(batch, w_end - w0);
-      x.resize(rows, window, kDim);
-      for (std::size_t r = 0; r < rows; ++r) {
-        const std::size_t w = w0 + r;
-        std::copy(scaled + w * kDim, scaled + (w + window) * kDim, x.at(r, 0));
-      }
-      model->predict_into(x, pred + w0, rows);  // one forward pass
-      ++batches;
-    }
-  } catch (...) {
-    return_replica(std::move(model));
-    throw;
-  }
-  return_replica(std::move(model));
-  return batches;
-}
-
-std::vector<atl03::SurfaceClass> GranuleService::classify_batched(
-    const std::vector<resample::FeatureRow>& features) {
-  using atl03::SurfaceClass;
-  const std::size_t window = pipeline_.sequence_window;
-  const std::size_t n = features.size();
-  std::vector<SurfaceClass> out(n, SurfaceClass::Unknown);
-  if (n < window || window == 0) return out;
-  const std::size_t half = window / 2;
-  constexpr int kDim = resample::FeatureRow::kDim;
-
-  // Standardize once (mirrors core::classify_segments exactly).
-  std::vector<float> scaled(n * kDim);
-  for (std::size_t i = 0; i < n; ++i)
-    for (int d = 0; d < kDim; ++d)
-      scaled[i * kDim + d] = (features[i].v[d] - scaler_.mean[d]) / scaler_.std[d];
-
-  const std::size_t n_windows = n - window + 1;
-  const std::size_t batch =
-      config_.inference_batch_windows ? config_.inference_batch_windows : 256;
-
-  std::vector<std::uint8_t> pred(n_windows);
-  std::uint64_t batches = 0;
-
-  // Batch-level parallelism: one granule's windows fan out over the shared
-  // inference pool in contiguous spans, each on its own model replica.
-  // Every window's logits depend only on its own row, so the partition
-  // never changes the predictions — span results are bit-identical to the
-  // serial path for any span count. Spans are batch-aligned so parallelism
-  // doesn't change batch shapes (and therefore per-batch scratch reuse).
-  std::size_t spans = 1;
-  if (inference_pool_) {
-    const std::size_t full_batches = (n_windows + batch - 1) / batch;
-    spans = std::min(inference_pool_->size(), full_batches);
-  }
-  if (spans <= 1) {
-    batches = classify_span(scaled.data(), 0, n_windows, pred.data());
-  } else {
-    const std::size_t batches_per_span = (n_windows + batch * spans - 1) / (batch * spans);
-    const std::size_t span_stride = batches_per_span * batch;
-    std::atomic<std::uint64_t> batch_count{0};
-    inference_pool_->parallel_for(spans, [&](std::size_t s) {
-      const std::size_t w_begin = s * span_stride;
-      if (w_begin >= n_windows) return;
-      const std::size_t w_end = std::min(w_begin + span_stride, n_windows);
-      batch_count.fetch_add(classify_span(scaled.data(), w_begin, w_end, pred.data()),
-                            std::memory_order_relaxed);
-    });
-    batches = batch_count.load();
-  }
-
-  {
-    std::lock_guard lock(metrics_mutex_);
-    stage_metrics_.inference_batches += batches;
-    stage_metrics_.inference_windows += n_windows;
-  }
-
-  for (std::size_t w = 0; w < n_windows; ++w)
-    out[w + half] = static_cast<SurfaceClass>(pred[w]);
-  for (std::size_t i = 0; i < half; ++i) out[i] = out[half];
-  for (std::size_t i = n - half; i < n; ++i) out[i] = out[n - half - 1];
-  return out;
 }
 
 ServiceMetrics GranuleService::metrics() const {
@@ -542,6 +437,9 @@ ServiceMetrics GranuleService::metrics() const {
   out.cache = cache_.stats();
   if (disk_) out.disk = disk_->stats();
   out.scheduler = scheduler_->stats();
+  out.inference_batches = nn_backend_->batches();
+  out.inference_windows = nn_backend_->windows();
+  out.builder = builder_.metrics().stages();
   return out;
 }
 

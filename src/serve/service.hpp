@@ -1,12 +1,21 @@
 // GranuleService — the serving façade of the `is2::serve` subsystem.
 //
-// Wires the batch pipeline's stages behind a single asynchronous
-// `submit(request) -> future<ProductResponse>` API:
+// Wires the `is2::pipeline::ProductBuilder` stage graph behind a single
+// asynchronous `submit(request) -> future<ProductResponse>` API:
 //
 //   ShardIndex (h5lite shard files, merged per beam)
-//     -> atl03::preprocess_beam -> resample (2m) -> first-photon-bias
-//     -> features -> batched nn::Sequential inference (per-worker replicas)
-//     -> seasurface::detect_sea_surface -> freeboard::compute_freeboard
+//     -> pipeline::ProductBuilder (preprocess -> 2m resample -> FPB ->
+//        features -> ClassifierBackend -> sea surface -> freeboard),
+//        stopped at the request's ProductKind, with the classifier chosen
+//        per request (nn replica pool or ATL07-style decision tree)
+//
+// Requests name a ProductKind (classification / seasurface / freeboard) and
+// a Backend; both are part of the cache key on each tier. Kinds are strict
+// stage-graph prefixes, so on a miss the service probes the caches for the
+// same key at shallower kinds (deepest first) and *resumes* the build from
+// that product's artifacts — a freeboard request over a cached
+// classification product runs only seasurface + freeboard: no shard IO, no
+// inference.
 //
 // Two cache tiers answer repeat requests without re-running the pipeline: a
 // sharded in-RAM LRU `ProductCache`, then (when `ServiceConfig::
@@ -43,11 +52,13 @@
 #include <vector>
 
 #include "atl03/granule.hpp"
+#include "baseline/decision_tree.hpp"
 #include "core/config.hpp"
 #include "geo/corrections.hpp"
 #include "mapred/engine.hpp"
 #include "nn/model.hpp"
-#include "resample/fpb.hpp"
+#include "pipeline/classifier.hpp"
+#include "pipeline/product_builder.hpp"
 #include "serve/disk_cache.hpp"
 #include "serve/product_cache.hpp"
 #include "serve/scheduler.hpp"
@@ -88,38 +99,17 @@ class ShardIndex {
   std::map<std::pair<std::string, int>, std::vector<std::string>> beams_;
 };
 
-/// Fingerprint of every configuration input that changes served bytes: the
-/// pipeline's resampling/preprocess/sea-surface/freeboard settings plus the
-/// requested sea surface method. Model identity is mixed in by the service
-/// (`ServiceConfig::model_version`).
+/// DEPRECATED thin wrapper over `pipeline::config_fingerprint` — the
+/// canonical fingerprint moved into the pipeline layer with the builder
+/// (where `pipeline::product_fingerprint` also mixes in backend identity).
+/// Kept for one release; call the pipeline functions in new code.
 std::uint64_t config_fingerprint(const core::PipelineConfig& config,
                                  seasurface::Method method);
 
-/// Latency distribution of one pipeline stage, in milliseconds. The
-/// histogram bins log10(ms) over [10 us, 100 s] — 10 bins per decade — so a
-/// sub-millisecond cache probe and a near-second cold build are both
-/// representable without saturating an edge bin (fixed 0-500 ms bins used to
-/// dump every ~790 ms cold build into the last bin).
-struct StageLatency {
-  static constexpr double kMinMs = 1e-2;  ///< 10 us: below this clamps low
-  static constexpr double kMaxMs = 1e5;   ///< 100 s: above this clamps high
-  static constexpr std::size_t kBinsPerDecade = 10;
-
-  util::RunningStats stats;
-  util::Histogram histogram{-2.0, 5.0, 7 * kBinsPerDecade};  ///< bins log10(ms)
-
-  void add(double ms) {
-    stats.add(ms);
-    histogram.add(std::log10(std::clamp(ms, kMinMs, kMaxMs)));
-  }
-  /// Lower edge of a histogram bin, back in milliseconds.
-  double bin_lo_ms(std::size_t bin) const {
-    return std::pow(10.0, histogram.lo() + static_cast<double>(bin) * histogram.bin_width());
-  }
-  /// Render the latency distribution with millisecond bin labels (log axis),
-  /// skipping empty leading/trailing decades.
-  std::string render(std::size_t max_width = 60) const;
-};
+/// Per-stage latency machinery now lives with the stage graph
+/// (pipeline/stage.hpp) so batch builds and benches share it; this alias
+/// keeps existing serve-side code and tests source-compatible.
+using StageLatency = pipeline::StageLatency;
 
 /// Per-priority-class slice of the service metrics: how much traffic the
 /// class sent and the service latency it observed. Fast RAM hits record ~0
@@ -143,12 +133,17 @@ struct ServiceMetrics {
   std::uint64_t inference_windows = 0;
   StageLatency load;        ///< shard read + preprocess + resample + FPB
   StageLatency features;    ///< baseline + feature rows + standardization
-  StageLatency inference;   ///< batched model forward passes
+  StageLatency inference;   ///< classify stage (batched backend inference)
   StageLatency seasurface;  ///< local sea surface detection
   StageLatency freeboard;   ///< freeboard computation
   StageLatency disk_load;   ///< disk-tier hit: read + deserialize + promote
-  StageLatency total;       ///< whole build (cold only)
+  StageLatency total;       ///< whole build (cold only; resumed = suffix)
   std::array<ClassMetrics, kPriorityClasses> by_class;  ///< index = Priority
+  /// Raw per-stage distributions straight from the ProductBuilder — the
+  /// seven stage-graph stages by StageId (shard IO is serve-side and lives
+  /// in `load` above, not here). The benches emit these.
+  pipeline::StageSnapshot builder{};
+  std::uint64_t resumed_builds = 0;  ///< builds seeded from a shallower kind
 };
 
 struct ServiceConfig {
@@ -180,10 +175,17 @@ class GranuleService {
   /// architecturally and numerically identical model (e.g. construct and
   /// then load the same weight snapshot).
   using ModelFactory = std::function<nn::Sequential()>;
+  /// Optional second classifier backend: a fitted ATL07-style decision tree
+  /// (every invocation must produce a structurally identical tree). When
+  /// absent, submit()/try_submit()/warm() throw std::invalid_argument
+  /// synchronously for requests naming Backend::decision_tree — the key
+  /// cannot even be formed without the backend's identity.
+  using TreeFactory = std::function<baseline::DecisionTree()>;
 
   GranuleService(const ServiceConfig& config, const core::PipelineConfig& pipeline,
                  const geo::GeoCorrections& corrections, ShardIndex index,
-                 ModelFactory model_factory, resample::FeatureScaler scaler);
+                 ModelFactory model_factory, resample::FeatureScaler scaler,
+                 TreeFactory tree_factory = {});
   ~GranuleService();
 
   GranuleService(const GranuleService&) = delete;
@@ -225,14 +227,15 @@ class GranuleService {
 
  private:
   ProductResponse build(const ProductRequest& request, const ProductKey& key);
-  std::vector<atl03::SurfaceClass> classify_batched(
-      const std::vector<resample::FeatureRow>& features);
-  /// Classify windows [w_begin, w_end) into pred (absolute indices) on one
-  /// checked-out replica; returns the number of forward-pass batches.
-  std::uint64_t classify_span(const float* scaled, std::size_t w_begin, std::size_t w_end,
-                              std::uint8_t* pred);
-  std::unique_ptr<nn::Sequential> checkout_replica();
-  void return_replica(std::unique_ptr<nn::Sequential> model);
+  /// The backend a request resolves to; throws when it isn't configured.
+  pipeline::ClassifierBackend& backend_for(pipeline::Backend backend) const;
+  /// `key_for` with the kind overridden (prefix-scoped fingerprint per
+  /// kind: the resume probe's key derivation).
+  ProductKey key_for_kind(const ProductRequest& request, pipeline::ProductKind kind) const;
+  /// Probe RAM then disk for the request's key at every shallower kind,
+  /// deepest first; returns the deepest product found (kind in *found_kind).
+  std::shared_ptr<const GranuleProduct> probe_shallower(const ProductRequest& request,
+                                                        pipeline::ProductKind* found_kind);
   void record(StageLatency ServiceMetrics::*stage, double ms);
   void record_class(Priority cls, double ms);
   void schedule_writeback(const ProductKey& key,
@@ -240,22 +243,15 @@ class GranuleService {
 
   ServiceConfig config_;
   core::PipelineConfig pipeline_;
-  geo::GeoCorrections corrections_;
   ShardIndex index_;
-  resample::FeatureScaler scaler_;
-  resample::FirstPhotonBiasCorrector fpb_;
+  pipeline::ProductBuilder builder_;  ///< the one pipeline implementation
+  /// Classifier backends, selected per request. The nn backend owns the
+  /// model replica checkout pool (sized workers + inference_threads) and the
+  /// batch-level inference ThreadPool; the tree backend is optional.
+  std::unique_ptr<pipeline::NnBackend> nn_backend_;
+  std::unique_ptr<pipeline::DecisionTreeBackend> tree_backend_;
   ProductCache cache_;
   std::unique_ptr<DiskCache> disk_;  ///< outlives the write-back pool below
-
-  // Checkout pool of model replicas (inference mutates Sequential state).
-  // Sized workers + inference_threads so every scheduler worker and every
-  // inference-pool span can hold one concurrently (checkout never deadlocks:
-  // holders always return their replica).
-  std::mutex replica_mutex_;
-  std::condition_variable replica_cv_;
-  std::vector<std::unique_ptr<nn::Sequential>> replicas_;
-  /// Shared batch-level inference pool (null when inference_threads == 0).
-  std::unique_ptr<util::ThreadPool> inference_pool_;
 
   mutable std::mutex metrics_mutex_;
   ServiceMetrics stage_metrics_;  ///< cache/scheduler fields filled at snapshot

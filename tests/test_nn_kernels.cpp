@@ -301,4 +301,81 @@ TEST(Activations, NanPropagatesLikeLibm) {
   EXPECT_TRUE(std::isnan(out[1]));
 }
 
+TEST(Predict, WeightTransposeCacheBitIdenticalAcrossCalls) {
+  // Dense/LSTM cache their pre-transposed weight panels across forward
+  // calls (the ROADMAP-named inference lever). Repeated predicts on a warm
+  // cache must be bit-identical to a never-cached fresh model.
+  Rng rng(21);
+  Sequential cached = make_lstm_model(5, 6, rng);
+  Tensor3 x(67, 5, 6);
+  Rng xr(22);
+  for (auto& v : x.v) v = static_cast<float>(xr.normal(0.0, 1.0));
+
+  const auto first = cached.predict(x);   // builds the transpose caches
+  const auto second = cached.predict(x);  // served from the caches
+  const auto third = cached.predict(x);
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(first, third);
+
+  Rng rng_fresh(21);
+  Sequential fresh = make_lstm_model(5, 6, rng_fresh);
+  EXPECT_EQ(fresh.predict(x), first);
+}
+
+TEST(Predict, WeightTransposeCacheInvalidatesOnWeightMutation) {
+  // The dangerous scenario for a weight-transpose cache: predict (cache
+  // warm), then mutate the weights through the params() views, then predict
+  // again. A stale cache would reuse the old transposes; predictions must
+  // instead match a fresh model carrying the mutated weights.
+  Rng rng(23);
+  Sequential model = make_lstm_model(5, 6, rng);
+  Tensor3 x(41, 5, 6);
+  Rng xr(24);
+  for (auto& v : x.v) v = static_cast<float>(xr.normal(0.0, 1.0));
+  const auto before = model.predict(x);  // warms every layer's cache
+
+  auto perturb = [](Sequential& m) {
+    for (const auto& p : m.params())
+      for (std::size_t i = 0; i < p.value->size(); ++i)
+        p.value->data()[i] += 0.05f * static_cast<float>((i % 7) + 1);
+  };
+  perturb(model);
+  const auto after = model.predict(x);
+
+  Rng rng_fresh(23);
+  Sequential fresh = make_lstm_model(5, 6, rng_fresh);
+  perturb(fresh);
+  EXPECT_EQ(after, fresh.predict(x));  // cache invalidated, not stale
+  EXPECT_NE(after, before);            // and the mutation really changed logits
+}
+
+TEST(Predict, WeightTransposeCacheInvalidatesAcrossTraining) {
+  // Same property through the real mutation path: warm the cache, train
+  // (backward marks the caches dirty; the optimizer then mutates weights),
+  // and compare against an identically-trained never-predicted control.
+  Rng rng(25);
+  Sequential model = make_lstm_model(5, 6, rng);
+  Rng rng_ctrl(25);
+  Sequential control = make_lstm_model(5, 6, rng_ctrl);
+
+  Dataset data;
+  data.x = Tensor3(48, 5, 6);
+  Rng xr(26);
+  for (auto& v : data.x.v) v = static_cast<float>(xr.normal(0.0, 1.0));
+  data.y.resize(48);
+  for (std::size_t i = 0; i < data.y.size(); ++i) data.y[i] = i % 3;
+
+  (void)model.predict(data.x);  // warm caches before training
+
+  FitConfig fit;
+  fit.epochs = 2;
+  fit.batch_size = 16;
+  CrossEntropyLoss loss;
+  Adam opt_a(0.01), opt_b(0.01);
+  model.fit(data, loss, opt_a, fit);
+  control.fit(data, loss, opt_b, fit);
+
+  EXPECT_EQ(model.predict(data.x), control.predict(data.x));
+}
+
 }  // namespace

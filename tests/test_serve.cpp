@@ -19,10 +19,14 @@
 #include <unistd.h>
 #include <vector>
 
+#include "baseline/decision_tree.hpp"
 #include "core/campaign.hpp"
 #include "core/config.hpp"
 #include "core/pipeline.hpp"
 #include "h5lite/granule_io.hpp"
+#include "h5lite/h5file.hpp"
+#include "pipeline/classifier.hpp"
+#include "pipeline/product_builder.hpp"
 #include "serve/disk_cache.hpp"
 #include "serve/product_cache.hpp"
 #include "serve/scheduler.hpp"
@@ -738,11 +742,26 @@ class ServeCampaign : public ::testing::Test {
     const auto features =
         resample::to_features(segments, resample::rolling_baseline(segments));
     scaler_ = new resample::FeatureScaler(resample::FeatureScaler::fit(features));
+
+    // A fitted decision tree for the second classifier backend (trained on
+    // feature rows vs photon truth; quality is irrelevant to these tests,
+    // identity and determinism are).
+    std::vector<float> x;
+    std::vector<std::uint8_t> y;
+    for (std::size_t i = 0; i < segments.size(); ++i) {
+      if (segments[i].truth == SurfaceClass::Unknown) continue;
+      for (int d = 0; d < resample::FeatureRow::kDim; ++d) x.push_back(features[i].v[d]);
+      y.push_back(static_cast<std::uint8_t>(segments[i].truth));
+    }
+    tree_ = new baseline::DecisionTree();
+    tree_->fit(x, resample::FeatureRow::kDim, y, atl03::kNumClasses);
   }
 
   static void TearDownTestSuite() {
     std::error_code ec;
     std::filesystem::remove_all(dir_, ec);
+    delete tree_;
+    tree_ = nullptr;
     delete scaler_;
     delete index_;
     delete shards_;
@@ -767,6 +786,14 @@ class ServeCampaign : public ::testing::Test {
     return std::make_unique<serve::GranuleService>(cfg, *config_, campaign_->corrections(),
                                                    *index_, &ServeCampaign::make_model,
                                                    *scaler_);
+  }
+
+  /// Service with both classifier backends configured.
+  static std::unique_ptr<serve::GranuleService> make_service_with_tree(
+      serve::ServiceConfig cfg) {
+    return std::make_unique<serve::GranuleService>(
+        cfg, *config_, campaign_->corrections(), *index_, &ServeCampaign::make_model,
+        *scaler_, [] { return *tree_; });
   }
 
   static ProductRequest request(BeamId beam,
@@ -813,6 +840,7 @@ class ServeCampaign : public ::testing::Test {
   static core::ShardSet* shards_;
   static serve::ShardIndex* index_;
   static resample::FeatureScaler* scaler_;
+  static baseline::DecisionTree* tree_;
   static std::string dir_;
 };
 
@@ -822,6 +850,7 @@ core::PairDataset* ServeCampaign::pair_ = nullptr;
 core::ShardSet* ServeCampaign::shards_ = nullptr;
 serve::ShardIndex* ServeCampaign::index_ = nullptr;
 resample::FeatureScaler* ServeCampaign::scaler_ = nullptr;
+baseline::DecisionTree* ServeCampaign::tree_ = nullptr;
 std::string ServeCampaign::dir_;
 
 TEST_F(ServeCampaign, ShardIndexCoversStrongBeams) {
@@ -1087,6 +1116,228 @@ TEST_F(ServeCampaign, DiskTierConfigChangeIsColdNotStale) {
   EXPECT_EQ(m.disk.hits, 0u);
   EXPECT_GE(m.disk.misses, 1u);
   EXPECT_EQ(m.total.stats.count(), 1u);
+}
+
+TEST_F(ServeCampaign, KindAndBackendAreDistinctCacheEntries) {
+  // All three ProductKinds and both backends flow through the same submit
+  // API; every (kind, backend) combination is its own cache identity.
+  serve::ServiceConfig cfg;
+  cfg.workers = 2;
+  auto service = make_service_with_tree(cfg);
+
+  ProductRequest fb_nn = request(BeamId::Gt1r);
+  ProductRequest cls_nn = fb_nn;
+  cls_nn.kind = pipeline::ProductKind::classification;
+  ProductRequest ss_nn = fb_nn;
+  ss_nn.kind = pipeline::ProductKind::seasurface;
+  ProductRequest fb_tree = fb_nn;
+  fb_tree.backend = pipeline::Backend::decision_tree;
+
+  const auto k_fb = service->key_for(fb_nn);
+  const auto k_cls = service->key_for(cls_nn);
+  const auto k_tree = service->key_for(fb_tree);
+  EXPECT_FALSE(k_fb == k_cls);
+  EXPECT_FALSE(k_fb == k_tree);
+  EXPECT_EQ(k_fb.kind, pipeline::ProductKind::freeboard);
+  EXPECT_EQ(k_cls.kind, pipeline::ProductKind::classification);
+  EXPECT_EQ(k_tree.backend, pipeline::Backend::decision_tree);
+  EXPECT_NE(k_fb.config_hash, k_tree.config_hash);  // backend identity in the hash
+  // Prefix-scoped fingerprints: the classification key ignores the
+  // seasurface/freeboard config *and* the method entirely, so one cached
+  // classification product serves resume for every method.
+  EXPECT_NE(k_fb.config_hash, k_cls.config_hash);
+  ProductRequest cls_other_method = cls_nn;
+  cls_other_method.method = seasurface::Method::MinElevation;
+  EXPECT_TRUE(service->key_for(cls_other_method) == k_cls);
+
+  const auto cls = service->submit(cls_nn).get();
+  ASSERT_NE(cls.product, nullptr);
+  EXPECT_EQ(cls.product->kind, pipeline::ProductKind::classification);
+  EXPECT_GT(cls.product->classes.size(), 0u);
+  EXPECT_EQ(cls.product->freeboard.points.size(), 0u);  // shallow kind stops early
+  EXPECT_EQ(cls.product->sea_surface.points().size(), 0u);
+
+  const auto ss = service->submit(ss_nn).get();
+  ASSERT_NE(ss.product, nullptr);
+  EXPECT_EQ(ss.product->kind, pipeline::ProductKind::seasurface);
+  EXPECT_GT(ss.product->sea_surface.points().size(), 0u);
+  EXPECT_EQ(ss.product->freeboard.points.size(), 0u);
+
+  const auto fb = service->submit(fb_nn).get();
+  ASSERT_NE(fb.product, nullptr);
+  EXPECT_GT(fb.product->freeboard.points.size(), 0u);
+
+  const auto tree_fb = service->submit(fb_tree).get();
+  ASSERT_NE(tree_fb.product, nullptr);
+  EXPECT_GT(tree_fb.product->freeboard.points.size(), 0u);
+  // Different classifier, different classes on this beam.
+  EXPECT_NE(tree_fb.product->classes, fb.product->classes);
+
+  const auto m = service->metrics();
+  EXPECT_EQ(m.cache.entries, 4u);  // four distinct products resident
+  // The nn classify stage ran for cls (the deeper nn kinds resumed from it);
+  // the tree build never touched the nn backend.
+  EXPECT_GT(m.inference_windows, 0u);
+}
+
+TEST_F(ServeCampaign, TreeBackendWithoutFactoryIsRejected) {
+  serve::ServiceConfig cfg;
+  cfg.workers = 1;
+  auto service = make_service(cfg);  // no TreeFactory
+  ProductRequest r = request(BeamId::Gt1r);
+  r.backend = pipeline::Backend::decision_tree;
+  EXPECT_THROW(service->submit(r), std::invalid_argument);
+}
+
+TEST_F(ServeCampaign, DeeperKindResumesFromShallowerRamEntry) {
+  // A freeboard request over a cached classification product must not
+  // re-run load/features/inference — only seasurface + freeboard.
+  serve::ServiceConfig cfg;
+  cfg.workers = 1;
+  auto service = make_service(cfg);
+
+  ProductRequest cls = request(BeamId::Gt1r);
+  cls.kind = pipeline::ProductKind::classification;
+  ASSERT_NE(service->submit(cls).get().product, nullptr);
+  const auto m1 = service->metrics();
+  EXPECT_EQ(m1.resumed_builds, 0u);
+  const auto windows_after_cls = m1.inference_windows;
+  EXPECT_GT(windows_after_cls, 0u);
+
+  const auto full_loads_before = h5::load_granule_call_count();
+  const auto fb = service->submit(request(BeamId::Gt1r)).get();
+  ASSERT_NE(fb.product, nullptr);
+  EXPECT_EQ(fb.source, ServedFrom::build);  // a build, but a resumed one
+  EXPECT_EQ(h5::load_granule_call_count(), full_loads_before);  // no shard IO
+
+  const auto m2 = service->metrics();
+  EXPECT_EQ(m2.resumed_builds, 1u);
+  EXPECT_EQ(m2.inference_windows, windows_after_cls);  // no inference re-ran
+  EXPECT_EQ(m2.load.stats.count(), 1u);                // only the cls build loaded
+
+  // Bit-identical to the batch pipeline's full freeboard product.
+  expect_bit_identical(*fb.product,
+                       batch_reference(BeamId::Gt1r, seasurface::Method::NasaEquation));
+}
+
+TEST_F(ServeCampaign, ResumeFiresAcrossSeaSurfaceMethods) {
+  // The classification prefix consumes no sea-surface input, so a freeboard
+  // request with a *different* method must still resume from the cached
+  // classification product instead of re-running shard IO + inference.
+  serve::ServiceConfig cfg;
+  cfg.workers = 1;
+  auto service = make_service(cfg);
+
+  ProductRequest cls = request(BeamId::Gt1r, seasurface::Method::NasaEquation);
+  cls.kind = pipeline::ProductKind::classification;
+  ASSERT_NE(service->submit(cls).get().product, nullptr);
+  const auto windows_after_cls = service->metrics().inference_windows;
+
+  const auto full_loads_before = h5::load_granule_call_count();
+  const auto fb =
+      service->submit(request(BeamId::Gt1r, seasurface::Method::MinElevation)).get();
+  ASSERT_NE(fb.product, nullptr);
+  EXPECT_EQ(h5::load_granule_call_count(), full_loads_before);  // no shard IO
+
+  const auto m = service->metrics();
+  EXPECT_EQ(m.resumed_builds, 1u);
+  EXPECT_EQ(m.inference_windows, windows_after_cls);  // no inference re-ran
+  expect_bit_identical(*fb.product,
+                       batch_reference(BeamId::Gt1r, seasurface::Method::MinElevation));
+}
+
+TEST_F(ServeCampaign, ClassificationDiskHitSeedsFreeboardBuildAcrossRestart) {
+  // The acceptance path: a classification-kind disk hit without shard IO,
+  // and a freeboard-kind build that resumes from it.
+  serve::ServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.disk_cache_dir = dir_ + "/disk_kinds";
+  ProductRequest cls = request(BeamId::Gt2r);
+  cls.kind = pipeline::ProductKind::classification;
+  {
+    auto service = make_service(cfg);
+    ASSERT_NE(service->submit(cls).get().product, nullptr);
+    service->wait_disk_writebacks();
+    EXPECT_EQ(service->metrics().disk.writes, 1u);
+  }
+
+  // Fresh service over the same directory: RAM empty, disk warm with the
+  // classification product only.
+  auto service = make_service(cfg);
+  const auto full_loads_before = h5::load_granule_call_count();
+
+  const auto disk_hit = service->submit(cls).get();
+  ASSERT_NE(disk_hit.product, nullptr);
+  EXPECT_EQ(disk_hit.source, ServedFrom::disk);
+  EXPECT_EQ(disk_hit.product->kind, pipeline::ProductKind::classification);
+  EXPECT_EQ(h5::load_granule_call_count(), full_loads_before);  // no shard IO
+
+  const auto fb = service->submit(request(BeamId::Gt2r)).get();
+  ASSERT_NE(fb.product, nullptr);
+  EXPECT_EQ(fb.source, ServedFrom::build);
+  EXPECT_EQ(h5::load_granule_call_count(), full_loads_before);  // resumed: still none
+
+  const auto m = service->metrics();
+  EXPECT_EQ(m.resumed_builds, 1u);
+  EXPECT_EQ(m.inference_windows, 0u);  // this service never ran the classifier
+  expect_bit_identical(*fb.product,
+                       batch_reference(BeamId::Gt2r, seasurface::Method::NasaEquation));
+}
+
+TEST_F(ServeCampaign, OldKeyLayoutDiskFileIsRejectedAfterFormatBump) {
+  // A v1-era cache file (key block without kind/backend) must never be
+  // served: the startup scan deletes it as stale and the first request
+  // rebuilds from shards.
+  const std::string disk_dir = dir_ + "/disk_v1";
+  std::filesystem::create_directories(disk_dir);
+
+  serve::ServiceConfig cfg;
+  cfg.workers = 1;
+  cfg.disk_cache_dir = disk_dir;
+  ProductRequest r = request(BeamId::Gt3r);
+  const ProductKey key = [&] {
+    auto probe = make_service(cfg);
+    return probe->key_for(r);
+  }();
+  std::filesystem::remove_all(disk_dir);  // drop anything the probe wrote
+  std::filesystem::create_directories(disk_dir);
+
+  // Hand-craft the old (v1) layout at the key's deterministic path:
+  //   magic | u32 version=1 | u64 config_hash | u8 beam | str granule_id
+  //   | u64 payload_bytes | payload | u32 crc32(payload)
+  h5::ByteWriter payload;
+  payload.raw(std::uint64_t{0});  // 0 segments
+  payload.raw(std::uint64_t{0});  // 0 classes
+  payload.raw(std::uint64_t{0});  // 0 surface points
+  payload.raw(std::uint64_t{0});  // 0 freeboard points
+  h5::ByteWriter v1;
+  const char magic[4] = {'I', 'S', '2', 'P'};
+  v1.bytes(reinterpret_cast<const std::uint8_t*>(magic), 4);
+  v1.raw(std::uint32_t{1});  // the pre-stage-graph format version
+  v1.raw(key.config_hash);
+  v1.raw(static_cast<std::uint8_t>(key.beam));
+  v1.str(key.granule_id);
+  v1.raw(static_cast<std::uint64_t>(payload.buf.size()));
+  v1.bytes(payload.buf.data(), payload.buf.size());
+  v1.raw(h5::crc32(payload.buf));
+  const std::string path =
+      (std::filesystem::path(disk_dir) / DiskCache::filename_for(key)).string();
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(v1.buf.data()),
+              static_cast<std::streamsize>(v1.buf.size()));
+  }
+  ASSERT_TRUE(std::filesystem::exists(path));
+
+  auto service = make_service(cfg);
+  EXPECT_FALSE(std::filesystem::exists(path));  // dropped at startup scan
+  EXPECT_GE(service->metrics().disk.corrupt_dropped, 1u);
+
+  const auto response = service->submit(r).get();
+  ASSERT_NE(response.product, nullptr);
+  EXPECT_EQ(response.source, ServedFrom::build);  // rebuilt, never served stale
+  expect_bit_identical(*response.product,
+                       batch_reference(BeamId::Gt3r, seasurface::Method::NasaEquation));
 }
 
 TEST_F(ServeCampaign, UnknownGranuleYieldsBrokenFuture) {

@@ -21,6 +21,16 @@ import os
 import sys
 from datetime import datetime, timezone
 
+BUILDER_STAGES = [
+    "preprocess",
+    "resample",
+    "fpb",
+    "features",
+    "classify",
+    "seasurface",
+    "freeboard",
+]
+
 COLUMNS = [
     "commit",
     "utc_time",
@@ -31,7 +41,9 @@ COLUMNS = [
     "disk_speedup",
     "nn_aggregate_speedup",
     "nn_predict_windows_per_sec",
-]
+    # Per-stage ProductBuilder means (ms) from BENCH_serve.json's
+    # `builder_stages` block — the stage-graph latency breakdown.
+] + [f"builder_{stage}_mean_ms" for stage in BUILDER_STAGES]
 
 
 def load(path):
@@ -57,6 +69,9 @@ def serve_fields(doc):
         out["inference_mean_ms_w4"] = stages.get("inference", {}).get("mean_ms")
         out["build_total_mean_ms_w4"] = stages.get("total", {}).get("mean_ms")
     out["disk_speedup"] = doc.get("cache_tiers", {}).get("disk_speedup")
+    builder = doc.get("builder_stages", {})
+    for stage in BUILDER_STAGES:
+        out[f"builder_{stage}_mean_ms"] = builder.get(stage, {}).get("mean_ms")
     return out
 
 
@@ -81,6 +96,21 @@ def main(argv):
     }
     row.update(serve_fields(load(serve_path)))
     row.update(nn_fields(load(nn_path)))
+
+    # Schema migration: a cached CSV written before a column change would go
+    # ragged on append. Rewrite it under the current header (dropped columns
+    # are lost, added columns backfill empty) so the file stays rectangular.
+    if os.path.exists(csv_path):
+        with open(csv_path, newline="") as f:
+            reader = csv.DictReader(f)
+            if reader.fieldnames is not None and list(reader.fieldnames) != COLUMNS:
+                old_rows = list(reader)
+                with open(csv_path, "w", newline="") as out:
+                    writer = csv.DictWriter(out, fieldnames=COLUMNS, extrasaction="ignore")
+                    writer.writeheader()
+                    for old in old_rows:
+                        writer.writerow({k: old.get(k, "") for k in COLUMNS})
+                print(f"bench_trend: migrated {csv_path} to the current column set")
 
     fresh = not os.path.exists(csv_path)
     with open(csv_path, "a", newline="") as f:
