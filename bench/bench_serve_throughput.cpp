@@ -8,12 +8,19 @@
 //   ./bench/bench_serve_throughput [BENCH_serve.json]
 //
 // With a path argument, a machine-readable summary (per-worker QPS/latency,
-// per-stage cold-build means, cache sweep, cache-tier sweep, priority mix)
-// is written there so CI can accumulate the perf trajectory as build
-// artifacts.
+// per-stage cold-build means, queue-wait vs service-time p99 split, cache
+// sweep, cache-tier sweep, priority mix) is written there so CI can
+// accumulate the perf trajectory as build artifacts — plus, next to it, the
+// service's obs snapshot as Prometheus text exposition (`<stem>.prom`,
+// linted by tools/check_prometheus.py in CI) and the span ring as a
+// Perfetto-loadable trace (`<stem>.trace.json`).
 //
-// Tripwire (exit 1): the warm-disk cold start must be >= 5x faster than a
-// full rebuild on the tiny scenario — the reason the disk tier exists.
+// Tripwires (exit 1):
+//  * the warm-disk cold start must be >= 5x faster than a full rebuild on
+//    the tiny scenario — the reason the disk tier exists;
+//  * full-rate tracing must not slow the warm RAM-hit path by more than 2%
+//    (plus a small absolute floor) over sampling disabled — the obs layer's
+//    hot-path budget.
 #include <array>
 #include <atomic>
 #include <cstdio>
@@ -27,6 +34,7 @@
 
 #include "core/campaign.hpp"
 #include "core/config.hpp"
+#include "obs/export.hpp"
 #include "serve/service.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -107,9 +115,23 @@ struct ClassRow {
   double mean_ms = 0, max_ms = 0;
 };
 
+/// Warm RAM-hit mean latency with tracing at full sample rate vs disabled
+/// (min of `kTrials` passes each, so scheduler noise cancels).
+struct TraceOverhead {
+  static constexpr int kTrials = 3;
+  double traced_mean_ms = 0, untraced_mean_ms = 0;
+
+  double ratio() const {
+    return untraced_mean_ms > 0 ? traced_mean_ms / untraced_mean_ms : 0.0;
+  }
+  /// <2% relative plus a 5 us absolute floor (tiny means divide noisily).
+  bool ok() const { return traced_mean_ms <= untraced_mean_ms * 1.02 + 0.005; }
+};
+
 void write_json(const std::string& path, const std::vector<WorkerRow>& rows,
                 const std::vector<SweepRow>& sweep, const TierSweep& tiers,
-                const std::array<ClassRow, serve::kPriorityClasses>& classes) {
+                const std::array<ClassRow, serve::kPriorityClasses>& classes,
+                const TraceOverhead& overhead) {
   std::ofstream out(path, std::ios::trunc);
   if (!out) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -120,7 +142,19 @@ void write_json(const std::string& path, const std::vector<WorkerRow>& rows,
         << ", \"mean_ms\": " << s.stats.mean() << ", \"max_ms\": " << s.stats.max() << "}"
         << (last ? "\n" : ",\n");
   };
-  out << "{\n  \"scenario\": \"tiny\",\n  \"workers\": [\n";
+  // The queue-wait vs service-time split of the highest worker-count run
+  // (scheduled jobs only) — the two columns tools/bench_trend.py trends.
+  const serve::StageLatency& qw = rows.back().metrics.queue_wait;
+  const serve::StageLatency& st = rows.back().metrics.service_time;
+  out << "{\n  \"scenario\": \"tiny\",\n"
+      << "  \"queue_wait_p99_ms\": " << qw.p99_ms()
+      << ", \"queue_wait_mean_ms\": " << qw.stats.mean() << ",\n"
+      << "  \"service_time_p99_ms\": " << st.p99_ms()
+      << ", \"service_time_mean_ms\": " << st.stats.mean() << ",\n"
+      << "  \"warm_hit_overhead\": {\"traced_mean_ms\": " << overhead.traced_mean_ms
+      << ", \"untraced_mean_ms\": " << overhead.untraced_mean_ms
+      << ", \"ratio\": " << overhead.ratio() << "},\n"
+      << "  \"workers\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const WorkerRow& r = rows[i];
     out << "    {\"workers\": " << r.workers << ", \"cold_qps\": " << r.cold_qps
@@ -231,6 +265,8 @@ int main(int argc, char** argv) {
   for (std::size_t i = 0; i < warm_requests; ++i)
     warm_traffic.push_back(universe[traffic_rng.next() % universe.size()]);
 
+  std::string prom_text;      // obs snapshot of the last worker run
+  std::string perfetto_text;  // its span ring, Perfetto trace_event JSON
   util::Table table("GranuleService throughput (tiny campaign, " +
                     std::to_string(universe.size()) + " distinct products)");
   table.set_header({"workers", "cold QPS", "cold p50 ms", "cold p99 ms", "warm QPS",
@@ -261,6 +297,9 @@ int main(int argc, char** argv) {
     const auto m = service.metrics();
     worker_rows.push_back(WorkerRow{workers, cold.qps(), cold.p50(), cold.p99(), warm.qps(),
                                     warm.p50(), warm.p99(), m});
+    // Keep the last (widest) run's exposition + trace for the CI artifacts.
+    prom_text = obs::to_prometheus(service.obs_snapshot());
+    perfetto_text = obs::to_perfetto(service.trace_spans(), obs::thread_labels());
     std::printf(
         "workers=%zu  dispatched=%llu coalesced=%llu fast_hits=%llu  cache: %llu hits / %llu "
         "misses, %zu entries, %.1f MiB  inference: %llu windows in %llu batches\n",
@@ -274,6 +313,13 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(m.inference_batches));
   }
   std::printf("\n%s\n", table.to_string().c_str());
+  {
+    const auto& m = worker_rows.back().metrics;
+    std::printf("scheduled-job split (workers=%zu): queue_wait p50 %.3f / p99 %.3f ms, "
+                "service_time p50 %.3f / p99 %.3f ms\n\n",
+                worker_rows.back().workers, m.queue_wait.p50_ms(), m.queue_wait.p99_ms(),
+                m.service_time.p50_ms(), m.service_time.p99_ms());
+  }
 
   // Cache-size sweep: repeat traffic with a budget too small for the working
   // set keeps rebuilding; a full-size budget serves it entirely from memory.
@@ -416,7 +462,46 @@ int main(int argc, char** argv) {
     std::printf("%s\n", prio.to_string().c_str());
   }
 
-  if (!json_path.empty()) write_json(json_path, worker_rows, sweep_rows, tiers, class_rows);
+  // Warm RAM-hit tracing overhead: the same repeat traffic against a fully
+  // warmed cache, with the tracer at full sample rate vs sampling disabled.
+  // Min-of-3 trials per side so a stray scheduler hiccup cannot fail CI.
+  std::printf("== warm-hit tracing overhead (2 workers, %zu requests x %d trials) ==\n",
+              warm_requests, TraceOverhead::kTrials);
+  TraceOverhead overhead;
+  {
+    auto warm_hit_mean = [&](double sample_rate) {
+      serve::ServiceConfig cfg;
+      cfg.workers = 2;
+      cfg.cache_bytes = 512u << 20;
+      cfg.trace_sample_rate = sample_rate;
+      serve::GranuleService service(cfg, config, campaign.corrections(), index, model_factory,
+                                    scaler);
+      (void)drive(service, universe, 2);  // populate the RAM tier
+      double best = 0.0;
+      for (int trial = 0; trial < TraceOverhead::kTrials; ++trial) {
+        const double mean = drive(service, warm_traffic, 4).mean();
+        if (trial == 0 || mean < best) best = mean;
+      }
+      return best;
+    };
+    overhead.untraced_mean_ms = warm_hit_mean(0.0);
+    overhead.traced_mean_ms = warm_hit_mean(1.0);
+    std::printf("warm hit mean: traced %.4f ms vs untraced %.4f ms (%.3fx)\n\n",
+                overhead.traced_mean_ms, overhead.untraced_mean_ms, overhead.ratio());
+  }
+
+  if (!json_path.empty()) {
+    write_json(json_path, worker_rows, sweep_rows, tiers, class_rows, overhead);
+    // The CI artifacts next to the summary: Prometheus exposition of the
+    // last worker run's registry (linted by tools/check_prometheus.py) and
+    // its span ring as a Perfetto-loadable trace.
+    const std::string stem = std::filesystem::path(json_path).replace_extension().string();
+    std::ofstream prom(stem + ".prom", std::ios::trunc);
+    prom << prom_text;
+    std::ofstream trace(stem + ".trace.json", std::ios::trunc);
+    trace << perfetto_text;
+    std::printf("wrote %s.prom and %s.trace.json\n", stem.c_str(), stem.c_str());
+  }
 
   std::error_code ec;
   std::filesystem::remove_all(dir, ec);
@@ -431,5 +516,18 @@ int main(int argc, char** argv) {
   }
   std::printf("warm-disk cold start: %.1fx faster than full rebuild (>= 5x required)\n",
               tiers.disk_speedup());
+
+  // Tripwire: tracing must stay effectively free on the warm RAM-hit path.
+  if (!overhead.ok()) {
+    std::fprintf(stderr,
+                 "FAIL: full-rate tracing slows warm RAM hits by %.1f%% (traced %.4f ms "
+                 "vs untraced %.4f ms; need <= 2%% + 5 us)\n",
+                 (overhead.ratio() - 1.0) * 100.0, overhead.traced_mean_ms,
+                 overhead.untraced_mean_ms);
+    return 1;
+  }
+  std::printf("warm-hit tracing overhead: %+.4f ms (%.2f%%) — within the 2%% + 5 us budget\n",
+              overhead.traced_mean_ms - overhead.untraced_mean_ms,
+              (overhead.ratio() - 1.0) * 100.0);
   return 0;
 }

@@ -4,13 +4,16 @@
 // `interactive`) while a long tail of cold (beam, method) combinations
 // trickles in as `background`. Prints the ServiceMetrics snapshot: cache
 // hit rates on both tiers, coalescing, class-aware sheds and per-stage /
-// per-class latency distributions — then "restarts" the service over the
-// same disk cache directory to show the warm-disk cold start (products come
-// back from the disk tier without any shard IO or inference).
+// per-class latency distributions — plus the obs view of the same traffic:
+// a Prometheus exposition excerpt and a Perfetto-loadable trace of the span
+// ring — then "restarts" the service over the same disk cache directory to
+// show the warm-disk cold start (products come back from the disk tier
+// without any shard IO or inference).
 //
 //   ./examples/granule_service
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <string>
 #include <thread>
 #include <unistd.h>
@@ -19,6 +22,7 @@
 #include "baseline/decision_tree.hpp"
 #include "core/campaign.hpp"
 #include "core/config.hpp"
+#include "obs/export.hpp"
 #include "pipeline/kinds.hpp"
 #include "serve/service.hpp"
 #include "util/rng.hpp"
@@ -185,6 +189,36 @@ int main() {
     std::printf("%s %.2f ms%s", pipeline::stage_name(static_cast<pipeline::StageId>(s)),
                 m.builder[s].stats.mean(), s + 1 < pipeline::kNumStages ? " | " : "\n");
   std::printf("\nbuild latency distribution (log-scale bins):\n%s", m.total.render(40).c_str());
+  std::printf("scheduled jobs     queue_wait p50 %.2f / p99 %.2f ms, "
+              "service_time p50 %.2f / p99 %.2f ms\n",
+              m.queue_wait.p50_ms(), m.queue_wait.p99_ms(), m.service_time.p50_ms(),
+              m.service_time.p99_ms());
+
+  // 5b. The same numbers through the obs exporters: every counter and
+  //     latency above is registry-backed, so one snapshot serves Prometheus
+  //     scrapes, JSON dashboards and this excerpt alike — and the span ring
+  //     renders the traffic as a Perfetto timeline.
+  std::printf("\n== obs exports ==\n");
+  const std::string prom = obs::to_prometheus(service.obs_snapshot());
+  std::printf("Prometheus exposition: %zu bytes; excerpt:\n", prom.size());
+  std::size_t shown = 0, at = 0;
+  while (at < prom.size() && shown < 8) {
+    const std::size_t end = prom.find('\n', at);
+    const std::string line = prom.substr(at, end - at);
+    at = end + 1;
+    if (line.rfind("is2_serve_", 0) == 0 || line.rfind("is2_sched_", 0) == 0) {
+      std::printf("  %s\n", line.c_str());
+      ++shown;
+    }
+  }
+  const std::string trace_path =
+      (std::filesystem::temp_directory_path() / "is2_serve_demo_trace.json").string();
+  {
+    std::ofstream out(trace_path, std::ios::trunc);
+    out << obs::to_perfetto(service.trace_spans(), obs::thread_labels());
+  }
+  std::printf("Perfetto trace: %zu spans -> %s (load it at https://ui.perfetto.dev)\n",
+              service.trace_spans().size(), trace_path.c_str());
 
   // 6. Restart onto the same disk tier: the RAM cache is empty but every
   //    product persisted, so the cold start deserializes files instead of

@@ -1,0 +1,85 @@
+// Instrument value types of the `is2::obs` metrics layer: Counter, Gauge and
+// HistogramMetric. Instruments are created through an `obs::Registry` (which
+// owns them and guarantees stable addresses); subsystems keep raw pointers
+// and hit them directly on the hot path.
+//
+// Threading contract: every instrument is safe for concurrent use from any
+// thread. Counter/Gauge updates are single relaxed atomics (lock-free,
+// wait-free). HistogramMetric::observe takes a per-instrument mutex — the
+// same granularity the pre-obs serve metrics used (one mutex around one
+// StageLatency update), never a global lock — because util::RunningStats /
+// util::Histogram are plain unsynchronized accumulators and the snapshot
+// must be internally consistent (stats.count() == histogram.total()).
+//
+// HistogramMetric deliberately replicates `pipeline::StageLatency`'s binning
+// (log10(ms) clamped to [10 us, 100 s], 10 bins per decade) with the same
+// util types in the same add() order, so a snapshot assigned into a
+// StageLatency is bit-identical to one maintained by StageLatency::add —
+// that is what lets ServiceMetrics become a registry-read view without
+// changing a single test expectation.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <mutex>
+
+#include "util/stats.hpp"
+
+namespace is2::obs {
+
+/// Monotonic event count. inc() is a relaxed fetch_add; value() a relaxed
+/// load — exact under concurrency (every increment lands), ordering-free.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value (queue depth, resident bytes).
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Latency distribution instrument: Welford stats + log-scale histogram over
+/// milliseconds, binned exactly like `pipeline::StageLatency` (see the file
+/// comment). observe() is one uncontended mutex + two accumulator adds.
+class HistogramMetric {
+ public:
+  // Mirrors StageLatency::kMinMs / kMaxMs / kBinsPerDecade. Asserted equal
+  // in test_obs so the two can never drift apart silently.
+  static constexpr double kMinMs = 1e-2;
+  static constexpr double kMaxMs = 1e5;
+  static constexpr std::size_t kBinsPerDecade = 10;
+
+  struct Snapshot {
+    util::RunningStats stats;
+    util::Histogram histogram{-2.0, 5.0, 7 * kBinsPerDecade};
+  };
+
+  void observe(double ms) {
+    std::lock_guard lock(mutex_);
+    state_.stats.add(ms);
+    state_.histogram.add(std::log10(std::clamp(ms, kMinMs, kMaxMs)));
+  }
+
+  Snapshot snapshot() const {
+    std::lock_guard lock(mutex_);
+    return state_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  Snapshot state_;
+};
+
+}  // namespace is2::obs

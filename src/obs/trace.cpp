@@ -1,0 +1,210 @@
+#include "obs/trace.hpp"
+
+#include <mutex>
+
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+
+namespace is2::obs {
+
+// ---------------------------------------------------------------------------
+// Thread ordinals
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::mutex g_thread_labels_mutex;
+std::vector<std::string>& thread_labels_storage() {
+  static std::vector<std::string>* labels = new std::vector<std::string>();
+  return *labels;
+}
+
+std::uint32_t assign_thread_ordinal() {
+  // Capture the thread's util label at first span so the Perfetto export
+  // can name scheduler workers etc. without obs->util lifetime coupling.
+  std::lock_guard lock(g_thread_labels_mutex);
+  auto& labels = thread_labels_storage();
+  labels.emplace_back(util::thread_label());
+  return static_cast<std::uint32_t>(labels.size());
+}
+
+}  // namespace
+
+std::uint32_t this_thread_ordinal() {
+  thread_local std::uint32_t ordinal = assign_thread_ordinal();
+  return ordinal;
+}
+
+std::vector<std::string> thread_labels() {
+  std::lock_guard lock(g_thread_labels_mutex);
+  return thread_labels_storage();
+}
+
+// ---------------------------------------------------------------------------
+// Tracer
+// ---------------------------------------------------------------------------
+
+Tracer::Tracer(TraceConfig config) : config_(config) {
+  if (config_.ring_capacity == 0) config_.ring_capacity = 1;
+  ring_ = std::vector<Slot>(config_.ring_capacity);
+}
+
+bool Tracer::sampled(std::uint64_t trace_id) const {
+  if (config_.sample_rate >= 1.0) return true;
+  if (config_.sample_rate <= 0.0) return false;
+  // Deterministic per id: the same trace samples the same way everywhere.
+  const double u =
+      static_cast<double>(util::hash64(trace_id) >> 11) * 0x1.0p-53;
+  return u < config_.sample_rate;
+}
+
+void Tracer::publish(const Span* spans, std::size_t count) {
+  const std::size_t cap = ring_.size();
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint64_t ticket = head_.fetch_add(1, std::memory_order_relaxed);
+    Slot& slot = ring_[ticket % cap];
+    const std::uint64_t gen = ticket / cap;
+    // Per-slot seqlock: odd while the writer is inside, even (2*gen + 2)
+    // when stable. Two writers can only collide on one slot if the ring
+    // wraps entirely within one write — with thousands of slots that is a
+    // vanishing debug-telemetry race, and readers still never see a torn
+    // span accepted (the seq double-check fails).
+    slot.seq.store(2 * gen + 1, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_release);
+    slot.span = spans[i];
+    std::atomic_thread_fence(std::memory_order_release);
+    slot.seq.store(2 * gen + 2, std::memory_order_release);
+  }
+}
+
+void Tracer::record_instant(const char* name, std::uint64_t trace_id,
+                            std::uint32_t parent_id) {
+  Span s;
+  s.trace_id = trace_id;
+  s.span_id = 0;  // instants don't parent anything
+  s.parent_id = parent_id;
+  s.start_ms = now_ms();
+  s.dur_ms = 0.0;
+  s.thread = this_thread_ordinal();
+  s.instant = true;
+  s.set_name(name);
+  publish(&s, 1);
+}
+
+std::vector<Span> Tracer::spans() const {
+  const std::size_t cap = ring_.size();
+  const std::uint64_t head = head_.load(std::memory_order_acquire);
+  const std::uint64_t begin = head > cap ? head - cap : 0;
+  std::vector<Span> out;
+  out.reserve(static_cast<std::size_t>(head - begin));
+  for (std::uint64_t t = begin; t < head; ++t) {
+    const Slot& slot = ring_[t % cap];
+    const std::uint64_t s1 = slot.seq.load(std::memory_order_acquire);
+    if (s1 == 0 || (s1 & 1)) continue;  // empty or mid-write
+    Span copy = slot.span;
+    std::atomic_thread_fence(std::memory_order_acquire);
+    const std::uint64_t s2 = slot.seq.load(std::memory_order_relaxed);
+    if (s1 != s2) continue;  // overwritten while reading
+    out.push_back(copy);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// TraceContext
+// ---------------------------------------------------------------------------
+
+TraceContext::TraceContext(Tracer& tracer)
+    : tracer_(&tracer),
+      trace_id_(tracer.mint_trace_id()),
+      sampled_(tracer.sampled(trace_id_)),
+      mint_ms_(tracer.now_ms()) {}
+
+std::size_t TraceContext::open(const char* name) {
+  if (!tracer_) return 0;
+  Span s;
+  s.trace_id = trace_id_;
+  s.span_id = next_span_id_++;
+  s.parent_id = stack_.empty() ? kRootSpanId : buf_[stack_.back()].span_id;
+  s.start_ms = tracer_->now_ms();
+  s.thread = this_thread_ordinal();
+  s.set_name(name);
+  buf_.push_back(s);
+  const std::size_t handle = buf_.size();  // 1-based so 0 can mean inactive
+  stack_.push_back(handle - 1);
+  return handle;
+}
+
+void TraceContext::close(std::size_t handle) {
+  if (!tracer_ || handle == 0) return;
+  Span& s = buf_[handle - 1];
+  s.dur_ms = tracer_->now_ms() - s.start_ms;
+  // Pop through any unclosed children (exception unwind order is LIFO, so
+  // in practice this pops exactly the top entry).
+  while (!stack_.empty() && stack_.back() >= handle - 1) stack_.pop_back();
+}
+
+void TraceContext::emit(const char* name, double start_ms, double dur_ms,
+                        std::uint32_t parent_id) {
+  if (!tracer_) return;
+  Span s;
+  s.trace_id = trace_id_;
+  s.span_id = next_span_id_++;
+  s.parent_id = parent_id;
+  s.start_ms = start_ms;
+  s.dur_ms = dur_ms;
+  s.thread = this_thread_ordinal();
+  s.set_name(name);
+  buf_.push_back(s);
+}
+
+void TraceContext::finish(const char* root_name, bool force) {
+  if (!tracer_ || finished_) return;
+  finished_ = true;
+  Span root;
+  root.trace_id = trace_id_;
+  root.span_id = kRootSpanId;
+  root.parent_id = 0;
+  root.start_ms = mint_ms_;
+  root.dur_ms = tracer_->now_ms() - mint_ms_;
+  root.thread = this_thread_ordinal();
+  root.set_name(root_name);
+  const bool keep = force || sampled_ || root.dur_ms >= tracer_->config().slow_ms;
+  if (!keep) {
+    buf_.clear();
+    return;
+  }
+  tracer_->publish(&root, 1);
+  if (!buf_.empty()) tracer_->publish(buf_.data(), buf_.size());
+  buf_.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Thread-local binding
+// ---------------------------------------------------------------------------
+
+namespace {
+thread_local TraceContext* t_current_trace = nullptr;
+}
+
+TraceContext* current_trace() { return t_current_trace; }
+
+TraceBinding::TraceBinding(TraceContext* ctx) : prev_(t_current_trace) {
+  t_current_trace = ctx;
+  util::set_thread_trace_id(ctx && ctx->active() ? ctx->trace_id() : 0);
+}
+
+TraceBinding::~TraceBinding() {
+  t_current_trace = prev_;
+  util::set_thread_trace_id(prev_ && prev_->active() ? prev_->trace_id() : 0);
+}
+
+SpanScope::SpanScope(const char* name) : ctx_(t_current_trace) {
+  if (ctx_) handle_ = ctx_->open(name);
+}
+
+SpanScope::~SpanScope() {
+  if (ctx_) ctx_->close(handle_);
+}
+
+}  // namespace is2::obs

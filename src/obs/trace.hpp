@@ -1,0 +1,192 @@
+// Per-request tracing for the serving pipeline: a `TraceContext` is minted
+// when a request enters `GranuleService`, rides the scheduler queue inside
+// the job, and collects one `Span` per unit of work (queue wait, disk probe,
+// shard load, each ProductBuilder stage) with parent/child nesting. On
+// completion the context publishes its spans into the owning `Tracer`'s
+// bounded lock-free ring buffer, from which `obs::to_perfetto` renders a
+// Chrome/Perfetto timeline.
+//
+// Sampling is tail-based: span collection into the context's local buffer is
+// cheap (vector pushes, no synchronization — one thread owns the context at
+// any point in its life), and the keep/drop decision happens at finish():
+// kept when the trace id sampled in (probabilistic, deterministic per id),
+// when the caller forces it (errors, shed jobs), or when the root span is
+// slower than `TraceConfig::slow_ms`. Instant events (coalesce, shed,
+// displacement) bypass contexts and go straight to the ring, always on.
+//
+// Threading contract:
+//  * Tracer is fully thread-safe; publish()/instant() are lock-free and
+//    never block (a full ring overwrites the oldest spans). spans() is a
+//    best-effort seqlock read: a span being overwritten mid-read is dropped,
+//    never torn.
+//  * A TraceContext is owned by one thread at a time (submitter, then the
+//    worker that popped its job) and is not internally synchronized. Code
+//    on other threads must not touch a foreign context — record instants
+//    against its trace id instead.
+//  * current_trace()/TraceBinding/SpanScope give stage code an ambient
+//    context through a thread-local, so deep callees (ProductBuilder) emit
+//    spans without threading a context parameter through every signature.
+//    SpanScope is a no-op when no context is bound (batch builds).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "util/timer.hpp"
+
+namespace is2::obs {
+
+/// One unit of work on the timeline. POD so ring slots can be copied
+/// byte-wise under the seqlock.
+struct Span {
+  std::uint64_t trace_id = 0;
+  std::uint32_t span_id = 0;   ///< unique within its trace; root = 1
+  std::uint32_t parent_id = 0; ///< 0 = root of the trace
+  double start_ms = 0.0;       ///< since the owning Tracer's epoch
+  double dur_ms = 0.0;
+  std::uint32_t thread = 0;    ///< obs thread ordinal (see thread_labels())
+  bool instant = false;        ///< point event (coalesce/shed), dur ignored
+  char name[23] = {};          ///< truncated copy, always NUL-terminated
+
+  void set_name(const char* n) {
+    std::strncpy(name, n, sizeof name - 1);
+    name[sizeof name - 1] = '\0';
+  }
+};
+
+struct TraceConfig {
+  std::size_t ring_capacity = 8192;  ///< spans retained (newest win)
+  double sample_rate = 1.0;          ///< probability a trace is kept
+  double slow_ms = 1000.0;           ///< traces at least this slow always kept
+};
+
+/// Ordinal of the calling thread (assigned on first use, starting at 1) —
+/// small and dense so Span::thread stays 4 bytes. The thread's
+/// util::thread_label() at first use is captured for the Perfetto export.
+std::uint32_t this_thread_ordinal();
+
+/// Snapshot of ordinal -> label (index = ordinal - 1; empty = unnamed).
+std::vector<std::string> thread_labels();
+
+class Tracer {
+ public:
+  explicit Tracer(TraceConfig config = {});
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  std::uint64_t mint_trace_id() { return next_trace_id_.fetch_add(1, std::memory_order_relaxed); }
+
+  /// Deterministic per-id sampling decision (hash of the id vs sample_rate).
+  bool sampled(std::uint64_t trace_id) const;
+
+  /// Milliseconds since this tracer was constructed (the span time base).
+  double now_ms() const { return epoch_.millis(); }
+
+  /// Copy spans into the ring. Lock-free, never blocks; overwrites oldest.
+  void publish(const Span* spans, std::size_t count);
+
+  /// Always-on point event recorded directly into the ring (no context).
+  void record_instant(const char* name, std::uint64_t trace_id, std::uint32_t parent_id = 0);
+
+  /// Best-effort snapshot of the ring, oldest first. Spans overwritten
+  /// while being read are skipped, never torn.
+  std::vector<Span> spans() const;
+
+  /// Total spans ever published (overwritten ones included).
+  std::uint64_t published() const { return head_.load(std::memory_order_relaxed); }
+
+  const TraceConfig& config() const { return config_; }
+
+ private:
+  struct Slot {
+    std::atomic<std::uint64_t> seq{0};  ///< 0 = empty; odd = being written
+    Span span;
+  };
+
+  TraceConfig config_;
+  std::vector<Slot> ring_;
+  std::atomic<std::uint64_t> head_{0};
+  std::atomic<std::uint64_t> next_trace_id_{1};
+  util::Timer epoch_;
+};
+
+/// Span collector for one request. Default-constructed contexts are inactive
+/// (every operation a no-op) so untraced paths cost one branch.
+class TraceContext {
+ public:
+  static constexpr std::uint32_t kRootSpanId = 1;
+
+  TraceContext() = default;
+  explicit TraceContext(Tracer& tracer);
+
+  TraceContext(TraceContext&&) = default;
+  TraceContext& operator=(TraceContext&&) = default;
+
+  bool active() const { return tracer_ != nullptr; }
+  std::uint64_t trace_id() const { return trace_id_; }
+  double mint_ms() const { return mint_ms_; }
+  double now_ms() const { return tracer_ ? tracer_->now_ms() : 0.0; }
+
+  /// Open a nested span (parent = innermost open span, else the root).
+  /// Returns a handle for close(); 0 when inactive.
+  std::size_t open(const char* name);
+  void close(std::size_t handle);
+
+  /// Record a fully-formed span (for intervals measured across threads,
+  /// e.g. queue wait: start under the submitter, end under the worker).
+  void emit(const char* name, double start_ms, double dur_ms,
+            std::uint32_t parent_id = kRootSpanId);
+
+  /// Close the trace: emits the root span `root_name` spanning mint..now,
+  /// then publishes everything when the trace sampled in, `force` is set
+  /// (error/shed paths), or the root is slower than slow_ms. Idempotent.
+  void finish(const char* root_name, bool force = false);
+
+ private:
+  Tracer* tracer_ = nullptr;
+  std::uint64_t trace_id_ = 0;
+  bool sampled_ = false;
+  bool finished_ = false;
+  double mint_ms_ = 0.0;
+  std::uint32_t next_span_id_ = kRootSpanId + 1;
+  std::vector<Span> buf_;
+  std::vector<std::size_t> stack_;  ///< indices into buf_ of open spans
+};
+
+/// The thread's ambient trace context (nullptr outside a TraceBinding).
+TraceContext* current_trace();
+
+/// RAII thread-local binding of a context (nullptr allowed = unbind). Also
+/// mirrors the trace id into util::set_thread_trace_id for log-line tags.
+class TraceBinding {
+ public:
+  explicit TraceBinding(TraceContext* ctx);
+  ~TraceBinding();
+
+  TraceBinding(const TraceBinding&) = delete;
+  TraceBinding& operator=(const TraceBinding&) = delete;
+
+ private:
+  TraceContext* prev_;
+};
+
+/// RAII span on the ambient context; no-op when none is bound.
+class SpanScope {
+ public:
+  explicit SpanScope(const char* name);
+  ~SpanScope();
+
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+
+ private:
+  TraceContext* ctx_;
+  std::size_t handle_ = 0;
+};
+
+}  // namespace is2::obs

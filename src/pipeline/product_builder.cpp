@@ -2,6 +2,7 @@
 
 #include <string>
 
+#include "obs/trace.hpp"
 #include "pipeline/fingerprint.hpp"
 #include "util/timer.hpp"
 
@@ -212,6 +213,9 @@ void ProductBuilder::run_until(Artifacts& art, StageId until, StageTrace* trace)
   for (std::size_t i = 0; i <= static_cast<std::size_t>(until); ++i) {
     const auto id = static_cast<StageId>(i);
     if (art.done(id)) continue;
+    // One obs span per stage, covering exactly the StageTrace-timed window
+    // (no-op outside a serve TraceBinding, e.g. batch builds).
+    obs::SpanScope span(stage_name(id));
     timer.reset();
     run_stage(art, id, nullptr, seasurface::Method::NasaEquation);
     if (trace) trace->mark(id, timer.millis());
@@ -230,6 +234,7 @@ void ProductBuilder::build(Artifacts& art, ProductKind kind, ClassifierBackend* 
     // Resumed-from-classification builds never need the features stage: the
     // stage graph's only consumer of features is classify.
     if (id == StageId::features && art.done(StageId::classify)) continue;
+    obs::SpanScope span(stage_name(id));
     timer.reset();
     run_stage(art, id, backend, method);
     tr.mark(id, timer.millis());

@@ -4,6 +4,14 @@
 
 namespace is2::pipeline {
 
+double StageLatency::percentile_ms(double p) const {
+  if (histogram.total() == 0) return 0.0;
+  const double log_ms = util::histogram_quantile(histogram, p / 100.0);
+  // The histogram saw log10 of clamped values, so invert both transforms;
+  // the true min/max from stats tighten the clamped edge bins.
+  return std::clamp(std::pow(10.0, log_ms), stats.min(), stats.max());
+}
+
 std::string StageLatency::render(std::size_t max_width) const {
   const std::size_t n = histogram.bins();
   std::size_t first = n, last = 0;

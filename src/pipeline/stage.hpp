@@ -72,6 +72,14 @@ struct StageLatency {
   double bin_lo_ms(std::size_t bin) const {
     return std::pow(10.0, histogram.lo() + static_cast<double>(bin) * histogram.bin_width());
   }
+  /// Percentile estimate from the log-scale histogram, back in milliseconds
+  /// (p in [0,100]; 0 with no samples). Bin resolution bounds the error: 10
+  /// bins per decade means the estimate sits within a factor of 10^0.1
+  /// (~26%) of the exact order statistic — benches and exporters use these
+  /// instead of re-deriving quantiles from raw sample arrays.
+  double percentile_ms(double p) const;
+  double p50_ms() const { return percentile_ms(50.0); }
+  double p99_ms() const { return percentile_ms(99.0); }
   /// Render the latency distribution with millisecond bin labels (log axis),
   /// skipping empty leading/trailing decades.
   std::string render(std::size_t max_width = 60) const;

@@ -171,6 +171,19 @@ GranuleProduct DiskCache::deserialize(std::span<const std::uint8_t> bytes,
 
 DiskCache::DiskCache(DiskCacheConfig config) : config_(std::move(config)) {
   if (config_.dir.empty()) throw std::invalid_argument("DiskCache: empty directory");
+  if (config_.registry) {
+    obs::Registry& reg = *config_.registry;
+    const obs::Labels tier{{"tier", "disk"}};
+    hits_total_ = &reg.counter("is2_cache_hits_total", tier, "client lookups served");
+    misses_total_ = &reg.counter("is2_cache_misses_total", tier, "client lookups missed");
+    writes_total_ = &reg.counter("is2_cache_writes_total", tier, "successful put publishes");
+    evictions_total_ =
+        &reg.counter("is2_cache_evictions_total", tier, "files deleted by byte budget");
+    corrupt_total_ = &reg.counter("is2_cache_corrupt_dropped_total", tier,
+                                  "stale/corrupt/partial files deleted");
+    bytes_gauge_ = &reg.gauge("is2_cache_bytes", tier, "resident on-disk bytes");
+    entries_gauge_ = &reg.gauge("is2_cache_entries", tier, "resident file count");
+  }
   fs::create_directories(config_.dir);
 
   // Rebuild the manifest from what survived on disk. Only the identity
@@ -361,6 +374,19 @@ bool DiskCache::contains(const ProductKey& key) const {
   return index_.count(key) != 0;
 }
 
+void DiskCache::sync_registry_locked(const DiskCacheStats& totals) const {
+  if (!hits_total_) return;
+  // Counter increments are exact deltas vs the last sync (totals only grow).
+  hits_total_->inc(totals.hits - exported_.hits);
+  misses_total_->inc(totals.misses - exported_.misses);
+  writes_total_->inc(totals.writes - exported_.writes);
+  evictions_total_->inc(totals.evictions - exported_.evictions);
+  corrupt_total_->inc(totals.corrupt_dropped - exported_.corrupt_dropped);
+  bytes_gauge_->set(static_cast<double>(totals.bytes));
+  entries_gauge_->set(static_cast<double>(totals.entries));
+  exported_ = totals;
+}
+
 DiskCacheStats DiskCache::stats() const {
   std::lock_guard lock(mutex_);
   DiskCacheStats out;
@@ -371,6 +397,7 @@ DiskCacheStats DiskCache::stats() const {
   out.corrupt_dropped = corrupt_dropped_;
   out.bytes = bytes_;
   out.entries = lru_.size();
+  sync_registry_locked(out);
   return out;
 }
 

@@ -43,6 +43,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/registry.hpp"
 #include "serve/product_cache.hpp"
 
 namespace is2::serve {
@@ -50,6 +51,11 @@ namespace is2::serve {
 struct DiskCacheConfig {
   std::string dir;                         ///< cache directory (created if absent)
   std::size_t byte_budget = 1ull << 30;    ///< total on-disk bytes before LRU eviction
+  /// When set, the cache mirrors its counters into `is2_cache_*{tier="disk"}`
+  /// instruments, synced lazily inside stats() (exact deltas since the last
+  /// sync) — the get/put hot paths are untouched. The registry must outlive
+  /// the cache.
+  obs::Registry* registry = nullptr;
 };
 
 struct DiskCacheStats {
@@ -155,6 +161,7 @@ class DiskCache {
   void evict_over_budget_locked();
   void drop_entry_locked(std::list<Entry>::iterator it, bool corrupt);
   std::shared_ptr<const GranuleProduct> get_impl(const ProductKey& key, bool count_stats);
+  void sync_registry_locked(const DiskCacheStats& totals) const;
 
   DiskCacheConfig config_;
   std::function<void(const ProductKey&)> read_hook_;  ///< tests only
@@ -164,6 +171,17 @@ class DiskCache {
   std::size_t bytes_ = 0;
   std::uint64_t next_gen_ = 1;  ///< publish generation source (under mutex_)
   std::uint64_t hits_ = 0, misses_ = 0, writes_ = 0, evictions_ = 0, corrupt_dropped_ = 0;
+
+  /// Registry mirror (nullptr = off); the raw counters above stay the source
+  /// of truth and `exported_` tracks what was already pushed (under mutex_).
+  obs::Counter* hits_total_ = nullptr;
+  obs::Counter* misses_total_ = nullptr;
+  obs::Counter* writes_total_ = nullptr;
+  obs::Counter* evictions_total_ = nullptr;
+  obs::Counter* corrupt_total_ = nullptr;
+  obs::Gauge* bytes_gauge_ = nullptr;
+  obs::Gauge* entries_gauge_ = nullptr;
+  mutable DiskCacheStats exported_;
 };
 
 }  // namespace is2::serve

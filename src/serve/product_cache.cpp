@@ -25,13 +25,38 @@ std::size_t GranuleProduct::approx_bytes() const {
   return bytes;
 }
 
-ProductCache::ProductCache(std::size_t byte_budget, std::size_t num_shards)
+ProductCache::ProductCache(std::size_t byte_budget, std::size_t num_shards,
+                           obs::Registry* registry)
     : byte_budget_(byte_budget) {
   if (num_shards == 0) num_shards = 1;
   shard_budget_ = byte_budget_ / num_shards;
   if (shard_budget_ == 0) shard_budget_ = 1;
   shards_.reserve(num_shards);
   for (std::size_t i = 0; i < num_shards; ++i) shards_.push_back(std::make_unique<Shard>());
+  if (registry) {
+    const obs::Labels tier{{"tier", "ram"}};
+    hits_total_ = &registry->counter("is2_cache_hits_total", tier, "client lookups served");
+    misses_total_ = &registry->counter("is2_cache_misses_total", tier, "client lookups missed");
+    evictions_total_ =
+        &registry->counter("is2_cache_evictions_total", tier, "entries evicted by byte budget");
+    insertions_total_ = &registry->counter("is2_cache_insertions_total", tier, "entries inserted");
+    bytes_gauge_ = &registry->gauge("is2_cache_bytes", tier, "resident product bytes");
+    entries_gauge_ = &registry->gauge("is2_cache_entries", tier, "resident product count");
+  }
+}
+
+void ProductCache::sync_registry(const CacheStats& totals) const {
+  if (!hits_total_) return;
+  std::lock_guard lock(export_mutex_);
+  // Counter increments are exact deltas vs the last sync; totals can only
+  // grow, so the subtractions never underflow.
+  hits_total_->inc(totals.hits - exported_.hits);
+  misses_total_->inc(totals.misses - exported_.misses);
+  evictions_total_->inc(totals.evictions - exported_.evictions);
+  insertions_total_->inc(totals.insertions - exported_.insertions);
+  bytes_gauge_->set(static_cast<double>(totals.bytes));
+  entries_gauge_->set(static_cast<double>(totals.entries));
+  exported_ = totals;
 }
 
 ProductCache::Shard& ProductCache::shard_for(const ProductKey& key) const {
@@ -103,6 +128,7 @@ CacheStats ProductCache::stats() const {
     out.bytes += shard->bytes;
     out.entries += shard->lru.size();
   }
+  sync_registry(out);
   return out;
 }
 

@@ -25,6 +25,7 @@
 
 #include "atl03/types.hpp"
 #include "freeboard/freeboard.hpp"
+#include "obs/registry.hpp"
 #include "pipeline/kinds.hpp"
 #include "resample/segmenter.hpp"
 #include "seasurface/detector.hpp"
@@ -89,7 +90,12 @@ struct CacheStats {
 class ProductCache {
  public:
   /// `byte_budget` is split evenly across `num_shards` independent LRU lists.
-  explicit ProductCache(std::size_t byte_budget, std::size_t num_shards = 8);
+  /// With a `registry`, the cache mirrors its counters into
+  /// `is2_cache_*{tier="ram"}` instruments — synced lazily inside stats()
+  /// (delta of the per-shard counters since the last sync), so the hot get/
+  /// put paths stay exactly one shard lock with no extra atomics.
+  explicit ProductCache(std::size_t byte_budget, std::size_t num_shards = 8,
+                        obs::Registry* registry = nullptr);
 
   ProductCache(const ProductCache&) = delete;
   ProductCache& operator=(const ProductCache&) = delete;
@@ -133,10 +139,23 @@ class ProductCache {
   };
 
   Shard& shard_for(const ProductKey& key) const;
+  void sync_registry(const CacheStats& totals) const;
 
   std::size_t byte_budget_;
   std::size_t shard_budget_;
   std::vector<std::unique_ptr<Shard>> shards_;
+
+  /// Registry mirror (nullptr = off). The shard counters stay the source of
+  /// truth; `exported_` remembers what has already been pushed so counter
+  /// increments are exact deltas. Guarded by export_mutex_.
+  obs::Counter* hits_total_ = nullptr;
+  obs::Counter* misses_total_ = nullptr;
+  obs::Counter* evictions_total_ = nullptr;
+  obs::Counter* insertions_total_ = nullptr;
+  obs::Gauge* bytes_gauge_ = nullptr;
+  obs::Gauge* entries_gauge_ = nullptr;
+  mutable std::mutex export_mutex_;
+  mutable CacheStats exported_;
 };
 
 }  // namespace is2::serve

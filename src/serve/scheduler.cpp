@@ -14,12 +14,37 @@ const char* priority_name(Priority p) {
   return "?";
 }
 
+obs::Labels BatchScheduler::class_labels(Priority cls) const {
+  return {{"class", priority_name(cls)}};
+}
+
 BatchScheduler::BatchScheduler(const Config& config, Builder builder)
     : config_(config),
       builder_(std::move(builder)),
       queue_(config.queue_capacity, config.class_weights),
-      pool_(config.workers ? config.workers : 1) {
+      pool_(config.workers ? config.workers : 1, "sched") {
   if (!builder_) throw std::invalid_argument("BatchScheduler: null builder");
+  registry_ = config_.registry;
+  if (!registry_) {
+    owned_registry_ = std::make_unique<obs::Registry>();
+    registry_ = owned_registry_.get();
+  }
+  for (std::size_t c = 0; c < kPriorityClasses; ++c) {
+    const auto cls = static_cast<Priority>(c);
+    dispatched_total_[c] = &registry_->counter("is2_sched_dispatched_total", class_labels(cls),
+                                               "build jobs accepted into the queue");
+    coalesced_total_[c] = &registry_->counter("is2_sched_coalesced_total", class_labels(cls),
+                                              "requests attached to an in-flight build");
+    rejected_total_[c] = &registry_->counter("is2_sched_rejected_total", class_labels(cls),
+                                             "try_submit requests shed on arrival");
+    displaced_total_[c] = &registry_->counter("is2_sched_displaced_total", class_labels(cls),
+                                              "queued jobs shed to admit a higher class");
+    queue_depth_gauge_[c] = &registry_->gauge("is2_sched_queue_depth", class_labels(cls),
+                                              "jobs waiting for a worker");
+  }
+  completed_total_ =
+      &registry_->counter("is2_sched_completed_total", {}, "build jobs finished (ok or error)");
+  in_flight_gauge_ = &registry_->gauge("is2_sched_in_flight", {}, "keys queued or building");
   drains_.reserve(pool_.size());
   for (std::size_t w = 0; w < pool_.size(); ++w)
     drains_.push_back(pool_.submit([this] { drain_loop(); }));
@@ -34,6 +59,7 @@ BatchScheduler::JobPtr BatchScheduler::make_job(const ProductRequest& request,
   job->key = key;
   job->cls = request.priority;
   job->future = job->promise.get_future().share();
+  if (config_.tracer) job->trace = obs::TraceContext(*config_.tracer);
   return job;
 }
 
@@ -54,7 +80,9 @@ ProductFuture BatchScheduler::submit(const ProductRequest& request, const Produc
     if (shut_down_) return broken_future("BatchScheduler: shut down");
     auto it = inflight_.find(key);
     if (it != inflight_.end()) {
-      ++coalesced_;
+      coalesced_total_[static_cast<std::size_t>(request.priority)]->inc();
+      if (config_.tracer)
+        config_.tracer->record_instant("coalesce", it->second->trace.trace_id());
       // Single-flight: attach to the live build. A higher-priority requester
       // drags a still-queued job up to its class so it cannot be displaced
       // by (or starved behind) traffic the requester outranks. Job::cls is
@@ -70,22 +98,22 @@ ProductFuture BatchScheduler::submit(const ProductRequest& request, const Produc
     }
     job = make_job(request, key);
     inflight_[key] = job;
-    ++dispatched_;
-    ++dispatched_by_class_[static_cast<std::size_t>(job->cls)];
   }
   // Blocking push outside the lock so other submitters can still coalesce
   // onto this job while we wait for queue space (that is the backpressure).
+  // The dispatched counters are registry-backed and monotonic, so they are
+  // bumped only once the push has landed (the old code incremented first
+  // and decremented on a lost race with shutdown).
   if (!queue_.push(job, request.priority)) {
     {
       std::lock_guard lock(mutex_);
       inflight_.erase(key);
-      --dispatched_;
-      --dispatched_by_class_[static_cast<std::size_t>(request.priority)];
     }
     job->promise.set_exception(
         std::make_exception_ptr(std::runtime_error("BatchScheduler: shut down")));
     return job->future;
   }
+  dispatched_total_[static_cast<std::size_t>(request.priority)]->inc();
   {
     // A coalescer may have raised Job::cls while we were blocked in push()
     // (its queue promote found nothing to move). Re-apply it now that the
@@ -109,7 +137,9 @@ std::optional<ProductFuture> BatchScheduler::try_submit(const ProductRequest& re
   if (shut_down_) return broken_future("BatchScheduler: shut down");
   auto it = inflight_.find(key);
   if (it != inflight_.end()) {
-    ++coalesced_;
+    coalesced_total_[static_cast<std::size_t>(request.priority)]->inc();
+    if (config_.tracer)
+      config_.tracer->record_instant("coalesce", it->second->trace.trace_id());
     if (static_cast<std::uint8_t>(request.priority) <
         static_cast<std::uint8_t>(it->second->cls)) {
       it->second->cls = request.priority;  // pusher re-promotes on a miss
@@ -122,60 +152,85 @@ std::optional<ProductFuture> BatchScheduler::try_submit(const ProductRequest& re
   // visible as in-flight and queued atomically, or nobody ever saw it.
   std::optional<std::pair<JobPtr, Priority>> victim;
   if (!queue_.try_push(job, request.priority, &victim)) {
-    ++rejected_;
-    ++shed_by_class_[static_cast<std::size_t>(request.priority)];
+    rejected_total_[static_cast<std::size_t>(request.priority)]->inc();
+    if (config_.tracer) config_.tracer->record_instant("rejected", job->trace.trace_id());
     if (shed_class) *shed_class = request.priority;
     return std::nullopt;
   }
   if (victim) {
     // A queued lower-class job was displaced to admit this one. Its waiters
     // (original submitter + anyone coalesced) see ShedError and may retry.
+    // Nobody else owns the victim (it was removed from its lane before any
+    // worker could pop it), so finishing its trace here is safe — forced,
+    // so shed builds always show up on the timeline.
     inflight_.erase(victim->first->key);
-    ++displaced_;
-    ++shed_by_class_[static_cast<std::size_t>(victim->second)];
+    displaced_total_[static_cast<std::size_t>(victim->second)]->inc();
+    if (config_.tracer)
+      config_.tracer->record_instant("displaced", victim->first->trace.trace_id());
+    victim->first->trace.finish("request:shed", /*force=*/true);
     if (shed_class) *shed_class = victim->second;
     victim->first->promise.set_exception(std::make_exception_ptr(
         ShedError("BatchScheduler: shed " + std::string(priority_name(victim->second)) +
                   " job for " + std::string(priority_name(request.priority)) + " admission")));
   }
   inflight_[key] = job;
-  ++dispatched_;
-  ++dispatched_by_class_[static_cast<std::size_t>(job->cls)];
+  dispatched_total_[static_cast<std::size_t>(job->cls)]->inc();
   return job->future;
 }
 
 void BatchScheduler::drain_loop() {
   while (auto popped = queue_.pop()) {
     JobPtr job = std::move(popped->first);
+    const double queue_wait_ms = job->enqueued.millis();
+    if (job->trace.active())
+      job->trace.emit("queue_wait", job->trace.mint_ms(), queue_wait_ms);
+    // Bind the job's context so the builder's SpanScopes (disk probe, shard
+    // load, every pipeline stage) land in this trace, and log lines carry
+    // the trace id.
+    obs::TraceBinding bind(job->trace.active() ? &job->trace : nullptr);
     try {
       ProductResponse response = builder_(job->request, job->key);
       response.service_ms = job->enqueued.millis();
+      response.queue_wait_ms = queue_wait_ms;
+      response.trace_id = job->trace.trace_id();
       const double service_ms = response.service_ms;
+      job->trace.finish("request");
+      // Observe before resolving the future: a caller that .get()s and then
+      // reads metrics must see its own request in the latency histograms.
+      if (config_.on_served)
+        config_.on_served(job->request.priority, service_ms, queue_wait_ms);
       job->promise.set_value(std::move(response));
-      if (config_.on_served) config_.on_served(job->request.priority, service_ms);
     } catch (...) {
+      job->trace.finish("request:error", /*force=*/true);
       job->promise.set_exception(std::current_exception());
     }
     std::lock_guard lock(mutex_);
     inflight_.erase(job->key);
-    ++completed_;
+    completed_total_->inc();
   }
 }
 
 SchedulerStats BatchScheduler::stats() const {
   SchedulerStats out;
   std::lock_guard lock(mutex_);
-  out.dispatched = dispatched_;
-  out.coalesced = coalesced_;
-  out.rejected = rejected_;
-  out.displaced = displaced_;
-  out.completed = completed_;
+  for (std::size_t c = 0; c < kPriorityClasses; ++c) {
+    const std::uint64_t rejected = rejected_total_[c]->value();
+    const std::uint64_t displaced = displaced_total_[c]->value();
+    out.dispatched_by_class[c] = dispatched_total_[c]->value();
+    out.dispatched += out.dispatched_by_class[c];
+    out.coalesced += coalesced_total_[c]->value();
+    out.rejected += rejected;
+    out.displaced += displaced;
+    // Shed accounting: a rejected arrival under its own class, a displaced
+    // queued job under the class it held.
+    out.shed_by_class[c] = rejected + displaced;
+    out.queue_depth_by_class[c] = queue_.size(static_cast<Priority>(c));
+    queue_depth_gauge_[c]->set(static_cast<double>(out.queue_depth_by_class[c]));
+  }
+  out.completed = completed_total_->value();
   out.queue_depth = queue_.size();
   out.in_flight = inflight_.size();
-  out.shed_by_class = shed_by_class_;
-  out.dispatched_by_class = dispatched_by_class_;
-  for (std::size_t c = 0; c < kPriorityClasses; ++c)
-    out.queue_depth_by_class[c] = queue_.size(static_cast<Priority>(c));
+  in_flight_gauge_->set(static_cast<double>(out.in_flight));
   return out;
 }
 

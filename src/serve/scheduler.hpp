@@ -46,6 +46,8 @@
 #include <unordered_map>
 #include <utility>
 
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "serve/product_cache.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
@@ -96,6 +98,10 @@ struct ProductResponse {
   bool from_cache = false;  ///< no pipeline ran to answer this response
   double service_ms = 0.0;  ///< queue wait + build wall time (0 on fast path)
   ServedFrom source = ServedFrom::build;
+  /// obs trace id of the job that produced this response (coalesced waiters
+  /// share the one id); 0 when tracing is off.
+  std::uint64_t trace_id = 0;
+  double queue_wait_ms = 0.0;  ///< make_job -> worker pop (0 on fast path)
 };
 
 using ProductFuture = std::shared_future<ProductResponse>;
@@ -306,6 +312,10 @@ class PriorityQueue {
   bool closed_ = false;
 };
 
+/// Scheduler counters, as a value snapshot. Since the obs migration this is
+/// assembled from registry-backed instruments (`is2_sched_*` counters with
+/// per-class labels) by stats() — the struct shape is preserved for tests
+/// and benches, and the same numbers flow through `obs::to_prometheus`.
 struct SchedulerStats {
   std::uint64_t dispatched = 0;  ///< build jobs accepted into the queue
   std::uint64_t coalesced = 0;   ///< requests attached to an in-flight build
@@ -334,10 +344,18 @@ class BatchScheduler {
     /// background) per cycle.
     ClassWeights class_weights = {8, 3, 1};
     /// Called once per successfully served job (not per coalesced waiter)
-    /// with the submitting request's class and the job's service time
-    /// (queue wait + execution) — the quantity the weighted dequeue and
-    /// displacement actually shape. Runs on a worker thread.
-    std::function<void(Priority, double service_ms)> on_served;
+    /// with the submitting request's class, the job's service time (queue
+    /// wait + execution — the quantity the weighted dequeue and
+    /// displacement actually shape) and the queue-wait share of it. Runs
+    /// on a worker thread.
+    std::function<void(Priority, double service_ms, double queue_wait_ms)> on_served;
+    /// Registry the scheduler registers its `is2_sched_*` instruments in;
+    /// nullptr = the scheduler owns a private registry (stats() works the
+    /// same either way).
+    obs::Registry* registry = nullptr;
+    /// Tracer that mints one TraceContext per dispatched job and receives
+    /// coalesce/displacement instant events; nullptr = tracing off.
+    obs::Tracer* tracer = nullptr;
   };
 
   BatchScheduler(const Config& config, Builder builder);
@@ -376,26 +394,37 @@ class BatchScheduler {
     std::promise<ProductResponse> promise;
     ProductFuture future;
     util::Timer enqueued;  ///< measures queue wait + build = service time
+    /// Minted with the job; owned by the submitter until the push lands,
+    /// then by the worker that pops it. Coalescers / displacers must not
+    /// touch a foreign context — they record ring instants by trace id.
+    obs::TraceContext trace;
   };
   using JobPtr = std::shared_ptr<Job>;
 
   JobPtr make_job(const ProductRequest& request, const ProductKey& key) const;
   void drain_loop();
+  obs::Labels class_labels(Priority cls) const;
 
   Config config_;
   Builder builder_;
   PriorityQueue<JobPtr> queue_;
 
-  mutable std::mutex mutex_;  ///< guards inflight_ + counters + Job::cls
+  mutable std::mutex mutex_;  ///< guards inflight_ + Job::cls + shut_down_
   std::unordered_map<ProductKey, JobPtr, ProductKeyHash> inflight_;
-  std::uint64_t dispatched_ = 0;
-  std::uint64_t coalesced_ = 0;
-  std::uint64_t rejected_ = 0;
-  std::uint64_t displaced_ = 0;
-  std::uint64_t completed_ = 0;
-  std::array<std::uint64_t, kPriorityClasses> shed_by_class_{};
-  std::array<std::uint64_t, kPriorityClasses> dispatched_by_class_{};
   bool shut_down_ = false;
+
+  /// Counters live in the registry (monotonic, lock-free increments; read
+  /// back by stats() and exported by obs::to_prometheus). Owned registry
+  /// only when Config::registry was null.
+  std::unique_ptr<obs::Registry> owned_registry_;
+  obs::Registry* registry_ = nullptr;
+  std::array<obs::Counter*, kPriorityClasses> dispatched_total_{};
+  std::array<obs::Counter*, kPriorityClasses> coalesced_total_{};
+  std::array<obs::Counter*, kPriorityClasses> rejected_total_{};
+  std::array<obs::Counter*, kPriorityClasses> displaced_total_{};
+  obs::Counter* completed_total_ = nullptr;
+  std::array<obs::Gauge*, kPriorityClasses> queue_depth_gauge_{};
+  obs::Gauge* in_flight_gauge_ = nullptr;
 
   util::ThreadPool pool_;
   std::vector<std::future<void>> drains_;

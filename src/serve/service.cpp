@@ -143,13 +143,53 @@ GranuleService::GranuleService(const ServiceConfig& config,
     : config_(config),
       pipeline_(pipeline),
       index_(std::move(index)),
+      tracer_(obs::TraceConfig{config.trace_ring_capacity, config.trace_sample_rate,
+                               config.trace_slow_ms}),
       builder_(pipeline, corrections),  // validates the PipelineConfig
-      cache_(config.cache_bytes, config.cache_shards) {
+      cache_(config.cache_bytes, config.cache_shards, &registry_) {
   if (!model_factory) throw std::invalid_argument("GranuleService: null model factory");
+
+  // Register every service-level instrument once; the request paths then
+  // touch pre-resolved pointers only. Stage latencies share one metric name
+  // with a `stage` label (low cardinality: seven fixed values), matching the
+  // legacy ServiceMetrics fields one-to-one.
+  const auto stage_hist = [this](const char* stage) {
+    return &registry_.histogram("is2_serve_stage_ms", {{"stage", stage}},
+                                "serve-side stage latency (ms)");
+  };
+  for (std::size_t c = 0; c < kPriorityClasses; ++c) {
+    const obs::Labels cls{{"class", priority_name(static_cast<Priority>(c))}};
+    requests_total_[c] =
+        &registry_.counter("is2_serve_requests_total", cls, "submit + try_submit calls");
+    class_service_[c] = &registry_.histogram("is2_serve_class_service_ms", cls,
+                                             "per-class service latency (ms)");
+  }
+  fast_hits_total_ = &registry_.counter("is2_serve_fast_hits_total", {},
+                                        "answered from RAM cache without dispatch");
+  writeback_failures_total_ = &registry_.counter("is2_serve_writeback_failures_total", {},
+                                                 "async disk writes that threw");
+  resumed_builds_total_ = &registry_.counter("is2_serve_resumed_builds_total", {},
+                                             "builds seeded from a shallower kind");
+  stage_load_ = stage_hist("load");
+  stage_features_ = stage_hist("features");
+  stage_inference_ = stage_hist("inference");
+  stage_seasurface_ = stage_hist("seasurface");
+  stage_freeboard_ = stage_hist("freeboard");
+  stage_disk_load_ = stage_hist("disk_load");
+  stage_total_ = stage_hist("total");
+  queue_wait_hist_ = &registry_.histogram("is2_serve_queue_wait_ms", {},
+                                          "scheduled jobs: wait for a worker (ms)");
+  service_time_hist_ = &registry_.histogram("is2_serve_service_time_ms", {},
+                                            "scheduled jobs: queue wait + execution (ms)");
+  inference_batches_total_ =
+      &registry_.counter("is2_serve_inference_batches_total", {}, "backend forward passes");
+  inference_windows_total_ =
+      &registry_.counter("is2_serve_inference_windows_total", {}, "windows classified");
+
   if (!config_.disk_cache_dir.empty()) {
     disk_ = std::make_unique<DiskCache>(
-        DiskCacheConfig{config_.disk_cache_dir, config_.disk_cache_bytes});
-    writeback_pool_ = std::make_unique<util::ThreadPool>(1);
+        DiskCacheConfig{config_.disk_cache_dir, config_.disk_cache_bytes, &registry_});
+    writeback_pool_ = std::make_unique<util::ThreadPool>(1, "writeback");
   }
   const std::size_t workers = config_.workers ? config_.workers : 1;
   // The nn backend owns the replica checkout pool (one per worker plus one
@@ -164,11 +204,16 @@ GranuleService::GranuleService(const ServiceConfig& config,
   sched_cfg.workers = workers;
   sched_cfg.queue_capacity = config_.queue_capacity;
   sched_cfg.class_weights = config_.class_weights;
+  sched_cfg.registry = &registry_;
+  sched_cfg.tracer = &tracer_;
   // Per-class latency is attributed at job completion with service_ms
   // (queue wait + execution) — the quantity the weighted dequeue shapes —
-  // not the builder's inner wall time.
-  sched_cfg.on_served = [this](Priority cls, double service_ms) {
-    record_class(cls, service_ms);
+  // not the builder's inner wall time. The same callback feeds the
+  // queue-wait / service-time split.
+  sched_cfg.on_served = [this](Priority cls, double service_ms, double queue_wait_ms) {
+    class_service_[static_cast<std::size_t>(cls)]->observe(service_ms);
+    service_time_hist_->observe(service_ms);
+    queue_wait_hist_->observe(queue_wait_ms);
   };
   scheduler_ = std::make_unique<BatchScheduler>(
       sched_cfg, [this](const ProductRequest& request, const ProductKey& key) {
@@ -202,8 +247,7 @@ void GranuleService::schedule_writeback(const ProductKey& key,
     } catch (const std::exception&) {
       // Disk-full or IO error: the RAM tier still has the product, so serve
       // traffic is unaffected — count it and move on.
-      std::lock_guard lock(metrics_mutex_);
-      ++stage_metrics_.writeback_failures;
+      writeback_failures_total_->inc();
     }
     {
       std::lock_guard lock(writeback_mutex_);
@@ -246,54 +290,37 @@ ProductKey GranuleService::key_for_kind(const ProductRequest& request,
   return key;
 }
 
-void GranuleService::record(StageLatency ServiceMetrics::*stage, double ms) {
-  std::lock_guard lock(metrics_mutex_);
-  (stage_metrics_.*stage).add(ms);
+void GranuleService::count_request(Priority cls) {
+  requests_total_[static_cast<std::size_t>(cls)]->inc();
 }
 
-void GranuleService::record_class(Priority cls, double ms) {
-  std::lock_guard lock(metrics_mutex_);
-  stage_metrics_.by_class[static_cast<std::size_t>(cls)].latency.add(ms);
+ProductFuture GranuleService::fast_hit(Priority cls,
+                                       std::shared_ptr<const GranuleProduct> hit) {
+  fast_hits_total_->inc();
+  // The fast path records a literal 0 ms sample (bottom histogram bin) —
+  // same convention as the pre-obs metrics, and what keeps per-class latency
+  // an honest mix of hits and builds. No trace is minted: a RAM probe emits
+  // no spans, and an empty trace would only dilute sampling.
+  class_service_[static_cast<std::size_t>(cls)]->observe(0.0);
+  std::promise<ProductResponse> ready;
+  ready.set_value(ProductResponse{std::move(hit), true, 0.0, ServedFrom::ram});
+  return ready.get_future().share();
 }
 
 ProductFuture GranuleService::submit(const ProductRequest& request) {
-  {
-    std::lock_guard lock(metrics_mutex_);
-    ++stage_metrics_.requests;
-    ++stage_metrics_.by_class[static_cast<std::size_t>(request.priority)].requests;
-  }
+  count_request(request.priority);
   const ProductKey key = key_for(request);
-  if (auto hit = cache_.get(key)) {
-    {
-      std::lock_guard lock(metrics_mutex_);
-      ++stage_metrics_.fast_hits;
-    }
-    record_class(request.priority, 0.0);
-    std::promise<ProductResponse> ready;
-    ready.set_value(ProductResponse{std::move(hit), true, 0.0, ServedFrom::ram});
-    return ready.get_future().share();
-  }
+  if (auto hit = cache_.get(key)) return fast_hit(request.priority, std::move(hit));
   return scheduler_->submit(request, key);
 }
 
 std::optional<ProductFuture> GranuleService::try_submit(
     const ProductRequest& request, std::optional<Priority>* shed_class) {
-  {
-    std::lock_guard lock(metrics_mutex_);
-    ++stage_metrics_.requests;
-    ++stage_metrics_.by_class[static_cast<std::size_t>(request.priority)].requests;
-  }
+  count_request(request.priority);
   const ProductKey key = key_for(request);
   if (auto hit = cache_.get(key)) {
-    {
-      std::lock_guard lock(metrics_mutex_);
-      ++stage_metrics_.fast_hits;
-    }
-    record_class(request.priority, 0.0);
     if (shed_class) shed_class->reset();
-    std::promise<ProductResponse> ready;
-    ready.set_value(ProductResponse{std::move(hit), true, 0.0, ServedFrom::ram});
-    return ready.get_future().share();
+    return fast_hit(request.priority, std::move(hit));
   }
   return scheduler_->try_submit(request, key, shed_class);
 }
@@ -348,9 +375,10 @@ ProductResponse GranuleService::build(const ProductRequest& request, const Produ
   // file and promotes it to RAM instead of re-reading every chunk shard
   // through ShardIndex::load_merged and re-running inference.
   if (disk_) {
+    obs::SpanScope span("disk_probe");
     if (auto product = disk_->get(key)) {
       cache_.put(key, product);
-      record(&ServiceMetrics::disk_load, stage_timer.millis());
+      stage_disk_load_->observe(stage_timer.millis());
       return ProductResponse{std::move(product), true, 0.0, ServedFrom::disk};
     }
     stage_timer.reset();
@@ -361,8 +389,10 @@ ProductResponse GranuleService::build(const ProductRequest& request, const Produ
   // past its stages — only the missing suffix runs.
   pipeline::ProductKind seed_kind = pipeline::ProductKind::classification;
   std::shared_ptr<const GranuleProduct> seed;
-  if (request.kind != pipeline::ProductKind::classification)
+  if (request.kind != pipeline::ProductKind::classification) {
+    obs::SpanScope span("resume_probe");
     seed = probe_shallower(request, &seed_kind);
+  }
 
   pipeline::Artifacts art;
   atl03::Granule merged;  // outlives the build (Artifacts borrows the input)
@@ -373,13 +403,13 @@ ProductResponse GranuleService::build(const ProductRequest& request, const Produ
       art.sea_surface = seed->sea_surface;
       art.mark_done(pipeline::StageId::seasurface);
     }
-    std::lock_guard lock(metrics_mutex_);
-    ++stage_metrics_.resumed_builds;
+    resumed_builds_total_->inc();
   } else {
     const std::vector<std::string>* files = index_.find(request.granule_id, request.beam);
     if (!files)
       throw std::runtime_error("GranuleService: unknown (granule, beam): " +
                                request.granule_id + "/" + atl03::beam_name(request.beam));
+    obs::SpanScope span("shard_load");
     stage_timer.reset();
     merged = ShardIndex::load_merged(*files);
     shard_ms = stage_timer.millis();
@@ -393,7 +423,7 @@ ProductResponse GranuleService::build(const ProductRequest& request, const Produ
   // (`load` additionally carries the serve-side shard IO). Stages a resumed
   // build skipped record nothing, exactly like the disk fast path.
   using pipeline::StageId;
-  auto fold = [&](StageLatency ServiceMetrics::*field, std::initializer_list<StageId> ids,
+  auto fold = [&](obs::HistogramMetric* hist, std::initializer_list<StageId> ids,
                   double extra_ms, bool force) {
     double ms = extra_ms;
     bool any = force;
@@ -402,14 +432,14 @@ ProductResponse GranuleService::build(const ProductRequest& request, const Produ
         ms += trace.at(id);
         any = true;
       }
-    if (any) record(field, ms);
+    if (any) hist->observe(ms);
   };
-  fold(&ServiceMetrics::load, {StageId::preprocess, StageId::resample, StageId::fpb}, shard_ms,
+  fold(stage_load_, {StageId::preprocess, StageId::resample, StageId::fpb}, shard_ms,
        /*force=*/!seed);
-  fold(&ServiceMetrics::features, {StageId::features}, 0.0, false);
-  fold(&ServiceMetrics::inference, {StageId::classify}, 0.0, false);
-  fold(&ServiceMetrics::seasurface, {StageId::seasurface}, 0.0, false);
-  fold(&ServiceMetrics::freeboard, {StageId::freeboard}, 0.0, false);
+  fold(stage_features_, {StageId::features}, 0.0, false);
+  fold(stage_inference_, {StageId::classify}, 0.0, false);
+  fold(stage_seasurface_, {StageId::seasurface}, 0.0, false);
+  fold(stage_freeboard_, {StageId::freeboard}, 0.0, false);
 
   auto product = std::make_shared<GranuleProduct>();
   product->granule_id = request.granule_id;
@@ -424,23 +454,71 @@ ProductResponse GranuleService::build(const ProductRequest& request, const Produ
   cache_.put(key, product);
   if (disk_) schedule_writeback(key, product);
 
-  record(&ServiceMetrics::total, build_timer.millis());
+  stage_total_->observe(build_timer.millis());
   return ProductResponse{std::move(product), false, 0.0, ServedFrom::build};
 }
 
+namespace {
+
+/// A HistogramMetric snapshot is maintained with the same util types in the
+/// same add() order as StageLatency::add, so this assignment reproduces a
+/// StageLatency bit-for-bit (the ServiceMetrics struct shape survives the
+/// registry migration unchanged).
+StageLatency to_stage_latency(const obs::HistogramMetric::Snapshot& snap) {
+  StageLatency out;
+  out.stats = snap.stats;
+  out.histogram = snap.histogram;
+  return out;
+}
+
+}  // namespace
+
 ServiceMetrics GranuleService::metrics() const {
   ServiceMetrics out;
-  {
-    std::lock_guard lock(metrics_mutex_);
-    out = stage_metrics_;
-  }
   out.cache = cache_.stats();
   if (disk_) out.disk = disk_->stats();
   out.scheduler = scheduler_->stats();
+  for (std::size_t c = 0; c < kPriorityClasses; ++c) {
+    out.by_class[c].requests = requests_total_[c]->value();
+    out.requests += out.by_class[c].requests;
+    out.by_class[c].latency = to_stage_latency(class_service_[c]->snapshot());
+  }
+  out.fast_hits = fast_hits_total_->value();
+  out.writeback_failures = writeback_failures_total_->value();
+  out.resumed_builds = resumed_builds_total_->value();
   out.inference_batches = nn_backend_->batches();
   out.inference_windows = nn_backend_->windows();
+  out.load = to_stage_latency(stage_load_->snapshot());
+  out.features = to_stage_latency(stage_features_->snapshot());
+  out.inference = to_stage_latency(stage_inference_->snapshot());
+  out.seasurface = to_stage_latency(stage_seasurface_->snapshot());
+  out.freeboard = to_stage_latency(stage_freeboard_->snapshot());
+  out.disk_load = to_stage_latency(stage_disk_load_->snapshot());
+  out.total = to_stage_latency(stage_total_->snapshot());
+  out.queue_wait = to_stage_latency(queue_wait_hist_->snapshot());
+  out.service_time = to_stage_latency(service_time_hist_->snapshot());
   out.builder = builder_.metrics().stages();
   return out;
+}
+
+obs::RegistrySnapshot GranuleService::obs_snapshot() const {
+  // Pull the lazily-synced mirrors up to date before reading: the cache
+  // tiers and scheduler push their counters/gauges inside stats(), and the
+  // inference totals live in the nn backend (delta-synced here so two
+  // concurrent snapshots cannot double-count).
+  (void)cache_.stats();
+  if (disk_) (void)disk_->stats();
+  (void)scheduler_->stats();
+  {
+    std::lock_guard lock(obs_sync_mutex_);
+    const std::uint64_t batches = nn_backend_->batches();
+    const std::uint64_t windows = nn_backend_->windows();
+    inference_batches_total_->inc(batches - exported_batches_);
+    inference_windows_total_->inc(windows - exported_windows_);
+    exported_batches_ = batches;
+    exported_windows_ = windows;
+  }
+  return registry_.snapshot();
 }
 
 }  // namespace is2::serve

@@ -57,6 +57,8 @@
 #include "geo/corrections.hpp"
 #include "mapred/engine.hpp"
 #include "nn/model.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "pipeline/classifier.hpp"
 #include "pipeline/product_builder.hpp"
 #include "serve/disk_cache.hpp"
@@ -138,6 +140,11 @@ struct ServiceMetrics {
   StageLatency freeboard;   ///< freeboard computation
   StageLatency disk_load;   ///< disk-tier hit: read + deserialize + promote
   StageLatency total;       ///< whole build (cold only; resumed = suffix)
+  /// Scheduled jobs only (the fast RAM path never queues): how long the job
+  /// waited for a worker, and the full queue wait + execution. service_time
+  /// minus queue_wait is pure execution — the split the benches trend.
+  StageLatency queue_wait;
+  StageLatency service_time;
   std::array<ClassMetrics, kPriorityClasses> by_class;  ///< index = Priority
   /// Raw per-stage distributions straight from the ProductBuilder — the
   /// seven stage-graph stages by StageId (shard IO is serve-side and lives
@@ -167,6 +174,11 @@ struct ServiceConfig {
   std::size_t disk_cache_bytes = 1ull << 30;
   /// Scheduler weighted-dequeue shares (interactive, batch, background).
   ClassWeights class_weights = {8, 3, 1};
+  /// obs tracing knobs for the service-owned Tracer. Sampling is tail-based
+  /// and per trace id; error/shed/slow traces are always kept.
+  double trace_sample_rate = 1.0;          ///< probability a trace is kept
+  std::size_t trace_ring_capacity = 8192;  ///< spans retained (newest win)
+  double trace_slow_ms = 1000.0;           ///< traces this slow always kept
 };
 
 class GranuleService {
@@ -213,6 +225,21 @@ class GranuleService {
 
   ServiceMetrics metrics() const;
 
+  /// The service's instrument registry (every `is2_serve_*`, `is2_sched_*`
+  /// and `is2_cache_*` metric of this instance lives here — feed it to
+  /// `obs::to_prometheus` / `obs::to_json`). Valid for the service lifetime.
+  const obs::Registry& registry() const { return registry_; }
+  /// The service's span ring (feed `trace_spans()` to `obs::to_perfetto`).
+  const obs::Tracer& tracer() const { return tracer_; }
+
+  /// Registry snapshot with every lazily-synced instrument refreshed first
+  /// (cache tiers, scheduler gauges, inference totals) — what an exposition
+  /// endpoint should serve.
+  obs::RegistrySnapshot obs_snapshot() const;
+
+  /// Best-effort snapshot of the trace ring, oldest first.
+  std::vector<obs::Span> trace_spans() const { return tracer_.spans(); }
+
   const ServiceConfig& config() const { return config_; }
   const ShardIndex& index() const { return index_; }
   /// Disk tier handle (nullptr when disk_cache_dir is empty).
@@ -236,14 +263,45 @@ class GranuleService {
   /// deepest first; returns the deepest product found (kind in *found_kind).
   std::shared_ptr<const GranuleProduct> probe_shallower(const ProductRequest& request,
                                                         pipeline::ProductKind* found_kind);
-  void record(StageLatency ServiceMetrics::*stage, double ms);
-  void record_class(Priority cls, double ms);
+  void count_request(Priority cls);
+  /// ProductResponse for a RAM-tier hit + the fast-path bookkeeping (fast-hit
+  /// counter, ~0 class latency sample).
+  ProductFuture fast_hit(Priority cls, std::shared_ptr<const GranuleProduct> hit);
   void schedule_writeback(const ProductKey& key,
                           std::shared_ptr<const GranuleProduct> product);
 
   ServiceConfig config_;
   core::PipelineConfig pipeline_;
   ShardIndex index_;
+
+  /// Observability spine — declared before every component that registers
+  /// instruments in it (caches, scheduler) or publishes spans (builder via
+  /// the ambient TraceBinding), so it outlives them all.
+  obs::Registry registry_;
+  obs::Tracer tracer_;
+  /// Hot-path instrument handles (owned by registry_; stable addresses).
+  std::array<obs::Counter*, kPriorityClasses> requests_total_{};
+  obs::Counter* fast_hits_total_ = nullptr;
+  obs::Counter* writeback_failures_total_ = nullptr;
+  obs::Counter* resumed_builds_total_ = nullptr;
+  obs::HistogramMetric* stage_load_ = nullptr;
+  obs::HistogramMetric* stage_features_ = nullptr;
+  obs::HistogramMetric* stage_inference_ = nullptr;
+  obs::HistogramMetric* stage_seasurface_ = nullptr;
+  obs::HistogramMetric* stage_freeboard_ = nullptr;
+  obs::HistogramMetric* stage_disk_load_ = nullptr;
+  obs::HistogramMetric* stage_total_ = nullptr;
+  obs::HistogramMetric* queue_wait_hist_ = nullptr;
+  obs::HistogramMetric* service_time_hist_ = nullptr;
+  std::array<obs::HistogramMetric*, kPriorityClasses> class_service_{};
+  obs::Counter* inference_batches_total_ = nullptr;
+  obs::Counter* inference_windows_total_ = nullptr;
+  /// Serializes the lazy inference-counter sync in obs_snapshot() (two
+  /// concurrent snapshots must not double-count one delta).
+  mutable std::mutex obs_sync_mutex_;
+  mutable std::uint64_t exported_batches_ = 0;
+  mutable std::uint64_t exported_windows_ = 0;
+
   pipeline::ProductBuilder builder_;  ///< the one pipeline implementation
   /// Classifier backends, selected per request. The nn backend owns the
   /// model replica checkout pool (sized workers + inference_threads) and the
@@ -252,9 +310,6 @@ class GranuleService {
   std::unique_ptr<pipeline::DecisionTreeBackend> tree_backend_;
   ProductCache cache_;
   std::unique_ptr<DiskCache> disk_;  ///< outlives the write-back pool below
-
-  mutable std::mutex metrics_mutex_;
-  ServiceMetrics stage_metrics_;  ///< cache/scheduler fields filled at snapshot
 
   // Asynchronous disk write-back: one thread so cold builds never wait for
   // serialization + fsync-ish IO, with a drain counter for orderly restarts.

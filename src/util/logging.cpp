@@ -2,11 +2,27 @@
 
 #include <atomic>
 #include <cstdio>
+#include <cstring>
+#include <mutex>
+
+#include "util/timer.hpp"
 
 namespace is2::util {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::Warn};
+
+// Sink swap is rare (tests); logf checks the atomic flag first so the
+// stderr path never touches the mutex-guarded std::function.
+std::atomic<bool> g_has_sink{false};
+std::mutex g_sink_mutex;
+LogSink& sink_storage() {
+  static LogSink* sink = new LogSink();  // leaked: usable during static dtors
+  return *sink;
+}
+
+thread_local char t_label[32] = {0};
+thread_local std::uint64_t t_trace_id = 0;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -18,20 +34,68 @@ const char* level_name(LogLevel level) {
   }
   return "?";
 }
+
+double uptime_ms() {
+  static const Timer* epoch = new Timer();  // first log call anchors t=0
+  return epoch->millis();
+}
+
 }  // namespace
 
 void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
 
 LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
+void set_log_sink(LogSink sink) {
+  std::lock_guard lock(g_sink_mutex);
+  const bool has = static_cast<bool>(sink);
+  sink_storage() = std::move(sink);
+  g_has_sink.store(has, std::memory_order_release);
+}
+
+void set_thread_label(const char* label) {
+  if (!label) label = "";
+  std::strncpy(t_label, label, sizeof t_label - 1);
+  t_label[sizeof t_label - 1] = '\0';
+}
+
+const char* thread_label() { return t_label; }
+
+void set_thread_trace_id(std::uint64_t trace_id) { t_trace_id = trace_id; }
+
+std::uint64_t thread_trace_id() { return t_trace_id; }
+
 void logf(LogLevel level, const char* fmt, ...) {
   if (level < g_level.load(std::memory_order_relaxed)) return;
+
+  // One buffer, one write: lines from concurrent threads cannot interleave
+  // mid-line. Overlong messages are truncated (with the newline preserved),
+  // never split across writes.
+  char buf[1024];
+  int n = std::snprintf(buf, sizeof buf, "[%s +%.3f", level_name(level), uptime_ms());
+  if (t_label[0] != '\0')
+    n += std::snprintf(buf + n, sizeof buf - static_cast<std::size_t>(n), " %s", t_label);
+  if (t_trace_id != 0)
+    n += std::snprintf(buf + n, sizeof buf - static_cast<std::size_t>(n), " trace=%llu",
+                       static_cast<unsigned long long>(t_trace_id));
+  n += std::snprintf(buf + n, sizeof buf - static_cast<std::size_t>(n), "] ");
+
   std::va_list args;
   va_start(args, fmt);
-  std::fprintf(stderr, "[%s] ", level_name(level));
-  std::vfprintf(stderr, fmt, args);
-  std::fprintf(stderr, "\n");
+  const int m =
+      std::vsnprintf(buf + n, sizeof buf - static_cast<std::size_t>(n), fmt, args);
   va_end(args);
+  if (m > 0) n = std::min(n + m, static_cast<int>(sizeof buf) - 1);
+
+  if (g_has_sink.load(std::memory_order_acquire)) {
+    std::lock_guard lock(g_sink_mutex);
+    if (sink_storage()) {
+      sink_storage()(level, std::string_view(buf, static_cast<std::size_t>(n)));
+      return;
+    }
+  }
+  buf[n] = '\n';
+  std::fwrite(buf, 1, static_cast<std::size_t>(n) + 1, stderr);
 }
 
 }  // namespace is2::util

@@ -2,13 +2,26 @@
 // clean; examples raise it to Info to narrate pipeline stages.
 //
 // Contract: the level is one process-wide atomic — set_log_level()/logf()
-// are safe from any thread and never block on anything but stderr itself.
-// Lines from concurrent logf() calls may interleave at the stream level
-// (each call is a few fprintf's, not one atomic write).
+// are safe from any thread. Each logf() call formats its whole line
+// (prefix + message + newline) into one buffer and emits it with a single
+// fwrite, so concurrent lines never interleave mid-line. Lines carry a
+// `[LEVEL +<monotonic ms>]` prefix, the calling thread's label when set
+// (`serve::BatchScheduler` workers are "sched/<i>", etc.) and the thread's
+// active trace id when one is bound (obs::TraceBinding sets it), e.g.:
+//
+//   [WARN +1234.567 sched/0 trace=42] disk write-back failed: ...
+//
+// set_log_sink() replaces stderr with a callback (tests capture output this
+// way); the sink receives the formatted line without the trailing newline
+// and must be thread-safe (it is called under the logger's sink mutex, so
+// sink bodies are serialized but must not log recursively).
 #pragma once
 
 #include <cstdarg>
+#include <cstdint>
+#include <functional>
 #include <string>
+#include <string_view>
 
 namespace is2::util {
 
@@ -16,6 +29,24 @@ enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
 
 void set_log_level(LogLevel level);
 LogLevel log_level();
+
+/// Replace stderr with `sink` for every subsequent logf(); pass nullptr (or
+/// an empty function) to restore stderr. Lines arrive fully formatted,
+/// without the trailing newline.
+using LogSink = std::function<void(LogLevel, std::string_view)>;
+void set_log_sink(LogSink sink);
+
+/// Label of the calling thread, shown in log prefixes (and captured by the
+/// obs layer for trace exports). Empty by default; thread pools set
+/// "<pool>/<ordinal>" on their workers. The pointer is copied into
+/// thread-local storage (bounded length), so temporaries are fine.
+void set_thread_label(const char* label);
+const char* thread_label();
+
+/// Trace id tagged onto the calling thread's log lines; 0 = none. Managed
+/// by obs::TraceBinding — application code rarely calls this directly.
+void set_thread_trace_id(std::uint64_t trace_id);
+std::uint64_t thread_trace_id();
 
 /// printf-style logging; drops messages below the global level.
 void logf(LogLevel level, const char* fmt, ...) __attribute__((format(printf, 2, 3)));

@@ -144,6 +144,24 @@ std::string Histogram::render(std::size_t max_width) const {
   return out;
 }
 
+double histogram_quantile(const Histogram& hist, double q) {
+  if (q < 0.0 || q > 1.0) throw std::invalid_argument("histogram_quantile: q outside [0,1]");
+  if (hist.total() == 0) return hist.lo();
+  const double target = q * static_cast<double>(hist.total());
+  std::size_t cum = 0;
+  for (std::size_t b = 0; b < hist.bins(); ++b) {
+    const std::size_t c = hist.count(b);
+    if (c == 0) continue;
+    if (static_cast<double>(cum + c) >= target) {
+      const double frac =
+          std::clamp((target - static_cast<double>(cum)) / static_cast<double>(c), 0.0, 1.0);
+      return hist.lo() + (static_cast<double>(b) + frac) * hist.bin_width();
+    }
+    cum += c;
+  }
+  return hist.hi();
+}
+
 double pearson(std::span<const double> x, std::span<const double> y) {
   if (x.size() != y.size() || x.size() < 2) return 0.0;
   const double mx = mean(x);

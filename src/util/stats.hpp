@@ -84,6 +84,13 @@ class Histogram {
   std::size_t nan_ = 0;
 };
 
+/// Quantile estimate from binned counts, in the histogram's own x-domain
+/// (linear interpolation within the covering bin; q in [0,1]). Returns lo()
+/// for an empty histogram. Callers binning a transformed variable (e.g. the
+/// serve latency histograms bin log10(ms)) invert the transform on the
+/// result themselves.
+double histogram_quantile(const Histogram& hist, double q);
+
 /// Pearson correlation; returns 0 for degenerate inputs.
 double pearson(std::span<const double> x, std::span<const double> y);
 

@@ -3,16 +3,18 @@
 #include <atomic>
 #include <stdexcept>
 
+#include "util/logging.hpp"
+
 namespace is2::util {
 
-ThreadPool::ThreadPool(std::size_t num_threads) {
+ThreadPool::ThreadPool(std::size_t num_threads, std::string name) : name_(std::move(name)) {
   // Clamp rather than throw: a zero-thread pool would make submit() /
   // parallel_for() block forever, and callers routinely size pools from
   // hardware_concurrency(), which may legitimately report 0.
   if (num_threads == 0) num_threads = 1;
   workers_.reserve(num_threads);
   for (std::size_t i = 0; i < num_threads; ++i)
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
 }
 
 ThreadPool::~ThreadPool() {
@@ -24,7 +26,8 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(std::size_t ordinal) {
+  if (!name_.empty()) set_thread_label((name_ + "/" + std::to_string(ordinal)).c_str());
   for (;;) {
     std::function<void()> task;
     {

@@ -18,6 +18,7 @@
 #include <future>
 #include <mutex>
 #include <queue>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -25,13 +26,17 @@ namespace is2::util {
 
 class ThreadPool {
  public:
-  explicit ThreadPool(std::size_t num_threads);
+  /// `name`, when non-empty, labels each worker "<name>/<i>" via
+  /// set_thread_label — the label shows up in log-line prefixes and names
+  /// the thread's row in obs Perfetto exports.
+  explicit ThreadPool(std::size_t num_threads, std::string name = {});
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   std::size_t size() const { return workers_.size(); }
+  const std::string& name() const { return name_; }
 
   /// Enqueue a callable; returns a future for its result.
   template <typename F>
@@ -52,8 +57,9 @@ class ThreadPool {
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
  private:
-  void worker_loop();
+  void worker_loop(std::size_t ordinal);
 
+  std::string name_;
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> tasks_;
   std::mutex mutex_;

@@ -38,6 +38,10 @@ COLUMNS = [
     "warm_qps_w4",
     "inference_mean_ms_w4",
     "build_total_mean_ms_w4",
+    # Scheduled-job latency split (queue wait vs queue wait + execution)
+    # from the obs registry's histograms — BENCH_serve.json top level.
+    "queue_wait_p99_ms",
+    "service_time_p99_ms",
     "disk_speedup",
     "nn_aggregate_speedup",
     "nn_predict_windows_per_sec",
@@ -68,6 +72,8 @@ def serve_fields(doc):
         stages = top.get("stages", {})
         out["inference_mean_ms_w4"] = stages.get("inference", {}).get("mean_ms")
         out["build_total_mean_ms_w4"] = stages.get("total", {}).get("mean_ms")
+    out["queue_wait_p99_ms"] = doc.get("queue_wait_p99_ms")
+    out["service_time_p99_ms"] = doc.get("service_time_p99_ms")
     out["disk_speedup"] = doc.get("cache_tiers", {}).get("disk_speedup")
     builder = doc.get("builder_stages", {})
     for stage in BUILDER_STAGES:

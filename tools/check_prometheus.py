@@ -1,0 +1,189 @@
+#!/usr/bin/env python3
+"""Lint a Prometheus text-exposition file (as written by obs::to_prometheus).
+
+Usage:
+    check_prometheus.py FILE.prom [FILE2.prom ...]
+
+Checks the subset of the exposition format the is2 exporters rely on — CI
+runs this on the .prom snapshot bench_serve_throughput exports, so a
+formatting regression in src/obs/export.cpp fails the build instead of
+silently breaking a real scrape:
+
+  * metric names match [a-zA-Z_:][a-zA-Z0-9_:]* and carry the is2_ prefix;
+  * every sample is preceded by `# HELP` and `# TYPE` lines for its family,
+    each emitted exactly once, with TYPE in {counter, gauge, histogram};
+  * counter family names end in `_total`;
+  * label blocks parse as key="value" with the same charset for keys;
+  * sample values parse as numbers; counters and bucket counts are >= 0;
+  * histogram `_bucket` series are cumulative (non-decreasing in `le` order
+    as emitted), end with an `le="+Inf"` bucket, and that bucket equals the
+    family's `_count` for the same label set.
+
+Exit status: 0 clean, 1 on any violation (every violation is printed), 2 on
+usage/IO errors. The C++ mirror of these rules lives in tests/test_obs.cpp,
+which lints a live registry snapshot in-process.
+"""
+
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABELS_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+SAMPLE_RE = re.compile(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (\S+)$")
+
+HISTOGRAM_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def family_of(name, typed):
+    """Resolve a sample name to its declared family (histograms expose
+    _bucket/_sum/_count under the family name)."""
+    for suffix in HISTOGRAM_SUFFIXES:
+        if name.endswith(suffix):
+            base = name[: -len(suffix)]
+            if typed.get(base) == "histogram":
+                return base, suffix
+    return name, ""
+
+
+def lint(path):
+    errors = []
+
+    def err(line_no, msg):
+        errors.append(f"{path}:{line_no}: {msg}")
+
+    try:
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+    except OSError as e:
+        print(f"check_prometheus: cannot read {path}: {e}", file=sys.stderr)
+        return None
+
+    if not text:
+        return [f"{path}: empty exposition"], 0, 0
+    if not text.endswith("\n"):
+        errors.append(f"{path}: missing trailing newline")
+
+    helped = {}  # family -> line of # HELP
+    typed = {}  # family -> declared type
+    samples = 0
+    # (family, labels-without-le) -> (last cumulative count, last le, line)
+    buckets = {}
+    counts = {}  # (family, labels) -> _count value
+
+    for line_no, line in enumerate(text.splitlines(), start=1):
+        if not line:
+            continue
+        if line.startswith("#"):
+            m = re.match(r"^# (HELP|TYPE) (\S+)(?: (.*))?$", line)
+            if not m:
+                err(line_no, f"malformed comment line: {line!r}")
+                continue
+            kind, name, rest = m.group(1), m.group(2), m.group(3) or ""
+            if not NAME_RE.match(name):
+                err(line_no, f"bad metric name in # {kind}: {name!r}")
+            if kind == "HELP":
+                if name in helped:
+                    err(line_no, f"duplicate # HELP for {name}")
+                helped[name] = line_no
+            else:
+                if name in typed:
+                    err(line_no, f"duplicate # TYPE for {name}")
+                if rest not in ("counter", "gauge", "histogram"):
+                    err(line_no, f"unknown type {rest!r} for {name}")
+                typed[name] = rest
+            continue
+
+        m = SAMPLE_RE.match(line)
+        if not m:
+            err(line_no, f"unparseable sample line: {line!r}")
+            continue
+        name, label_block, value_str = m.group(1), m.group(2) or "", m.group(3)
+        try:
+            value = float(value_str)
+        except ValueError:
+            err(line_no, f"non-numeric value {value_str!r} for {name}")
+            continue
+        samples += 1
+
+        labels = {}
+        if label_block:
+            body = label_block[1:-1]
+            parsed = LABELS_RE.findall(body)
+            reassembled = ",".join(f'{k}="{v}"' for k, v in parsed)
+            if reassembled != body:
+                err(line_no, f"malformed label block {label_block!r}")
+            labels = dict(parsed)
+
+        family, suffix = family_of(name, typed)
+        if not family.startswith("is2_"):
+            err(line_no, f"metric {name} outside the is2_ namespace")
+        ftype = typed.get(family)
+        if ftype is None:
+            err(line_no, f"sample {name} has no preceding # TYPE")
+            continue
+        if family not in helped:
+            err(line_no, f"sample {name} has no preceding # HELP")
+        if ftype == "counter":
+            if not family.endswith("_total"):
+                err(line_no, f"counter {family} does not end in _total")
+            if value < 0:
+                err(line_no, f"negative counter value {value} for {name}")
+
+        if suffix == "_bucket":
+            le = labels.pop("le", None)
+            if le is None:
+                err(line_no, f"{name} bucket without an le label")
+                continue
+            series = (family, tuple(sorted(labels.items())))
+            if value < 0:
+                err(line_no, f"negative bucket count {value} for {name}")
+            prev = buckets.get(series)
+            if prev is not None:
+                if prev[1] == "+Inf":
+                    err(line_no, f"{family} bucket after le=\"+Inf\"")
+                if value < prev[0]:
+                    err(
+                        line_no,
+                        f"{family} buckets not cumulative: "
+                        f'le="{le}" count {value} < le="{prev[1]}" count {prev[0]}',
+                    )
+            buckets[series] = (value, le, line_no)
+        elif suffix == "_count":
+            counts[(family, tuple(sorted(labels.items())))] = (value, line_no)
+
+    for series, (value, le, line_no) in buckets.items():
+        if le != "+Inf":
+            err(line_no, f"{series[0]} bucket series does not end with le=\"+Inf\"")
+            continue
+        count = counts.get(series)
+        if count is None:
+            err(line_no, f"{series[0]} has buckets but no _count for the same labels")
+        elif count[0] != value:
+            err(line_no, f"{series[0]} le=\"+Inf\" bucket {value} != _count {count[0]}")
+
+    if samples == 0:
+        errors.append(f"{path}: no samples")
+    return errors, samples, len(typed)
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    status = 0
+    for path in argv[1:]:
+        result = lint(path)
+        if result is None:
+            return 2
+        errors, samples, families = result
+        if errors:
+            status = 1
+            for e in errors:
+                print(e, file=sys.stderr)
+        else:
+            print(f"{path}: OK ({samples} samples across {families} families)")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
