@@ -2,27 +2,32 @@
 // under cold (every request builds) and warm (every request hits the LRU
 // product cache) traffic, across worker counts, plus a cache-size sweep
 // under repeat traffic with evictions, a cache-tier sweep (full rebuild vs
-// warm-disk cold start vs warm-RAM) and a priority-mix run under a
-// saturated queue (per-class sheds + latency).
+// warm-disk cold start vs warm-RAM), a priority-mix run under a saturated
+// queue (per-class sheds + latency), and the cluster SLO sweep: a 3-node
+// `serve::Cluster` under the open-loop Poisson/Zipf/burst load generator
+// (bench/loadgen.hpp), sweeping offered QPS for the p99-vs-offered and
+// per-class shed-rate curves.
 //
 //   ./bench/bench_serve_throughput [BENCH_serve.json]
 //
 // With a path argument, a machine-readable summary (per-worker QPS/latency,
 // per-stage cold-build means, queue-wait vs service-time p99 split, cache
-// sweep, cache-tier sweep, priority mix) is written there so CI can
-// accumulate the perf trajectory as build artifacts — plus, next to it, the
-// service's obs snapshot as Prometheus text exposition (`<stem>.prom`,
-// linted by tools/check_prometheus.py in CI) and the span ring as a
-// Perfetto-loadable trace (`<stem>.trace.json`).
+// sweep, cache-tier sweep, priority mix, cluster SLO curve) is written
+// there so CI can accumulate the perf trajectory as build artifacts — plus,
+// next to it, the service's obs snapshot as Prometheus text exposition
+// (`<stem>.prom`), the cluster's node-labeled merged snapshot
+// (`<stem>.cluster.prom`; both linted by tools/check_prometheus.py) and the
+// span ring as a Perfetto-loadable trace (`<stem>.trace.json`).
 //
 // Tripwires (exit 1):
 //  * the warm-disk cold start must be >= 5x faster than a full rebuild on
 //    the tiny scenario — the reason the disk tier exists;
 //  * full-rate tracing must not slow the warm RAM-hit path by more than 2%
 //    (plus a small absolute floor) over sampling disabled — the obs layer's
-//    hot-path budget.
+//    hot-path budget;
+//  * the cluster run must record at least one peer fetch — the router's
+//    reason to probe replica RAM tiers before paying shard IO + inference.
 #include <array>
-#include <atomic>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -34,7 +39,9 @@
 
 #include "core/campaign.hpp"
 #include "core/config.hpp"
+#include "loadgen.hpp"
 #include "obs/export.hpp"
+#include "serve/cluster.hpp"
 #include "serve/service.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -44,43 +51,13 @@ namespace {
 
 using namespace is2;
 using atl03::BeamId;
+using bench::TrafficResult;
 
-struct TrafficResult {
-  double wall_s = 0.0;
-  std::vector<double> latency_ms;
-
-  double qps() const { return wall_s > 0 ? static_cast<double>(latency_ms.size()) / wall_s : 0; }
-  double p50() const { return util::percentile(latency_ms, 50.0); }
-  double p99() const { return util::percentile(latency_ms, 99.0); }
-  double mean() const { return util::mean(latency_ms); }
-};
-
-/// Drive `requests` through the service from `clients` concurrent threads,
-/// measuring per-request latency at the submit->get boundary.
+/// Closed-loop driver (bench/loadgen.cpp) — capacity and per-request
+/// latency; the open-loop SLO sweep is the cluster section below.
 TrafficResult drive(serve::GranuleService& service,
                     const std::vector<serve::ProductRequest>& requests, std::size_t clients) {
-  TrafficResult out;
-  std::vector<std::vector<double>> per_client(clients);
-  std::atomic<std::size_t> next{0};
-  util::Timer wall;
-  std::vector<std::thread> threads;
-  for (std::size_t c = 0; c < clients; ++c) {
-    threads.emplace_back([&, c] {
-      for (;;) {
-        const std::size_t i = next.fetch_add(1);
-        if (i >= requests.size()) return;
-        util::Timer t;
-        const auto response = service.submit(requests[i]).get();
-        if (!response.product) std::abort();
-        per_client[c].push_back(t.millis());
-      }
-    });
-  }
-  for (auto& t : threads) t.join();
-  out.wall_s = wall.seconds();
-  for (auto& v : per_client)
-    out.latency_ms.insert(out.latency_ms.end(), v.begin(), v.end());
-  return out;
+  return bench::drive_closed_loop(service, requests, clients);
 }
 
 struct WorkerRow {
@@ -128,10 +105,24 @@ struct TraceOverhead {
   bool ok() const { return traced_mean_ms <= untraced_mean_ms * 1.02 + 0.005; }
 };
 
+/// The cluster SLO sweep: one open-loop run per offered-QPS point against a
+/// reused 3-node fleet (state carries across points — the realistic warm-up
+/// trajectory), plus the router counters after the sweep.
+struct ClusterSection {
+  serve::ClusterConfig config;
+  std::vector<bench::LoadgenResult> curve;  ///< one row per offered point
+  serve::ClusterMetrics metrics;
+
+  /// Headline numbers tools/bench_trend.py trends: the highest offered
+  /// point's p99 and total shed rate.
+  double p99_ms() const { return curve.empty() ? 0.0 : curve.back().p99(); }
+  double shed_rate() const { return curve.empty() ? 0.0 : curve.back().shed_rate(); }
+};
+
 void write_json(const std::string& path, const std::vector<WorkerRow>& rows,
                 const std::vector<SweepRow>& sweep, const TierSweep& tiers,
                 const std::array<ClassRow, serve::kPriorityClasses>& classes,
-                const TraceOverhead& overhead) {
+                const TraceOverhead& overhead, const ClusterSection& cluster) {
   std::ofstream out(path, std::ios::trunc);
   if (!out) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -189,7 +180,37 @@ void write_json(const std::string& path, const std::vector<WorkerRow>& rows,
         << ", \"hit_rate\": " << r.hit_rate << ", \"evictions\": " << r.evictions
         << ", \"builds\": " << r.builds << "}" << (i + 1 < sweep.size() ? "," : "") << "\n";
   }
-  out << "  ],\n  \"cache_tiers\": {\n"
+  out << "  ],\n  \"cluster\": {\n"
+      << "    \"nodes\": " << cluster.config.nodes
+      << ", \"replication_factor\": " << cluster.config.replication_factor
+      << ", \"vnodes\": " << cluster.config.vnodes
+      << ", \"hot_key_threshold\": " << cluster.config.hot_key_threshold << ",\n"
+      << "    \"slo_curve\": [\n";
+  for (std::size_t i = 0; i < cluster.curve.size(); ++i) {
+    const bench::LoadgenResult& r = cluster.curve[i];
+    out << "      {\"offered_qps\": " << r.offered_qps
+        << ", \"achieved_qps\": " << r.achieved_qps << ", \"offered\": " << r.offered
+        << ", \"served\": " << r.served << ",\n       \"p50_ms\": " << r.p50()
+        << ", \"p99_ms\": " << r.p99() << ", \"mean_ms\": " << r.mean()
+        << ", \"shed_rate\": " << r.shed_rate() << ",\n       \"by_class\": {";
+    for (std::size_t c = 0; c < serve::kPriorityClasses; ++c) {
+      const bench::ClassOutcome& cls = r.by_class[c];
+      out << "\"" << serve::priority_name(static_cast<serve::Priority>(c))
+          << "\": {\"offered\": " << cls.offered << ", \"served\": " << cls.served
+          << ", \"shed\": " << cls.shed() << ", \"shed_rate\": " << cls.shed_rate() << "}"
+          << (c + 1 < serve::kPriorityClasses ? ", " : "");
+    }
+    out << "}}" << (i + 1 < cluster.curve.size() ? "," : "") << "\n";
+  }
+  out << "    ],\n"
+      << "    \"peer_probes\": " << cluster.metrics.peer_probes
+      << ", \"peer_fetches\": " << cluster.metrics.peer_fetches
+      << ", \"replica_routes\": " << cluster.metrics.replica_routes
+      << ", \"hot_keys\": " << cluster.metrics.hot_keys << ",\n"
+      << "    \"imbalance\": " << cluster.metrics.imbalance()
+      << ", \"cluster_p99_ms\": " << cluster.p99_ms()
+      << ", \"cluster_shed_rate\": " << cluster.shed_rate() << "\n  },\n"
+      << "  \"cache_tiers\": {\n"
       << "    \"rebuild_mean_ms\": " << tiers.rebuild_mean_ms
       << ", \"rebuild_p99_ms\": " << tiers.rebuild_p99_ms << ",\n"
       << "    \"warm_disk_mean_ms\": " << tiers.warm_disk_mean_ms
@@ -462,6 +483,77 @@ int main(int argc, char** argv) {
     std::printf("%s\n", prio.to_string().c_str());
   }
 
+  // Cluster SLO sweep: a 3-node fleet (shared disk tier, hot-key
+  // replication) under the open-loop Poisson/Zipf/burst loadgen, sweeping
+  // offered QPS against one reused cluster. Node caches are deliberately
+  // small (4 products) so the Zipf tail keeps rebuilding and the queues
+  // actually saturate at the high offered points — that is where the
+  // shed-rate curve comes from.
+  std::printf("== cluster SLO sweep (3 nodes x 1 worker, open-loop Poisson/Zipf) ==\n");
+  ClusterSection cluster_section;
+  std::string cluster_prom_text;
+  {
+    serve::ClusterConfig ccfg;
+    ccfg.nodes = 3;
+    ccfg.vnodes = 128;
+    ccfg.replication_factor = 2;
+    ccfg.hot_key_threshold = 4;
+    ccfg.shared_disk_dir = dir + "/cluster_disk";
+    ccfg.node.workers = 1;
+    ccfg.node.queue_capacity = 4;
+    ccfg.node.cache_bytes = one_product_bytes * 2;
+    ccfg.node.cache_shards = 1;
+    cluster_section.config = ccfg;
+    serve::Cluster cluster(ccfg, config, campaign.corrections(), index, model_factory, scaler);
+
+    // Deterministic peer-fetch demonstration before the stochastic sweep:
+    // sequential submits of the Zipf head cross hot_key_threshold, then
+    // round-robin over the replica set — the first off-owner route misses
+    // its RAM tier and fetches the resident product from the owner.
+    for (std::uint64_t i = 0; i < ccfg.hot_key_threshold * 2; ++i)
+      (void)cluster.submit(universe[0]).get();
+
+    bench::LoadgenConfig lg;
+    lg.duration_s = 1.0;
+    lg.zipf_s = 1.1;
+    lg.burst_factor = 4.0;
+    lg.burst_every_s = 0.5;
+    lg.burst_len_s = 0.1;
+    lg.clients = 3;
+    const auto submit = [&cluster](const serve::ProductRequest& r,
+                                   std::optional<serve::Priority>* shed) {
+      return cluster.try_submit(r, shed);
+    };
+    util::Table slo("Cluster SLO curve (open loop, Zipf s=1.1, 4x bursts)");
+    slo.set_header({"offered QPS", "achieved", "p50 ms", "p99 ms", "shed rate", "imbalance"});
+    for (const double offered : {100.0, 800.0, 6400.0}) {
+      lg.offered_qps = offered;
+      lg.seed = 11 + static_cast<std::uint64_t>(offered);
+      const bench::LoadgenResult r = bench::run_open_loop(lg, universe, submit);
+      cluster_section.curve.push_back(r);
+      slo.add_row({std::to_string(r.offered_qps).substr(0, 7),
+                   std::to_string(r.achieved_qps).substr(0, 7),
+                   std::to_string(r.p50()).substr(0, 7), std::to_string(r.p99()).substr(0, 7),
+                   std::to_string(r.shed_rate()).substr(0, 5),
+                   std::to_string(cluster.metrics().imbalance()).substr(0, 5)});
+    }
+    cluster_section.metrics = cluster.metrics();
+    std::printf("%s\n", slo.to_string().c_str());
+    std::printf(
+        "router: %llu routed, %llu peer probes -> %llu peer fetches, %llu hot keys, "
+        "%llu replica routes, imbalance %.3f\n\n",
+        static_cast<unsigned long long>(cluster_section.metrics.requests),
+        static_cast<unsigned long long>(cluster_section.metrics.peer_probes),
+        static_cast<unsigned long long>(cluster_section.metrics.peer_fetches),
+        static_cast<unsigned long long>(cluster_section.metrics.hot_keys),
+        static_cast<unsigned long long>(cluster_section.metrics.replica_routes),
+        cluster_section.metrics.imbalance());
+    // Node-labeled fleet exposition for the CI lint (check_prometheus.py
+    // --require-node-label), captured before the nodes drain.
+    cluster_prom_text = obs::to_prometheus(cluster.obs_snapshot());
+    cluster.shutdown();
+  }
+
   // Warm RAM-hit tracing overhead: the same repeat traffic against a fully
   // warmed cache, with the tracer at full sample rate vs sampling disabled.
   // Min-of-3 trials per side so a stray scheduler hiccup cannot fail CI.
@@ -491,16 +583,21 @@ int main(int argc, char** argv) {
   }
 
   if (!json_path.empty()) {
-    write_json(json_path, worker_rows, sweep_rows, tiers, class_rows, overhead);
+    write_json(json_path, worker_rows, sweep_rows, tiers, class_rows, overhead,
+               cluster_section);
     // The CI artifacts next to the summary: Prometheus exposition of the
-    // last worker run's registry (linted by tools/check_prometheus.py) and
-    // its span ring as a Perfetto-loadable trace.
+    // last worker run's registry, the cluster's node-labeled merged
+    // exposition (both linted by tools/check_prometheus.py) and the span
+    // ring as a Perfetto-loadable trace.
     const std::string stem = std::filesystem::path(json_path).replace_extension().string();
     std::ofstream prom(stem + ".prom", std::ios::trunc);
     prom << prom_text;
+    std::ofstream cluster_prom(stem + ".cluster.prom", std::ios::trunc);
+    cluster_prom << cluster_prom_text;
     std::ofstream trace(stem + ".trace.json", std::ios::trunc);
     trace << perfetto_text;
-    std::printf("wrote %s.prom and %s.trace.json\n", stem.c_str(), stem.c_str());
+    std::printf("wrote %s.prom, %s.cluster.prom and %s.trace.json\n", stem.c_str(),
+                stem.c_str(), stem.c_str());
   }
 
   std::error_code ec;
@@ -529,5 +626,18 @@ int main(int argc, char** argv) {
   std::printf("warm-hit tracing overhead: %+.4f ms (%.2f%%) — within the 2%% + 5 us budget\n",
               overhead.traced_mean_ms - overhead.untraced_mean_ms,
               (overhead.ratio() - 1.0) * 100.0);
+
+  // Tripwire: the router must have moved at least one product across peers
+  // (the deterministic hot-key demo guarantees the opportunity).
+  if (cluster_section.metrics.peer_fetches == 0) {
+    std::fprintf(stderr,
+                 "FAIL: cluster run recorded zero peer fetches (%llu probes) — the "
+                 "replica-probe-before-rebuild path is dead\n",
+                 static_cast<unsigned long long>(cluster_section.metrics.peer_probes));
+    return 1;
+  }
+  std::printf("cluster peer fetch: %llu of %llu probes hit a replica RAM tier\n",
+              static_cast<unsigned long long>(cluster_section.metrics.peer_fetches),
+              static_cast<unsigned long long>(cluster_section.metrics.peer_probes));
   return 0;
 }

@@ -1,0 +1,185 @@
+#include "loadgen.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+#include "util/timer.hpp"
+
+namespace is2::bench {
+
+ZipfSampler::ZipfSampler(std::size_t n, double s) {
+  const std::size_t ranks = std::max<std::size_t>(n, 1);
+  cdf_.reserve(ranks);
+  double acc = 0.0;
+  for (std::size_t k = 0; k < ranks; ++k) {
+    acc += 1.0 / std::pow(static_cast<double>(k + 1), s);
+    cdf_.push_back(acc);
+  }
+  for (double& c : cdf_) c /= acc;
+}
+
+std::size_t ZipfSampler::operator()(util::Rng& rng) const {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return it == cdf_.end() ? cdf_.size() - 1 : static_cast<std::size_t>(it - cdf_.begin());
+}
+
+namespace {
+
+struct Arrival {
+  double at_s = 0.0;
+  std::size_t rank = 0;
+  serve::Priority cls = serve::Priority::interactive;
+};
+
+bool in_burst(const LoadgenConfig& cfg, double t) {
+  if (cfg.burst_factor <= 1.0 || cfg.burst_every_s <= 0.0) return false;
+  return std::fmod(t, cfg.burst_every_s) < cfg.burst_len_s;
+}
+
+/// The whole schedule — arrival instants, key ranks, classes — is drawn up
+/// front from one Rng, so a seed fixes the offered traffic exactly and two
+/// configurations see identical load (only the service's response differs).
+std::vector<Arrival> make_schedule(const LoadgenConfig& cfg, std::size_t universe,
+                                   util::Rng& rng) {
+  std::vector<Arrival> out;
+  const ZipfSampler zipf(universe, cfg.zipf_s);
+  const std::vector<double> mix(cfg.class_mix.begin(), cfg.class_mix.end());
+  double t = 0.0;
+  for (;;) {
+    // Piecewise-constant rate: the exponential gap uses the rate at the
+    // previous arrival. Exact thinning is overkill for a bench — episodes
+    // are long relative to 1/rate.
+    const double rate = cfg.offered_qps * (in_burst(cfg, t) ? cfg.burst_factor : 1.0);
+    if (rate <= 0.0) break;
+    t += rng.exponential(rate);
+    if (t >= cfg.duration_s) break;
+    out.push_back({t, zipf(rng), static_cast<serve::Priority>(rng.categorical(mix))});
+  }
+  return out;
+}
+
+}  // namespace
+
+std::uint64_t LoadgenResult::shed() const {
+  std::uint64_t total = 0;
+  for (const ClassOutcome& c : by_class) total += c.shed();
+  return total;
+}
+
+LoadgenResult run_open_loop(const LoadgenConfig& config,
+                            const std::vector<serve::ProductRequest>& universe_ranked,
+                            const SubmitFn& submit) {
+  LoadgenResult out;
+  if (universe_ranked.empty()) return out;
+  util::Rng rng(config.seed);
+  const std::vector<Arrival> schedule = make_schedule(config, universe_ranked.size(), rng);
+  out.offered = schedule.size();
+  out.offered_qps =
+      config.duration_s > 0 ? static_cast<double>(schedule.size()) / config.duration_s : 0.0;
+
+  struct Fired {
+    serve::ProductFuture future;
+    serve::Priority cls = serve::Priority::interactive;
+  };
+  struct ClientTally {
+    std::array<std::uint64_t, serve::kPriorityClasses> shed_arrival{};
+    std::array<std::uint64_t, serve::kPriorityClasses> errors{};
+    std::vector<Fired> fired;
+  };
+  const std::size_t clients = std::max<std::size_t>(config.clients, 1);
+  std::vector<ClientTally> tally(clients);
+
+  util::Timer wall;
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (std::size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      ClientTally& mine = tally[c];
+      // Arrivals round-robin across clients, preserving the aggregate
+      // process; each client fires its arrivals at their scheduled instants
+      // and never waits for a response (open loop).
+      for (std::size_t i = c; i < schedule.size(); i += clients) {
+        const Arrival& a = schedule[i];
+        std::this_thread::sleep_until(
+            start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                        std::chrono::duration<double>(a.at_s)));
+        serve::ProductRequest req = universe_ranked[a.rank];
+        req.priority = a.cls;
+        const auto k = static_cast<std::size_t>(a.cls);
+        std::optional<serve::ProductFuture> f;
+        try {
+          f = submit(req, nullptr);
+        } catch (...) {
+          ++mine.errors[k];  // router refused (e.g. fleet shut down mid-run)
+          continue;
+        }
+        if (f)
+          mine.fired.push_back({std::move(*f), a.cls});
+        else
+          ++mine.shed_arrival[k];
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  // Harvest after the firing window: latencies come from the job-side
+  // ProductResponse::service_ms, so slow harvesting cannot distort them.
+  for (ClientTally& mine : tally) {
+    for (std::size_t k = 0; k < serve::kPriorityClasses; ++k) {
+      out.by_class[k].offered += mine.shed_arrival[k] + mine.errors[k];
+      out.by_class[k].shed_arrival += mine.shed_arrival[k];
+      out.by_class[k].errors += mine.errors[k];
+    }
+    for (Fired& fr : mine.fired) {
+      ClassOutcome& cls = out.by_class[static_cast<std::size_t>(fr.cls)];
+      ++cls.offered;
+      try {
+        const serve::ProductResponse response = fr.future.get();
+        ++cls.served;
+        out.latency_ms.push_back(response.service_ms);
+      } catch (const serve::ShedError&) {
+        ++cls.shed_displaced;
+      } catch (...) {
+        ++cls.errors;
+      }
+    }
+  }
+  out.wall_s = wall.seconds();
+  for (const ClassOutcome& cls : out.by_class) out.served += cls.served;
+  out.achieved_qps = out.wall_s > 0 ? static_cast<double>(out.served) / out.wall_s : 0.0;
+  return out;
+}
+
+TrafficResult drive_closed_loop(serve::GranuleService& service,
+                                const std::vector<serve::ProductRequest>& requests,
+                                std::size_t clients) {
+  TrafficResult out;
+  std::vector<std::vector<double>> per_client(clients);
+  std::atomic<std::size_t> next{0};
+  util::Timer wall;
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (std::size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1);
+        if (i >= requests.size()) return;
+        util::Timer t;
+        const auto response = service.submit(requests[i]).get();
+        if (!response.product) std::abort();
+        per_client[c].push_back(t.millis());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  out.wall_s = wall.seconds();
+  for (auto& v : per_client) out.latency_ms.insert(out.latency_ms.end(), v.begin(), v.end());
+  return out;
+}
+
+}  // namespace is2::bench

@@ -1,0 +1,126 @@
+// Traffic harnesses for the serving benches: an *open-loop* load generator
+// (Poisson arrivals with burst episodes, Zipf-distributed key popularity,
+// mixed priority classes) and the closed-loop driver the worker/cache
+// sweeps use.
+//
+// Open vs closed loop matters for SLO curves. A closed-loop client waits
+// for each response before sending the next request, so under overload it
+// self-throttles to the service rate and latency plots flatter than
+// reality (coordinated omission). The open-loop generator instead commits
+// to an arrival schedule *up front* — a deterministic function of the seed
+// — and fires each request at its scheduled instant with `try_submit`
+// (never blocking), so offered load keeps arriving while the fleet is
+// saturated and the shed/latency numbers reflect what real traffic would
+// see. Sweeping `offered_qps` yields the p99-vs-offered and shed-rate
+// curves `BENCH_serve.json`'s `cluster` section records.
+//
+// Latency accounting: a served request reports the scheduler-side
+// `ProductResponse::service_ms` (queue wait + execution; RAM fast hits
+// report ~0) harvested from the future after the run — job-side timestamps,
+// immune to harvest-thread scheduling artifacts. Waiters coalesced onto one
+// job share that job's sample. Requests shed at arrival (`try_submit` ->
+// nullopt) and waiters failed with `ShedError` are counted per class, not
+// in the latency distribution.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "serve/scheduler.hpp"
+#include "serve/service.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace is2::bench {
+
+/// Zipf(s) sampler over ranks [0, n): P(rank k) ∝ 1/(k+1)^s, via a
+/// precomputed CDF + binary search. Rank 0 is the most popular key.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double s);
+  std::size_t operator()(util::Rng& rng) const;
+
+ private:
+  std::vector<double> cdf_;
+};
+
+/// Target of a traffic run: any shed-capable submit surface (a
+/// serve::Cluster, a single GranuleService, ...). Must be thread-safe.
+using SubmitFn = std::function<std::optional<serve::ProductFuture>(
+    const serve::ProductRequest&, std::optional<serve::Priority>*)>;
+
+struct LoadgenConfig {
+  double offered_qps = 200.0;  ///< base arrival rate (Poisson)
+  double duration_s = 1.0;
+  double zipf_s = 1.1;  ///< popularity skew over the request universe
+  /// Burst episodes: while inside an episode the arrival rate is
+  /// offered_qps * burst_factor. 1.0 disables bursting.
+  double burst_factor = 1.0;
+  double burst_every_s = 0.5;  ///< episode start-to-start period
+  double burst_len_s = 0.1;
+  /// Priority mix (interactive, batch, background) — unnormalized weights.
+  std::array<double, serve::kPriorityClasses> class_mix{2.0, 3.0, 5.0};
+  std::size_t clients = 2;  ///< firing threads (arrivals round-robined)
+  std::uint64_t seed = 1;   ///< fixes the whole schedule (arrivals, keys, classes)
+};
+
+struct ClassOutcome {
+  std::uint64_t offered = 0;
+  std::uint64_t served = 0;
+  std::uint64_t shed_arrival = 0;   ///< try_submit returned nullopt
+  std::uint64_t shed_displaced = 0; ///< future failed with ShedError
+  std::uint64_t errors = 0;         ///< any other exception
+
+  std::uint64_t shed() const { return shed_arrival + shed_displaced; }
+  double shed_rate() const {
+    return offered ? static_cast<double>(shed()) / static_cast<double>(offered) : 0.0;
+  }
+};
+
+struct LoadgenResult {
+  double offered_qps = 0.0;   ///< from the realized schedule, not the config
+  double achieved_qps = 0.0;  ///< served / wall (wall includes harvest)
+  double wall_s = 0.0;
+  std::uint64_t offered = 0, served = 0;
+  std::array<ClassOutcome, serve::kPriorityClasses> by_class{};
+  std::vector<double> latency_ms;  ///< service_ms of every served request
+
+  double p50() const { return util::percentile(latency_ms, 50.0); }
+  double p99() const { return util::percentile(latency_ms, 99.0); }
+  double mean() const { return util::mean(latency_ms); }
+  std::uint64_t shed() const;
+  double shed_rate() const {
+    return offered ? static_cast<double>(shed()) / static_cast<double>(offered) : 0.0;
+  }
+};
+
+/// Fire an open-loop run against `submit`. `universe_ranked` is the request
+/// universe in popularity-rank order (index 0 = Zipf head); each arrival
+/// samples a rank and a priority class from the config's mix.
+LoadgenResult run_open_loop(const LoadgenConfig& config,
+                            const std::vector<serve::ProductRequest>& universe_ranked,
+                            const SubmitFn& submit);
+
+/// Closed-loop driver (the worker/cache-sweep measurement): `clients`
+/// threads share `requests`, each submitting and waiting at the
+/// submit->get boundary. Self-throttling by design — use for capacity and
+/// per-request-latency measurements, not SLO curves.
+struct TrafficResult {
+  double wall_s = 0.0;
+  std::vector<double> latency_ms;
+
+  double qps() const {
+    return wall_s > 0 ? static_cast<double>(latency_ms.size()) / wall_s : 0;
+  }
+  double p50() const { return util::percentile(latency_ms, 50.0); }
+  double p99() const { return util::percentile(latency_ms, 99.0); }
+  double mean() const { return util::mean(latency_ms); }
+};
+
+TrafficResult drive_closed_loop(serve::GranuleService& service,
+                                const std::vector<serve::ProductRequest>& requests,
+                                std::size_t clients);
+
+}  // namespace is2::bench

@@ -1,0 +1,294 @@
+#include "serve/cluster.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <tuple>
+#include <utility>
+
+#include "util/rng.hpp"
+
+namespace is2::serve {
+
+double ClusterMetrics::imbalance() const {
+  double max = 0.0, sum = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < routed.size(); ++i) {
+    if (i < live.size() && !live[i]) continue;
+    const double r = static_cast<double>(routed[i]);
+    max = std::max(max, r);
+    sum += r;
+    ++n;
+  }
+  if (n == 0 || sum == 0.0) return 0.0;
+  return max / (sum / static_cast<double>(n));
+}
+
+std::uint64_t Cluster::ring_hash(const ProductKey& key) {
+  // ProductKeyHash already mixes every key field; one more mix round
+  // decorrelates it from the ring-point distribution.
+  return util::hash64(static_cast<std::uint64_t>(ProductKeyHash{}(key)));
+}
+
+std::uint64_t Cluster::routing_hash(const ProductKey& key) const {
+  // Ring placement is by the *shallow* (classification-kind) key of the
+  // same request, not the exact key. Product fingerprints are
+  // stage-prefix-scoped (see GranuleService::key_for_kind): the
+  // classification fingerprint ignores both deeper-stage config and the
+  // sea-surface method, so every stage depth and method of one (granule,
+  // beam, backend) lands on the same node — a warm()'d classification
+  // prefix is resident exactly where a later freeboard or
+  // different-method request routes, keeping cross-tier resume fleet-wide.
+  // Caches are still looked up by the exact key; only placement coarsens.
+  if (key.kind == pipeline::ProductKind::classification) return ring_hash(key);
+  ProductRequest shallow;
+  shallow.granule_id = key.granule_id;
+  shallow.beam = key.beam;
+  shallow.backend = key.backend;
+  shallow.kind = pipeline::ProductKind::classification;
+  return ring_hash(key_for(shallow));  // takes mutex_: never call under it
+}
+
+Cluster::Cluster(const ClusterConfig& config, const core::PipelineConfig& pipeline,
+                 const geo::GeoCorrections& corrections, const ShardIndex& index,
+                 GranuleService::ModelFactory model_factory, resample::FeatureScaler scaler,
+                 GranuleService::TreeFactory tree_factory)
+    : config_(config), ring_(config.vnodes) {
+  const std::size_t n = config_.nodes ? config_.nodes : 1;
+  config_.nodes = n;
+  peer_probe_total_ = &registry_.counter("is2_cluster_peer_probe_total", {},
+                                         "peer RAM-tier probes on a target miss");
+  peer_fetch_total_ =
+      &registry_.counter("is2_cluster_peer_fetch_total", {},
+                         "peer probes that hit and promoted (shard IO + inference avoided)");
+  replica_route_total_ = &registry_.counter("is2_cluster_replica_route_total", {},
+                                            "hot-key requests routed off-owner");
+  hot_key_total_ = &registry_.counter("is2_cluster_hot_key_total", {},
+                                      "keys promoted past hot_key_threshold");
+  live_nodes_gauge_ =
+      &registry_.gauge("is2_cluster_live_nodes", {}, "nodes currently in the ring");
+
+  if (!config_.shared_disk_dir.empty()) {
+    disk_ = std::make_unique<DiskCache>(
+        DiskCacheConfig{config_.shared_disk_dir, config_.shared_disk_bytes, &registry_});
+  }
+
+  // Every node gets the same config/model (keys must be fleet-portable) and
+  // borrows the cluster's disk tier; a per-node private tier would defeat
+  // re-routing and double-open the directory.
+  ServiceConfig node_cfg = config_.node;
+  node_cfg.disk_cache_dir.clear();
+  node_cfg.shared_disk = disk_.get();
+
+  nodes_.reserve(n);
+  routed_total_.reserve(n);
+  live_.assign(n, true);
+  for (std::size_t i = 0; i < n; ++i) {
+    routed_total_.push_back(&registry_.counter("is2_cluster_routed_total",
+                                               {{"node", "node" + std::to_string(i)}},
+                                               "requests routed to the node"));
+    nodes_.push_back(std::make_unique<GranuleService>(node_cfg, pipeline, corrections, index,
+                                                      model_factory, scaler, tree_factory));
+    ring_.add(static_cast<std::uint32_t>(i));
+  }
+  live_nodes_gauge_->set(static_cast<double>(n));
+}
+
+Cluster::~Cluster() { shutdown(); }
+
+std::size_t Cluster::first_live_locked() const {
+  for (std::size_t i = 0; i < live_.size(); ++i)
+    if (live_[i]) return i;
+  throw std::runtime_error("Cluster: no live nodes");
+}
+
+ProductKey Cluster::key_for(const ProductRequest& request) const {
+  std::size_t i;
+  {
+    std::lock_guard lock(mutex_);
+    i = first_live_locked();
+  }
+  return nodes_[i]->key_for(request);
+}
+
+std::uint32_t Cluster::owner_of(const ProductKey& key) const {
+  const std::uint64_t h = routing_hash(key);  // before the lock: it locks too
+  std::lock_guard lock(mutex_);
+  return ring_.owner(h);
+}
+
+std::vector<std::uint32_t> Cluster::replica_set_of(const ProductKey& key) const {
+  const std::uint64_t h = routing_hash(key);
+  std::lock_guard lock(mutex_);
+  return ring_.replicas(h, std::max<std::size_t>(config_.replication_factor, 1));
+}
+
+std::size_t Cluster::live_count() const {
+  std::lock_guard lock(mutex_);
+  std::size_t n = 0;
+  for (bool l : live_) n += l ? 1 : 0;
+  return n;
+}
+
+bool Cluster::is_live(std::size_t i) const {
+  std::lock_guard lock(mutex_);
+  return i < live_.size() && live_[i];
+}
+
+Cluster::Route Cluster::route(const ProductRequest& request) {
+  ProductKey key = key_for(request);
+  const std::uint64_t h = routing_hash(key);
+  std::lock_guard lock(mutex_);
+  if (shut_down_) throw std::runtime_error("Cluster: shut down");
+  if (ring_.num_nodes() == 0) throw std::runtime_error("Cluster: no live nodes");
+
+  // Approximate popularity: reset-on-full is a crude decay, but the hot set
+  // only steers replica round-robin — a wrong "cold" verdict just means
+  // owner-routing, never a wrong answer.
+  if (popularity_.size() >= config_.popularity_capacity) popularity_.clear();
+  std::uint64_t& count = popularity_[key];
+  ++count;
+  if (count == config_.hot_key_threshold) hot_key_total_->inc();
+
+  std::size_t target;
+  if (count >= config_.hot_key_threshold && config_.replication_factor > 1) {
+    const auto reps = ring_.replicas(h, config_.replication_factor);
+    target = reps[hot_rr_++ % reps.size()];
+    if (target != reps.front()) replica_route_total_->inc();
+  } else {
+    target = ring_.owner(h);
+  }
+  routed_total_[target]->inc();
+  return Route{std::move(key), h, target};
+}
+
+bool Cluster::peer_fetch(const ProductKey& key, std::uint64_t hash, std::size_t target) {
+  std::vector<std::size_t> peers;
+  {
+    std::lock_guard lock(mutex_);
+    if (config_.replication_factor < 2 || ring_.num_nodes() == 0) return false;
+    for (std::uint32_t r : ring_.replicas(hash, config_.replication_factor)) {
+      const auto i = static_cast<std::size_t>(r);
+      if (i != target && live_[i]) peers.push_back(i);
+    }
+  }
+  for (std::size_t p : peers) {
+    peer_probe_total_->inc();
+    if (auto hit = nodes_[p]->peek_ram(key)) {
+      // The resident object itself moves across nodes — bit-identity with a
+      // local build is by construction, and the target now fast-hits.
+      nodes_[target]->promote_ram(key, hit);
+      peer_fetch_total_->inc();
+      return true;
+    }
+  }
+  return false;
+}
+
+ProductFuture Cluster::submit(const ProductRequest& request) {
+  const Route r = route(request);
+  if (!nodes_[r.target]->peek_ram(r.key)) peer_fetch(r.key, r.hash, r.target);
+  return nodes_[r.target]->submit(request);
+}
+
+std::optional<ProductFuture> Cluster::try_submit(const ProductRequest& request,
+                                                 std::optional<Priority>* shed_class) {
+  const Route r = route(request);
+  if (!nodes_[r.target]->peek_ram(r.key)) peer_fetch(r.key, r.hash, r.target);
+  return nodes_[r.target]->try_submit(request, shed_class);
+}
+
+std::size_t Cluster::warm(const std::vector<ProductRequest>& requests, mapred::Engine& engine) {
+  // Owner-routed, shallow-kind prefetch. Deliberately bypasses route(): warm
+  // traffic must not feed the popularity ledger (it would mark keys hot
+  // before any real client asked) and never replica-spreads.
+  std::vector<std::vector<ProductRequest>> groups(nodes_.size());
+  for (ProductRequest req : requests) {
+    req.kind = pipeline::ProductKind::classification;
+    const ProductKey key = key_for(req);
+    std::size_t target;
+    {
+      std::lock_guard lock(mutex_);
+      if (shut_down_) throw std::runtime_error("Cluster: shut down");
+      if (ring_.num_nodes() == 0) throw std::runtime_error("Cluster: no live nodes");
+      target = ring_.owner(ring_hash(key));
+    }
+    groups[target].push_back(std::move(req));
+  }
+  std::size_t built = 0;
+  for (std::size_t i = 0; i < groups.size(); ++i)
+    if (!groups[i].empty()) built += nodes_[i]->warm(groups[i], engine);
+  return built;
+}
+
+void Cluster::kill_node(std::size_t i) {
+  {
+    std::lock_guard lock(mutex_);
+    if (i >= nodes_.size() || !live_[i]) return;
+    live_[i] = false;
+    ring_.remove(static_cast<std::uint32_t>(i));
+    std::size_t alive = 0;
+    for (bool l : live_) alive += l ? 1 : 0;
+    live_nodes_gauge_->set(static_cast<double>(alive));
+  }
+  // Drain outside the router lock: nothing new routes here anymore, and a
+  // drain can take as long as the slowest queued build.
+  nodes_[i]->shutdown();
+}
+
+ClusterMetrics Cluster::metrics() const {
+  ClusterMetrics out;
+  {
+    std::lock_guard lock(mutex_);
+    out.live = live_;
+  }
+  out.nodes.reserve(nodes_.size());
+  out.routed.reserve(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    out.nodes.push_back(nodes_[i]->metrics());
+    out.routed.push_back(routed_total_[i]->value());
+    out.requests += out.routed.back();
+  }
+  out.peer_probes = peer_probe_total_->value();
+  out.peer_fetches = peer_fetch_total_->value();
+  out.replica_routes = replica_route_total_->value();
+  out.hot_keys = hot_key_total_->value();
+  if (disk_) out.shared_disk = disk_->stats();
+  return out;
+}
+
+obs::RegistrySnapshot Cluster::obs_snapshot() const {
+  if (disk_) (void)disk_->stats();  // sync the shared tier's lazy mirror
+  obs::RegistrySnapshot merged = registry_.snapshot();
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    obs::RegistrySnapshot node_snap = nodes_[i]->obs_snapshot();
+    const std::pair<std::string, std::string> label{"node", "node" + std::to_string(i)};
+    for (obs::MetricPoint& p : node_snap.points) {
+      // Keep each point's label set sorted (the registry invariant the
+      // exporters rely on) while tagging it with the node identity.
+      p.labels.insert(std::lower_bound(p.labels.begin(), p.labels.end(), label), label);
+      merged.points.push_back(std::move(p));
+    }
+  }
+  // Re-sort globally so to_prometheus sees each family contiguous and emits
+  // HELP/TYPE exactly once per family.
+  std::sort(merged.points.begin(), merged.points.end(),
+            [](const obs::MetricPoint& a, const obs::MetricPoint& b) {
+              return std::tie(a.name, a.labels) < std::tie(b.name, b.labels);
+            });
+  return merged;
+}
+
+void Cluster::wait_disk_writebacks() {
+  for (auto& node : nodes_) node->wait_disk_writebacks();
+}
+
+void Cluster::shutdown() {
+  {
+    std::lock_guard lock(mutex_);
+    if (shut_down_) return;
+    shut_down_ = true;
+  }
+  for (auto& node : nodes_) node->shutdown();
+}
+
+}  // namespace is2::serve

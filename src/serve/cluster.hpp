@@ -1,0 +1,210 @@
+// serve::Cluster — an in-process fleet of serving nodes behind a
+// consistent-hash router. The scale-out layer of `src/serve/`: N
+// `GranuleService` nodes (each with its own RAM tier, scheduler and obs
+// registry) held behind the `NodeHandle` interface, one shared `DiskCache`
+// directory as the fleet-wide cold tier, and a router that turns a
+// `ProductRequest` into "which node serves this key".
+//
+// Routing. The request's *shallow* (classification-kind) `ProductKey`
+// hashes onto a `HashRing` (virtual nodes; see hash_ring.hpp). Because
+// product fingerprints are stage-prefix-scoped, every stage depth and
+// sea-surface method of one (granule, beam, backend) co-locates — a warmed
+// classification prefix sits exactly where a deeper freeboard request
+// routes, keeping the cross-tier resume path alive fleet-wide. Cold keys
+// go to the ring owner, so each key's working set concentrates on one
+// node's RAM tier. Keys whose observed
+// popularity crosses `hot_key_threshold` (the Zipf head) are instead
+// round-robined across the key's replica set (`replication_factor` distinct
+// ring successors) so one scorching granule spreads over several nodes.
+//
+// Peer fetch. Before dispatching to the target node, the router peeks the
+// target's RAM tier; on a miss it probes the rest of the key's replica set
+// (`peek_ram`, cheapest possible call) and, on a hit, copies the resident
+// product into the target (`promote_ram`) — the request then fast-hits
+// instead of paying shard IO + inference. Counters
+// (`is2_cluster_peer_probe_total` / `is2_cluster_peer_fetch_total`) assert
+// the skip in tests; responses stay bit-identical because the product
+// object itself moves.
+//
+// Miss path order at the target node is therefore: RAM -> peer RAM ->
+// shared disk -> shallower-kind resume -> full rebuild.
+//
+// Node kill. `kill_node(i)` removes the node from the ring (re-routing only
+// its key ranges — consistent hashing's minimal-churn property), then
+// drains it. Re-routed keys land on their new owner and usually recover
+// from the shared disk tier without shard IO.
+//
+// Observability. The cluster owns a registry for router metrics and the
+// shared disk tier; `obs_snapshot()` merges it with every node's snapshot,
+// tagging node-local points with a `node="node<i>"` label (bounded
+// cardinality: one value per node; see docs/observability.md) and
+// re-sorting by (name, labels) so `obs::to_prometheus` groups families
+// correctly.
+//
+// Threading: submit/try_submit/warm/metrics/obs_snapshot are thread-safe;
+// the router mutex covers only ring/popularity bookkeeping, never a build.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/registry.hpp"
+#include "serve/hash_ring.hpp"
+#include "serve/node.hpp"
+#include "serve/service.hpp"
+
+namespace is2::serve {
+
+struct ClusterConfig {
+  std::size_t nodes = 3;
+  std::size_t vnodes = 128;  ///< ring points per node (balance knob)
+  /// Replica-set size for hot keys and peer-fetch probing. 1 disables both
+  /// (owner-only routing, no peers to probe).
+  std::size_t replication_factor = 2;
+  /// Requests for one key before it counts as hot and spreads over its
+  /// replica set. The popularity ledger is approximate: bounded to
+  /// `popularity_capacity` keys and reset when full (a slow decay).
+  std::uint64_t hot_key_threshold = 16;
+  std::size_t popularity_capacity = 1u << 16;
+  /// Per-node service knobs. disk_cache_dir / disk_cache_bytes / shared_disk
+  /// are overridden by the cluster (nodes must not each open the shared
+  /// directory); everything else applies to every node identically —
+  /// identical config + model is what makes keys and products portable
+  /// across the fleet.
+  ServiceConfig node;
+  /// Fleet-wide cold tier directory; empty = RAM tiers only.
+  std::string shared_disk_dir;
+  std::size_t shared_disk_bytes = 1ull << 30;
+};
+
+struct ClusterMetrics {
+  std::vector<ServiceMetrics> nodes;  ///< per node, dead nodes included
+  std::vector<bool> live;
+  std::vector<std::uint64_t> routed;  ///< requests routed per node
+  std::uint64_t requests = 0;
+  std::uint64_t peer_probes = 0;    ///< peek_ram calls against peers
+  std::uint64_t peer_fetches = 0;   ///< probes that hit and promoted
+  std::uint64_t replica_routes = 0; ///< hot-key requests sent off-owner
+  std::uint64_t hot_keys = 0;       ///< keys promoted past the threshold
+  DiskCacheStats shared_disk;       ///< zeroed when no shared tier
+  /// Max/mean routed-requests ratio over live nodes (1.0 = perfectly even);
+  /// 0 when nothing was routed.
+  double imbalance() const;
+};
+
+class Cluster {
+ public:
+  /// Same construction surface as one GranuleService; the shard index,
+  /// model factory and scaler are fanned out to every node so the fleet is
+  /// homogeneous. Node count and routing knobs come from `ClusterConfig`.
+  Cluster(const ClusterConfig& config, const core::PipelineConfig& pipeline,
+          const geo::GeoCorrections& corrections, const ShardIndex& index,
+          GranuleService::ModelFactory model_factory, resample::FeatureScaler scaler,
+          GranuleService::TreeFactory tree_factory = {});
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  /// Route and serve (blocking backpressure on the target node's queue).
+  ProductFuture submit(const ProductRequest& request);
+
+  /// Route and serve without blocking; sheds exactly like the node-level
+  /// call (std::nullopt / ShedError on displaced waiters).
+  std::optional<ProductFuture> try_submit(const ProductRequest& request,
+                                          std::optional<Priority>* shed_class = nullptr);
+
+  /// Prefetch lever: rewrites every request to the *shallow* kind
+  /// (classification — the expensive prefix: shard IO + inference), groups
+  /// by owning node and fans each group out on the engine. Interactive
+  /// traffic later deepens the cached prefix on demand through the
+  /// cross-tier resume path, so warming never pays for seasurface/freeboard
+  /// stages nobody may ask for. Returns products actually built.
+  std::size_t warm(const std::vector<ProductRequest>& requests, mapred::Engine& engine);
+
+  /// Cache key a request resolves to (identical on every node).
+  ProductKey key_for(const ProductRequest& request) const;
+  /// Ring owner / replica set of a key (exposed for tests and ops).
+  std::uint32_t owner_of(const ProductKey& key) const;
+  std::vector<std::uint32_t> replica_set_of(const ProductKey& key) const;
+
+  std::size_t num_nodes() const { return nodes_.size(); }
+  std::size_t live_count() const;
+  bool is_live(std::size_t i) const;
+  /// Direct node access (tests, metrics drill-down). Valid for the cluster
+  /// lifetime, even after kill_node.
+  NodeHandle& node(std::size_t i) { return *nodes_.at(i); }
+
+  /// Take a node out of the fleet: remove it from the ring (its key ranges
+  /// re-route with minimal churn), then drain it. Idempotent. In-flight
+  /// requests already routed there during the call may see broken futures —
+  /// the same contract as a real node crash, minus the UB.
+  void kill_node(std::size_t i);
+
+  ClusterMetrics metrics() const;
+
+  /// Router + shared-disk instruments only (`is2_cluster_*`); node
+  /// instruments live in each node's registry.
+  const obs::Registry& registry() const { return registry_; }
+
+  /// Fleet-wide exposition: cluster registry points plus every node's
+  /// snapshot labeled `node="node<i>"`, re-sorted by (name, labels).
+  obs::RegistrySnapshot obs_snapshot() const;
+
+  /// Shared cold tier (nullptr when shared_disk_dir is empty).
+  const DiskCache* shared_disk() const { return disk_.get(); }
+
+  /// Drain pending disk write-backs on every live node (tests / restarts).
+  void wait_disk_writebacks();
+
+  /// Drain every live node, idempotent.
+  void shutdown();
+
+ private:
+  struct Route {
+    ProductKey key;           ///< exact key (cache lookups, popularity)
+    std::uint64_t hash = 0;   ///< shallow-key ring hash (placement)
+    std::size_t target = 0;
+  };
+  /// Pick the target node for a request (ring owner, or replica-set
+  /// round-robin once hot) and update popularity/routing counters.
+  Route route(const ProductRequest& request);
+  /// On a target RAM miss, probe the key's other live replicas and promote
+  /// a hit into the target. Best effort; returns whether a peer hit.
+  bool peer_fetch(const ProductKey& key, std::uint64_t hash, std::size_t target);
+  std::size_t first_live_locked() const;  ///< throws when the fleet is down
+  static std::uint64_t ring_hash(const ProductKey& key);
+  /// Ring position of a key: the hash of its classification-kind sibling,
+  /// so all depths/methods of one granule co-locate. Takes mutex_ (via
+  /// key_for) — call before locking.
+  std::uint64_t routing_hash(const ProductKey& key) const;
+
+  ClusterConfig config_;
+
+  /// Router/shared-tier observability — declared before the disk tier and
+  /// nodes that register into / outlive-depend on it.
+  obs::Registry registry_;
+  std::vector<obs::Counter*> routed_total_;  ///< per node, node label
+  obs::Counter* peer_probe_total_ = nullptr;
+  obs::Counter* peer_fetch_total_ = nullptr;
+  obs::Counter* replica_route_total_ = nullptr;
+  obs::Counter* hot_key_total_ = nullptr;
+  obs::Gauge* live_nodes_gauge_ = nullptr;
+
+  std::unique_ptr<DiskCache> disk_;  ///< shared cold tier; outlives nodes_
+  std::vector<std::unique_ptr<GranuleService>> nodes_;
+
+  mutable std::mutex mutex_;  ///< ring + popularity + live set
+  HashRing ring_;
+  std::vector<bool> live_;
+  std::unordered_map<ProductKey, std::uint64_t, ProductKeyHash> popularity_;
+  std::uint64_t hot_rr_ = 0;  ///< round-robin cursor over replica sets
+  bool shut_down_ = false;
+};
+
+}  // namespace is2::serve

@@ -1,0 +1,60 @@
+#include "serve/hash_ring.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace is2::serve {
+
+HashRing::HashRing(std::size_t vnodes_per_node)
+    : vnodes_(vnodes_per_node ? vnodes_per_node : 1) {}
+
+void HashRing::add(std::uint32_t node) {
+  if (!nodes_.insert(node).second) return;
+  for (std::size_t v = 0; v < vnodes_; ++v) {
+    // Two mix rounds decorrelate the low-entropy (node, vnode) pair; one
+    // round leaves visible structure that skews the balance bound.
+    std::uint64_t point = util::hash64(
+        util::hash64((static_cast<std::uint64_t>(node) << 32) | static_cast<std::uint64_t>(v)));
+    while (points_.count(point) != 0) point = util::hash64(point);
+    points_.emplace(point, node);
+  }
+}
+
+void HashRing::remove(std::uint32_t node) {
+  if (nodes_.erase(node) == 0) return;
+  for (auto it = points_.begin(); it != points_.end();) {
+    if (it->second == node)
+      it = points_.erase(it);
+    else
+      ++it;
+  }
+}
+
+std::uint32_t HashRing::owner(std::uint64_t key_hash) const {
+  if (points_.empty()) throw std::runtime_error("HashRing: empty ring");
+  auto it = points_.lower_bound(key_hash);
+  if (it == points_.end()) it = points_.begin();
+  return it->second;
+}
+
+std::vector<std::uint32_t> HashRing::replicas(std::uint64_t key_hash, std::size_t n) const {
+  // Unlike owner(), an empty ring is not an error here: "all nodes" of an
+  // empty ring is the empty set, and callers iterate the result anyway.
+  std::vector<std::uint32_t> out;
+  const std::size_t want = std::min(n, nodes_.size());
+  out.reserve(want);
+  auto it = points_.lower_bound(key_hash);
+  for (std::size_t walked = 0; walked < points_.size() && out.size() < want; ++walked) {
+    if (it == points_.end()) it = points_.begin();
+    const std::uint32_t node = it->second;
+    bool seen = false;
+    for (std::uint32_t got : out) seen |= (got == node);
+    if (!seen) out.push_back(node);
+    ++it;
+  }
+  return out;
+}
+
+}  // namespace is2::serve

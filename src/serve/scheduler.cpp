@@ -35,8 +35,9 @@ BatchScheduler::BatchScheduler(const Config& config, Builder builder)
                                                "build jobs accepted into the queue");
     coalesced_total_[c] = &registry_->counter("is2_sched_coalesced_total", class_labels(cls),
                                               "requests attached to an in-flight build");
-    rejected_total_[c] = &registry_->counter("is2_sched_rejected_total", class_labels(cls),
-                                             "try_submit requests shed on arrival");
+    rejected_total_[c] = &registry_->counter(
+        "is2_sched_rejected_total", class_labels(cls),
+        "requests shed on arrival (try_submit full, or submit racing shutdown)");
     displaced_total_[c] = &registry_->counter("is2_sched_displaced_total", class_labels(cls),
                                               "queued jobs shed to admit a higher class");
     queue_depth_gauge_[c] = &registry_->gauge("is2_sched_queue_depth", class_labels(cls),
@@ -105,12 +106,22 @@ ProductFuture BatchScheduler::submit(const ProductRequest& request, const Produc
   // bumped only once the push has landed (the old code incremented first
   // and decremented on a lost race with shutdown).
   if (!queue_.push(job, request.priority)) {
+    // Lost race with shutdown(): shut_down_ was false at the check above,
+    // but close() landed while this thread was blocked in push(). This is
+    // the one window where an accepted-looking request is dropped, so it
+    // fails deterministically as *shed* work (ShedError, retryable, counted
+    // in the class's rejected/shed accounting) rather than as the generic
+    // "shut down" error reserved for submits that never got in. Waiters who
+    // coalesced onto this job during the window see the same ShedError.
     {
       std::lock_guard lock(mutex_);
       inflight_.erase(key);
     }
-    job->promise.set_exception(
-        std::make_exception_ptr(std::runtime_error("BatchScheduler: shut down")));
+    rejected_total_[static_cast<std::size_t>(request.priority)]->inc();
+    if (config_.tracer) config_.tracer->record_instant("rejected", job->trace.trace_id());
+    job->trace.finish("request:shed", /*force=*/true);
+    job->promise.set_exception(std::make_exception_ptr(
+        ShedError("BatchScheduler: request shed by shutdown during submit")));
     return job->future;
   }
   dispatched_total_[static_cast<std::size_t>(request.priority)]->inc();
@@ -240,6 +251,16 @@ void BatchScheduler::shutdown() {
     if (shut_down_) return;
     shut_down_ = true;
   }
+  // Shutdown-vs-submit determinism (tested in test_serve.cpp):
+  //  * try_submit runs entirely under mutex_, so relative to the flag write
+  //    above it is atomic — it either saw shut_down_ and returned a broken
+  //    future, or its try_push completed before close() below (the queue
+  //    cannot be closed here while try_submit still holds mutex_) and the
+  //    job is drained normally. try_push never observes a closed queue with
+  //    shut_down_ unset.
+  //  * submit's blocking push sits outside mutex_; when close() lands in
+  //    that window the push fails and the request is shed with ShedError
+  //    (see submit()). Everything pushed before close() is drained.
   queue_.close();  // workers drain what was accepted, then exit
   for (auto& d : drains_) d.get();
 }

@@ -186,11 +186,16 @@ GranuleService::GranuleService(const ServiceConfig& config,
   inference_windows_total_ =
       &registry_.counter("is2_serve_inference_windows_total", {}, "windows classified");
 
-  if (!config_.disk_cache_dir.empty()) {
-    disk_ = std::make_unique<DiskCache>(
+  if (config_.shared_disk != nullptr) {
+    // Cluster mode: several services share one externally owned tier (one
+    // DiskCache instance per directory — its manifest is per-instance).
+    disk_ = config_.shared_disk;
+  } else if (!config_.disk_cache_dir.empty()) {
+    owned_disk_ = std::make_unique<DiskCache>(
         DiskCacheConfig{config_.disk_cache_dir, config_.disk_cache_bytes, &registry_});
-    writeback_pool_ = std::make_unique<util::ThreadPool>(1, "writeback");
+    disk_ = owned_disk_.get();
   }
+  if (disk_) writeback_pool_ = std::make_unique<util::ThreadPool>(1, "writeback");
   const std::size_t workers = config_.workers ? config_.workers : 1;
   // The nn backend owns the replica checkout pool (one per worker plus one
   // per inference thread, so checkout never deadlocks) and the batch-level
@@ -228,6 +233,15 @@ void GranuleService::shutdown() {
   // After the workers drained, no new write-backs can be scheduled; let the
   // ones already scheduled land so a restart finds a complete disk tier.
   wait_disk_writebacks();
+}
+
+std::shared_ptr<const GranuleProduct> GranuleService::peek_ram(const ProductKey& key) {
+  return cache_.peek(key);
+}
+
+void GranuleService::promote_ram(const ProductKey& key,
+                                 std::shared_ptr<const GranuleProduct> product) {
+  cache_.put(key, std::move(product));
 }
 
 void GranuleService::wait_disk_writebacks() {

@@ -62,6 +62,7 @@
 #include "pipeline/classifier.hpp"
 #include "pipeline/product_builder.hpp"
 #include "serve/disk_cache.hpp"
+#include "serve/node.hpp"
 #include "serve/product_cache.hpp"
 #include "serve/scheduler.hpp"
 #include "util/stats.hpp"
@@ -108,50 +109,9 @@ class ShardIndex {
 std::uint64_t config_fingerprint(const core::PipelineConfig& config,
                                  seasurface::Method method);
 
-/// Per-stage latency machinery now lives with the stage graph
-/// (pipeline/stage.hpp) so batch builds and benches share it; this alias
-/// keeps existing serve-side code and tests source-compatible.
-using StageLatency = pipeline::StageLatency;
-
-/// Per-priority-class slice of the service metrics: how much traffic the
-/// class sent and the service latency it observed. Fast RAM hits record ~0
-/// (bottom histogram bin); scheduled jobs record queue wait + execution
-/// (disk load or full build) once per job at completion — coalesced waiters
-/// share that job's sample, so under same-key races latency.count() can be
-/// below requests.
-struct ClassMetrics {
-  std::uint64_t requests = 0;
-  StageLatency latency;  ///< RAM probe ~0 / queue wait + disk load / + build
-};
-
-struct ServiceMetrics {
-  CacheStats cache;          ///< RAM tier
-  DiskCacheStats disk;       ///< disk tier (zeroed when no disk_cache_dir)
-  SchedulerStats scheduler;
-  std::uint64_t requests = 0;   ///< submit + try_submit calls
-  std::uint64_t fast_hits = 0;  ///< answered from RAM cache without dispatch
-  std::uint64_t writeback_failures = 0;  ///< async disk writes that threw
-  std::uint64_t inference_batches = 0;
-  std::uint64_t inference_windows = 0;
-  StageLatency load;        ///< shard read + preprocess + resample + FPB
-  StageLatency features;    ///< baseline + feature rows + standardization
-  StageLatency inference;   ///< classify stage (batched backend inference)
-  StageLatency seasurface;  ///< local sea surface detection
-  StageLatency freeboard;   ///< freeboard computation
-  StageLatency disk_load;   ///< disk-tier hit: read + deserialize + promote
-  StageLatency total;       ///< whole build (cold only; resumed = suffix)
-  /// Scheduled jobs only (the fast RAM path never queues): how long the job
-  /// waited for a worker, and the full queue wait + execution. service_time
-  /// minus queue_wait is pure execution — the split the benches trend.
-  StageLatency queue_wait;
-  StageLatency service_time;
-  std::array<ClassMetrics, kPriorityClasses> by_class;  ///< index = Priority
-  /// Raw per-stage distributions straight from the ProductBuilder — the
-  /// seven stage-graph stages by StageId (shard IO is serve-side and lives
-  /// in `load` above, not here). The benches emit these.
-  pipeline::StageSnapshot builder{};
-  std::uint64_t resumed_builds = 0;  ///< builds seeded from a shallower kind
-};
+// `StageLatency`, `ClassMetrics` and `ServiceMetrics` moved to
+// serve/node.hpp with the NodeHandle extraction — they are part of the node
+// surface the cluster router aggregates, not service internals.
 
 struct ServiceConfig {
   std::size_t workers = 4;            ///< scheduler worker threads / model replicas
@@ -172,6 +132,13 @@ struct ServiceConfig {
   /// never served) and are written back asynchronously after cold builds.
   std::string disk_cache_dir;
   std::size_t disk_cache_bytes = 1ull << 30;
+  /// Externally owned disk tier shared by several services in one process —
+  /// how a `serve::Cluster` gives its nodes a common cold tier without two
+  /// DiskCache instances fighting over one directory (the manifest is
+  /// per-instance; see disk_cache.hpp). Non-owning: must outlive the
+  /// service. When set, disk_cache_dir / disk_cache_bytes are ignored and
+  /// the tier's stats/instruments live with the owner's registry.
+  DiskCache* shared_disk = nullptr;
   /// Scheduler weighted-dequeue shares (interactive, batch, background).
   ClassWeights class_weights = {8, 3, 1};
   /// obs tracing knobs for the service-owned Tracer. Sampling is tail-based
@@ -181,7 +148,7 @@ struct ServiceConfig {
   double trace_slow_ms = 1000.0;           ///< traces this slow always kept
 };
 
-class GranuleService {
+class GranuleService : public NodeHandle {
  public:
   /// Builds one model replica per worker; every invocation must produce an
   /// architecturally and numerically identical model (e.g. construct and
@@ -206,24 +173,26 @@ class GranuleService {
   /// Asynchronous serve: cache fast path resolves immediately; cold keys
   /// dispatch through the coalescing scheduler (blocking when the queue is
   /// full). Unknown (granule, beam) resolves to a broken future.
-  ProductFuture submit(const ProductRequest& request);
+  ProductFuture submit(const ProductRequest& request) override;
 
   /// Load-shedding variant: never blocks. Under saturation a queued job of a
   /// class strictly below the request's is displaced first (background
   /// before batch); only when nothing lower is queued is the request itself
   /// shed (std::nullopt). `shed_class` reports which class paid, when
   /// anything was shed.
-  std::optional<ProductFuture> try_submit(const ProductRequest& request,
-                                          std::optional<Priority>* shed_class = nullptr);
+  std::optional<ProductFuture> try_submit(
+      const ProductRequest& request,
+      std::optional<Priority>* shed_class = nullptr) override;
 
   /// Bulk cache warm-up on a map-reduce engine (one task per request).
   /// Returns the number of products actually built (cache misses).
-  std::size_t warm(const std::vector<ProductRequest>& requests, mapred::Engine& engine);
+  std::size_t warm(const std::vector<ProductRequest>& requests,
+                   mapred::Engine& engine) override;
 
   /// Cache key a request resolves to (exposed for tests / cache probes).
-  ProductKey key_for(const ProductRequest& request) const;
+  ProductKey key_for(const ProductRequest& request) const override;
 
-  ServiceMetrics metrics() const;
+  ServiceMetrics metrics() const override;
 
   /// The service's instrument registry (every `is2_serve_*`, `is2_sched_*`
   /// and `is2_cache_*` metric of this instance lives here — feed it to
@@ -235,22 +204,30 @@ class GranuleService {
   /// Registry snapshot with every lazily-synced instrument refreshed first
   /// (cache tiers, scheduler gauges, inference totals) — what an exposition
   /// endpoint should serve.
-  obs::RegistrySnapshot obs_snapshot() const;
+  obs::RegistrySnapshot obs_snapshot() const override;
+
+  /// Peer-fetch surface (NodeHandle): speculative RAM-tier probe / insert,
+  /// no hit-miss accounting — the cluster moves products across nodes with
+  /// these instead of re-running shard IO + inference.
+  std::shared_ptr<const GranuleProduct> peek_ram(const ProductKey& key) override;
+  void promote_ram(const ProductKey& key,
+                   std::shared_ptr<const GranuleProduct> product) override;
 
   /// Best-effort snapshot of the trace ring, oldest first.
   std::vector<obs::Span> trace_spans() const { return tracer_.spans(); }
 
   const ServiceConfig& config() const { return config_; }
   const ShardIndex& index() const { return index_; }
-  /// Disk tier handle (nullptr when disk_cache_dir is empty).
-  const DiskCache* disk_cache() const { return disk_.get(); }
+  /// Disk tier handle (nullptr when neither disk_cache_dir nor shared_disk
+  /// is set; the shared tier when the service runs inside a cluster).
+  const DiskCache* disk_cache() const { return disk_; }
 
   /// Block until every scheduled asynchronous disk write-back has landed
   /// (tests and orderly restarts; normal traffic never needs this).
   void wait_disk_writebacks();
 
   /// Drain accepted work, then pending disk write-backs (idempotent).
-  void shutdown();
+  void shutdown() override;
 
  private:
   ProductResponse build(const ProductRequest& request, const ProductKey& key);
@@ -309,7 +286,12 @@ class GranuleService {
   std::unique_ptr<pipeline::NnBackend> nn_backend_;
   std::unique_ptr<pipeline::DecisionTreeBackend> tree_backend_;
   ProductCache cache_;
-  std::unique_ptr<DiskCache> disk_;  ///< outlives the write-back pool below
+  /// Disk tier: owned when built from disk_cache_dir, borrowed when
+  /// `ServiceConfig::shared_disk` points at a cluster-owned tier. `disk_`
+  /// is the one the hot path reads (nullptr = no tier) and outlives the
+  /// write-back pool below either way.
+  std::unique_ptr<DiskCache> owned_disk_;
+  DiskCache* disk_ = nullptr;
 
   // Asynchronous disk write-back: one thread so cold builds never wait for
   // serialization + fsync-ish IO, with a drain counter for orderly restarts.

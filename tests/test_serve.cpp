@@ -710,6 +710,88 @@ TEST(BatchScheduler, SubmitAfterShutdownIsBrokenNotRetryable) {
   EXPECT_EQ(sched.stats().dispatched, 0u);
 }
 
+TEST(BatchScheduler, SubmitRacingShutdownIsShedDeterministically) {
+  // The one shutdown window: a submit that passed the shut_down_ check and
+  // is blocked in the queue push when close() lands. It must fail as *shed*
+  // work (ShedError, retryable, counted) — not hang, not a generic error —
+  // while everything accepted before the close still drains.
+  GatedBuilder builder;
+  serve::BatchScheduler sched({/*workers=*/1, /*queue_capacity=*/1}, builder.fn());
+
+  auto f1 = sched.submit(req_named("k1"), key_of("k1"));  // held by gated worker
+  while (sched.stats().queue_depth != 0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  auto f2 = sched.submit(req_named("k2"), key_of("k2"));  // fills the queue
+
+  // k3 registers as in-flight, then parks inside the blocking push.
+  serve::ProductFuture f3;
+  std::thread submitter([&] { f3 = sched.submit(req_named("k3"), key_of("k3")); });
+  while (sched.stats().in_flight != 3)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_EQ(sched.stats().dispatched, 2u);  // k3 never landed in the queue
+
+  // shutdown() closes the queue (failing k3's push) and then blocks on the
+  // drain, which the gate still holds — so it needs its own thread.
+  std::thread closer([&] { sched.shutdown(); });
+  submitter.join();
+  EXPECT_THROW(f3.get(), serve::ShedError);
+  EXPECT_EQ(sched.stats().rejected, 1u);
+
+  builder.gate.set_value();
+  closer.join();
+  EXPECT_NE(f1.get().product, nullptr);  // accepted work drained
+  EXPECT_NE(f2.get().product, nullptr);
+  const auto stats = sched.stats();
+  EXPECT_EQ(stats.dispatched, 2u);
+  EXPECT_EQ(stats.completed, 2u);
+  EXPECT_EQ(stats.in_flight, 0u);
+}
+
+TEST(BatchScheduler, ShutdownUnderSubmitLoadResolvesEveryFuture) {
+  // Hammer the same race nondeterministically: submitters racing shutdown
+  // must each get exactly one of (product, ShedError, "shut down" error) —
+  // no hangs, no lost futures — and accepted == completed after the drain.
+  GatedBuilder builder;
+  builder.gate.set_value();
+  serve::BatchScheduler sched({/*workers=*/2, /*queue_capacity=*/2}, builder.fn());
+
+  std::mutex mu;
+  std::vector<serve::ProductFuture> futures;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 200; ++i) {
+        const std::string id = "g" + std::to_string(t) + "_" + std::to_string(i);
+        auto f = sched.submit(req_named(id), key_of(id));
+        std::lock_guard lock(mu);
+        futures.push_back(std::move(f));
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  sched.shutdown();
+  for (auto& t : threads) t.join();
+
+  std::uint64_t served = 0, shed = 0, refused = 0;
+  for (auto& f : futures) {
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(10)), std::future_status::ready);
+    try {
+      ASSERT_NE(f.get().product, nullptr);
+      ++served;
+    } catch (const serve::ShedError&) {
+      ++shed;  // lost the push-vs-close race
+    } catch (const std::runtime_error&) {
+      ++refused;  // saw shut_down_ up front
+    }
+  }
+  EXPECT_EQ(served + shed + refused, futures.size());
+  const auto stats = sched.stats();
+  EXPECT_EQ(stats.dispatched, served);   // every accepted job was drained...
+  EXPECT_EQ(stats.completed, served);    // ...to completion
+  EXPECT_EQ(stats.rejected, shed);
+  EXPECT_EQ(stats.in_flight, 0u);
+}
+
 // ---------------------------------------------------------------------------
 // GranuleService on a tiny campaign
 // ---------------------------------------------------------------------------

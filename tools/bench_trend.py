@@ -43,6 +43,10 @@ COLUMNS = [
     "queue_wait_p99_ms",
     "service_time_p99_ms",
     "disk_speedup",
+    # Cluster SLO headline (top offered-QPS point of the open-loop sweep)
+    # from BENCH_serve.json's `cluster` block.
+    "cluster_p99_ms",
+    "cluster_shed_rate",
     "nn_aggregate_speedup",
     "nn_predict_windows_per_sec",
     # Per-stage ProductBuilder means (ms) from BENCH_serve.json's
@@ -75,6 +79,9 @@ def serve_fields(doc):
     out["queue_wait_p99_ms"] = doc.get("queue_wait_p99_ms")
     out["service_time_p99_ms"] = doc.get("service_time_p99_ms")
     out["disk_speedup"] = doc.get("cache_tiers", {}).get("disk_speedup")
+    cluster = doc.get("cluster", {})
+    out["cluster_p99_ms"] = cluster.get("cluster_p99_ms")
+    out["cluster_shed_rate"] = cluster.get("cluster_shed_rate")
     builder = doc.get("builder_stages", {})
     for stage in BUILDER_STAGES:
         out[f"builder_{stage}_mean_ms"] = builder.get(stage, {}).get("mean_ms")

@@ -2,7 +2,7 @@
 """Lint a Prometheus text-exposition file (as written by obs::to_prometheus).
 
 Usage:
-    check_prometheus.py FILE.prom [FILE2.prom ...]
+    check_prometheus.py FILE.prom [--require-node-label] [FILE2.prom ...]
 
 Checks the subset of the exposition format the is2 exporters rely on — CI
 runs this on the .prom snapshot bench_serve_throughput exports, so a
@@ -19,6 +19,12 @@ silently breaking a real scrape:
     as emitted), end with an `le="+Inf"` bucket, and that bucket equals the
     family's `_count` for the same label set.
 
+`--require-node-label` toggles a cluster-exposition mode for the files that
+follow it: the file must contain at least one sample carrying a `node` label,
+and every `node` value must match `node<digits>` — the bounded-cardinality
+contract from docs/observability.md (node ids, never request ids or keys).
+CI runs the merged fleet snapshot (BENCH_serve.cluster.prom) under this flag.
+
 Exit status: 0 clean, 1 on any violation (every violation is printed), 2 on
 usage/IO errors. The C++ mirror of these rules lives in tests/test_obs.cpp,
 which lints a live registry snapshot in-process.
@@ -28,6 +34,7 @@ import re
 import sys
 
 NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+NODE_VALUE_RE = re.compile(r"^node\d+$")
 LABELS_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
 SAMPLE_RE = re.compile(r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (\S+)$")
 
@@ -45,7 +52,7 @@ def family_of(name, typed):
     return name, ""
 
 
-def lint(path):
+def lint(path, require_node_label=False):
     errors = []
 
     def err(line_no, msg):
@@ -66,6 +73,7 @@ def lint(path):
     helped = {}  # family -> line of # HELP
     typed = {}  # family -> declared type
     samples = 0
+    node_samples = 0
     # (family, labels-without-le) -> (last cumulative count, last le, line)
     buckets = {}
     counts = {}  # (family, labels) -> _count value
@@ -113,6 +121,12 @@ def lint(path):
             if reassembled != body:
                 err(line_no, f"malformed label block {label_block!r}")
             labels = dict(parsed)
+
+        if "node" in labels:
+            node_samples += 1
+            # Bounded cardinality: node ids only, never request ids or keys.
+            if not NODE_VALUE_RE.match(labels["node"]):
+                err(line_no, f'node label value {labels["node"]!r} is not node<digits>')
 
         family, suffix = family_of(name, typed)
         if not family.startswith("is2_"):
@@ -163,6 +177,8 @@ def lint(path):
 
     if samples == 0:
         errors.append(f"{path}: no samples")
+    if require_node_label and node_samples == 0:
+        errors.append(f"{path}: no sample carries a node label (cluster exposition expected)")
     return errors, samples, len(typed)
 
 
@@ -171,8 +187,14 @@ def main(argv):
         print(__doc__, file=sys.stderr)
         return 2
     status = 0
+    require_node_label = False
+    linted = 0
     for path in argv[1:]:
-        result = lint(path)
+        if path == "--require-node-label":
+            require_node_label = True
+            continue
+        linted += 1
+        result = lint(path, require_node_label)
         if result is None:
             return 2
         errors, samples, families = result
@@ -182,6 +204,9 @@ def main(argv):
                 print(e, file=sys.stderr)
         else:
             print(f"{path}: OK ({samples} samples across {families} families)")
+    if linted == 0:
+        print(__doc__, file=sys.stderr)
+        return 2
     return status
 
 
