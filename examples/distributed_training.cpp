@@ -3,8 +3,13 @@
 // data-parallel scaling and the accuracy staying put.
 //
 //   ./examples/distributed_training [max_ranks]   (default 8)
+//
+// Doubles as the CI smoke: exits 1 if any rank count trains below 90%
+// accuracy or if the speedup column is not monotonically increasing (small
+// tolerance for comm-overhead jitter).
 #include <cstdio>
 #include <cstdlib>
+#include <vector>
 
 #include "core/campaign.hpp"
 #include "core/pipeline.hpp"
@@ -32,6 +37,8 @@ int main(int argc, char** argv) {
   util::Table table("synchronous data-parallel LSTM training");
   table.set_header({"Ranks", "Time (s)", "Time/epoch (s)", "Data/s", "Speedup", "Accuracy %"});
   double t1 = 0.0;
+  std::vector<double> speedups;
+  std::vector<double> accuracies;
   for (int ranks = 1; ranks <= max_ranks; ranks *= 2) {
     dist::TrainerConfig cfg;
     cfg.ranks = ranks;
@@ -45,10 +52,12 @@ int main(int argc, char** argv) {
         },
         data.train, data.test, cfg);
     if (ranks == 1) t1 = result.total_time_s;
+    speedups.push_back(t1 / result.total_time_s);
+    accuracies.push_back(result.test_metrics.accuracy);
     table.add_row({std::to_string(ranks), util::Table::fmt(result.total_time_s, 2),
                    util::Table::fmt(result.time_per_epoch_s, 3),
                    util::Table::fmt(result.samples_per_s, 0),
-                   util::Table::fmt(t1 / result.total_time_s, 2),
+                   util::Table::fmt(speedups.back(), 2),
                    util::Table::fmt(result.test_metrics.accuracy * 100.0, 2)});
   }
   table.print();
@@ -56,5 +65,24 @@ int main(int argc, char** argv) {
   nn::Sequential probe = nn::make_lstm_model(5, 6, rng);
   std::printf("\ngradient traffic per step: %zu floats all-reduced (ring, 2(N-1)/N per rank)\n",
               probe.param_count());
+
+  // Smoke invariants (CI runs this binary and trusts the exit code).
+  bool ok = true;
+  for (std::size_t i = 0; i < accuracies.size(); ++i) {
+    if (accuracies[i] < 0.90) {
+      std::fprintf(stderr, "FAIL: accuracy %.3f at row %zu below the 0.90 floor\n", accuracies[i],
+                   i);
+      ok = false;
+    }
+    // Each doubling must still buy real speedup; 0.92 tolerance absorbs
+    // comm-overhead jitter without letting a scaling regression through.
+    if (i > 0 && speedups[i] < speedups[i - 1] * 0.92) {
+      std::fprintf(stderr, "FAIL: speedup column not monotone (%.2f after %.2f at row %zu)\n",
+                   speedups[i], speedups[i - 1], i);
+      ok = false;
+    }
+  }
+  if (!ok) return 1;
+  std::printf("smoke invariants hold: accuracy >= 90%%, speedup monotone\n");
   return 0;
 }

@@ -1,0 +1,176 @@
+#include "dist/hvd.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "util/timer.hpp"
+
+namespace is2::dist {
+
+Context::Context(int ranks, obs::Registry* registry) : comm(ranks) {
+  const obs::Labels labels{{"ranks", std::to_string(ranks)}};
+  allreduces = &registry->counter("is2_dist_allreduce_total", labels,
+                                  "Gradient bucket all-reduces issued (per rank)");
+  allreduce_floats = &registry->counter("is2_dist_allreduce_floats_total", labels,
+                                        "Floats pushed through all-reduce (per rank)");
+  broadcasts = &registry->counter("is2_dist_broadcast_total", labels,
+                                  "Parameter broadcast collectives issued (per rank)");
+  steps = &registry->counter("is2_dist_steps_total", labels, "Distributed optimizer steps");
+  samples = &registry->counter("is2_dist_samples_total", labels, "Training samples consumed");
+  epochs = &registry->counter("is2_dist_epochs_total", labels, "Training epochs completed");
+  ranks_gauge = &registry->gauge("is2_dist_ranks", {}, "Size of the most recent process group");
+  allreduce_ms = &registry->histogram("is2_dist_allreduce_ms", labels,
+                                      "Per-bucket all-reduce latency (ms)");
+  ranks_gauge->set(static_cast<double>(ranks));
+}
+
+std::shared_ptr<Context> init(int ranks) { return std::make_shared<Context>(ranks); }
+
+void broadcast_parameters(const std::vector<nn::Param>& params, Context& ctx, int rank,
+                          int root) {
+  for (const auto& p : params) {
+    ctx.comm.broadcast(rank, p.value->data(), p.value->size(), root);
+    ctx.broadcasts->inc();
+  }
+}
+
+DistributedOptimizer::DistributedOptimizer(std::unique_ptr<nn::Optimizer> inner,
+                                           std::shared_ptr<Context> ctx, int rank,
+                                           std::size_t bucket_floats)
+    : inner_(std::move(inner)),
+      ctx_(std::move(ctx)),
+      rank_(rank),
+      bucket_floats_(bucket_floats) {
+  if (!inner_) throw std::invalid_argument("DistributedOptimizer: null inner optimizer");
+  if (!ctx_) throw std::invalid_argument("DistributedOptimizer: null context");
+  if (bucket_floats_ == 0) throw std::invalid_argument("DistributedOptimizer: zero bucket size");
+  if (rank_ < 0 || rank_ >= ctx_->size())
+    throw std::invalid_argument("DistributedOptimizer: rank outside group");
+  if (ctx_->size() > 1) worker_ = std::thread([this] { worker_loop(); });
+}
+
+DistributedOptimizer::~DistributedOptimizer() {
+  if (worker_.joinable()) {
+    {
+      std::lock_guard lock(mutex_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    worker_.join();
+  }
+}
+
+void DistributedOptimizer::begin_step(double weight) {
+  if (ctx_->size() <= 1) return;
+  step_active_ = true;
+  weight_ = weight;
+}
+
+void DistributedOptimizer::grads_ready(const std::vector<nn::Param>& layer_params) {
+  if (!step_active_) return;
+  for (const auto& p : layer_params) stage(p);
+}
+
+void DistributedOptimizer::stage(const nn::Param& p) {
+  open_.spans.push_back({p.grad->data(), p.grad->size()});
+  open_.floats += p.grad->size();
+  if (open_.floats >= bucket_floats_) flush_open_bucket();
+}
+
+void DistributedOptimizer::flush_open_bucket() {
+  if (open_.spans.empty()) return;
+  open_.weight = weight_;
+  {
+    std::lock_guard lock(mutex_);
+    queue_.push_back(std::move(open_));
+    ++enqueued_;
+  }
+  cv_.notify_all();
+  open_ = Bucket{};
+}
+
+void DistributedOptimizer::wait_drain() {
+  std::unique_lock lock(mutex_);
+  cv_.wait(lock, [this] { return processed_ == enqueued_; });
+}
+
+void DistributedOptimizer::reduce_bucket(const Bucket& bucket) {
+  // Pack spans × weight, ring-reduce the weighted sums, unpack. The weighted
+  // sum over ranks of (bsz_r / global_batch) · grad_r is exactly the
+  // global-batch mean gradient, uneven shard tails included.
+  pack_.resize(bucket.floats);
+  const float w = static_cast<float>(bucket.weight);
+  std::size_t at = 0;
+  for (const auto& s : bucket.spans) {
+    for (std::size_t i = 0; i < s.n; ++i) pack_[at + i] = s.data[i] * w;
+    at += s.n;
+  }
+  util::Timer wall;
+  ctx_->comm.allreduce_sum(rank_, pack_.data(), pack_.size());
+  ctx_->allreduce_ms->observe(wall.seconds() * 1e3);
+  ctx_->allreduces->inc();
+  ctx_->allreduce_floats->inc(bucket.floats);
+  at = 0;
+  for (const auto& s : bucket.spans) {
+    std::memcpy(s.data, pack_.data() + at, s.n * sizeof(float));
+    at += s.n;
+  }
+}
+
+void DistributedOptimizer::worker_loop() {
+  util::ThreadCpuTimer cpu;
+  for (;;) {
+    Bucket bucket;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to reduce
+      bucket = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    cpu.reset();
+    reduce_bucket(bucket);
+    {
+      std::lock_guard lock(mutex_);
+      comm_busy_s_ += cpu.seconds();
+      floats_reduced_ += bucket.floats;
+      ++processed_;
+    }
+    cv_.notify_all();
+  }
+}
+
+void DistributedOptimizer::step(const std::vector<nn::Param>& params) {
+  if (ctx_->size() > 1) {
+    if (!step_active_) {
+      // Plain mode: bucket the whole parameter list synchronously with the
+      // uniform 1/N weight — a drop-in gradient-averaging optimizer.
+      begin_step(1.0 / static_cast<double>(ctx_->size()));
+      for (const auto& p : params) stage(p);
+    }
+    flush_open_bucket();
+    wait_drain();
+    step_active_ = false;
+  }
+  inner_->step(params);
+  ctx_->steps->inc();
+}
+
+void DistributedOptimizer::zero_grad(const std::vector<nn::Param>& params) {
+  inner_->zero_grad(params);
+}
+
+std::size_t DistributedOptimizer::floats_reduced() const {
+  std::lock_guard lock(mutex_);
+  return floats_reduced_;
+}
+
+double DistributedOptimizer::comm_busy_s() const {
+  std::lock_guard lock(mutex_);
+  return comm_busy_s_;
+}
+
+}  // namespace is2::dist

@@ -1,0 +1,158 @@
+// Horovod-style data-parallel primitives over the ring Communicator — the
+// paper's four integration steps mapped onto this library:
+//
+//   1. hvd.init()                     -> dist::init(ranks)
+//   2. pin one GPU per process        -> one rank thread per replica
+//   3. hvd.DistributedOptimizer(opt)  -> dist::DistributedOptimizer
+//   4. hvd.BroadcastGlobalVariables(0)-> dist::broadcast_parameters(root 0)
+//
+// `DistributedOptimizer` wraps any `nn::Optimizer`: before the wrapped step
+// it replaces every parameter's gradient with the cross-rank weighted sum
+// (weight 1/N by default — the gradient average). Gradients are packed into
+// fixed-boundary buckets and reduced on a per-rank comm worker thread, so
+// when driven through `Sequential::backward`'s gradient-ready hook the
+// all-reduce of layers near the loss overlaps the backpropagation still
+// descending toward the front end. Bucket boundaries are a pure function of
+// the (identical) parameter shapes and `bucket_floats`, and each bucket's
+// ring reduction is fixed-order, so N-rank training stays bit-reproducible
+// run-to-run (docs/distributed.md).
+//
+// Observability: a Context registers the `is2_dist_*` series (all-reduce /
+// step / sample counters, bucket all-reduce latency histogram) on the obs
+// registry, labeled by group size, so fleet dashboards see training traffic
+// next to serve traffic.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "dist/comm.hpp"
+#include "nn/model.hpp"
+#include "nn/optimizer.hpp"
+#include "obs/registry.hpp"
+
+namespace is2::dist {
+
+/// Shared process-group state: the Communicator all replicas reduce over
+/// plus the obs instruments. Create via dist::init(ranks) and hand the same
+/// shared_ptr to every rank.
+struct Context {
+  explicit Context(int ranks, obs::Registry* registry = &obs::Registry::global());
+
+  int size() const { return comm.size(); }
+
+  Communicator comm;
+
+  // is2_dist_* instruments (labeled {ranks=<N>}; pointers stable for the
+  // registry's lifetime — see obs/registry.hpp).
+  obs::Counter* allreduces = nullptr;        ///< is2_dist_allreduce_total
+  obs::Counter* allreduce_floats = nullptr;  ///< is2_dist_allreduce_floats_total
+  obs::Counter* broadcasts = nullptr;        ///< is2_dist_broadcast_total
+  obs::Counter* steps = nullptr;             ///< is2_dist_steps_total
+  obs::Counter* samples = nullptr;           ///< is2_dist_samples_total
+  obs::Counter* epochs = nullptr;            ///< is2_dist_epochs_total
+  obs::Gauge* ranks_gauge = nullptr;         ///< is2_dist_ranks
+  obs::HistogramMetric* allreduce_ms = nullptr;  ///< is2_dist_allreduce_ms
+};
+
+/// Step 1: create the process group (thread ranks, in-process transport).
+std::shared_ptr<Context> init(int ranks);
+
+/// Step 4: overwrite every rank's parameter values with root's, one
+/// collective per parameter in list order. Run before the first optimizer
+/// step so replicas whose factories diverged still start bit-identical.
+void broadcast_parameters(const std::vector<nn::Param>& params, Context& ctx, int rank,
+                          int root = 0);
+
+/// Step 3: gradient-averaging wrapper around any nn::Optimizer.
+///
+/// Two driving modes, identical arithmetic:
+///  * Plain: call step(params) like any optimizer — gradients are bucketed
+///    in parameter-list order, reduced synchronously with weight 1/N, then
+///    the wrapped optimizer steps.
+///  * Overlapped (the trainer): begin_step(weight) before backward, feed
+///    grads_ready(...) from Sequential::backward's gradient-ready hook —
+///    full buckets reduce on the comm worker while backward continues —
+///    then step(params) flushes the tail bucket, waits for the drain and
+///    runs the wrapped step. `weight` scales this rank's contribution
+///    (local_batch/global_batch handles uneven shard tails; the weighted
+///    sum over ranks is then exactly the global-batch mean gradient).
+///
+/// Every rank in the group must drive its optimizer the same way — bucket
+/// boundaries and reduction order form the collective sequence.
+class DistributedOptimizer : public nn::Optimizer {
+ public:
+  /// Default bucket size: ~4 buckets across the paper's LSTM model — small
+  /// enough that the head's gradients reduce while BPTT is still running,
+  /// large enough that per-bucket ring latency amortizes.
+  static constexpr std::size_t kDefaultBucketFloats = 12 * 1024;
+
+  DistributedOptimizer(std::unique_ptr<nn::Optimizer> inner, std::shared_ptr<Context> ctx,
+                       int rank, std::size_t bucket_floats = kDefaultBucketFloats);
+  ~DistributedOptimizer() override;
+
+  DistributedOptimizer(const DistributedOptimizer&) = delete;
+  DistributedOptimizer& operator=(const DistributedOptimizer&) = delete;
+
+  /// Arm the overlapped path for one training step. No-op for a group of 1.
+  void begin_step(double weight);
+  /// Stage a layer's now-final gradients (from the backward hook). Buckets
+  /// that fill are handed to the comm worker immediately.
+  void grads_ready(const std::vector<nn::Param>& layer_params);
+  /// Reduce whatever is still unstaged/unflushed, wait for the comm worker
+  /// to drain, then apply the wrapped optimizer.
+  void step(const std::vector<nn::Param>& params) override;
+  void zero_grad(const std::vector<nn::Param>& params) override;
+
+  /// Total floats this rank has all-reduced (gradient traffic accounting).
+  std::size_t floats_reduced() const;
+  /// CPU seconds the comm worker spent packing/reducing/unpacking — added
+  /// to the rank's busy time for critical-path epoch accounting.
+  double comm_busy_s() const;
+
+ private:
+  struct Span {
+    float* data = nullptr;
+    std::size_t n = 0;
+  };
+  struct Bucket {
+    std::vector<Span> spans;
+    std::size_t floats = 0;
+    double weight = 1.0;
+  };
+
+  void stage(const nn::Param& p);
+  void flush_open_bucket();
+  void wait_drain();
+  void reduce_bucket(const Bucket& bucket);
+  void worker_loop();
+
+  std::unique_ptr<nn::Optimizer> inner_;
+  std::shared_ptr<Context> ctx_;
+  int rank_;
+  std::size_t bucket_floats_;
+
+  // Issuing-thread state (rank main thread).
+  bool step_active_ = false;
+  double weight_ = 1.0;
+  Bucket open_;
+  std::size_t enqueued_ = 0;
+
+  // Comm worker state (guarded by mutex_).
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Bucket> queue_;
+  std::size_t processed_ = 0;
+  std::size_t floats_reduced_ = 0;
+  double comm_busy_s_ = 0.0;
+  bool stop_ = false;
+  std::vector<float> pack_;  ///< worker-only scratch
+  std::thread worker_;       ///< started only when the group has peers
+};
+
+}  // namespace is2::dist

@@ -1,0 +1,139 @@
+#include "dist/trainer.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+
+#include "dist/hvd.hpp"
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace is2::dist {
+
+TrainResult train_distributed(const ModelFactory& model_factory, const nn::Dataset& train,
+                              const nn::Dataset& test, const TrainerConfig& cfg) {
+  if (cfg.ranks < 1) throw std::invalid_argument("train_distributed: need at least one rank");
+  if (cfg.epochs == 0) throw std::invalid_argument("train_distributed: zero epochs");
+  if (cfg.batch_per_rank == 0) throw std::invalid_argument("train_distributed: zero batch");
+  const std::size_t n = train.size();
+  if (n == 0) throw std::invalid_argument("train_distributed: empty dataset");
+
+  const int R = cfg.ranks;
+  const auto global_batch = static_cast<std::size_t>(R) * cfg.batch_per_rank;
+  const std::size_t bucket_floats =
+      cfg.bucket_floats ? cfg.bucket_floats : DistributedOptimizer::kDefaultBucketFloats;
+  auto ctx = init(R);
+
+  // Replicas are built sequentially, rank 0 first, on this thread — a
+  // factory with hidden state diverges the same way every run, and the
+  // broadcast below re-aligns everyone to rank 0 regardless.
+  std::vector<nn::Sequential> models;
+  models.reserve(static_cast<std::size_t>(R));
+  for (int r = 0; r < R; ++r) models.push_back(model_factory());
+
+  std::vector<std::vector<double>> busy_s(static_cast<std::size_t>(R),
+                                          std::vector<double>(cfg.epochs, 0.0));
+  std::vector<std::size_t> rank_floats(static_cast<std::size_t>(R), 0);
+
+  auto rank_main = [&](int r) {
+    const auto ur = static_cast<std::size_t>(r);
+    auto& model = models[ur];
+    auto param_list = model.params();
+    DistributedOptimizer opt(std::make_unique<nn::Adam>(cfg.learning_rate), ctx, r,
+                             bucket_floats);
+    broadcast_parameters(param_list, *ctx, r, /*root=*/0);
+    opt.zero_grad(param_list);
+
+    nn::FocalLoss loss(cfg.focal_gamma);
+    const auto on_grads = [&](const std::vector<nn::Param>& p) { opt.grads_ready(p); };
+
+    // Every rank advances an identical copy of the shuffle stream, so the
+    // global sample order is shared without any coordination; rank r
+    // consumes the r-th batch_per_rank slice of each global batch.
+    std::vector<std::size_t> order(n);
+    for (std::size_t i = 0; i < n; ++i) order[i] = i;
+    util::Rng shuffle_rng(cfg.shuffle_seed);
+
+    nn::Tensor3 xb;
+    std::vector<std::uint8_t> yb;
+    nn::Mat grad;
+    const std::size_t ss = train.x.sample_size();
+
+    for (std::size_t epoch = 0; epoch < cfg.epochs; ++epoch) {
+      util::ThreadCpuTimer cpu;
+      const double comm0 = opt.comm_busy_s();
+      shuffle_rng.shuffle(order);
+
+      for (std::size_t start = 0; start < n; start += global_batch) {
+        const std::size_t gbsz = std::min(global_batch, n - start);
+        const std::size_t lo = std::min(ur * cfg.batch_per_rank, gbsz);
+        const std::size_t hi = std::min(lo + cfg.batch_per_rank, gbsz);
+        const std::size_t bsz = hi - lo;
+
+        // weight · grad summed over ranks = the global-batch mean gradient
+        // (each local grad is already the mean over its bsz samples).
+        opt.begin_step(static_cast<double>(bsz) / static_cast<double>(gbsz));
+        if (bsz > 0) {
+          xb = nn::Tensor3(bsz, train.x.t, train.x.d);
+          yb.resize(bsz);
+          for (std::size_t i = 0; i < bsz; ++i) {
+            const std::size_t src = order[start + lo + i];
+            std::copy(train.x.v.begin() + static_cast<std::ptrdiff_t>(src * ss),
+                      train.x.v.begin() + static_cast<std::ptrdiff_t>((src + 1) * ss),
+                      xb.v.begin() + static_cast<std::ptrdiff_t>(i * ss));
+            yb[i] = train.y[src];
+            if (cfg.sample_hook) cfg.sample_hook(r, epoch, src);
+          }
+          const nn::Mat& logits = model.forward(xb, /*training=*/true);
+          loss.compute(logits, yb, grad);
+          model.backward(grad, on_grads);
+        } else {
+          // Empty tail slice: replay the identical bucket sequence with
+          // this rank's (zero, zero-weight) gradients so the group's
+          // collective schedule stays in lockstep.
+          model.visit_params_backward(on_grads);
+        }
+        opt.step(param_list);
+        ctx->samples->inc(bsz);
+      }
+
+      // Critical-path accounting: this rank's epoch cost is its own busy
+      // CPU plus what its comm worker burned on its behalf.
+      busy_s[ur][epoch] = cpu.seconds() + (opt.comm_busy_s() - comm0);
+      if (r == 0) {
+        ctx->epochs->inc();
+        if (cfg.verbose)
+          std::fprintf(stderr, "dist epoch %zu/%zu  busy %.3fs\n", epoch + 1, cfg.epochs,
+                       busy_s[ur][epoch]);
+      }
+    }
+    rank_floats[ur] = opt.floats_reduced();
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(R));
+  for (int r = 0; r < R; ++r) threads.emplace_back(rank_main, r);
+  for (auto& t : threads) t.join();
+
+  TrainResult result;
+  result.epoch_times_s.resize(cfg.epochs, 0.0);
+  for (std::size_t e = 0; e < cfg.epochs; ++e) {
+    double worst = 0.0;
+    for (int r = 0; r < R; ++r) worst = std::max(worst, busy_s[static_cast<std::size_t>(r)][e]);
+    result.epoch_times_s[e] = worst;
+    result.total_time_s += worst;
+  }
+  result.time_per_epoch_s = result.total_time_s / static_cast<double>(cfg.epochs);
+  // Clamp: on tiny tasks the thread-CPU clock's granularity can read ~0.
+  result.samples_per_s = static_cast<double>(cfg.epochs * n) / std::max(result.total_time_s, 1e-9);
+  for (auto f : rank_floats) result.floats_reduced += f;
+  result.model = std::move(models[0]);
+  result.test_metrics = result.model.evaluate(test);
+  return result;
+}
+
+}  // namespace is2::dist

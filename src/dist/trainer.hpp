@@ -1,0 +1,78 @@
+// Synchronous data-parallel trainer over the ring substrate — the paper's
+// Horovod training loop as one call.
+//
+// `train_distributed` spawns one thread per rank ("thread GPUs": each rank
+// is a model replica with its own memory, exchanging gradients only through
+// the Communicator). Every rank derives the identical epoch shuffle from
+// its own copy of the seeded RNG stream, takes a contiguous
+// `batch_per_rank` slice of each global batch of `ranks × batch_per_rank`
+// windows, and runs forward/backward locally; gradients stream into the
+// DistributedOptimizer's buckets from the backward hook (all-reduce of the
+// head's gradients overlaps BPTT still descending), each scaled by
+// local_batch / global_batch so the reduced sum is exactly the global-batch
+// mean gradient — uneven shard tails and datasets smaller than one global
+// batch included, with every sample consumed exactly once per epoch. Ranks
+// whose tail slice is empty replay the same bucket sequence with
+// zero-weight gradients (`visit_params_backward`) so the collective
+// sequence never diverges. With ranks = 1 the loop degenerates to exactly
+// `Sequential::fit`'s op sequence — bit-identical final weights.
+//
+// Determinism: factories run sequentially on the caller thread (rank 0
+// first), `broadcast_parameters` aligns any divergent replicas to rank 0,
+// shuffles/slices/bucket boundaries are pure functions of config, and every
+// reduction is ring-fixed-order — two runs at the same rank count produce
+// bit-identical final weights (asserted in test_parallel_determinism).
+//
+// Timing model: epoch time is the data-parallel critical path — the max
+// over ranks of that rank's busy CPU time (main thread + its comm worker's
+// delta), measured with CLOCK_THREAD_CPUTIME_ID. On a machine with a core
+// per rank this equals wall clock; on a smaller host (single-core CI) it
+// still reports what the fleet would see instead of the timeslicing
+// artifact wall clock becomes there (docs/distributed.md#timing).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "nn/metrics.hpp"
+#include "nn/model.hpp"
+
+namespace is2::dist {
+
+struct TrainerConfig {
+  int ranks = 1;
+  std::size_t epochs = 5;
+  std::size_t batch_per_rank = 32;   ///< global batch = ranks × this
+  std::uint64_t shuffle_seed = 17;   ///< same default as nn::FitConfig
+  double learning_rate = 0.003;      ///< Adam, the paper's setting
+  double focal_gamma = 2.0;          ///< FocalLoss γ
+  std::size_t bucket_floats = 0;     ///< 0 = DistributedOptimizer default
+  bool verbose = false;
+  /// Test seam: invoked once per consumed sample with the dataset row it
+  /// came from — what the exactly-once shard-coverage tests count. Called
+  /// from rank threads; the hook must be thread-safe.
+  std::function<void(int rank, std::size_t epoch, std::size_t sample_index)> sample_hook;
+};
+
+struct TrainResult {
+  nn::Metrics test_metrics;            ///< final model evaluated on `test`
+  std::vector<double> epoch_times_s;   ///< critical-path time per epoch
+  double time_per_epoch_s = 0.0;       ///< mean of epoch_times_s
+  double total_time_s = 0.0;           ///< sum of epoch_times_s
+  double samples_per_s = 0.0;          ///< epochs × n / total_time_s
+  std::size_t floats_reduced = 0;      ///< gradient floats all-reduced, all ranks
+  nn::Sequential model;                ///< rank 0's final replica (all identical)
+};
+
+/// Build a fresh replica per rank. Called sequentially on the caller's
+/// thread, rank 0 first — a factory with hidden state (shared RNG, counter)
+/// therefore diverges deterministically, and broadcast_parameters re-aligns
+/// everyone to rank 0 before the first step.
+using ModelFactory = std::function<nn::Sequential()>;
+
+TrainResult train_distributed(const ModelFactory& model_factory, const nn::Dataset& train,
+                              const nn::Dataset& test, const TrainerConfig& cfg);
+
+}  // namespace is2::dist

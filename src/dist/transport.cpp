@@ -1,0 +1,74 @@
+#include "dist/transport.hpp"
+
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+namespace is2::dist {
+
+InProcessTransport::InProcessTransport(int n_ranks)
+    : n_ranks_(n_ranks),
+      channels_(static_cast<std::size_t>(n_ranks) * static_cast<std::size_t>(n_ranks)) {
+  if (n_ranks < 1) throw std::invalid_argument("InProcessTransport: need at least one rank");
+}
+
+InProcessTransport::Channel& InProcessTransport::channel(int src, int dst) {
+  return channels_[static_cast<std::size_t>(src) * static_cast<std::size_t>(n_ranks_) +
+                   static_cast<std::size_t>(dst)];
+}
+
+void InProcessTransport::check_rank(int rank) const {
+  if (rank < 0 || rank >= n_ranks_)
+    throw std::invalid_argument("InProcessTransport: rank " + std::to_string(rank) +
+                                " outside group of " + std::to_string(n_ranks_));
+}
+
+void InProcessTransport::send(int src, int dst, std::uint64_t tag, const float* data,
+                              std::size_t n) {
+  check_rank(src);
+  check_rank(dst);
+  Channel& ch = channel(src, dst);
+  Message msg;
+  msg.tag = tag;
+  {
+    // Grab a recycled buffer if one is available; copy outside the lock.
+    std::lock_guard lock(ch.mutex);
+    if (!ch.free_list.empty()) {
+      msg.payload = std::move(ch.free_list.back());
+      ch.free_list.pop_back();
+    }
+  }
+  msg.payload.resize(n);
+  if (n > 0) std::memcpy(msg.payload.data(), data, n * sizeof(float));
+  {
+    std::lock_guard lock(ch.mutex);
+    ch.queue.push_back(std::move(msg));
+  }
+  ch.cv.notify_one();
+}
+
+void InProcessTransport::recv(int src, int dst, std::uint64_t tag, float* data, std::size_t n) {
+  check_rank(src);
+  check_rank(dst);
+  Channel& ch = channel(src, dst);
+  Message msg;
+  {
+    std::unique_lock lock(ch.mutex);
+    ch.cv.wait(lock, [&] { return !ch.queue.empty(); });
+    msg = std::move(ch.queue.front());
+    ch.queue.pop_front();
+  }
+  if (msg.tag != tag || msg.payload.size() != n)
+    throw std::runtime_error(
+        "InProcessTransport: collective sequence diverged on channel " + std::to_string(src) +
+        "->" + std::to_string(dst) + " (tag " + std::to_string(msg.tag) + " != " +
+        std::to_string(tag) + " or length " + std::to_string(msg.payload.size()) + " != " +
+        std::to_string(n) + ")");
+  if (n > 0) std::memcpy(data, msg.payload.data(), n * sizeof(float));
+  {
+    std::lock_guard lock(ch.mutex);
+    ch.free_list.push_back(std::move(msg.payload));
+  }
+}
+
+}  // namespace is2::dist

@@ -1,0 +1,81 @@
+// Point-to-point transport behind the dist collectives.
+//
+// `Transport` is the seam the ring all-reduce is written against: a fixed
+// group of `size()` ranks exchanging tagged float messages over directed
+// (src, dst) channels. The in-process implementation below backs the
+// thread-per-rank harness; a socket transport implementing the same four
+// methods slots in underneath `Communicator` unchanged when the fleet goes
+// cross-process (the serve cluster's NodeHandle is the same pattern).
+//
+// Semantics the collectives rely on:
+//  * send() is buffered: it enqueues and returns without waiting for the
+//    receiver. Ring steps have every rank send before it receives — a
+//    rendezvous send would deadlock the whole ring.
+//  * Each (src, dst) channel is FIFO: messages arrive in send order. Tags
+//    (collective op sequence + phase + step) are verified on receipt, so a
+//    protocol mismatch — ranks running different collective sequences —
+//    throws instead of silently mis-summing.
+//  * recv() blocks until the matching message arrives. Arrival timing can
+//    therefore never reorder arithmetic: each reduction step consumes
+//    exactly the message it names, however the rank threads are scheduled.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+namespace is2::dist {
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Number of ranks in the group.
+  virtual int size() const = 0;
+
+  /// Buffered send of `n` floats from `src` toward `dst`; returns
+  /// immediately (never blocks on the receiver).
+  virtual void send(int src, int dst, std::uint64_t tag, const float* data, std::size_t n) = 0;
+
+  /// Blocking receive of the next message on the (src, dst) channel into
+  /// `data`. Throws std::runtime_error when the head message's tag or
+  /// length does not match — the collective sequence diverged across ranks.
+  virtual void recv(int src, int dst, std::uint64_t tag, float* data, std::size_t n) = 0;
+};
+
+/// Thread-mailbox transport: one mutex+cv FIFO per directed rank pair.
+/// Payloads are copied on send (the buffered-send contract above) and copied
+/// out on receive; message buffers are recycled through a per-channel free
+/// list so steady-state collectives allocate nothing.
+class InProcessTransport : public Transport {
+ public:
+  explicit InProcessTransport(int n_ranks);
+
+  int size() const override { return n_ranks_; }
+  void send(int src, int dst, std::uint64_t tag, const float* data, std::size_t n) override;
+  void recv(int src, int dst, std::uint64_t tag, float* data, std::size_t n) override;
+
+ private:
+  struct Message {
+    std::uint64_t tag = 0;
+    std::vector<float> payload;
+  };
+
+  struct Channel {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<Message> queue;
+    std::vector<std::vector<float>> free_list;  ///< recycled payload buffers
+  };
+
+  Channel& channel(int src, int dst);
+  void check_rank(int rank) const;
+
+  int n_ranks_;
+  std::vector<Channel> channels_;  ///< indexed src * n_ranks + dst
+};
+
+}  // namespace is2::dist

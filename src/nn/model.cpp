@@ -47,9 +47,32 @@ const Mat& Sequential::forward(const Tensor3& x, bool training) {
 }
 
 void Sequential::backward(const Mat& grad_logits) {
+  backward(grad_logits, ParamGroupFn{});
+}
+
+void Sequential::backward(const Mat& grad_logits, const ParamGroupFn& on_params_ready) {
   const Mat* g = &grad_logits;
-  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) g = &(*it)->backward(*g);
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    g = &(*it)->backward(*g);
+    if (on_params_ready) {
+      const auto p = (*it)->params();
+      if (!p.empty()) on_params_ready(p);
+    }
+  }
   front_->backward(*g);
+  if (on_params_ready) {
+    const auto p = front_->params();
+    if (!p.empty()) on_params_ready(p);
+  }
+}
+
+void Sequential::visit_params_backward(const ParamGroupFn& fn) {
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    const auto p = (*it)->params();
+    if (!p.empty()) fn(p);
+  }
+  const auto p = front_->params();
+  if (!p.empty()) fn(p);
 }
 
 std::vector<Param> Sequential::params() {

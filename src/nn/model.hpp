@@ -53,10 +53,23 @@ class Sequential {
   void set_front(std::unique_ptr<FrontEnd> front) { front_ = std::move(front); }
   void add(std::unique_ptr<Layer> layer) { layers_.push_back(std::move(layer)); }
 
+  /// Per-layer parameter group callback used by the gradient-ready hooks.
+  using ParamGroupFn = std::function<void(const std::vector<Param>&)>;
+
   /// Forward through front end + stack; returns logits [batch, classes].
   const Mat& forward(const Tensor3& x, bool training);
   /// Backward from dL/dlogits; accumulates all parameter grads.
   void backward(const Mat& grad_logits);
+  /// As backward(), additionally invoking `on_params_ready` with each
+  /// parameterized layer's params the moment that layer's gradients are
+  /// final (reverse layer order, front end last). The seam the distributed
+  /// trainer's bucketed all-reduce overlaps on: gradients of layers near
+  /// the loss start reducing while backpropagation is still descending.
+  void backward(const Mat& grad_logits, const ParamGroupFn& on_params_ready);
+  /// Invoke `fn` with each parameterized layer's params in exactly the
+  /// order backward() reports them ready — what a rank with an empty shard
+  /// tail uses to keep its collective sequence aligned with the others.
+  void visit_params_backward(const ParamGroupFn& fn);
 
   std::vector<Param> params();
   /// Total scalar parameter count.

@@ -1,13 +1,16 @@
 // Wall-clock timing for the staged benchmarks (LOAD / MAP / REDUCE phases,
-// per-epoch training times) and the serve latency metrics.
+// per-epoch training times) and the serve latency metrics, plus a per-thread
+// CPU ("busy") timer for the distributed trainer's critical-path accounting.
 //
 // Contract: a Timer is a trivially copyable value type over
 // std::chrono::steady_clock (monotonic — immune to wall-clock steps).
 // Concurrent seconds()/millis() reads are safe; reset() is not synchronized
 // with concurrent readers, so share a Timer read-only or not at all.
+// A ThreadCpuTimer is valid only on the thread that constructed it.
 #pragma once
 
 #include <chrono>
+#include <ctime>
 
 namespace is2::util {
 
@@ -27,6 +30,39 @@ class Timer {
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
+};
+
+/// CPU time consumed by the calling thread since construction or reset().
+///
+/// Unlike Timer, this does not advance while the thread is descheduled or
+/// blocked (cv/recv waits), so it measures the thread's own compute. The
+/// distributed trainer reports epoch times as the max per-rank busy time —
+/// the data-parallel critical path, i.e. what wall clock would show with one
+/// core per rank — so scaling results stay honest and reproducible even when
+/// rank threads share cores (single-core CI runners oversubscribe ranks).
+/// Falls back to wall time where no per-thread CPU clock exists.
+class ThreadCpuTimer {
+ public:
+  ThreadCpuTimer() : start_(now()) {}
+
+  void reset() { start_ = now(); }
+
+  /// Seconds of CPU time this thread burned since construction/reset().
+  double seconds() const { return now() - start_; }
+
+ private:
+  static double now() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+    timespec ts{};
+    if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0)
+      return static_cast<double>(ts.tv_sec) + static_cast<double>(ts.tv_nsec) * 1e-9;
+#endif
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  double start_;
 };
 
 }  // namespace is2::util

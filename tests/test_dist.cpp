@@ -1,15 +1,21 @@
 // Distributed-training substrate tests: ring all-reduce correctness across
 // rank counts and buffer sizes, broadcast, distributed optimizer equivalence
-// and the synchronous data-parallel trainer.
+// and the synchronous data-parallel trainer — including the sharding edge
+// cases (uneven tails, dataset smaller than one global batch), the
+// bit-exact ranks=1 fast path and divergent-factory re-alignment.
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
+#include <mutex>
 #include <thread>
 
 #include "dist/comm.hpp"
 #include "dist/hvd.hpp"
 #include "dist/trainer.hpp"
+#include "nn/loss.hpp"
 #include "nn/model.hpp"
+#include "nn/optimizer.hpp"
 
 namespace {
 
@@ -170,6 +176,150 @@ TEST(Trainer, MultiRankKeepsAccuracy) {
   // accuracy drop at equal epochs is expected; it must stay small.
   EXPECT_GT(parallel.test_metrics.accuracy, serial.test_metrics.accuracy - 0.06);
   EXPECT_GT(parallel.floats_reduced, 0u);
+}
+
+/// Bitwise equality over two models' full parameter lists.
+::testing::AssertionResult weights_identical(nn::Sequential& a, nn::Sequential& b) {
+  auto pa = a.params();
+  auto pb = b.params();
+  if (pa.size() != pb.size())
+    return ::testing::AssertionFailure() << "parameter count " << pa.size() << " vs " << pb.size();
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    if (pa[i].value->size() != pb[i].value->size())
+      return ::testing::AssertionFailure() << pa[i].name << " size mismatch";
+    if (std::memcmp(pa[i].value->data(), pb[i].value->data(),
+                    pa[i].value->size() * sizeof(float)) != 0)
+      return ::testing::AssertionFailure() << pa[i].name << " differs bitwise";
+  }
+  return ::testing::AssertionSuccess();
+}
+
+TEST(Hvd, BroadcastParametersAlignsDivergentReplicas) {
+  // Three replicas built from different seeds; after the broadcast all must
+  // be bitwise copies of rank 0's.
+  auto ctx = dist::init(3);
+  std::vector<nn::Sequential> models;
+  for (int r = 0; r < 3; ++r) {
+    Rng rng(50 + static_cast<std::uint64_t>(r));
+    models.push_back(nn::make_mlp_model(5, 6, rng));
+  }
+  EXPECT_FALSE(weights_identical(models[0], models[1]));
+  on_ranks(3, [&](int r) {
+    auto params = models[static_cast<std::size_t>(r)].params();
+    dist::broadcast_parameters(params, *ctx, r, /*root=*/0);
+  });
+  EXPECT_TRUE(weights_identical(models[0], models[1]));
+  EXPECT_TRUE(weights_identical(models[0], models[2]));
+}
+
+TEST(Trainer, SingleRankMatchesPlainFitBitExact) {
+  // ranks = 1 must be the plain Sequential::fit loop in disguise: same
+  // shuffle stream, batch assembly, loss, optimizer and step sequence.
+  const auto train = toy_task(500, 20);
+  const auto test = toy_task(100, 21);
+
+  dist::TrainerConfig cfg;
+  cfg.ranks = 1;
+  cfg.epochs = 3;
+  cfg.batch_per_rank = 32;
+  auto result = dist::train_distributed(
+      [] {
+        Rng rng(22);
+        return nn::make_mlp_model(5, 6, rng);
+      },
+      train, test, cfg);
+
+  Rng rng(22);
+  auto reference = nn::make_mlp_model(5, 6, rng);
+  nn::FocalLoss loss(2.0);
+  nn::Adam adam(0.003);
+  nn::FitConfig fit_cfg;
+  fit_cfg.epochs = 3;
+  fit_cfg.batch_size = 32;
+  reference.fit(train, loss, adam, fit_cfg);
+
+  EXPECT_TRUE(weights_identical(result.model, reference));
+}
+
+TEST(Trainer, DatasetSmallerThanGlobalBatch) {
+  // 10 samples across 4 ranks × batch 8: one global batch of 10, ranks 0/1
+  // get 8/2, ranks 2/3 run empty but stay in the collective sequence.
+  const auto train = toy_task(10, 23);
+  const auto test = toy_task(50, 24);
+  dist::TrainerConfig cfg;
+  cfg.ranks = 4;
+  cfg.epochs = 2;
+  cfg.batch_per_rank = 8;
+  std::mutex mu;
+  std::vector<std::vector<int>> seen(cfg.epochs, std::vector<int>(train.size(), 0));
+  cfg.sample_hook = [&](int, std::size_t epoch, std::size_t sample) {
+    std::lock_guard lock(mu);
+    ++seen[epoch][sample];
+  };
+  const auto result = dist::train_distributed(
+      [] {
+        Rng rng(25);
+        return nn::make_mlp_model(5, 6, rng);
+      },
+      train, test, cfg);
+  EXPECT_EQ(result.epoch_times_s.size(), 2u);
+  EXPECT_GT(result.floats_reduced, 0u);
+  for (std::size_t e = 0; e < cfg.epochs; ++e)
+    for (std::size_t i = 0; i < train.size(); ++i)
+      EXPECT_EQ(seen[e][i], 1) << "epoch " << e << " sample " << i;
+}
+
+TEST(Trainer, UnevenShardTailsConsumeEachSampleOnce) {
+  // 135 = 4×32 + 7: the last global batch leaves rank 0 with 7 samples and
+  // ranks 1–3 empty. Every sample must be consumed exactly once per epoch.
+  const auto train = toy_task(135, 26);
+  const auto test = toy_task(50, 27);
+  dist::TrainerConfig cfg;
+  cfg.ranks = 4;
+  cfg.epochs = 3;
+  cfg.batch_per_rank = 32;
+  std::mutex mu;
+  std::vector<std::vector<int>> seen(cfg.epochs, std::vector<int>(train.size(), 0));
+  cfg.sample_hook = [&](int, std::size_t epoch, std::size_t sample) {
+    std::lock_guard lock(mu);
+    ++seen[epoch][sample];
+  };
+  (void)dist::train_distributed(
+      [] {
+        Rng rng(28);
+        return nn::make_mlp_model(5, 6, rng);
+      },
+      train, test, cfg);
+  for (std::size_t e = 0; e < cfg.epochs; ++e)
+    for (std::size_t i = 0; i < train.size(); ++i)
+      ASSERT_EQ(seen[e][i], 1) << "epoch " << e << " sample " << i;
+}
+
+TEST(Trainer, DivergentFactoryEndsBitIdenticalToRoot) {
+  // A factory with hidden state hands every rank a different replica; the
+  // trainer's broadcast_parameters must align them to rank 0 (factories run
+  // sequentially, rank 0 first), making the run equivalent to a factory
+  // that always returns rank 0's model.
+  const auto train = toy_task(400, 29);
+  const auto test = toy_task(100, 30);
+  dist::TrainerConfig cfg;
+  cfg.ranks = 4;
+  cfg.epochs = 2;
+
+  int calls = 0;
+  auto divergent = dist::train_distributed(
+      [&] {
+        Rng rng(100 + static_cast<std::uint64_t>(calls++));
+        return nn::make_mlp_model(5, 6, rng);
+      },
+      train, test, cfg);
+  auto aligned = dist::train_distributed(
+      [] {
+        Rng rng(100);  // what the divergent factory gave rank 0
+        return nn::make_mlp_model(5, 6, rng);
+      },
+      train, test, cfg);
+  EXPECT_TRUE(weights_identical(divergent.model, aligned.model));
 }
 
 TEST(Trainer, EpochTimeDropsWithRanks) {

@@ -5,18 +5,28 @@
 // bit-identical results — the policy docs/performance.md documents (row-
 // partitioned work, fixed-order reductions, no `reduction(+:float)`).
 // Without OpenMP the pairs still guard run-to-run determinism.
+//
+// The dist tests extend the same policy to the rank-threaded training
+// substrate: ring all-reduce results must not depend on rank arrival order,
+// and a full 4-rank training run must be bit-reproducible.
 #include <gtest/gtest.h>
 
 #ifdef _OPENMP
 #include <omp.h>
 #endif
 
+#include <chrono>
+#include <cstring>
+#include <thread>
 #include <vector>
 
 #include "atl03/surface_model.hpp"
+#include "dist/comm.hpp"
+#include "dist/trainer.hpp"
 #include "geo/polar_stereo.hpp"
 #include "label/drift.hpp"
 #include "label/overlay.hpp"
+#include "nn/model.hpp"
 #include "sentinel2/kmeans.hpp"
 #include "sentinel2/scene_sim.hpp"
 #include "sentinel2/segmentation.hpp"
@@ -183,6 +193,84 @@ TEST(ParallelDeterminism, Segmentation) {
   for (std::size_t r = 0; r < a.labels.rows(); ++r)
     for (std::size_t c = 0; c < a.labels.cols(); ++c)
       ASSERT_EQ(a.labels.at(r, c), b.labels.at(r, c));
+}
+
+TEST(ParallelDeterminism, AllreduceArrivalOrderIndependent) {
+  // The ring parenthesizes each chunk's sum by topology, not by arrival:
+  // staggering rank start times must not change a single bit, and all
+  // ranks must end byte-identical.
+  const int ranks = 4;
+  const std::size_t len = 1'000;
+  auto run = [&](bool staggered) {
+    dist::Communicator comm(ranks);
+    std::vector<std::vector<float>> bufs(ranks);
+    for (int r = 0; r < ranks; ++r) {
+      util::Rng rng(200 + static_cast<std::uint64_t>(r));
+      bufs[static_cast<std::size_t>(r)].resize(len);
+      for (auto& v : bufs[static_cast<std::size_t>(r)])
+        v = static_cast<float>(rng.uniform(-1.0, 1.0));
+    }
+    std::vector<std::thread> threads;
+    for (int r = 0; r < ranks; ++r)
+      threads.emplace_back([&, r] {
+        if (staggered) std::this_thread::sleep_for(std::chrono::milliseconds(3 * r));
+        comm.allreduce_sum(r, bufs[static_cast<std::size_t>(r)]);
+      });
+    for (auto& t : threads) t.join();
+    return bufs;
+  };
+  const auto together = run(false);
+  const auto staggered = run(true);
+  for (int r = 0; r < ranks; ++r) {
+    const auto ur = static_cast<std::size_t>(r);
+    ASSERT_EQ(0, std::memcmp(together[ur].data(), staggered[ur].data(), len * sizeof(float)))
+        << "rank " << r << " differs between simultaneous and staggered starts";
+    ASSERT_EQ(0, std::memcmp(together[0].data(), together[ur].data(), len * sizeof(float)))
+        << "rank " << r << " diverged from rank 0";
+  }
+}
+
+TEST(ParallelDeterminism, DistTrainFourRanksBitIdentical) {
+  // Two full 4-rank training runs must produce bit-identical final weights:
+  // shared shuffle streams, fixed bucket boundaries and ring-ordered
+  // reductions leave no scheduling-dependent float op anywhere.
+  util::Rng drng(31);
+  nn::Dataset train;
+  train.x = nn::Tensor3(600, 5, 6);
+  train.y.resize(600);
+  for (std::size_t i = 0; i < 600; ++i) {
+    const auto cls = static_cast<std::uint8_t>(drng.uniform_int(0, 2));
+    for (std::size_t t = 0; t < 5; ++t) {
+      float* row = train.x.at(i, t);
+      for (int f = 0; f < 6; ++f) row[f] = static_cast<float>(drng.normal(cls * 1.0, 0.5));
+    }
+    train.y[i] = cls;
+  }
+  const auto test = train;  // evaluation set is irrelevant to the weights
+
+  auto run = [&] {
+    dist::TrainerConfig cfg;
+    cfg.ranks = 4;
+    cfg.epochs = 3;
+    return dist::train_distributed(
+        [] {
+          util::Rng rng(33);
+          return nn::make_mlp_model(5, 6, rng);
+        },
+        train, test, cfg);
+  };
+  auto a = run();
+  auto b = run();
+  auto pa = a.model.params();
+  auto pb = b.model.params();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    ASSERT_EQ(pa[i].value->size(), pb[i].value->size());
+    ASSERT_EQ(0, std::memcmp(pa[i].value->data(), pb[i].value->data(),
+                             pa[i].value->size() * sizeof(float)))
+        << "parameter " << pa[i].name << " differs between identical runs";
+  }
+  EXPECT_EQ(a.test_metrics.accuracy, b.test_metrics.accuracy);
 }
 
 }  // namespace

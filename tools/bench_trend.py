@@ -2,7 +2,7 @@
 """Append one bench-summary row per CI run to a trend CSV.
 
 Usage:
-    bench_trend.py BENCH_serve.json BENCH_nn.json bench_trend.csv
+    bench_trend.py BENCH_serve.json BENCH_nn.json BENCH_dist.json bench_trend.csv
 
 Reads the two bench artifacts, extracts the headline numbers, and appends a
 row (creating the CSV with a header when absent). CI restores the CSV from
@@ -49,6 +49,11 @@ COLUMNS = [
     "cluster_shed_rate",
     "nn_aggregate_speedup",
     "nn_predict_windows_per_sec",
+    # Distributed-training headlines from BENCH_dist.json: the 4-rank
+    # trainer speedup (critical-path accounting) and ring all-reduce GB/s
+    # at the model-gradient buffer size.
+    "dist_speedup_4rank",
+    "allreduce_gbps",
     # Per-stage ProductBuilder means (ms) from BENCH_serve.json's
     # `builder_stages` block — the stage-graph latency breakdown.
 ] + [f"builder_{stage}_mean_ms" for stage in BUILDER_STAGES]
@@ -97,11 +102,20 @@ def nn_fields(doc):
     }
 
 
+def dist_fields(doc):
+    if not doc:
+        return {}
+    return {
+        "dist_speedup_4rank": doc.get("dist_speedup_4rank"),
+        "allreduce_gbps": doc.get("allreduce_gbps"),
+    }
+
+
 def main(argv):
-    if len(argv) != 4:
+    if len(argv) != 5:
         print(__doc__, file=sys.stderr)
         return 2
-    serve_path, nn_path, csv_path = argv[1:4]
+    serve_path, nn_path, dist_path, csv_path = argv[1:5]
 
     row = {
         "commit": os.environ.get("GITHUB_SHA", "local")[:12],
@@ -109,6 +123,7 @@ def main(argv):
     }
     row.update(serve_fields(load(serve_path)))
     row.update(nn_fields(load(nn_path)))
+    row.update(dist_fields(load(dist_path)))
 
     # Schema migration: a cached CSV written before a column change would go
     # ragged on append. Rewrite it under the current header (dropped columns
