@@ -26,7 +26,11 @@
 //    (plus a small absolute floor) over sampling disabled — the obs layer's
 //    hot-path budget;
 //  * the cluster run must record at least one peer fetch — the router's
-//    reason to probe replica RAM tiers before paying shard IO + inference.
+//    reason to probe replica RAM tiers before paying shard IO + inference;
+//  * the chaos run (same fleet shape, seeded disk-fault storm + one
+//    mid-sweep node quarantine/revive) must keep availability — the served
+//    fraction of offered requests — at >= 99%: the point of the retry /
+//    failover / self-healing layer.
 #include <array>
 #include <cstdio>
 #include <filesystem>
@@ -43,6 +47,7 @@
 #include "obs/export.hpp"
 #include "serve/cluster.hpp"
 #include "serve/service.hpp"
+#include "util/fault.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
@@ -119,10 +124,39 @@ struct ClusterSection {
   double shed_rate() const { return curve.empty() ? 0.0 : curve.back().shed_rate(); }
 };
 
+/// The chaos run: the open-loop sweep repeated against a warmed fleet with
+/// an armed fault plan (probabilistic disk.read/disk.write failures) and one
+/// explicit quarantine + revive mid-sweep. The headline is availability —
+/// served / offered — which the retry, failover and re-replication layers
+/// must keep at >= 99% despite the injected faults.
+struct ChaosSection {
+  double disk_fault_rate = 0.0;
+  std::vector<bench::LoadgenResult> curve;
+  serve::ClusterMetrics metrics;
+  std::uint64_t injected_disk_read = 0;   ///< disk.read faults actually fired
+  std::uint64_t injected_disk_write = 0;  ///< disk.write faults actually fired
+
+  std::uint64_t offered() const {
+    std::uint64_t n = 0;
+    for (const auto& r : curve) n += r.offered;
+    return n;
+  }
+  std::uint64_t served() const {
+    std::uint64_t n = 0;
+    for (const auto& r : curve) n += r.served;
+    return n;
+  }
+  double availability() const {
+    const std::uint64_t o = offered();
+    return o ? static_cast<double>(served()) / static_cast<double>(o) : 0.0;
+  }
+};
+
 void write_json(const std::string& path, const std::vector<WorkerRow>& rows,
                 const std::vector<SweepRow>& sweep, const TierSweep& tiers,
                 const std::array<ClassRow, serve::kPriorityClasses>& classes,
-                const TraceOverhead& overhead, const ClusterSection& cluster) {
+                const TraceOverhead& overhead, const ClusterSection& cluster,
+                const ChaosSection& chaos) {
   std::ofstream out(path, std::ios::trunc);
   if (!out) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -210,6 +244,18 @@ void write_json(const std::string& path, const std::vector<WorkerRow>& rows,
       << "    \"imbalance\": " << cluster.metrics.imbalance()
       << ", \"cluster_p99_ms\": " << cluster.p99_ms()
       << ", \"cluster_shed_rate\": " << cluster.shed_rate() << "\n  },\n"
+      << "  \"chaos\": {\n"
+      << "    \"disk_fault_rate\": " << chaos.disk_fault_rate
+      << ", \"offered\": " << chaos.offered() << ", \"served\": " << chaos.served()
+      << ", \"availability\": " << chaos.availability() << ",\n"
+      << "    \"injected_disk_read\": " << chaos.injected_disk_read
+      << ", \"injected_disk_write\": " << chaos.injected_disk_write << ",\n"
+      << "    \"node_failures\": " << chaos.metrics.node_failures
+      << ", \"quarantines\": " << chaos.metrics.quarantines
+      << ", \"revives\": " << chaos.metrics.revives
+      << ", \"rereplicated_keys\": " << chaos.metrics.rereplicated_keys << ",\n"
+      << "    \"disk_read_retries\": " << chaos.metrics.shared_disk.disk_read_retries
+      << ", \"corrupt_dropped\": " << chaos.metrics.shared_disk.corrupt_dropped << "\n  },\n"
       << "  \"cache_tiers\": {\n"
       << "    \"rebuild_mean_ms\": " << tiers.rebuild_mean_ms
       << ", \"rebuild_p99_ms\": " << tiers.rebuild_p99_ms << ",\n"
@@ -554,6 +600,95 @@ int main(int argc, char** argv) {
     cluster.shutdown();
   }
 
+  // Chaos run: the same fleet shape, warmed, then swept under an armed
+  // fault plan — every disk read/write fails with 3% probability (seeded,
+  // reproducible) — with node 1 quarantined before the second offered point
+  // and revived after it. Load is modest on purpose: availability here is
+  // earned by the retry/failover/self-healing layer, not lost to deliberate
+  // overload shedding (the SLO sweep above owns that regime).
+  std::printf("== chaos sweep (3 nodes, 3%% disk faults, mid-sweep quarantine) ==\n");
+  ChaosSection chaos_section;
+  {
+    serve::ClusterConfig ccfg;
+    ccfg.nodes = 3;
+    ccfg.vnodes = 128;
+    ccfg.replication_factor = 2;
+    ccfg.hot_key_threshold = 4;
+    ccfg.quarantine_after = 3;
+    ccfg.shared_disk_dir = dir + "/chaos_disk";
+    ccfg.node.workers = 2;
+    ccfg.node.queue_capacity = 64;
+    // RAM holds ~3 of each node's ~8 owned+replica products: the Zipf tail
+    // spills to the disk tier every episode, so the armed disk fault sites
+    // see real traffic instead of an all-RAM run that never reaches them.
+    ccfg.node.cache_bytes = one_product_bytes * 3;
+    serve::Cluster cluster(ccfg, config, campaign.corrections(), index, model_factory, scaler);
+
+    // Warm every key once (RAM + disk tiers populated) so the storm hits a
+    // serving fleet, not a cold start.
+    for (const auto& r : universe) (void)cluster.submit(r).get();
+    cluster.wait_disk_writebacks();
+
+    chaos_section.disk_fault_rate = 0.03;
+    util::fault::Plan plan(2026);
+    util::fault::SiteConfig disk_fault;
+    disk_fault.fail_rate = chaos_section.disk_fault_rate;
+    plan.on("disk.read", disk_fault);
+    plan.on("disk.write", disk_fault);
+    util::fault::Armed armed(plan);
+
+    bench::LoadgenConfig lg;
+    lg.duration_s = 1.0;
+    lg.zipf_s = 1.1;
+    lg.burst_factor = 2.0;
+    lg.burst_every_s = 0.5;
+    lg.burst_len_s = 0.1;
+    lg.clients = 3;
+    lg.deadline_ms = 500.0;  // generous budget: exercises the plumbing,
+                             // only a truly wedged job expires
+    const auto submit = [&cluster](const serve::ProductRequest& r,
+                                   std::optional<serve::Priority>* shed) {
+      return cluster.try_submit(r, shed);
+    };
+    util::Table chaos_table("Chaos sweep (3% disk faults; node 1 out for the 2nd point)");
+    chaos_table.set_header({"offered QPS", "served", "offered", "availability", "p99 ms"});
+    const std::array<double, 3> offered_points{100.0, 400.0, 400.0};
+    for (std::size_t i = 0; i < offered_points.size(); ++i) {
+      if (i == 1) cluster.quarantine_node(1);  // mid-sweep fault: node flaps out
+      if (i == 2) {
+        cluster.revive_node(1);  // heals: ring restored bit-exactly
+        (void)cluster.probe_health();
+      }
+      lg.offered_qps = offered_points[i];
+      lg.seed = 77 + static_cast<std::uint64_t>(offered_points[i]) + i;
+      const bench::LoadgenResult r = bench::run_open_loop(lg, universe, submit);
+      chaos_section.curve.push_back(r);
+      const double avail =
+          r.offered ? static_cast<double>(r.served) / static_cast<double>(r.offered) : 0.0;
+      chaos_table.add_row({std::to_string(r.offered_qps).substr(0, 7), std::to_string(r.served),
+                           std::to_string(r.offered), std::to_string(avail).substr(0, 7),
+                           std::to_string(r.p99()).substr(0, 7)});
+    }
+    chaos_section.injected_disk_read = plan.failures("disk.read");
+    chaos_section.injected_disk_write = plan.failures("disk.write");
+    chaos_section.metrics = cluster.metrics();
+    std::printf("%s\n", chaos_table.to_string().c_str());
+    std::printf(
+        "chaos: %llu/%llu served (availability %.4f), %llu disk.read + %llu disk.write "
+        "faults injected, %llu disk-read retries, %llu node failures, %llu quarantines, "
+        "%llu revives, %llu keys re-replicated\n\n",
+        static_cast<unsigned long long>(chaos_section.served()),
+        static_cast<unsigned long long>(chaos_section.offered()), chaos_section.availability(),
+        static_cast<unsigned long long>(chaos_section.injected_disk_read),
+        static_cast<unsigned long long>(chaos_section.injected_disk_write),
+        static_cast<unsigned long long>(chaos_section.metrics.shared_disk.disk_read_retries),
+        static_cast<unsigned long long>(chaos_section.metrics.node_failures),
+        static_cast<unsigned long long>(chaos_section.metrics.quarantines),
+        static_cast<unsigned long long>(chaos_section.metrics.revives),
+        static_cast<unsigned long long>(chaos_section.metrics.rereplicated_keys));
+    cluster.shutdown();
+  }
+
   // Warm RAM-hit tracing overhead: the same repeat traffic against a fully
   // warmed cache, with the tracer at full sample rate vs sampling disabled.
   // Min-of-3 trials per side so a stray scheduler hiccup cannot fail CI.
@@ -584,7 +719,7 @@ int main(int argc, char** argv) {
 
   if (!json_path.empty()) {
     write_json(json_path, worker_rows, sweep_rows, tiers, class_rows, overhead,
-               cluster_section);
+               cluster_section, chaos_section);
     // The CI artifacts next to the summary: Prometheus exposition of the
     // last worker run's registry, the cluster's node-labeled merged
     // exposition (both linted by tools/check_prometheus.py) and the span
@@ -639,5 +774,20 @@ int main(int argc, char** argv) {
   std::printf("cluster peer fetch: %llu of %llu probes hit a replica RAM tier\n",
               static_cast<unsigned long long>(cluster_section.metrics.peer_fetches),
               static_cast<unsigned long long>(cluster_section.metrics.peer_probes));
+
+  // Tripwire: the robustness layer must hold availability through the storm.
+  if (chaos_section.availability() < 0.99) {
+    std::fprintf(stderr,
+                 "FAIL: chaos availability %.4f (served %llu of %llu) under %.0f%% disk "
+                 "faults + quarantine (need >= 0.99)\n",
+                 chaos_section.availability(),
+                 static_cast<unsigned long long>(chaos_section.served()),
+                 static_cast<unsigned long long>(chaos_section.offered()),
+                 chaos_section.disk_fault_rate * 100.0);
+    return 1;
+  }
+  std::printf("chaos availability: %.4f under %.0f%% disk faults + mid-sweep quarantine "
+              "(>= 0.99 required)\n",
+              chaos_section.availability(), chaos_section.disk_fault_rate * 100.0);
   return 0;
 }

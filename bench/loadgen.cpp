@@ -110,6 +110,7 @@ LoadgenResult run_open_loop(const LoadgenConfig& config,
                         std::chrono::duration<double>(a.at_s)));
         serve::ProductRequest req = universe_ranked[a.rank];
         req.priority = a.cls;
+        req.deadline_ms = config.deadline_ms;
         const auto k = static_cast<std::size_t>(a.cls);
         std::optional<serve::ProductFuture> f;
         try {
@@ -142,6 +143,8 @@ LoadgenResult run_open_loop(const LoadgenConfig& config,
         const serve::ProductResponse response = fr.future.get();
         ++cls.served;
         out.latency_ms.push_back(response.service_ms);
+      } catch (const serve::DeadlineError&) {
+        ++cls.deadline_expired;
       } catch (const serve::ShedError&) {
         ++cls.shed_displaced;
       } catch (...) {

@@ -64,6 +64,10 @@ struct LoadgenConfig {
   std::array<double, serve::kPriorityClasses> class_mix{2.0, 3.0, 5.0};
   std::size_t clients = 2;  ///< firing threads (arrivals round-robined)
   std::uint64_t seed = 1;   ///< fixes the whole schedule (arrivals, keys, classes)
+  /// Stamped onto every fired request (0 = none): a request still queued
+  /// after this many ms is dropped with serve::DeadlineError at dequeue,
+  /// harvested into the per-class `deadline_expired` bucket.
+  double deadline_ms = 0.0;
 };
 
 struct ClassOutcome {
@@ -71,6 +75,7 @@ struct ClassOutcome {
   std::uint64_t served = 0;
   std::uint64_t shed_arrival = 0;   ///< try_submit returned nullopt
   std::uint64_t shed_displaced = 0; ///< future failed with ShedError
+  std::uint64_t deadline_expired = 0;  ///< future failed with DeadlineError
   std::uint64_t errors = 0;         ///< any other exception
 
   std::uint64_t shed() const { return shed_arrival + shed_displaced; }

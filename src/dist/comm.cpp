@@ -15,8 +15,8 @@ std::uint64_t make_tag(std::uint64_t op, unsigned phase, unsigned step) {
 
 }  // namespace
 
-Communicator::Communicator(int n_ranks)
-    : Communicator(n_ranks, std::make_shared<InProcessTransport>(n_ranks)) {}
+Communicator::Communicator(int n_ranks, double recv_timeout_ms)
+    : Communicator(n_ranks, std::make_shared<InProcessTransport>(n_ranks, recv_timeout_ms)) {}
 
 Communicator::Communicator(int n_ranks, std::shared_ptr<Transport> transport)
     : n_ranks_(n_ranks), transport_(std::move(transport)), state_(static_cast<std::size_t>(n_ranks)) {
@@ -42,7 +42,11 @@ void Communicator::allreduce_sum(int rank, float* data, std::size_t n) {
   const std::uint64_t op = next_op(rank);
   const int N = n_ranks_;
   if (N == 1 || n == 0) return;
+  guarded("allreduce_sum", [&] { allreduce_sum_body(rank, data, n, op); });
+}
 
+void Communicator::allreduce_sum_body(int rank, float* data, std::size_t n, std::uint64_t op) {
+  const int N = n_ranks_;
   auto& st = state_[static_cast<std::size_t>(rank)];
   const int next = (rank + 1) % N;
   const int prev = (rank + N - 1) % N;
@@ -91,12 +95,14 @@ void Communicator::broadcast(int rank, float* data, std::size_t n, int root) {
     throw std::invalid_argument("Communicator::broadcast: bad root " + std::to_string(root));
   const std::uint64_t op = next_op(rank);
   if (n_ranks_ == 1 || n == 0) return;
-  if (rank == root) {
-    for (int r = 0; r < n_ranks_; ++r)
-      if (r != root) transport_->send(root, r, make_tag(op, 2, 0), data, n);
-  } else {
-    transport_->recv(root, rank, make_tag(op, 2, 0), data, n);
-  }
+  guarded("broadcast", [&] {
+    if (rank == root) {
+      for (int r = 0; r < n_ranks_; ++r)
+        if (r != root) transport_->send(root, r, make_tag(op, 2, 0), data, n);
+    } else {
+      transport_->recv(root, rank, make_tag(op, 2, 0), data, n);
+    }
+  });
 }
 
 void Communicator::barrier(int rank) {

@@ -35,12 +35,20 @@ namespace is2::dist {
 
 class Communicator {
  public:
-  /// Rank-threaded group over the in-process transport.
-  explicit Communicator(int n_ranks);
+  /// Rank-threaded group over the in-process transport. `recv_timeout_ms`
+  /// bounds every receive (0 = wait forever): a dead or diverged peer
+  /// aborts the collective on ALL ranks with CollectiveAbort instead of
+  /// deadlocking the ring.
+  explicit Communicator(int n_ranks, double recv_timeout_ms = 0.0);
   /// Same collectives over a caller-supplied transport (the socket seam).
   Communicator(int n_ranks, std::shared_ptr<Transport> transport);
 
   int size() const { return n_ranks_; }
+
+  /// Poison the group: every rank blocked or subsequently entering a
+  /// collective throws CollectiveAbort (delegates to the transport).
+  void abort(const std::string& reason) { transport_->abort(reason); }
+  bool aborted() const { return transport_->aborted(); }
 
   /// In-place ring all-reduce: every rank's buffer becomes the element-wise
   /// sum over ranks (byte-identical on all ranks).
@@ -78,6 +86,22 @@ class Communicator {
   };
 
   std::uint64_t next_op(int rank);
+  void allreduce_sum_body(int rank, float* data, std::size_t n, std::uint64_t op);
+
+  /// Wrap one rank's collective body: any failure (injected fault, IO
+  /// error, tag divergence) aborts the transport group-wide, then
+  /// resurfaces as CollectiveAbort so every rank fails the same way.
+  template <typename Body>
+  void guarded(const char* what, Body&& body) {
+    try {
+      body();
+    } catch (const CollectiveAbort&) {
+      throw;
+    } catch (const std::exception& e) {
+      transport_->abort(std::string(what) + ": " + e.what());
+      throw CollectiveAbort(std::string("collective aborted: ") + what + ": " + e.what());
+    }
+  }
 
   int n_ranks_;
   std::shared_ptr<Transport> transport_;

@@ -10,7 +10,8 @@
 
 namespace is2::dist {
 
-Context::Context(int ranks, obs::Registry* registry) : comm(ranks) {
+Context::Context(int ranks, obs::Registry* registry, double recv_timeout_ms)
+    : comm(ranks, recv_timeout_ms) {
   const obs::Labels labels{{"ranks", std::to_string(ranks)}};
   allreduces = &registry->counter("is2_dist_allreduce_total", labels,
                                   "Gradient bucket all-reduces issued (per rank)");
@@ -27,7 +28,9 @@ Context::Context(int ranks, obs::Registry* registry) : comm(ranks) {
   ranks_gauge->set(static_cast<double>(ranks));
 }
 
-std::shared_ptr<Context> init(int ranks) { return std::make_shared<Context>(ranks); }
+std::shared_ptr<Context> init(int ranks, double recv_timeout_ms) {
+  return std::make_shared<Context>(ranks, &obs::Registry::global(), recv_timeout_ms);
+}
 
 void broadcast_parameters(const std::vector<nn::Param>& params, Context& ctx, int rank,
                           int root) {
@@ -132,11 +135,28 @@ void DistributedOptimizer::worker_loop() {
       queue_.pop_front();
     }
     cpu.reset();
-    reduce_bucket(bucket);
+    // A failed collective (CollectiveAbort, injected fault) must not kill
+    // the worker thread: record the first error, then drain-and-discard
+    // subsequent buckets so wait_drain() always unblocks and the rank
+    // thread sees the failure from step() instead of std::terminate.
+    bool skip;
+    {
+      std::lock_guard lock(mutex_);
+      skip = worker_error_ != nullptr;
+    }
+    std::exception_ptr err;
+    if (!skip) {
+      try {
+        reduce_bucket(bucket);
+      } catch (...) {
+        err = std::current_exception();
+      }
+    }
     {
       std::lock_guard lock(mutex_);
       comm_busy_s_ += cpu.seconds();
-      floats_reduced_ += bucket.floats;
+      if (!skip && !err) floats_reduced_ += bucket.floats;
+      if (err && !worker_error_) worker_error_ = err;
       ++processed_;
     }
     cv_.notify_all();
@@ -154,6 +174,14 @@ void DistributedOptimizer::step(const std::vector<nn::Param>& params) {
     flush_open_bucket();
     wait_drain();
     step_active_ = false;
+    std::exception_ptr err;
+    {
+      std::lock_guard lock(mutex_);
+      err = worker_error_;
+    }
+    // Surface the comm worker's failure on the rank thread: the wrapped
+    // optimizer never steps on a partially reduced gradient.
+    if (err) std::rethrow_exception(err);
   }
   inner_->step(params);
   ctx_->steps->inc();

@@ -26,6 +26,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -42,7 +43,11 @@ namespace is2::dist {
 /// plus the obs instruments. Create via dist::init(ranks) and hand the same
 /// shared_ptr to every rank.
 struct Context {
-  explicit Context(int ranks, obs::Registry* registry = &obs::Registry::global());
+  /// `recv_timeout_ms` bounds every collective receive (0 = wait forever):
+  /// a dead rank aborts the group with CollectiveAbort instead of
+  /// deadlocking the ring (see dist/transport.hpp).
+  explicit Context(int ranks, obs::Registry* registry = &obs::Registry::global(),
+                   double recv_timeout_ms = 0.0);
 
   int size() const { return comm.size(); }
 
@@ -61,7 +66,9 @@ struct Context {
 };
 
 /// Step 1: create the process group (thread ranks, in-process transport).
-std::shared_ptr<Context> init(int ranks);
+/// A nonzero `recv_timeout_ms` arms the liveness guard: any rank waiting
+/// longer than that on a peer aborts the collective on all ranks.
+std::shared_ptr<Context> init(int ranks, double recv_timeout_ms = 0.0);
 
 /// Step 4: overwrite every rank's parameter values with root's, one
 /// collective per parameter in list order. Run before the first optimizer
@@ -147,6 +154,10 @@ class DistributedOptimizer : public nn::Optimizer {
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::deque<Bucket> queue_;
+  /// First failure the comm worker hit (CollectiveAbort, injected fault).
+  /// Once set, later buckets are discarded-but-counted so wait_drain()
+  /// still unblocks; step() rethrows it on the rank thread.
+  std::exception_ptr worker_error_;
   std::size_t processed_ = 0;
   std::size_t floats_reduced_ = 0;
   double comm_busy_s_ = 0.0;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <exception>
 #include <memory>
 #include <stdexcept>
 #include <thread>
@@ -26,7 +27,7 @@ TrainResult train_distributed(const ModelFactory& model_factory, const nn::Datas
   const auto global_batch = static_cast<std::size_t>(R) * cfg.batch_per_rank;
   const std::size_t bucket_floats =
       cfg.bucket_floats ? cfg.bucket_floats : DistributedOptimizer::kDefaultBucketFloats;
-  auto ctx = init(R);
+  auto ctx = init(R, cfg.recv_timeout_ms);
 
   // Replicas are built sequentially, rank 0 first, on this thread — a
   // factory with hidden state diverges the same way every run, and the
@@ -45,6 +46,17 @@ TrainResult train_distributed(const ModelFactory& model_factory, const nn::Datas
     auto param_list = model.params();
     DistributedOptimizer opt(std::make_unique<nn::Adam>(cfg.learning_rate), ctx, r,
                              bucket_floats);
+    // Poison the group BEFORE opt unwinds on a failure: its destructor
+    // joins the comm worker, which may be blocked in a recv that only the
+    // abort can wake (peers could likewise block forever on this rank).
+    struct AbortOnUnwind {
+      Context& ctx;
+      int rank;
+      ~AbortOnUnwind() {
+        if (std::uncaught_exceptions() > 0)
+          ctx.comm.abort("rank " + std::to_string(rank) + " failed");
+      }
+    } abort_guard{*ctx, r};
     broadcast_parameters(param_list, *ctx, r, /*root=*/0);
     opt.zero_grad(param_list);
 
@@ -114,10 +126,38 @@ TrainResult train_distributed(const ModelFactory& model_factory, const nn::Datas
     rank_floats[ur] = opt.floats_reduced();
   };
 
+  // A rank that fails (CollectiveAbort from a timeout/fault, or any other
+  // exception) must not std::terminate the process: capture per-rank
+  // errors, make sure the group is poisoned so every peer unblocks, join
+  // everyone, then rethrow — preferring the CollectiveAbort that names the
+  // root cause over the secondary aborts the survivors observed.
+  std::vector<std::exception_ptr> rank_errors(static_cast<std::size_t>(R));
+  auto rank_guarded = [&](int r) {
+    try {
+      rank_main(r);
+    } catch (...) {
+      rank_errors[static_cast<std::size_t>(r)] = std::current_exception();
+      ctx->comm.abort("rank " + std::to_string(r) + " failed");
+    }
+  };
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(R));
-  for (int r = 0; r < R; ++r) threads.emplace_back(rank_main, r);
+  for (int r = 0; r < R; ++r) threads.emplace_back(rank_guarded, r);
   for (auto& t : threads) t.join();
+
+  std::exception_ptr first_error;
+  for (const auto& err : rank_errors) {
+    if (!err) continue;
+    if (!first_error) first_error = err;
+    try {
+      std::rethrow_exception(err);
+    } catch (const CollectiveAbort&) {
+      first_error = err;  // the liveness error wins: it carries the cause
+      break;
+    } catch (...) {
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
 
   TrainResult result;
   result.epoch_times_s.resize(cfg.epochs, 0.0);

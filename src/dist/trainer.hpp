@@ -49,6 +49,11 @@ struct TrainerConfig {
   double learning_rate = 0.003;      ///< Adam, the paper's setting
   double focal_gamma = 2.0;          ///< FocalLoss γ
   std::size_t bucket_floats = 0;     ///< 0 = DistributedOptimizer default
+  /// Liveness guard: bounds every collective receive (0 = wait forever).
+  /// When a rank dies or diverges mid-collective, the survivors abort with
+  /// `dist::CollectiveAbort` within this bound instead of deadlocking;
+  /// train_distributed joins every rank thread and rethrows it.
+  double recv_timeout_ms = 0.0;
   bool verbose = false;
   /// Test seam: invoked once per consumed sample with the dataset row it
   /// came from — what the exactly-once shard-coverage tests count. Called

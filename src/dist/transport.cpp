@@ -1,13 +1,15 @@
 #include "dist/transport.hpp"
 
+#include <chrono>
 #include <cstring>
-#include <stdexcept>
-#include <string>
+
+#include "util/fault.hpp"
 
 namespace is2::dist {
 
-InProcessTransport::InProcessTransport(int n_ranks)
+InProcessTransport::InProcessTransport(int n_ranks, double recv_timeout_ms)
     : n_ranks_(n_ranks),
+      recv_timeout_ms_(recv_timeout_ms),
       channels_(static_cast<std::size_t>(n_ranks) * static_cast<std::size_t>(n_ranks)) {
   if (n_ranks < 1) throw std::invalid_argument("InProcessTransport: need at least one rank");
 }
@@ -23,10 +25,44 @@ void InProcessTransport::check_rank(int rank) const {
                                 " outside group of " + std::to_string(n_ranks_));
 }
 
+void InProcessTransport::throw_aborted() const {
+  std::string reason;
+  {
+    std::lock_guard lock(abort_mutex_);
+    reason = abort_reason_;
+  }
+  throw CollectiveAbort("collective aborted: " + (reason.empty() ? "unknown" : reason));
+}
+
+void InProcessTransport::abort(const std::string& reason) {
+  {
+    std::lock_guard lock(abort_mutex_);
+    if (aborted_.load(std::memory_order_acquire)) return;  // first reason wins
+    abort_reason_ = reason;
+    aborted_.store(true, std::memory_order_release);
+  }
+  // Wake every blocked recv on every channel; each one observes aborted_
+  // under its own channel lock and throws.
+  for (Channel& ch : channels_) {
+    std::lock_guard lock(ch.mutex);
+    ch.cv.notify_all();
+  }
+}
+
+std::size_t InProcessTransport::pending(int src, int dst) {
+  check_rank(src);
+  check_rank(dst);
+  Channel& ch = channel(src, dst);
+  std::lock_guard lock(ch.mutex);
+  return ch.queue.size();
+}
+
 void InProcessTransport::send(int src, int dst, std::uint64_t tag, const float* data,
                               std::size_t n) {
   check_rank(src);
   check_rank(dst);
+  if (aborted()) throw_aborted();
+  util::fault::inject("dist.send", src);
   Channel& ch = channel(src, dst);
   Message msg;
   msg.tag = tag;
@@ -50,20 +86,39 @@ void InProcessTransport::send(int src, int dst, std::uint64_t tag, const float* 
 void InProcessTransport::recv(int src, int dst, std::uint64_t tag, float* data, std::size_t n) {
   check_rank(src);
   check_rank(dst);
+  util::fault::inject("dist.recv", dst);
   Channel& ch = channel(src, dst);
   Message msg;
   {
     std::unique_lock lock(ch.mutex);
-    ch.cv.wait(lock, [&] { return !ch.queue.empty(); });
+    const auto ready = [&] { return !ch.queue.empty() || aborted(); };
+    if (recv_timeout_ms_ > 0.0) {
+      if (!ch.cv.wait_for(lock, std::chrono::duration<double, std::milli>(recv_timeout_ms_),
+                          ready)) {
+        // The peer went silent: poison the group before throwing so the
+        // other ranks wake instead of deadlocking on their own recvs.
+        lock.unlock();
+        abort("rank " + std::to_string(dst) + " recv from rank " + std::to_string(src) +
+              " timed out after " + std::to_string(recv_timeout_ms_) + " ms");
+        throw_aborted();
+      }
+    } else {
+      ch.cv.wait(lock, ready);
+    }
+    if (aborted()) throw_aborted();
+    // Validate the head BEFORE dequeuing: on a tag/length mismatch the
+    // message stays at the channel head and the channel state is
+    // untouched, so the divergence is diagnosable rather than cascading.
+    const Message& head = ch.queue.front();
+    if (head.tag != tag || head.payload.size() != n)
+      throw std::runtime_error(
+          "InProcessTransport: collective sequence diverged on channel " + std::to_string(src) +
+          "->" + std::to_string(dst) + " (tag " + std::to_string(head.tag) + " != " +
+          std::to_string(tag) + " or length " + std::to_string(head.payload.size()) + " != " +
+          std::to_string(n) + ")");
     msg = std::move(ch.queue.front());
     ch.queue.pop_front();
   }
-  if (msg.tag != tag || msg.payload.size() != n)
-    throw std::runtime_error(
-        "InProcessTransport: collective sequence diverged on channel " + std::to_string(src) +
-        "->" + std::to_string(dst) + " (tag " + std::to_string(msg.tag) + " != " +
-        std::to_string(tag) + " or length " + std::to_string(msg.payload.size()) + " != " +
-        std::to_string(n) + ")");
   if (n > 0) std::memcpy(data, msg.payload.data(), n * sizeof(float));
   {
     std::lock_guard lock(ch.mutex);

@@ -1,10 +1,12 @@
 #include "serve/cluster.hpp"
 
 #include <algorithm>
+#include <exception>
 #include <stdexcept>
 #include <tuple>
 #include <utility>
 
+#include "util/fault.hpp"
 #include "util/rng.hpp"
 
 namespace is2::serve {
@@ -64,8 +66,18 @@ Cluster::Cluster(const ClusterConfig& config, const core::PipelineConfig& pipeli
                                             "hot-key requests routed off-owner");
   hot_key_total_ = &registry_.counter("is2_cluster_hot_key_total", {},
                                       "keys promoted past hot_key_threshold");
+  node_failure_total_ = &registry_.counter("is2_cluster_node_failures_total", {},
+                                           "thrown submits/probes against live nodes");
+  quarantine_total_ = &registry_.counter("is2_cluster_quarantine_total", {},
+                                         "live -> quarantined transitions");
+  revive_total_ = &registry_.counter("is2_cluster_revive_total", {},
+                                     "quarantined -> live transitions");
+  rereplicated_total_ = &registry_.counter("is2_cluster_rereplicated_keys_total", {},
+                                           "hot keys re-replicated off quarantined nodes");
   live_nodes_gauge_ =
       &registry_.gauge("is2_cluster_live_nodes", {}, "nodes currently in the ring");
+  quarantined_gauge_ = &registry_.gauge("is2_cluster_quarantined_nodes", {},
+                                        "nodes out of the ring but revivable");
 
   if (!config_.shared_disk_dir.empty()) {
     disk_ = std::make_unique<DiskCache>(
@@ -82,6 +94,9 @@ Cluster::Cluster(const ClusterConfig& config, const core::PipelineConfig& pipeli
   nodes_.reserve(n);
   routed_total_.reserve(n);
   live_.assign(n, true);
+  quarantined_.assign(n, false);
+  killed_.assign(n, false);
+  consecutive_failures_.assign(n, 0);
   for (std::size_t i = 0; i < n; ++i) {
     routed_total_.push_back(&registry_.counter("is2_cluster_routed_total",
                                                {{"node", "node" + std::to_string(i)}},
@@ -161,7 +176,8 @@ Cluster::Route Cluster::route(const ProductRequest& request) {
   return Route{std::move(key), h, target};
 }
 
-bool Cluster::peer_fetch(const ProductKey& key, std::uint64_t hash, std::size_t target) {
+bool Cluster::peer_fetch(const ProductKey& key, std::uint64_t hash, std::size_t target,
+                         double budget_ms) {
   std::vector<std::size_t> peers;
   {
     std::lock_guard lock(mutex_);
@@ -171,30 +187,99 @@ bool Cluster::peer_fetch(const ProductKey& key, std::uint64_t hash, std::size_t 
       if (i != target && live_[i]) peers.push_back(i);
     }
   }
+  // The probe phase burns the request's deadline budget: once it expires,
+  // stop probing and let the target build — a late peer hit helps nobody.
+  util::Deadline deadline(budget_ms);
+  util::Backoff backoff(config_.peer_backoff, hash);
   for (std::size_t p : peers) {
-    peer_probe_total_->inc();
-    if (auto hit = nodes_[p]->peek_ram(key)) {
-      // The resident object itself moves across nodes — bit-identity with a
-      // local build is by construction, and the target now fast-hits.
-      nodes_[target]->promote_ram(key, hit);
-      peer_fetch_total_->inc();
-      return true;
+    for (std::size_t attempt = 0; attempt <= config_.peer_retries; ++attempt) {
+      if (deadline.expired()) return false;
+      peer_probe_total_->inc();
+      try {
+        util::fault::inject("peer.peek", static_cast<int>(p));
+        if (auto hit = nodes_[p]->peek_ram(key)) {
+          // The resident object itself moves across nodes — bit-identity
+          // with a local build is by construction, and the target now
+          // fast-hits.
+          nodes_[target]->promote_ram(key, hit);
+          peer_fetch_total_->inc();
+          note_success(p);
+          return true;
+        }
+        note_success(p);
+        break;  // clean miss: nothing to retry, try the next peer
+      } catch (const std::exception&) {
+        note_failure(p);
+        if (attempt < config_.peer_retries && !deadline.expired()) backoff.sleep();
+      }
     }
   }
   return false;
 }
 
+std::vector<std::size_t> Cluster::candidates_for(const Route& r) const {
+  std::vector<std::size_t> out;
+  std::lock_guard lock(mutex_);
+  out.push_back(r.target);
+  if (ring_.num_nodes() == 0) return out;
+  // At least one fallback even at replication 1: a thrown submit should
+  // fail over, not fail the request, as long as anyone is live.
+  const std::size_t want = std::max<std::size_t>(config_.replication_factor, 2);
+  for (std::uint32_t rep : ring_.replicas(r.hash, want)) {
+    const auto i = static_cast<std::size_t>(rep);
+    if (i != r.target && live_[i]) out.push_back(i);
+  }
+  return out;
+}
+
 ProductFuture Cluster::submit(const ProductRequest& request) {
   const Route r = route(request);
-  if (!nodes_[r.target]->peek_ram(r.key)) peer_fetch(r.key, r.hash, r.target);
-  return nodes_[r.target]->submit(request);
+  util::Deadline deadline(request.deadline_ms);
+  std::exception_ptr last;
+  for (std::size_t node : candidates_for(r)) {
+    try {
+      util::fault::inject("node.submit", static_cast<int>(node));
+      if (!nodes_[node]->peek_ram(r.key))
+        peer_fetch(r.key, r.hash, node, deadline.limited() ? deadline.remaining_ms() : 0.0);
+      // Remaining-budget propagation: the node's dequeue-time deadline check
+      // sees what is left after routing, probing and any failover here.
+      ProductRequest attempt = request;
+      if (deadline.limited()) attempt.deadline_ms = std::max(0.01, deadline.remaining_ms());
+      ProductFuture fut = nodes_[node]->submit(attempt);
+      note_success(node);
+      return fut;
+    } catch (const std::exception&) {
+      last = std::current_exception();
+      note_failure(node);
+    }
+  }
+  std::rethrow_exception(last);  // candidates_for never returns empty
 }
 
 std::optional<ProductFuture> Cluster::try_submit(const ProductRequest& request,
                                                  std::optional<Priority>* shed_class) {
   const Route r = route(request);
-  if (!nodes_[r.target]->peek_ram(r.key)) peer_fetch(r.key, r.hash, r.target);
-  return nodes_[r.target]->try_submit(request, shed_class);
+  util::Deadline deadline(request.deadline_ms);
+  std::exception_ptr last;
+  for (std::size_t node : candidates_for(r)) {
+    try {
+      util::fault::inject("node.submit", static_cast<int>(node));
+      if (!nodes_[node]->peek_ram(r.key))
+        peer_fetch(r.key, r.hash, node, deadline.limited() ? deadline.remaining_ms() : 0.0);
+      ProductRequest attempt = request;
+      if (deadline.limited()) attempt.deadline_ms = std::max(0.01, deadline.remaining_ms());
+      // std::nullopt is a shed — a policy answer from a healthy node, not a
+      // failure — so it returns as-is instead of failing over (a full queue
+      // elsewhere would shed too; retrying is the client's call).
+      auto out = nodes_[node]->try_submit(attempt, shed_class);
+      note_success(node);
+      return out;
+    } catch (const std::exception&) {
+      last = std::current_exception();
+      note_failure(node);
+    }
+  }
+  std::rethrow_exception(last);
 }
 
 std::size_t Cluster::warm(const std::vector<ProductRequest>& requests, mapred::Engine& engine) {
@@ -223,16 +308,126 @@ std::size_t Cluster::warm(const std::vector<ProductRequest>& requests, mapred::E
 void Cluster::kill_node(std::size_t i) {
   {
     std::lock_guard lock(mutex_);
-    if (i >= nodes_.size() || !live_[i]) return;
+    if (i >= nodes_.size() || killed_[i]) return;
     live_[i] = false;
-    ring_.remove(static_cast<std::uint32_t>(i));
-    std::size_t alive = 0;
-    for (bool l : live_) alive += l ? 1 : 0;
-    live_nodes_gauge_->set(static_cast<double>(alive));
+    killed_[i] = true;
+    quarantined_[i] = false;  // a quarantined node can still be killed
+    consecutive_failures_[i] = 0;
+    ring_.remove(static_cast<std::uint32_t>(i));  // no-op if quarantine removed it
+    sync_gauges_locked();
   }
   // Drain outside the router lock: nothing new routes here anymore, and a
   // drain can take as long as the slowest queued build.
   nodes_[i]->shutdown();
+}
+
+void Cluster::sync_gauges_locked() {
+  std::size_t alive = 0, quarantined = 0;
+  for (bool l : live_) alive += l ? 1 : 0;
+  for (bool q : quarantined_) quarantined += q ? 1 : 0;
+  live_nodes_gauge_->set(static_cast<double>(alive));
+  quarantined_gauge_->set(static_cast<double>(quarantined));
+}
+
+void Cluster::quarantine_node(std::size_t i) {
+  std::vector<ProductKey> hot;
+  {
+    std::lock_guard lock(mutex_);
+    if (i >= nodes_.size() || !live_[i]) return;  // already out or killed
+    live_[i] = false;
+    quarantined_[i] = true;
+    consecutive_failures_[i] = 0;
+    ring_.remove(static_cast<std::uint32_t>(i));
+    quarantine_total_->inc();
+    sync_gauges_locked();
+    // Healing candidates: the hot slice of the popularity ledger (bounded).
+    // Cold keys re-route and recover from the shared disk tier on their
+    // own; the hot head is what would otherwise storm the new owners with
+    // rebuilds.
+    for (const auto& [key, count] : popularity_) {
+      if (count < config_.hot_key_threshold) continue;
+      hot.push_back(key);
+      if (hot.size() >= config_.rereplicate_limit) break;
+    }
+  }
+  // Re-replicate outside the lock: the quarantined node is not drained —
+  // its RAM tier is intact and peek_ram stays safe — so every hot key it
+  // holds is copied to the key's new owner before traffic misses there.
+  try {
+    for (const ProductKey& key : hot) {
+      const std::uint64_t h = routing_hash(key);  // takes mutex_; not held here
+      auto hit = nodes_[i]->peek_ram(key);
+      if (!hit) continue;
+      std::size_t new_owner;
+      {
+        std::lock_guard lock(mutex_);
+        if (ring_.num_nodes() == 0) break;
+        new_owner = ring_.owner(h);
+      }
+      nodes_[new_owner]->promote_ram(key, std::move(hit));
+      rereplicated_total_->inc();
+    }
+  } catch (const std::exception&) {
+    // Fleet went fully dark mid-heal (routing_hash needs a live node for
+    // key derivation): nothing left to re-replicate to.
+  }
+}
+
+void Cluster::revive_node(std::size_t i) {
+  std::lock_guard lock(mutex_);
+  if (i >= nodes_.size() || !quarantined_[i]) return;
+  quarantined_[i] = false;
+  live_[i] = true;
+  consecutive_failures_[i] = 0;
+  ring_.add(static_cast<std::uint32_t>(i));
+  revive_total_->inc();
+  sync_gauges_locked();
+}
+
+bool Cluster::is_quarantined(std::size_t i) const {
+  std::lock_guard lock(mutex_);
+  return i < quarantined_.size() && quarantined_[i];
+}
+
+std::size_t Cluster::probe_health() {
+  // Sentinel key: peek_ram on a key nobody caches is a cheap liveness
+  // round-trip through the node's cache shard locks.
+  ProductKey sentinel;
+  sentinel.granule_id = "__health_probe__";
+  std::size_t healthy = 0;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    {
+      std::lock_guard lock(mutex_);
+      if (!live_[i]) continue;  // dead and quarantined nodes are never probed
+    }
+    try {
+      util::fault::inject("peer.peek", static_cast<int>(i));
+      (void)nodes_[i]->peek_ram(sentinel);
+      note_success(i);
+      ++healthy;
+    } catch (const std::exception&) {
+      note_failure(i);
+    }
+  }
+  return healthy;
+}
+
+void Cluster::note_failure(std::size_t i) {
+  bool quarantine = false;
+  {
+    std::lock_guard lock(mutex_);
+    node_failure_total_->inc();
+    if (i >= consecutive_failures_.size() || !live_[i]) return;
+    ++consecutive_failures_[i];
+    quarantine =
+        config_.quarantine_after > 0 && consecutive_failures_[i] >= config_.quarantine_after;
+  }
+  if (quarantine) quarantine_node(i);
+}
+
+void Cluster::note_success(std::size_t i) {
+  std::lock_guard lock(mutex_);
+  if (i < consecutive_failures_.size()) consecutive_failures_[i] = 0;
 }
 
 ClusterMetrics Cluster::metrics() const {
@@ -240,6 +435,7 @@ ClusterMetrics Cluster::metrics() const {
   {
     std::lock_guard lock(mutex_);
     out.live = live_;
+    out.quarantined = quarantined_;
   }
   out.nodes.reserve(nodes_.size());
   out.routed.reserve(nodes_.size());
@@ -252,6 +448,10 @@ ClusterMetrics Cluster::metrics() const {
   out.peer_fetches = peer_fetch_total_->value();
   out.replica_routes = replica_route_total_->value();
   out.hot_keys = hot_key_total_->value();
+  out.node_failures = node_failure_total_->value();
+  out.quarantines = quarantine_total_->value();
+  out.revives = revive_total_->value();
+  out.rereplicated_keys = rereplicated_total_->value();
   if (disk_) out.shared_disk = disk_->stats();
   return out;
 }

@@ -57,6 +57,7 @@
 #include "serve/hash_ring.hpp"
 #include "serve/node.hpp"
 #include "serve/service.hpp"
+#include "util/backoff.hpp"
 
 namespace is2::serve {
 
@@ -71,6 +72,20 @@ struct ClusterConfig {
   /// `popularity_capacity` keys and reset when full (a slow decay).
   std::uint64_t hot_key_threshold = 16;
   std::size_t popularity_capacity = 1u << 16;
+  /// Self-healing: a "node failure" is a thrown submit or probe against a
+  /// live node (injected fault, dying service). This many *consecutive*
+  /// failures quarantine the node — out of the ring but not drained, RAM
+  /// intact, revivable. 0 disables the automatic ledger (explicit
+  /// quarantine_node still works).
+  std::uint64_t quarantine_after = 3;
+  /// Hot ledger keys re-replicated off a freshly quarantined node onto
+  /// their new owners — bounds the healing work done per transition.
+  std::size_t rereplicate_limit = 64;
+  /// Peer-fetch resilience: retries per peer after a thrown probe, and the
+  /// (seeded) backoff between them. The whole probe phase also respects the
+  /// request's remaining deadline budget.
+  std::size_t peer_retries = 1;
+  util::BackoffConfig peer_backoff{0.2, 5.0};
   /// Per-node service knobs. disk_cache_dir / disk_cache_bytes / shared_disk
   /// are overridden by the cluster (nodes must not each open the shared
   /// directory); everything else applies to every node identically —
@@ -85,12 +100,17 @@ struct ClusterConfig {
 struct ClusterMetrics {
   std::vector<ServiceMetrics> nodes;  ///< per node, dead nodes included
   std::vector<bool> live;
+  std::vector<bool> quarantined;      ///< in the fleet but out of the ring
   std::vector<std::uint64_t> routed;  ///< requests routed per node
   std::uint64_t requests = 0;
   std::uint64_t peer_probes = 0;    ///< peek_ram calls against peers
   std::uint64_t peer_fetches = 0;   ///< probes that hit and promoted
   std::uint64_t replica_routes = 0; ///< hot-key requests sent off-owner
   std::uint64_t hot_keys = 0;       ///< keys promoted past the threshold
+  std::uint64_t node_failures = 0;  ///< thrown submits/probes recorded
+  std::uint64_t quarantines = 0;    ///< live -> quarantined transitions
+  std::uint64_t revives = 0;        ///< quarantined -> live transitions
+  std::uint64_t rereplicated_keys = 0;  ///< hot keys healed off quarantined nodes
   DiskCacheStats shared_disk;       ///< zeroed when no shared tier
   /// Max/mean routed-requests ratio over live nodes (1.0 = perfectly even);
   /// 0 when nothing was routed.
@@ -141,10 +161,32 @@ class Cluster {
   NodeHandle& node(std::size_t i) { return *nodes_.at(i); }
 
   /// Take a node out of the fleet: remove it from the ring (its key ranges
-  /// re-route with minimal churn), then drain it. Idempotent. In-flight
-  /// requests already routed there during the call may see broken futures —
-  /// the same contract as a real node crash, minus the UB.
+  /// re-route with minimal churn), then drain it. Idempotent and terminal —
+  /// a killed node cannot be revived. In-flight requests already routed
+  /// there during the call may see broken futures — the same contract as a
+  /// real node crash, minus the UB.
   void kill_node(std::size_t i);
+
+  /// Take a flapping node out of the ring WITHOUT draining it: its RAM tier
+  /// stays intact and revive_node() brings it back. Hot ledger keys are
+  /// re-replicated onto their new owners (bounded by rereplicate_limit) so
+  /// the fleet keeps fast-hitting what the node held. Idempotent; no-op on
+  /// a node that is already out (quarantined or killed).
+  void quarantine_node(std::size_t i);
+
+  /// Rejoin a quarantined node. HashRing add/remove are exact inverses, so
+  /// the restored ring — and thus routing — is bit-identical to the
+  /// pre-quarantine ring. No-op unless the node is currently quarantined.
+  void revive_node(std::size_t i);
+
+  bool is_quarantined(std::size_t i) const;
+
+  /// Active failure detection: probe every live node's RAM tier (through
+  /// the `peer.peek` fault site, so chaos plans can fail it); a thrown
+  /// probe feeds the consecutive-failure ledger and can quarantine the
+  /// node. Dead and quarantined nodes are never probed. Returns the number
+  /// of healthy probes this sweep.
+  std::size_t probe_health();
 
   ClusterMetrics metrics() const;
 
@@ -175,8 +217,20 @@ class Cluster {
   /// round-robin once hot) and update popularity/routing counters.
   Route route(const ProductRequest& request);
   /// On a target RAM miss, probe the key's other live replicas and promote
-  /// a hit into the target. Best effort; returns whether a peer hit.
-  bool peer_fetch(const ProductKey& key, std::uint64_t hash, std::size_t target);
+  /// a hit into the target. Best effort; returns whether a peer hit. A
+  /// thrown probe (`peer.peek` fault) is retried `peer_retries` times with
+  /// backoff, all bounded by `budget_ms` (0 = unlimited) — the request's
+  /// remaining deadline.
+  bool peer_fetch(const ProductKey& key, std::uint64_t hash, std::size_t target,
+                  double budget_ms);
+  /// Failover order for a routed request: target first, then the rest of
+  /// its live replica set (at least one fallback even at replication 1).
+  std::vector<std::size_t> candidates_for(const Route& r) const;
+  /// Consecutive-failure ledger. note_failure may quarantine (never under
+  /// the router lock); note_success resets the node's streak.
+  void note_failure(std::size_t i);
+  void note_success(std::size_t i);
+  void sync_gauges_locked();
   std::size_t first_live_locked() const;  ///< throws when the fleet is down
   static std::uint64_t ring_hash(const ProductKey& key);
   /// Ring position of a key: the hash of its classification-kind sibling,
@@ -194,14 +248,22 @@ class Cluster {
   obs::Counter* peer_fetch_total_ = nullptr;
   obs::Counter* replica_route_total_ = nullptr;
   obs::Counter* hot_key_total_ = nullptr;
+  obs::Counter* node_failure_total_ = nullptr;
+  obs::Counter* quarantine_total_ = nullptr;
+  obs::Counter* revive_total_ = nullptr;
+  obs::Counter* rereplicated_total_ = nullptr;
   obs::Gauge* live_nodes_gauge_ = nullptr;
+  obs::Gauge* quarantined_gauge_ = nullptr;
 
   std::unique_ptr<DiskCache> disk_;  ///< shared cold tier; outlives nodes_
   std::vector<std::unique_ptr<GranuleService>> nodes_;
 
-  mutable std::mutex mutex_;  ///< ring + popularity + live set
+  mutable std::mutex mutex_;  ///< ring + popularity + live set + ledger
   HashRing ring_;
   std::vector<bool> live_;
+  std::vector<bool> quarantined_;  ///< disjoint from killed_; both imply !live_
+  std::vector<bool> killed_;       ///< drained, terminal
+  std::vector<std::uint64_t> consecutive_failures_;
   std::unordered_map<ProductKey, std::uint64_t, ProductKeyHash> popularity_;
   std::uint64_t hot_rr_ = 0;  ///< round-robin cursor over replica sets
   bool shut_down_ = false;

@@ -13,6 +13,7 @@
 #include <utility>
 
 #include "h5lite/h5file.hpp"
+#include "util/fault.hpp"
 
 namespace is2::serve {
 
@@ -181,6 +182,8 @@ DiskCache::DiskCache(DiskCacheConfig config) : config_(std::move(config)) {
         &reg.counter("is2_cache_evictions_total", tier, "files deleted by byte budget");
     corrupt_total_ = &reg.counter("is2_cache_corrupt_dropped_total", tier,
                                   "stale/corrupt/partial files deleted");
+    read_retries_total_ = &reg.counter("is2_cache_read_retries_total", tier,
+                                       "failed reads retried before the corrupt-drop path");
     bytes_gauge_ = &reg.gauge("is2_cache_bytes", tier, "resident on-disk bytes");
     entries_gauge_ = &reg.gauge("is2_cache_entries", tier, "resident file count");
   }
@@ -290,25 +293,49 @@ std::shared_ptr<const GranuleProduct> DiskCache::get_impl(const ProductKey& key,
   }
 
   std::shared_ptr<GranuleProduct> product;
-  try {
-    const auto bytes = h5::read_file_bytes(path);
-    if (read_hook_) read_hook_(key);  // test-only concurrency probe
-    product = std::make_shared<GranuleProduct>(deserialize(bytes, key));
-  } catch (const std::exception&) {
-    // Truncated / corrupt / stale-version / mismatched file: never served.
-    std::lock_guard lock(mutex_);
-    const auto it = index_.find(key);
-    // Drop (and delete) only if the entry is still the publish generation
-    // we failed on. This is airtight because a file can only appear at the
-    // (deterministic) path under the manifest lock: put() renames its temp
-    // file into place *while holding the lock* (see put), and eviction
-    // deletes under it too — so gen == our snapshot implies the file at
-    // `path` is still the one we failed to read, and a republished healthy
-    // file always carries a newer generation and is never deleted here.
-    if (it != index_.end() && it->second->gen == gen)
-      drop_entry_locked(it->second, /*corrupt=*/true);
-    if (count_stats) ++misses_;
-    return nullptr;
+  util::Backoff backoff(config_.read_backoff, ProductKeyHash{}(key) ^ gen);
+  for (std::size_t attempt = 0;; ++attempt) {
+    try {
+      util::fault::inject("disk.read");
+      const auto bytes = h5::read_file_bytes(path);
+      if (read_hook_) read_hook_(key);  // test-only concurrency probe
+      product = std::make_shared<GranuleProduct>(deserialize(bytes, key));
+      break;
+    } catch (const std::exception&) {
+      if (attempt < config_.read_retries) {
+        // Maybe transient (flaky IO, injected fault, eviction race): retry
+        // after a backoff against a *fresh* snapshot — the entry may have
+        // been republished (newer gen, read that) or evicted (miss).
+        {
+          std::lock_guard lock(mutex_);
+          const auto it = index_.find(key);
+          if (it == index_.end()) {
+            if (count_stats) ++misses_;
+            return nullptr;
+          }
+          path = it->second->path;
+          gen = it->second->gen;
+          ++disk_read_retries_;
+        }
+        backoff.sleep();
+        continue;
+      }
+      // Out of retries: truncated / corrupt / stale-version / mismatched
+      // file — never served.
+      std::lock_guard lock(mutex_);
+      const auto it = index_.find(key);
+      // Drop (and delete) only if the entry is still the publish generation
+      // we failed on. This is airtight because a file can only appear at the
+      // (deterministic) path under the manifest lock: put() renames its temp
+      // file into place *while holding the lock* (see put), and eviction
+      // deletes under it too — so gen == our snapshot implies the file at
+      // `path` is still the one we failed to read, and a republished healthy
+      // file always carries a newer generation and is never deleted here.
+      if (it != index_.end() && it->second->gen == gen)
+        drop_entry_locked(it->second, /*corrupt=*/true);
+      if (count_stats) ++misses_;
+      return nullptr;
+    }
   }
 
   std::lock_guard lock(mutex_);
@@ -319,6 +346,7 @@ std::shared_ptr<const GranuleProduct> DiskCache::get_impl(const ProductKey& key,
 }
 
 void DiskCache::put(const ProductKey& key, const GranuleProduct& product) {
+  util::fault::inject("disk.write");
   const std::vector<std::uint8_t> bytes = serialize(key, product);
   const std::string path = (fs::path(config_.dir) / filename_for(key)).string();
 
@@ -382,6 +410,7 @@ void DiskCache::sync_registry_locked(const DiskCacheStats& totals) const {
   writes_total_->inc(totals.writes - exported_.writes);
   evictions_total_->inc(totals.evictions - exported_.evictions);
   corrupt_total_->inc(totals.corrupt_dropped - exported_.corrupt_dropped);
+  read_retries_total_->inc(totals.disk_read_retries - exported_.disk_read_retries);
   bytes_gauge_->set(static_cast<double>(totals.bytes));
   entries_gauge_->set(static_cast<double>(totals.entries));
   exported_ = totals;
@@ -395,6 +424,7 @@ DiskCacheStats DiskCache::stats() const {
   out.writes = writes_;
   out.evictions = evictions_;
   out.corrupt_dropped = corrupt_dropped_;
+  out.disk_read_retries = disk_read_retries_;
   out.bytes = bytes_;
   out.entries = lru_.size();
   sync_registry_locked(out);

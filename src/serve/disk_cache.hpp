@@ -45,6 +45,7 @@
 
 #include "obs/registry.hpp"
 #include "serve/product_cache.hpp"
+#include "util/backoff.hpp"
 
 namespace is2::serve {
 
@@ -56,6 +57,13 @@ struct DiskCacheConfig {
   /// sync) — the get/put hot paths are untouched. The registry must outlive
   /// the cache.
   obs::Registry* registry = nullptr;
+  /// A failed file read (IO error, torn read under concurrent eviction,
+  /// injected `disk.read` fault) is retried this many times with backoff
+  /// before the delete-as-corrupt path runs — a genuinely corrupt file fails
+  /// every attempt and is still dropped, but a transient fault costs one
+  /// short sleep instead of a rebuilt product.
+  std::size_t read_retries = 1;
+  util::BackoffConfig read_backoff{0.2, 5.0};
 };
 
 struct DiskCacheStats {
@@ -64,6 +72,7 @@ struct DiskCacheStats {
   std::uint64_t writes = 0;            ///< successful put() publishes
   std::uint64_t evictions = 0;         ///< files deleted by the byte budget
   std::uint64_t corrupt_dropped = 0;   ///< stale/corrupt/partial files deleted
+  std::uint64_t disk_read_retries = 0; ///< failed reads retried before the drop path
   std::size_t bytes = 0;               ///< resident on-disk bytes
   std::size_t entries = 0;             ///< resident files
 
@@ -171,6 +180,7 @@ class DiskCache {
   std::size_t bytes_ = 0;
   std::uint64_t next_gen_ = 1;  ///< publish generation source (under mutex_)
   std::uint64_t hits_ = 0, misses_ = 0, writes_ = 0, evictions_ = 0, corrupt_dropped_ = 0;
+  std::uint64_t disk_read_retries_ = 0;
 
   /// Registry mirror (nullptr = off); the raw counters above stay the source
   /// of truth and `exported_` tracks what was already pushed (under mutex_).
@@ -179,6 +189,7 @@ class DiskCache {
   obs::Counter* writes_total_ = nullptr;
   obs::Counter* evictions_total_ = nullptr;
   obs::Counter* corrupt_total_ = nullptr;
+  obs::Counter* read_retries_total_ = nullptr;
   obs::Gauge* bytes_gauge_ = nullptr;
   obs::Gauge* entries_gauge_ = nullptr;
   mutable DiskCacheStats exported_;

@@ -40,6 +40,9 @@ BatchScheduler::BatchScheduler(const Config& config, Builder builder)
         "requests shed on arrival (try_submit full, or submit racing shutdown)");
     displaced_total_[c] = &registry_->counter("is2_sched_displaced_total", class_labels(cls),
                                               "queued jobs shed to admit a higher class");
+    deadline_expired_total_[c] = &registry_->counter(
+        "is2_sched_deadline_expired_total", class_labels(cls),
+        "jobs dropped at dequeue: queue wait exceeded the request deadline");
     queue_depth_gauge_[c] = &registry_->gauge("is2_sched_queue_depth", class_labels(cls),
                                               "jobs waiting for a worker");
   }
@@ -195,6 +198,29 @@ void BatchScheduler::drain_loop() {
     const double queue_wait_ms = job->enqueued.millis();
     if (job->trace.active())
       job->trace.emit("queue_wait", job->trace.mint_ms(), queue_wait_ms);
+    // Deadline-aware shedding: a job whose client budget expired while it
+    // queued is dropped here, before it occupies this worker — the waiters
+    // stopped caring, so building would only add queueing delay for jobs
+    // whose deadlines are still live. Completes the job (same bookkeeping
+    // as a build) but with DeadlineError so callers can tell "too slow"
+    // from "shed under overload" (ShedError).
+    if (job->request.deadline_ms > 0.0 && queue_wait_ms > job->request.deadline_ms) {
+      deadline_expired_total_[static_cast<std::size_t>(job->request.priority)]->inc();
+      if (config_.tracer) config_.tracer->record_instant("deadline", job->trace.trace_id());
+      job->trace.finish("request:deadline", /*force=*/true);
+      {
+        // Erase BEFORE failing the promise: a submit racing this drop must
+        // open a fresh job, not coalesce onto a future that is about to
+        // carry another request's expired budget.
+        std::lock_guard lock(mutex_);
+        inflight_.erase(job->key);
+        completed_total_->inc();
+      }
+      job->promise.set_exception(std::make_exception_ptr(DeadlineError(
+          "BatchScheduler: deadline " + std::to_string(job->request.deadline_ms) +
+          " ms expired after " + std::to_string(queue_wait_ms) + " ms in queue")));
+      continue;
+    }
     // Bind the job's context so the builder's SpanScopes (disk probe, shard
     // load, every pipeline stage) land in this trace, and log lines carry
     // the trace id.
@@ -232,6 +258,8 @@ SchedulerStats BatchScheduler::stats() const {
     out.coalesced += coalesced_total_[c]->value();
     out.rejected += rejected;
     out.displaced += displaced;
+    out.deadline_expired_by_class[c] = deadline_expired_total_[c]->value();
+    out.deadline_expired += out.deadline_expired_by_class[c];
     // Shed accounting: a rejected arrival under its own class, a displaced
     // queued job under the class it held.
     out.shed_by_class[c] = rejected + displaced;

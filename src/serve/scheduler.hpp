@@ -73,6 +73,16 @@ class ShedError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// Raised through the shared future of a job whose request carried a
+/// `deadline_ms` that expired while the job sat in the queue. Distinct from
+/// ShedError: the scheduler chose to shed nothing — the client's latency
+/// budget ran out, so building would only waste a worker on an answer
+/// nobody is waiting for. Checked at dequeue (deadline-aware shedding).
+class DeadlineError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
 /// One client request: which product to materialize — how deep
 /// (`ProductKind`), with which classifier backend, with which sea surface
 /// estimator — and at which admission priority. Kind, backend and method all
@@ -86,6 +96,11 @@ struct ProductRequest {
   Priority priority = Priority::batch;
   pipeline::ProductKind kind = pipeline::ProductKind::freeboard;
   pipeline::Backend backend = pipeline::Backend::nn;
+  /// Client latency budget in ms (0 = none). A job still queued when its
+  /// budget expires is dropped at dequeue with `DeadlineError` instead of
+  /// occupying a worker. Not part of the cache key; coalesced waiters share
+  /// the budget of the job that got queued first.
+  double deadline_ms = 0.0;
 };
 
 /// Where a response came from. `ram` and `disk` are the two cache tiers;
@@ -321,13 +336,15 @@ struct SchedulerStats {
   std::uint64_t coalesced = 0;   ///< requests attached to an in-flight build
   std::uint64_t rejected = 0;    ///< try_submit requests shed on arrival
   std::uint64_t displaced = 0;   ///< queued jobs shed to admit a higher class
-  std::uint64_t completed = 0;   ///< build jobs finished (ok or error)
+  std::uint64_t deadline_expired = 0;  ///< jobs dropped at dequeue, budget spent
+  std::uint64_t completed = 0;   ///< build jobs finished (ok, error or deadline)
   std::size_t queue_depth = 0;   ///< jobs waiting for a worker right now
   std::size_t in_flight = 0;     ///< keys queued or building right now
   /// Shed totals by the class of what was lost: a rejected arrival counts
   /// under its own class, a displaced queued job under the class it held.
   std::array<std::uint64_t, kPriorityClasses> shed_by_class{};
   std::array<std::uint64_t, kPriorityClasses> dispatched_by_class{};
+  std::array<std::uint64_t, kPriorityClasses> deadline_expired_by_class{};
   std::array<std::size_t, kPriorityClasses> queue_depth_by_class{};
 };
 
@@ -422,6 +439,7 @@ class BatchScheduler {
   std::array<obs::Counter*, kPriorityClasses> coalesced_total_{};
   std::array<obs::Counter*, kPriorityClasses> rejected_total_{};
   std::array<obs::Counter*, kPriorityClasses> displaced_total_{};
+  std::array<obs::Counter*, kPriorityClasses> deadline_expired_total_{};
   obs::Counter* completed_total_ = nullptr;
   std::array<obs::Gauge*, kPriorityClasses> queue_depth_gauge_{};
   obs::Gauge* in_flight_gauge_ = nullptr;

@@ -9,6 +9,8 @@
 
 #include "atl03/preprocess.hpp"
 #include "h5lite/granule_io.hpp"
+#include "util/backoff.hpp"
+#include "util/logging.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
 
@@ -256,12 +258,27 @@ void GranuleService::schedule_writeback(const ProductKey& key,
     ++writebacks_pending_;
   }
   writeback_pool_->submit([this, key, product = std::move(product)] {
-    try {
-      disk_->put(key, *product);
-    } catch (const std::exception&) {
-      // Disk-full or IO error: the RAM tier still has the product, so serve
-      // traffic is unaffected — count it and move on.
-      writeback_failures_total_->inc();
+    // Bounded retry with backoff: a transient disk fault (injected
+    // `disk.write`, momentary ENOSPC) should not cost the disk tier an
+    // entry that the next restart would otherwise have. The RAM tier still
+    // has the product throughout, so serve traffic is unaffected either
+    // way — after the last attempt we log the key and move on.
+    constexpr std::size_t kWritebackAttempts = 3;
+    util::Backoff backoff(util::BackoffConfig{0.5, 20.0}, ProductKeyHash{}(key));
+    for (std::size_t attempt = 1;; ++attempt) {
+      try {
+        disk_->put(key, *product);
+        break;
+      } catch (const std::exception& e) {
+        if (attempt < kWritebackAttempts) {
+          backoff.sleep();
+          continue;
+        }
+        writeback_failures_total_->inc();
+        IS2_LOG_WARN("disk write-back failed for %s/%s after %zu attempts: %s",
+                     key.granule_id.c_str(), atl03::beam_name(key.beam), attempt, e.what());
+        break;
+      }
     }
     {
       std::lock_guard lock(writeback_mutex_);

@@ -1,0 +1,40 @@
+#include "util/backoff.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <thread>
+
+namespace is2::util {
+
+Backoff::Backoff(BackoffConfig cfg, std::uint64_t seed) : cfg_(cfg), rng_(seed) {}
+
+double Backoff::next_ms() {
+  ++attempts_;
+  double next;
+  if (cfg_.decorrelated) {
+    const double hi = std::max(cfg_.base_ms, prev_ms_ * 3.0);
+    next = rng_.uniform(cfg_.base_ms, std::max(cfg_.base_ms, hi));
+  } else {
+    next = prev_ms_ <= 0.0 ? cfg_.base_ms : prev_ms_ * cfg_.multiplier;
+  }
+  next = std::min(next, cfg_.max_ms);
+  prev_ms_ = next;
+  return next;
+}
+
+void Backoff::sleep() {
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(next_ms()));
+}
+
+void Backoff::reset() {
+  prev_ms_ = 0.0;
+  attempts_ = 0;
+}
+
+double Deadline::remaining_ms() const {
+  if (!limited()) return std::numeric_limits<double>::max();
+  return std::max(0.0, budget_ms_ - timer_.millis());
+}
+
+}  // namespace is2::util

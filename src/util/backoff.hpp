@@ -1,0 +1,73 @@
+// Seeded retry backoff and deadline budgets for the robustness layer.
+//
+// `Backoff` produces the sleep schedule for bounded retries: exponential
+// growth from `base_ms` capped at `max_ms`, with decorrelated jitter
+// (AWS-style: next = uniform(base, prev * 3), capped) by default so
+// synchronized retry storms spread out. All draws come from a util::Rng
+// seeded at construction, so a retry schedule replays bit-identically.
+//
+// `Deadline` is the remaining-budget token a request carries through
+// layered retries (cluster failover -> peer fetch -> disk read): one
+// monotonic start point plus a budget; every layer checks `expired()`
+// before spending another attempt. A zero budget means unlimited.
+//
+// Contract: both are plain mutable values with no synchronization — one
+// per request / per retry loop, never shared across threads.
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace is2::util {
+
+struct BackoffConfig {
+  double base_ms = 1.0;    ///< first sleep (and jitter floor)
+  double max_ms = 100.0;   ///< cap on any single sleep
+  double multiplier = 2.0; ///< growth when jitter is off
+  bool decorrelated = true;
+};
+
+class Backoff {
+ public:
+  explicit Backoff(BackoffConfig cfg = {}, std::uint64_t seed = 0);
+
+  /// The next sleep in milliseconds; advances the schedule.
+  double next_ms();
+
+  /// Sleeps for next_ms() (convenience for retry loops).
+  void sleep();
+
+  void reset();
+  std::uint64_t attempts() const { return attempts_; }
+
+ private:
+  BackoffConfig cfg_;
+  Rng rng_;
+  double prev_ms_ = 0.0;
+  std::uint64_t attempts_ = 0;
+};
+
+/// Remaining-budget clock: constructed where the budget is granted,
+/// passed down by value through the layers that spend it.
+class Deadline {
+ public:
+  /// `budget_ms <= 0` means unlimited (never expires).
+  explicit Deadline(double budget_ms = 0.0) : budget_ms_(budget_ms) {}
+
+  static Deadline unlimited() { return Deadline(0.0); }
+
+  bool limited() const { return budget_ms_ > 0.0; }
+  double budget_ms() const { return budget_ms_; }
+
+  /// Milliseconds left; a large sentinel when unlimited, 0 when spent.
+  double remaining_ms() const;
+  bool expired() const { return limited() && timer_.millis() >= budget_ms_; }
+
+ private:
+  double budget_ms_;
+  Timer timer_;
+};
+
+}  // namespace is2::util

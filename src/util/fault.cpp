@@ -1,0 +1,93 @@
+#include "util/fault.hpp"
+
+#include <chrono>
+#include <thread>
+
+#include "obs/registry.hpp"
+#include "util/rng.hpp"
+
+namespace is2::util::fault {
+
+namespace detail {
+std::atomic<Plan*> g_armed{nullptr};
+}  // namespace detail
+
+void arm(Plan* plan) { detail::g_armed.store(plan, std::memory_order_release); }
+
+Plan::Plan(std::uint64_t seed, obs::Registry* registry) : seed_(seed), registry_(registry) {}
+
+Plan& Plan::on(const std::string& site, SiteConfig cfg) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Rule rule;
+  rule.site = site;
+  rule.cfg = cfg;
+  // Per-rule stream: plan seed x site name x rule index, so adding a rule
+  // never perturbs the decisions of the ones already registered.
+  std::uint64_t salt = seed_;
+  for (const char c : site) salt = salt * 31 + static_cast<unsigned char>(c);
+  rule.rng_state = hash64(salt + rules_.size());
+  if (registry_) {
+    rule.hits_total = &registry_->counter("is2_fault_hits_total", {{"site", site}},
+                                          "Armed fault-site hits (matching rule visits)");
+    rule.injected_total = &registry_->counter("is2_fault_injected_total", {{"site", site}},
+                                              "Failures injected by the armed fault plan");
+  }
+  rules_.push_back(std::move(rule));
+  return *this;
+}
+
+std::uint64_t Plan::hits(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t n = 0;
+  for (const Rule& r : rules_)
+    if (r.site == site) n += r.hits;
+  return n;
+}
+
+std::uint64_t Plan::failures(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t n = 0;
+  for (const Rule& r : rules_)
+    if (r.site == site) n += r.failures;
+  return n;
+}
+
+void Plan::visit(const char* site, int instance) {
+  double latency_ms = 0.0;
+  bool fail = false;
+  std::uint64_t fail_hit = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (Rule& r : rules_) {
+      if (r.site != site) continue;
+      if (r.cfg.instance >= 0 && r.cfg.instance != instance) continue;
+      ++r.hits;
+      if (r.hits_total) r.hits_total->inc();
+      latency_ms += r.cfg.latency_ms;
+      if (fail || r.failures >= r.cfg.max_failures) continue;
+      bool fire = (r.cfg.fail_nth != 0 && r.hits == r.cfg.fail_nth) ||
+                  (r.cfg.fail_every != 0 && r.hits % r.cfg.fail_every == 0);
+      if (!fire && r.cfg.fail_rate > 0.0) {
+        // 53-bit uniform from the rule's splitmix64 stream; consumed only
+        // on rate rules so deterministic rules never shift the stream.
+        const double u = static_cast<double>(splitmix64(r.rng_state) >> 11) * 0x1.0p-53;
+        fire = u < r.cfg.fail_rate;
+      }
+      if (fire) {
+        ++r.failures;
+        if (r.injected_total) r.injected_total->inc();
+        fail = true;
+        fail_hit = r.hits;
+      }
+    }
+  }
+  // Latency and the throw happen outside the plan lock so a slow site
+  // never serializes unrelated sites through the plan.
+  if (latency_ms > 0.0)
+    std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(latency_ms));
+  if (fail)
+    throw InjectedFault(std::string("injected fault at ") + site + "[" +
+                        std::to_string(instance) + "] (hit " + std::to_string(fail_hit) + ")");
+}
+
+}  // namespace is2::util::fault

@@ -1,0 +1,127 @@
+// Deterministic fault injection for the chaos tests and benches.
+//
+// A seeded `fault::Plan` maps named sites — the IO and messaging choke
+// points of the serve fleet and the dist substrate — to fault rules:
+//
+//   site          | injected into
+//   --------------|------------------------------------------------------
+//   disk.read     | DiskCache::get (the unlocked file read)
+//   disk.write    | DiskCache::put (serialize + temp-file publish)
+//   peer.peek     | Cluster peer RAM probe (per peer node)
+//   node.submit   | Cluster -> node dispatch (per target node)
+//   dist.send     | InProcessTransport::send (per source rank)
+//   dist.recv     | InProcessTransport::recv (per destination rank)
+//
+// Each rule can fail the nth matching hit (1-based), every k-th hit, or
+// each hit with a seeded probability, optionally bounded by max_failures,
+// and can add latency to every matching hit. All decisions derive from the
+// plan seed via per-rule splitmix64 streams, so a chaos run replays
+// bit-identically from (seed, traffic order).
+//
+// The sites are always compiled in. `inject()` is a single relaxed atomic
+// load when no plan is armed — zero cost on the production paths — and
+// only takes the plan mutex once armed. Arm at most one plan per process
+// at a time (tests use the `Armed` RAII guard); the armed plan must
+// outlive its arming window. `Plan::visit` is thread-safe.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace is2::obs {
+class Registry;
+class Counter;
+}  // namespace is2::obs
+
+namespace is2::util::fault {
+
+/// The error an armed fault rule throws at its site. Call sites treat it
+/// like the real failure it stands in for (an IO error, a dead peer), so
+/// retries / failover / quarantine machinery is exercised for real.
+class InjectedFault : public std::runtime_error {
+ public:
+  explicit InjectedFault(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// One fault rule. Triggers combine with OR; `max_failures` bounds the
+/// total failures this rule ever injects (latency keeps applying).
+struct SiteConfig {
+  int instance = -1;  ///< only hits with this instance id match; -1 = any
+  std::uint64_t fail_nth = 0;    ///< fail exactly the nth matching hit (1-based)
+  std::uint64_t fail_every = 0;  ///< fail every k-th matching hit
+  double fail_rate = 0.0;        ///< per-hit failure probability (seeded)
+  std::uint64_t max_failures = ~0ull;  ///< cap on injected failures
+  double latency_ms = 0.0;       ///< added to every matching hit
+};
+
+/// A seeded registry of site -> rules. Fully deterministic: the k-th
+/// matching hit of a rule sees the same decision in every run with the
+/// same seed. With a `registry`, injections are mirrored under
+/// `is2_fault_hits_total` / `is2_fault_injected_total` `{site}` counters.
+class Plan {
+ public:
+  explicit Plan(std::uint64_t seed, obs::Registry* registry = nullptr);
+
+  Plan(const Plan&) = delete;
+  Plan& operator=(const Plan&) = delete;
+
+  /// Add a rule for `site`. Multiple rules per site are allowed; each
+  /// keeps its own hit counter and random stream.
+  Plan& on(const std::string& site, SiteConfig cfg);
+
+  /// Matching hits / injected failures summed over the site's rules.
+  std::uint64_t hits(const std::string& site) const;
+  std::uint64_t failures(const std::string& site) const;
+
+  /// Called by inject() when this plan is armed. Applies latency, then
+  /// throws InjectedFault when a rule fires.
+  void visit(const char* site, int instance);
+
+ private:
+  struct Rule {
+    std::string site;
+    SiteConfig cfg;
+    std::uint64_t hits = 0;
+    std::uint64_t failures = 0;
+    std::uint64_t rng_state = 0;  ///< splitmix64 stream, seeded per rule
+    obs::Counter* hits_total = nullptr;
+    obs::Counter* injected_total = nullptr;
+  };
+
+  std::uint64_t seed_;
+  obs::Registry* registry_;
+  mutable std::mutex mutex_;
+  std::vector<Rule> rules_;
+};
+
+namespace detail {
+extern std::atomic<Plan*> g_armed;
+}  // namespace detail
+
+/// Arm `plan` process-wide (nullptr disarms). The plan must outlive its
+/// arming window; arming is not itself synchronized against in-flight
+/// visit() calls, so disarm only after injected traffic has drained.
+void arm(Plan* plan);
+
+/// RAII arming guard for tests and benches.
+class Armed {
+ public:
+  explicit Armed(Plan& plan) { arm(&plan); }
+  ~Armed() { arm(nullptr); }
+  Armed(const Armed&) = delete;
+  Armed& operator=(const Armed&) = delete;
+};
+
+/// The site hook. `instance` distinguishes peers of one site class (node
+/// index, rank); rules with `instance = -1` match any. Unarmed: one
+/// relaxed atomic load, no branches taken.
+inline void inject(const char* site, int instance = 0) {
+  Plan* plan = detail::g_armed.load(std::memory_order_relaxed);
+  if (plan) plan->visit(site, instance);
+}
+
+}  // namespace is2::util::fault
