@@ -6,6 +6,7 @@
 #include <string>
 #include <utility>
 
+#include "util/mutex.hpp"
 #include "util/timer.hpp"
 
 namespace is2::dist {
@@ -58,7 +59,7 @@ DistributedOptimizer::DistributedOptimizer(std::unique_ptr<nn::Optimizer> inner,
 DistributedOptimizer::~DistributedOptimizer() {
   if (worker_.joinable()) {
     {
-      std::lock_guard lock(mutex_);
+      util::MutexLock lock(mutex_);
       stop_ = true;
     }
     cv_.notify_all();
@@ -87,7 +88,7 @@ void DistributedOptimizer::flush_open_bucket() {
   if (open_.spans.empty()) return;
   open_.weight = weight_;
   {
-    std::lock_guard lock(mutex_);
+    util::MutexLock lock(mutex_);
     queue_.push_back(std::move(open_));
     ++enqueued_;
   }
@@ -96,8 +97,8 @@ void DistributedOptimizer::flush_open_bucket() {
 }
 
 void DistributedOptimizer::wait_drain() {
-  std::unique_lock lock(mutex_);
-  cv_.wait(lock, [this] { return processed_ == enqueued_; });
+  util::MutexLock lock(mutex_);
+  while (processed_ != enqueued_) cv_.wait(lock);
 }
 
 void DistributedOptimizer::reduce_bucket(const Bucket& bucket) {
@@ -128,8 +129,8 @@ void DistributedOptimizer::worker_loop() {
   for (;;) {
     Bucket bucket;
     {
-      std::unique_lock lock(mutex_);
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      util::MutexLock lock(mutex_);
+      while (!stop_ && queue_.empty()) cv_.wait(lock);
       if (queue_.empty()) return;  // stop_ set and nothing left to reduce
       bucket = std::move(queue_.front());
       queue_.pop_front();
@@ -141,7 +142,7 @@ void DistributedOptimizer::worker_loop() {
     // thread sees the failure from step() instead of std::terminate.
     bool skip;
     {
-      std::lock_guard lock(mutex_);
+      util::MutexLock lock(mutex_);
       skip = worker_error_ != nullptr;
     }
     std::exception_ptr err;
@@ -153,7 +154,7 @@ void DistributedOptimizer::worker_loop() {
       }
     }
     {
-      std::lock_guard lock(mutex_);
+      util::MutexLock lock(mutex_);
       comm_busy_s_ += cpu.seconds();
       if (!skip && !err) floats_reduced_ += bucket.floats;
       if (err && !worker_error_) worker_error_ = err;
@@ -176,7 +177,7 @@ void DistributedOptimizer::step(const std::vector<nn::Param>& params) {
     step_active_ = false;
     std::exception_ptr err;
     {
-      std::lock_guard lock(mutex_);
+      util::MutexLock lock(mutex_);
       err = worker_error_;
     }
     // Surface the comm worker's failure on the rank thread: the wrapped
@@ -192,12 +193,12 @@ void DistributedOptimizer::zero_grad(const std::vector<nn::Param>& params) {
 }
 
 std::size_t DistributedOptimizer::floats_reduced() const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   return floats_reduced_;
 }
 
 double DistributedOptimizer::comm_busy_s() const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   return comm_busy_s_;
 }
 

@@ -23,12 +23,10 @@
 // next to serve traffic.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <exception>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -36,6 +34,8 @@
 #include "nn/model.hpp"
 #include "nn/optimizer.hpp"
 #include "obs/registry.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace is2::dist {
 
@@ -144,24 +144,25 @@ class DistributedOptimizer : public nn::Optimizer {
   int rank_;
   std::size_t bucket_floats_;
 
-  // Issuing-thread state (rank main thread).
+  // Issuing-thread state (rank main thread only — never touched by the
+  // comm worker, so unguarded by construction).
   bool step_active_ = false;
   double weight_ = 1.0;
   Bucket open_;
-  std::size_t enqueued_ = 0;
 
-  // Comm worker state (guarded by mutex_).
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::deque<Bucket> queue_;
+  // State shared with the comm worker.
+  mutable util::Mutex mutex_;
+  util::CondVar cv_;
+  std::deque<Bucket> queue_ GUARDED_BY(mutex_);
   /// First failure the comm worker hit (CollectiveAbort, injected fault).
   /// Once set, later buckets are discarded-but-counted so wait_drain()
   /// still unblocks; step() rethrows it on the rank thread.
-  std::exception_ptr worker_error_;
-  std::size_t processed_ = 0;
-  std::size_t floats_reduced_ = 0;
-  double comm_busy_s_ = 0.0;
-  bool stop_ = false;
+  std::exception_ptr worker_error_ GUARDED_BY(mutex_);
+  std::size_t enqueued_ GUARDED_BY(mutex_) = 0;
+  std::size_t processed_ GUARDED_BY(mutex_) = 0;
+  std::size_t floats_reduced_ GUARDED_BY(mutex_) = 0;
+  double comm_busy_s_ GUARDED_BY(mutex_) = 0.0;
+  bool stop_ GUARDED_BY(mutex_) = false;
   std::vector<float> pack_;  ///< worker-only scratch
   std::thread worker_;       ///< started only when the group has peers
 };

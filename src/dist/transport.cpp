@@ -28,7 +28,7 @@ void InProcessTransport::check_rank(int rank) const {
 void InProcessTransport::throw_aborted() const {
   std::string reason;
   {
-    std::lock_guard lock(abort_mutex_);
+    util::MutexLock lock(abort_mutex_);
     reason = abort_reason_;
   }
   throw CollectiveAbort("collective aborted: " + (reason.empty() ? "unknown" : reason));
@@ -36,7 +36,7 @@ void InProcessTransport::throw_aborted() const {
 
 void InProcessTransport::abort(const std::string& reason) {
   {
-    std::lock_guard lock(abort_mutex_);
+    util::MutexLock lock(abort_mutex_);
     if (aborted_.load(std::memory_order_acquire)) return;  // first reason wins
     abort_reason_ = reason;
     aborted_.store(true, std::memory_order_release);
@@ -44,7 +44,7 @@ void InProcessTransport::abort(const std::string& reason) {
   // Wake every blocked recv on every channel; each one observes aborted_
   // under its own channel lock and throws.
   for (Channel& ch : channels_) {
-    std::lock_guard lock(ch.mutex);
+    util::MutexLock lock(ch.mutex);
     ch.cv.notify_all();
   }
 }
@@ -53,7 +53,7 @@ std::size_t InProcessTransport::pending(int src, int dst) {
   check_rank(src);
   check_rank(dst);
   Channel& ch = channel(src, dst);
-  std::lock_guard lock(ch.mutex);
+  util::MutexLock lock(ch.mutex);
   return ch.queue.size();
 }
 
@@ -68,7 +68,7 @@ void InProcessTransport::send(int src, int dst, std::uint64_t tag, const float* 
   msg.tag = tag;
   {
     // Grab a recycled buffer if one is available; copy outside the lock.
-    std::lock_guard lock(ch.mutex);
+    util::MutexLock lock(ch.mutex);
     if (!ch.free_list.empty()) {
       msg.payload = std::move(ch.free_list.back());
       ch.free_list.pop_back();
@@ -77,7 +77,7 @@ void InProcessTransport::send(int src, int dst, std::uint64_t tag, const float* 
   msg.payload.resize(n);
   if (n > 0) std::memcpy(msg.payload.data(), data, n * sizeof(float));
   {
-    std::lock_guard lock(ch.mutex);
+    util::MutexLock lock(ch.mutex);
     ch.queue.push_back(std::move(msg));
   }
   ch.cv.notify_one();
@@ -90,20 +90,27 @@ void InProcessTransport::recv(int src, int dst, std::uint64_t tag, float* data, 
   Channel& ch = channel(src, dst);
   Message msg;
   {
-    std::unique_lock lock(ch.mutex);
-    const auto ready = [&] { return !ch.queue.empty() || aborted(); };
+    util::MutexLock lock(ch.mutex);
+    // Explicit wait loops (not predicate lambdas): the thread-safety
+    // analysis only accepts guarded reads it can see under the held lock.
     if (recv_timeout_ms_ > 0.0) {
-      if (!ch.cv.wait_for(lock, std::chrono::duration<double, std::milli>(recv_timeout_ms_),
-                          ready)) {
-        // The peer went silent: poison the group before throwing so the
-        // other ranks wake instead of deadlocking on their own recvs.
-        lock.unlock();
-        abort("rank " + std::to_string(dst) + " recv from rank " + std::to_string(src) +
-              " timed out after " + std::to_string(recv_timeout_ms_) + " ms");
-        throw_aborted();
+      const auto deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              std::chrono::duration<double, std::milli>(recv_timeout_ms_));
+      while (ch.queue.empty() && !aborted()) {
+        if (ch.cv.wait_until(lock, deadline) == std::cv_status::timeout &&
+            ch.queue.empty() && !aborted()) {
+          // The peer went silent: poison the group before throwing so the
+          // other ranks wake instead of deadlocking on their own recvs.
+          lock.unlock();
+          abort("rank " + std::to_string(dst) + " recv from rank " + std::to_string(src) +
+                " timed out after " + std::to_string(recv_timeout_ms_) + " ms");
+          throw_aborted();
+        }
       }
     } else {
-      ch.cv.wait(lock, ready);
+      while (ch.queue.empty() && !aborted()) ch.cv.wait(lock);
     }
     if (aborted()) throw_aborted();
     // Validate the head BEFORE dequeuing: on a tag/length mismatch the
@@ -121,7 +128,7 @@ void InProcessTransport::recv(int src, int dst, std::uint64_t tag, float* data, 
   }
   if (n > 0) std::memcpy(data, msg.payload.data(), n * sizeof(float));
   {
-    std::lock_guard lock(ch.mutex);
+    util::MutexLock lock(ch.mutex);
     ch.free_list.push_back(std::move(msg.payload));
   }
 }

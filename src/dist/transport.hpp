@@ -29,14 +29,15 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
-#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <vector>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace is2::dist {
 
@@ -106,10 +107,11 @@ class InProcessTransport : public Transport {
   };
 
   struct Channel {
-    std::mutex mutex;
-    std::condition_variable cv;
-    std::deque<Message> queue;
-    std::vector<std::vector<float>> free_list;  ///< recycled payload buffers
+    util::Mutex mutex;
+    util::CondVar cv;
+    std::deque<Message> queue GUARDED_BY(mutex);
+    /// Recycled payload buffers.
+    std::vector<std::vector<float>> free_list GUARDED_BY(mutex);
   };
 
   Channel& channel(int src, int dst);
@@ -120,8 +122,8 @@ class InProcessTransport : public Transport {
   double recv_timeout_ms_;
   std::vector<Channel> channels_;  ///< indexed src * n_ranks + dst
   std::atomic<bool> aborted_{false};
-  mutable std::mutex abort_mutex_;  ///< guards abort_reason_
-  std::string abort_reason_;
+  mutable util::Mutex abort_mutex_;
+  std::string abort_reason_ GUARDED_BY(abort_mutex_);
 };
 
 }  // namespace is2::dist

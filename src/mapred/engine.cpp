@@ -1,5 +1,7 @@
 #include "mapred/engine.hpp"
 
+#include "util/mutex.hpp"
+
 namespace is2::mapred {
 
 Engine::Engine(ClusterTopology topology) : topology_(topology) {
@@ -29,7 +31,7 @@ void Engine::run_stage_impl(std::size_t n_tasks, const std::function<void(std::s
   // other cores still reference `assignment`/`cursors`/`task` on it.
   std::atomic<bool> failed{false};
   std::exception_ptr first_error;
-  std::mutex error_mutex;
+  util::Mutex error_mutex;
 
   std::vector<std::future<void>> futures;
   futures.reserve(n_exec * topology_.cores_per_executor);
@@ -46,7 +48,7 @@ void Engine::run_stage_impl(std::size_t n_tasks, const std::function<void(std::s
             task(queue[slot]);
           } catch (...) {
             {
-              std::lock_guard lock(error_mutex);
+              util::MutexLock lock(error_mutex);
               if (!first_error) first_error = std::current_exception();
             }
             failed.store(true, std::memory_order_relaxed);

@@ -23,9 +23,10 @@
 #include <atomic>
 #include <cmath>
 #include <cstdint>
-#include <mutex>
 
+#include "util/mutex.hpp"
 #include "util/stats.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace is2::obs {
 
@@ -67,19 +68,19 @@ class HistogramMetric {
   };
 
   void observe(double ms) {
-    std::lock_guard lock(mutex_);
+    util::MutexLock lock(mutex_);
     state_.stats.add(ms);
     state_.histogram.add(std::log10(std::clamp(ms, kMinMs, kMaxMs)));
   }
 
   Snapshot snapshot() const {
-    std::lock_guard lock(mutex_);
+    util::MutexLock lock(mutex_);
     return state_;
   }
 
  private:
-  mutable std::mutex mutex_;
-  Snapshot state_;
+  mutable util::Mutex mutex_;
+  Snapshot state_ GUARDED_BY(mutex_);
 };
 
 }  // namespace is2::obs

@@ -50,7 +50,7 @@ Registry::Entry& Registry::get_or_create(const std::string& name, Labels labels,
   validate_name(name, type);
   validate_labels(labels);
   std::sort(labels.begin(), labels.end());
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   auto [it, inserted] = entries_.try_emplace({name, std::move(labels)});
   Entry& entry = it->second;
   if (inserted) {
@@ -85,7 +85,7 @@ HistogramMetric& Registry::histogram(const std::string& name, Labels labels,
 
 RegistrySnapshot Registry::snapshot() const {
   RegistrySnapshot out;
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   out.points.reserve(entries_.size());
   for (const auto& [key, entry] : entries_) {
     MetricPoint p;

@@ -27,12 +27,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "obs/instruments.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace is2::obs {
 
@@ -92,10 +93,10 @@ class Registry {
   Entry& get_or_create(const std::string& name, Labels labels, const std::string& help,
                        MetricType type);
 
-  mutable std::mutex mutex_;
+  mutable util::Mutex mutex_;
   /// Keyed by (name, labels): map keeps snapshot order deterministic and
   /// node addresses stable across inserts.
-  std::map<std::pair<std::string, Labels>, Entry> entries_;
+  std::map<std::pair<std::string, Labels>, Entry> entries_ GUARDED_BY(mutex_);
 };
 
 }  // namespace is2::obs

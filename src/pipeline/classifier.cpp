@@ -105,8 +105,10 @@ std::uint64_t NnBackend::fingerprint() const {
 }
 
 std::unique_ptr<nn::Sequential> NnBackend::checkout_replica() {
-  std::unique_lock lock(replica_mutex_);
-  replica_cv_.wait(lock, [this] { return !replicas_.empty(); });
+  util::MutexLock lock(replica_mutex_);
+  // Explicit wait loop (not a predicate lambda): the thread-safety analysis
+  // only accepts guarded reads it can see under the held lock.
+  while (replicas_.empty()) replica_cv_.wait(lock);
   std::unique_ptr<nn::Sequential> model = std::move(replicas_.back());
   replicas_.pop_back();
   return model;
@@ -114,7 +116,7 @@ std::unique_ptr<nn::Sequential> NnBackend::checkout_replica() {
 
 void NnBackend::return_replica(std::unique_ptr<nn::Sequential> model) {
   {
-    std::lock_guard lock(replica_mutex_);
+    util::MutexLock lock(replica_mutex_);
     replicas_.push_back(std::move(model));
   }
   replica_cv_.notify_one();

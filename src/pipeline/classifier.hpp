@@ -15,11 +15,9 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "atl03/types.hpp"
@@ -27,6 +25,8 @@
 #include "nn/model.hpp"
 #include "pipeline/kinds.hpp"
 #include "resample/segmenter.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 #include "util/thread_pool.hpp"
 
 namespace is2::pipeline {
@@ -101,9 +101,9 @@ class NnBackend : public ClassifierBackend {
   std::size_t batch_windows_;
   std::uint64_t weights_version_;
 
-  std::mutex replica_mutex_;
-  std::condition_variable replica_cv_;
-  std::vector<std::unique_ptr<nn::Sequential>> replicas_;
+  util::Mutex replica_mutex_;
+  util::CondVar replica_cv_;
+  std::vector<std::unique_ptr<nn::Sequential>> replicas_ GUARDED_BY(replica_mutex_);
   std::unique_ptr<util::ThreadPool> inference_pool_;  ///< null when threads == 0
 
   std::atomic<std::uint64_t> batches_{0};

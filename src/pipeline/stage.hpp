@@ -18,10 +18,11 @@
 #include <array>
 #include <cmath>
 #include <cstddef>
-#include <mutex>
 #include <string>
 
+#include "util/mutex.hpp"
 #include "util/stats.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace is2::pipeline {
 
@@ -117,7 +118,7 @@ using StageSnapshot = std::array<StageLatency, kNumStages>;
 class BuilderMetrics {
  public:
   void record(const StageTrace& trace) {
-    std::lock_guard lock(mutex_);
+    util::MutexLock lock(mutex_);
     for (std::size_t i = 0; i < kNumStages; ++i)
       if (trace.ran[i]) stages_[i].add(trace.ms[i]);
     build_.add(trace.total_ms());
@@ -125,25 +126,26 @@ class BuilderMetrics {
   }
 
   StageSnapshot stages() const {
-    std::lock_guard lock(mutex_);
+    util::MutexLock lock(mutex_);
     return stages_;
   }
 
   StageLatency build() const {
-    std::lock_guard lock(mutex_);
+    util::MutexLock lock(mutex_);
     return build_;
   }
 
   std::uint64_t builds() const {
-    std::lock_guard lock(mutex_);
+    util::MutexLock lock(mutex_);
     return builds_;
   }
 
  private:
-  mutable std::mutex mutex_;
-  StageSnapshot stages_;
-  StageLatency build_;  ///< total_ms per build (full or resumed suffix)
-  std::uint64_t builds_ = 0;
+  mutable util::Mutex mutex_;
+  StageSnapshot stages_ GUARDED_BY(mutex_);
+  /// total_ms per build (full or resumed suffix)
+  StageLatency build_ GUARDED_BY(mutex_);
+  std::uint64_t builds_ GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace is2::pipeline

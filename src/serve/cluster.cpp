@@ -119,7 +119,7 @@ std::size_t Cluster::first_live_locked() const {
 ProductKey Cluster::key_for(const ProductRequest& request) const {
   std::size_t i;
   {
-    std::lock_guard lock(mutex_);
+    util::MutexLock lock(mutex_);
     i = first_live_locked();
   }
   return nodes_[i]->key_for(request);
@@ -127,32 +127,32 @@ ProductKey Cluster::key_for(const ProductRequest& request) const {
 
 std::uint32_t Cluster::owner_of(const ProductKey& key) const {
   const std::uint64_t h = routing_hash(key);  // before the lock: it locks too
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   return ring_.owner(h);
 }
 
 std::vector<std::uint32_t> Cluster::replica_set_of(const ProductKey& key) const {
   const std::uint64_t h = routing_hash(key);
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   return ring_.replicas(h, std::max<std::size_t>(config_.replication_factor, 1));
 }
 
 std::size_t Cluster::live_count() const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   std::size_t n = 0;
   for (bool l : live_) n += l ? 1 : 0;
   return n;
 }
 
 bool Cluster::is_live(std::size_t i) const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   return i < live_.size() && live_[i];
 }
 
 Cluster::Route Cluster::route(const ProductRequest& request) {
   ProductKey key = key_for(request);
   const std::uint64_t h = routing_hash(key);
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   if (shut_down_) throw std::runtime_error("Cluster: shut down");
   if (ring_.num_nodes() == 0) throw std::runtime_error("Cluster: no live nodes");
 
@@ -180,7 +180,7 @@ bool Cluster::peer_fetch(const ProductKey& key, std::uint64_t hash, std::size_t 
                          double budget_ms) {
   std::vector<std::size_t> peers;
   {
-    std::lock_guard lock(mutex_);
+    util::MutexLock lock(mutex_);
     if (config_.replication_factor < 2 || ring_.num_nodes() == 0) return false;
     for (std::uint32_t r : ring_.replicas(hash, config_.replication_factor)) {
       const auto i = static_cast<std::size_t>(r);
@@ -219,7 +219,7 @@ bool Cluster::peer_fetch(const ProductKey& key, std::uint64_t hash, std::size_t 
 
 std::vector<std::size_t> Cluster::candidates_for(const Route& r) const {
   std::vector<std::size_t> out;
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   out.push_back(r.target);
   if (ring_.num_nodes() == 0) return out;
   // At least one fallback even at replication 1: a thrown submit should
@@ -292,7 +292,7 @@ std::size_t Cluster::warm(const std::vector<ProductRequest>& requests, mapred::E
     const ProductKey key = key_for(req);
     std::size_t target;
     {
-      std::lock_guard lock(mutex_);
+      util::MutexLock lock(mutex_);
       if (shut_down_) throw std::runtime_error("Cluster: shut down");
       if (ring_.num_nodes() == 0) throw std::runtime_error("Cluster: no live nodes");
       target = ring_.owner(ring_hash(key));
@@ -307,7 +307,7 @@ std::size_t Cluster::warm(const std::vector<ProductRequest>& requests, mapred::E
 
 void Cluster::kill_node(std::size_t i) {
   {
-    std::lock_guard lock(mutex_);
+    util::MutexLock lock(mutex_);
     if (i >= nodes_.size() || killed_[i]) return;
     live_[i] = false;
     killed_[i] = true;
@@ -332,7 +332,7 @@ void Cluster::sync_gauges_locked() {
 void Cluster::quarantine_node(std::size_t i) {
   std::vector<ProductKey> hot;
   {
-    std::lock_guard lock(mutex_);
+    util::MutexLock lock(mutex_);
     if (i >= nodes_.size() || !live_[i]) return;  // already out or killed
     live_[i] = false;
     quarantined_[i] = true;
@@ -360,7 +360,7 @@ void Cluster::quarantine_node(std::size_t i) {
       if (!hit) continue;
       std::size_t new_owner;
       {
-        std::lock_guard lock(mutex_);
+        util::MutexLock lock(mutex_);
         if (ring_.num_nodes() == 0) break;
         new_owner = ring_.owner(h);
       }
@@ -374,7 +374,7 @@ void Cluster::quarantine_node(std::size_t i) {
 }
 
 void Cluster::revive_node(std::size_t i) {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   if (i >= nodes_.size() || !quarantined_[i]) return;
   quarantined_[i] = false;
   live_[i] = true;
@@ -385,7 +385,7 @@ void Cluster::revive_node(std::size_t i) {
 }
 
 bool Cluster::is_quarantined(std::size_t i) const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   return i < quarantined_.size() && quarantined_[i];
 }
 
@@ -397,7 +397,7 @@ std::size_t Cluster::probe_health() {
   std::size_t healthy = 0;
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
     {
-      std::lock_guard lock(mutex_);
+      util::MutexLock lock(mutex_);
       if (!live_[i]) continue;  // dead and quarantined nodes are never probed
     }
     try {
@@ -415,7 +415,7 @@ std::size_t Cluster::probe_health() {
 void Cluster::note_failure(std::size_t i) {
   bool quarantine = false;
   {
-    std::lock_guard lock(mutex_);
+    util::MutexLock lock(mutex_);
     node_failure_total_->inc();
     if (i >= consecutive_failures_.size() || !live_[i]) return;
     ++consecutive_failures_[i];
@@ -426,14 +426,14 @@ void Cluster::note_failure(std::size_t i) {
 }
 
 void Cluster::note_success(std::size_t i) {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   if (i < consecutive_failures_.size()) consecutive_failures_[i] = 0;
 }
 
 ClusterMetrics Cluster::metrics() const {
   ClusterMetrics out;
   {
-    std::lock_guard lock(mutex_);
+    util::MutexLock lock(mutex_);
     out.live = live_;
     out.quarantined = quarantined_;
   }
@@ -484,7 +484,7 @@ void Cluster::wait_disk_writebacks() {
 
 void Cluster::shutdown() {
   {
-    std::lock_guard lock(mutex_);
+    util::MutexLock lock(mutex_);
     if (shut_down_) return;
     shut_down_ = true;
   }

@@ -47,7 +47,6 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -58,6 +57,8 @@
 #include "serve/node.hpp"
 #include "serve/service.hpp"
 #include "util/backoff.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace is2::serve {
 
@@ -230,13 +231,14 @@ class Cluster {
   /// the router lock); note_success resets the node's streak.
   void note_failure(std::size_t i);
   void note_success(std::size_t i);
-  void sync_gauges_locked();
-  std::size_t first_live_locked() const;  ///< throws when the fleet is down
+  void sync_gauges_locked() REQUIRES(mutex_);
+  /// Throws when the fleet is down.
+  std::size_t first_live_locked() const REQUIRES(mutex_);
   static std::uint64_t ring_hash(const ProductKey& key);
   /// Ring position of a key: the hash of its classification-kind sibling,
   /// so all depths/methods of one granule co-locate. Takes mutex_ (via
-  /// key_for) — call before locking.
-  std::uint64_t routing_hash(const ProductKey& key) const;
+  /// key_for) — never call while holding it.
+  std::uint64_t routing_hash(const ProductKey& key) const EXCLUDES(mutex_);
 
   ClusterConfig config_;
 
@@ -258,15 +260,18 @@ class Cluster {
   std::unique_ptr<DiskCache> disk_;  ///< shared cold tier; outlives nodes_
   std::vector<std::unique_ptr<GranuleService>> nodes_;
 
-  mutable std::mutex mutex_;  ///< ring + popularity + live set + ledger
-  HashRing ring_;
-  std::vector<bool> live_;
-  std::vector<bool> quarantined_;  ///< disjoint from killed_; both imply !live_
-  std::vector<bool> killed_;       ///< drained, terminal
-  std::vector<std::uint64_t> consecutive_failures_;
-  std::unordered_map<ProductKey, std::uint64_t, ProductKeyHash> popularity_;
-  std::uint64_t hot_rr_ = 0;  ///< round-robin cursor over replica sets
-  bool shut_down_ = false;
+  mutable util::Mutex mutex_;  ///< ring + popularity + live set + ledger
+  HashRing ring_ GUARDED_BY(mutex_);
+  std::vector<bool> live_ GUARDED_BY(mutex_);
+  /// Disjoint from killed_; both imply !live_.
+  std::vector<bool> quarantined_ GUARDED_BY(mutex_);
+  std::vector<bool> killed_ GUARDED_BY(mutex_);  ///< drained, terminal
+  std::vector<std::uint64_t> consecutive_failures_ GUARDED_BY(mutex_);
+  std::unordered_map<ProductKey, std::uint64_t, ProductKeyHash> popularity_
+      GUARDED_BY(mutex_);
+  /// Round-robin cursor over replica sets.
+  std::uint64_t hot_rr_ GUARDED_BY(mutex_) = 0;
+  bool shut_down_ GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace is2::serve

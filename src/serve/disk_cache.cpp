@@ -189,6 +189,12 @@ DiskCache::DiskCache(DiskCacheConfig config) : config_(std::move(config)) {
   }
   fs::create_directories(config_.dir);
 
+  // The object is not shared yet, but the manifest rebuild below touches
+  // every mutex_-guarded field and ends in evict_over_budget_locked()
+  // (REQUIRES(mutex_)) — holding the uncontended lock keeps the ctor inside
+  // the same annotated discipline as the rest of the class.
+  util::MutexLock lock(mutex_);
+
   // Rebuild the manifest from what survived on disk. Only the identity
   // prefix of each file is read here (not the payload); anything that fails
   // even that — leftover temp files from a crashed writer, truncated or
@@ -282,7 +288,7 @@ std::shared_ptr<const GranuleProduct> DiskCache::get_impl(const ProductKey& key,
   std::string path;
   std::uint64_t gen = 0;
   {
-    std::lock_guard lock(mutex_);
+    util::MutexLock lock(mutex_);
     const auto it = index_.find(key);
     if (it == index_.end()) {
       if (count_stats) ++misses_;
@@ -307,7 +313,7 @@ std::shared_ptr<const GranuleProduct> DiskCache::get_impl(const ProductKey& key,
         // after a backoff against a *fresh* snapshot — the entry may have
         // been republished (newer gen, read that) or evicted (miss).
         {
-          std::lock_guard lock(mutex_);
+          util::MutexLock lock(mutex_);
           const auto it = index_.find(key);
           if (it == index_.end()) {
             if (count_stats) ++misses_;
@@ -322,7 +328,7 @@ std::shared_ptr<const GranuleProduct> DiskCache::get_impl(const ProductKey& key,
       }
       // Out of retries: truncated / corrupt / stale-version / mismatched
       // file — never served.
-      std::lock_guard lock(mutex_);
+      util::MutexLock lock(mutex_);
       const auto it = index_.find(key);
       // Drop (and delete) only if the entry is still the publish generation
       // we failed on. This is airtight because a file can only appear at the
@@ -338,7 +344,7 @@ std::shared_ptr<const GranuleProduct> DiskCache::get_impl(const ProductKey& key,
     }
   }
 
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   const auto it = index_.find(key);
   if (it != index_.end()) lru_.splice(lru_.begin(), lru_, it->second);  // refresh
   if (count_stats) ++hits_;
@@ -375,7 +381,7 @@ void DiskCache::put(const ProductKey& key, const GranuleProduct& product) {
     }
   }
 
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   std::error_code ec;
   fs::rename(tmp, path, ec);
   if (ec) {
@@ -398,7 +404,7 @@ void DiskCache::put(const ProductKey& key, const GranuleProduct& product) {
 }
 
 bool DiskCache::contains(const ProductKey& key) const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   return index_.count(key) != 0;
 }
 
@@ -417,7 +423,7 @@ void DiskCache::sync_registry_locked(const DiskCacheStats& totals) const {
 }
 
 DiskCacheStats DiskCache::stats() const {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   DiskCacheStats out;
   out.hits = hits_;
   out.misses = misses_;
@@ -432,7 +438,7 @@ DiskCacheStats DiskCache::stats() const {
 }
 
 void DiskCache::clear() {
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   for (const auto& e : lru_) {
     std::error_code ec;
     fs::remove(e.path, ec);

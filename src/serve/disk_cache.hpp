@@ -37,7 +37,6 @@
 #include <functional>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <unordered_map>
@@ -46,6 +45,8 @@
 #include "obs/registry.hpp"
 #include "serve/product_cache.hpp"
 #include "util/backoff.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace is2::serve {
 
@@ -167,20 +168,23 @@ class DiskCache {
     std::uint64_t gen = 0;
   };
 
-  void evict_over_budget_locked();
-  void drop_entry_locked(std::list<Entry>::iterator it, bool corrupt);
+  void evict_over_budget_locked() REQUIRES(mutex_);
+  void drop_entry_locked(std::list<Entry>::iterator it, bool corrupt) REQUIRES(mutex_);
   std::shared_ptr<const GranuleProduct> get_impl(const ProductKey& key, bool count_stats);
-  void sync_registry_locked(const DiskCacheStats& totals) const;
+  void sync_registry_locked(const DiskCacheStats& totals) const REQUIRES(mutex_);
 
   DiskCacheConfig config_;
   std::function<void(const ProductKey&)> read_hook_;  ///< tests only
-  mutable std::mutex mutex_;
-  std::list<Entry> lru_;  ///< front = most recently used
-  std::unordered_map<ProductKey, std::list<Entry>::iterator, ProductKeyHash> index_;
-  std::size_t bytes_ = 0;
-  std::uint64_t next_gen_ = 1;  ///< publish generation source (under mutex_)
-  std::uint64_t hits_ = 0, misses_ = 0, writes_ = 0, evictions_ = 0, corrupt_dropped_ = 0;
-  std::uint64_t disk_read_retries_ = 0;
+  mutable util::Mutex mutex_;
+  std::list<Entry> lru_ GUARDED_BY(mutex_);  ///< front = most recently used
+  std::unordered_map<ProductKey, std::list<Entry>::iterator, ProductKeyHash> index_
+      GUARDED_BY(mutex_);
+  std::size_t bytes_ GUARDED_BY(mutex_) = 0;
+  std::uint64_t next_gen_ GUARDED_BY(mutex_) = 1;  ///< publish generation source
+  std::uint64_t hits_ GUARDED_BY(mutex_) = 0, misses_ GUARDED_BY(mutex_) = 0,
+      writes_ GUARDED_BY(mutex_) = 0, evictions_ GUARDED_BY(mutex_) = 0,
+      corrupt_dropped_ GUARDED_BY(mutex_) = 0;
+  std::uint64_t disk_read_retries_ GUARDED_BY(mutex_) = 0;
 
   /// Registry mirror (nullptr = off); the raw counters above stay the source
   /// of truth and `exported_` tracks what was already pushed (under mutex_).
@@ -192,7 +196,7 @@ class DiskCache {
   obs::Counter* read_retries_total_ = nullptr;
   obs::Gauge* bytes_gauge_ = nullptr;
   obs::Gauge* entries_gauge_ = nullptr;
-  mutable DiskCacheStats exported_;
+  mutable DiskCacheStats exported_ GUARDED_BY(mutex_);
 };
 
 }  // namespace is2::serve

@@ -47,7 +47,7 @@ ProductCache::ProductCache(std::size_t byte_budget, std::size_t num_shards,
 
 void ProductCache::sync_registry(const CacheStats& totals) const {
   if (!hits_total_) return;
-  std::lock_guard lock(export_mutex_);
+  util::MutexLock lock(export_mutex_);
   // Counter increments are exact deltas vs the last sync; totals can only
   // grow, so the subtractions never underflow.
   hits_total_->inc(totals.hits - exported_.hits);
@@ -65,7 +65,7 @@ ProductCache::Shard& ProductCache::shard_for(const ProductKey& key) const {
 
 std::shared_ptr<const GranuleProduct> ProductCache::get(const ProductKey& key) {
   Shard& shard = shard_for(key);
-  std::lock_guard lock(shard.mutex);
+  util::MutexLock lock(shard.mutex);
   auto it = shard.index.find(key);
   if (it == shard.index.end()) {
     ++shard.misses;
@@ -78,7 +78,7 @@ std::shared_ptr<const GranuleProduct> ProductCache::get(const ProductKey& key) {
 
 std::shared_ptr<const GranuleProduct> ProductCache::peek(const ProductKey& key) {
   Shard& shard = shard_for(key);
-  std::lock_guard lock(shard.mutex);
+  util::MutexLock lock(shard.mutex);
   auto it = shard.index.find(key);
   if (it == shard.index.end()) return nullptr;  // not a client miss: uncounted
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second);  // refresh
@@ -89,7 +89,7 @@ void ProductCache::put(const ProductKey& key, std::shared_ptr<const GranuleProdu
   if (!product) throw std::invalid_argument("ProductCache::put: null product");
   const std::size_t bytes = product->approx_bytes();
   Shard& shard = shard_for(key);
-  std::lock_guard lock(shard.mutex);
+  util::MutexLock lock(shard.mutex);
 
   auto it = shard.index.find(key);
   if (it != shard.index.end()) {
@@ -113,14 +113,14 @@ void ProductCache::put(const ProductKey& key, std::shared_ptr<const GranuleProdu
 
 bool ProductCache::contains(const ProductKey& key) const {
   Shard& shard = shard_for(key);
-  std::lock_guard lock(shard.mutex);
+  util::MutexLock lock(shard.mutex);
   return shard.index.count(key) != 0;
 }
 
 CacheStats ProductCache::stats() const {
   CacheStats out;
   for (const auto& shard : shards_) {
-    std::lock_guard lock(shard->mutex);
+    util::MutexLock lock(shard->mutex);
     out.hits += shard->hits;
     out.misses += shard->misses;
     out.evictions += shard->evictions;
@@ -134,7 +134,7 @@ CacheStats ProductCache::stats() const {
 
 void ProductCache::clear() {
   for (const auto& shard : shards_) {
-    std::lock_guard lock(shard->mutex);
+    util::MutexLock lock(shard->mutex);
     shard->lru.clear();
     shard->index.clear();
     shard->bytes = 0;

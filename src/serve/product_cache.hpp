@@ -18,7 +18,6 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -29,6 +28,8 @@
 #include "pipeline/kinds.hpp"
 #include "resample/segmenter.hpp"
 #include "seasurface/detector.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace is2::serve {
 
@@ -131,11 +132,13 @@ class ProductCache {
     std::size_t bytes = 0;
   };
   struct Shard {
-    mutable std::mutex mutex;
-    std::list<Entry> lru;  ///< front = most recently used
-    std::unordered_map<ProductKey, std::list<Entry>::iterator, ProductKeyHash> index;
-    std::size_t bytes = 0;
-    std::uint64_t hits = 0, misses = 0, evictions = 0, insertions = 0;
+    mutable util::Mutex mutex;
+    std::list<Entry> lru GUARDED_BY(mutex);  ///< front = most recently used
+    std::unordered_map<ProductKey, std::list<Entry>::iterator, ProductKeyHash> index
+        GUARDED_BY(mutex);
+    std::size_t bytes GUARDED_BY(mutex) = 0;
+    std::uint64_t hits GUARDED_BY(mutex) = 0, misses GUARDED_BY(mutex) = 0,
+        evictions GUARDED_BY(mutex) = 0, insertions GUARDED_BY(mutex) = 0;
   };
 
   Shard& shard_for(const ProductKey& key) const;
@@ -147,15 +150,17 @@ class ProductCache {
 
   /// Registry mirror (nullptr = off). The shard counters stay the source of
   /// truth; `exported_` remembers what has already been pushed so counter
-  /// increments are exact deltas. Guarded by export_mutex_.
+  /// increments are exact deltas. The instrument pointers are set once at
+  /// construction (stable for the registry's lifetime) — only the delta
+  /// bookkeeping needs the export mutex.
   obs::Counter* hits_total_ = nullptr;
   obs::Counter* misses_total_ = nullptr;
   obs::Counter* evictions_total_ = nullptr;
   obs::Counter* insertions_total_ = nullptr;
   obs::Gauge* bytes_gauge_ = nullptr;
   obs::Gauge* entries_gauge_ = nullptr;
-  mutable std::mutex export_mutex_;
-  mutable CacheStats exported_;
+  mutable util::Mutex export_mutex_;
+  mutable CacheStats exported_ GUARDED_BY(export_mutex_);
 };
 
 }  // namespace is2::serve

@@ -80,7 +80,7 @@ ProductFuture broken_future(const char* what) {
 ProductFuture BatchScheduler::submit(const ProductRequest& request, const ProductKey& key) {
   JobPtr job;
   {
-    std::lock_guard lock(mutex_);
+    util::MutexLock lock(mutex_);
     if (shut_down_) return broken_future("BatchScheduler: shut down");
     auto it = inflight_.find(key);
     if (it != inflight_.end()) {
@@ -117,7 +117,7 @@ ProductFuture BatchScheduler::submit(const ProductRequest& request, const Produc
     // "shut down" error reserved for submits that never got in. Waiters who
     // coalesced onto this job during the window see the same ShedError.
     {
-      std::lock_guard lock(mutex_);
+      util::MutexLock lock(mutex_);
       inflight_.erase(key);
     }
     rejected_total_[static_cast<std::size_t>(request.priority)]->inc();
@@ -133,7 +133,7 @@ ProductFuture BatchScheduler::submit(const ProductRequest& request, const Produc
     // (its queue promote found nothing to move). Re-apply it now that the
     // job is in a lane, so the promoted-jobs-can't-be-displaced invariant
     // holds across the push window.
-    std::lock_guard lock(mutex_);
+    util::MutexLock lock(mutex_);
     if (static_cast<std::uint8_t>(job->cls) <
         static_cast<std::uint8_t>(request.priority))
       queue_.promote(job, job->cls);
@@ -145,7 +145,7 @@ std::optional<ProductFuture> BatchScheduler::try_submit(const ProductRequest& re
                                                         const ProductKey& key,
                                                         std::optional<Priority>* shed_class) {
   if (shed_class) shed_class->reset();
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   // A shut-down scheduler is not "full, retry later": return a broken
   // future (like submit) so load-shedding clients don't spin forever.
   if (shut_down_) return broken_future("BatchScheduler: shut down");
@@ -212,7 +212,7 @@ void BatchScheduler::drain_loop() {
         // Erase BEFORE failing the promise: a submit racing this drop must
         // open a fresh job, not coalesce onto a future that is about to
         // carry another request's expired budget.
-        std::lock_guard lock(mutex_);
+        util::MutexLock lock(mutex_);
         inflight_.erase(job->key);
         completed_total_->inc();
       }
@@ -241,7 +241,7 @@ void BatchScheduler::drain_loop() {
       job->trace.finish("request:error", /*force=*/true);
       job->promise.set_exception(std::current_exception());
     }
-    std::lock_guard lock(mutex_);
+    util::MutexLock lock(mutex_);
     inflight_.erase(job->key);
     completed_total_->inc();
   }
@@ -249,7 +249,7 @@ void BatchScheduler::drain_loop() {
 
 SchedulerStats BatchScheduler::stats() const {
   SchedulerStats out;
-  std::lock_guard lock(mutex_);
+  util::MutexLock lock(mutex_);
   for (std::size_t c = 0; c < kPriorityClasses; ++c) {
     const std::uint64_t rejected = rejected_total_[c]->value();
     const std::uint64_t displaced = displaced_total_[c]->value();
@@ -275,7 +275,7 @@ SchedulerStats BatchScheduler::stats() const {
 
 void BatchScheduler::shutdown() {
   {
-    std::lock_guard lock(mutex_);
+    util::MutexLock lock(mutex_);
     if (shut_down_) return;
     shut_down_ = true;
   }

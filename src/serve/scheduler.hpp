@@ -33,14 +33,12 @@
 
 #include <algorithm>
 #include <array>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <stdexcept>
 #include <unordered_map>
@@ -49,6 +47,8 @@
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
 #include "serve/product_cache.hpp"
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
@@ -128,8 +128,10 @@ class BoundedQueue {
 
   /// Blocking push; returns false iff the queue was closed.
   bool push(T item) {
-    std::unique_lock lock(mutex_);
-    space_cv_.wait(lock, [this] { return closed_ || items_.size() < capacity_; });
+    util::MutexLock lock(mutex_);
+    // Explicit wait loops throughout (not predicate lambdas): the
+    // thread-safety analysis only sees guarded reads under the held lock.
+    while (!closed_ && items_.size() >= capacity_) space_cv_.wait(lock);
     if (closed_) return false;
     items_.push_back(std::move(item));
     lock.unlock();
@@ -140,7 +142,7 @@ class BoundedQueue {
   /// Non-blocking push; returns false when full or closed.
   bool try_push(T item) {
     {
-      std::lock_guard lock(mutex_);
+      util::MutexLock lock(mutex_);
       if (closed_ || items_.size() >= capacity_) return false;
       items_.push_back(std::move(item));
     }
@@ -150,8 +152,8 @@ class BoundedQueue {
 
   /// Blocking pop; empty optional once closed and drained.
   std::optional<T> pop() {
-    std::unique_lock lock(mutex_);
-    item_cv_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    util::MutexLock lock(mutex_);
+    while (!closed_ && items_.empty()) item_cv_.wait(lock);
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
@@ -162,7 +164,7 @@ class BoundedQueue {
 
   void close() {
     {
-      std::lock_guard lock(mutex_);
+      util::MutexLock lock(mutex_);
       closed_ = true;
     }
     item_cv_.notify_all();
@@ -170,7 +172,7 @@ class BoundedQueue {
   }
 
   std::size_t size() const {
-    std::lock_guard lock(mutex_);
+    util::MutexLock lock(mutex_);
     return items_.size();
   }
 
@@ -178,11 +180,11 @@ class BoundedQueue {
 
  private:
   const std::size_t capacity_;
-  mutable std::mutex mutex_;
-  std::condition_variable item_cv_;   ///< signaled on push/close
-  std::condition_variable space_cv_;  ///< signaled on pop/close
-  std::deque<T> items_;
-  bool closed_ = false;
+  mutable util::Mutex mutex_;
+  util::CondVar item_cv_;   ///< signaled on push/close
+  util::CondVar space_cv_;  ///< signaled on pop/close
+  std::deque<T> items_ GUARDED_BY(mutex_);
+  bool closed_ GUARDED_BY(mutex_) = false;
 };
 
 /// Bounded MPMC queue with one FIFO lane per `Priority`, a shared total
@@ -202,8 +204,8 @@ class PriorityQueue {
 
   /// Blocking push; waits for total space. Returns false iff closed.
   bool push(T item, Priority cls) {
-    std::unique_lock lock(mutex_);
-    space_cv_.wait(lock, [this] { return closed_ || total_locked() < capacity_; });
+    util::MutexLock lock(mutex_);
+    while (!closed_ && total_locked() >= capacity_) space_cv_.wait(lock);
     if (closed_) return false;
     lane(cls).push_back(std::move(item));
     lock.unlock();
@@ -218,7 +220,7 @@ class PriorityQueue {
   /// nothing lower-class queued.
   bool try_push(T item, Priority cls,
                 std::optional<std::pair<T, Priority>>* victim = nullptr) {
-    std::unique_lock lock(mutex_);
+    util::MutexLock lock(mutex_);
     if (victim) victim->reset();
     if (closed_) return false;
     if (total_locked() >= capacity_) {
@@ -243,7 +245,7 @@ class PriorityQueue {
   /// Move a queued item to a higher class; no-op (false) when the item is
   /// not queued below `to` (e.g. already being built).
   bool promote(const T& item, Priority to) {
-    std::lock_guard lock(mutex_);
+    util::MutexLock lock(mutex_);
     for (std::size_t c = static_cast<std::size_t>(to) + 1; c < kPriorityClasses; ++c) {
       auto& dq = items_[c];
       const auto it = std::find(dq.begin(), dq.end(), item);
@@ -260,8 +262,8 @@ class PriorityQueue {
   /// credits before yielding the cycle; credits refill when no eligible
   /// class has any left.
   std::optional<std::pair<T, Priority>> pop() {
-    std::unique_lock lock(mutex_);
-    item_cv_.wait(lock, [this] { return closed_ || total_locked() > 0; });
+    util::MutexLock lock(mutex_);
+    while (!closed_ && total_locked() == 0) item_cv_.wait(lock);
     if (total_locked() == 0) return std::nullopt;
     std::size_t pick = kPriorityClasses;
     for (int round = 0; round < 2 && pick == kPriorityClasses; ++round) {
@@ -290,7 +292,7 @@ class PriorityQueue {
 
   void close() {
     {
-      std::lock_guard lock(mutex_);
+      util::MutexLock lock(mutex_);
       closed_ = true;
     }
     item_cv_.notify_all();
@@ -298,20 +300,22 @@ class PriorityQueue {
   }
 
   std::size_t size() const {
-    std::lock_guard lock(mutex_);
+    util::MutexLock lock(mutex_);
     return total_locked();
   }
 
   std::size_t size(Priority cls) const {
-    std::lock_guard lock(mutex_);
+    util::MutexLock lock(mutex_);
     return items_[static_cast<std::size_t>(cls)].size();
   }
 
   std::size_t capacity() const { return capacity_; }
 
  private:
-  std::deque<T>& lane(Priority cls) { return items_[static_cast<std::size_t>(cls)]; }
-  std::size_t total_locked() const {
+  std::deque<T>& lane(Priority cls) REQUIRES(mutex_) {
+    return items_[static_cast<std::size_t>(cls)];
+  }
+  std::size_t total_locked() const REQUIRES(mutex_) {
     std::size_t n = 0;
     for (const auto& dq : items_) n += dq.size();
     return n;
@@ -319,12 +323,12 @@ class PriorityQueue {
 
   const std::size_t capacity_;
   const Weights weights_;
-  mutable std::mutex mutex_;
-  std::condition_variable item_cv_;   ///< signaled on push/close
-  std::condition_variable space_cv_;  ///< signaled on pop/close
-  std::array<std::deque<T>, kPriorityClasses> items_;
-  Weights credits_;  ///< remaining dequeues this cycle, guarded by mutex_
-  bool closed_ = false;
+  mutable util::Mutex mutex_;
+  util::CondVar item_cv_;   ///< signaled on push/close
+  util::CondVar space_cv_;  ///< signaled on pop/close
+  std::array<std::deque<T>, kPriorityClasses> items_ GUARDED_BY(mutex_);
+  Weights credits_ GUARDED_BY(mutex_);  ///< remaining dequeues this cycle
+  bool closed_ GUARDED_BY(mutex_) = false;
 };
 
 /// Scheduler counters, as a value snapshot. Since the obs migration this is
@@ -426,9 +430,11 @@ class BatchScheduler {
   Builder builder_;
   PriorityQueue<JobPtr> queue_;
 
-  mutable std::mutex mutex_;  ///< guards inflight_ + Job::cls + shut_down_
-  std::unordered_map<ProductKey, JobPtr, ProductKeyHash> inflight_;
-  bool shut_down_ = false;
+  /// Also guards Job::cls of every in-flight job (a cross-object contract
+  /// GUARDED_BY cannot spell on Job itself — see the Job::cls comment).
+  mutable util::Mutex mutex_;
+  std::unordered_map<ProductKey, JobPtr, ProductKeyHash> inflight_ GUARDED_BY(mutex_);
+  bool shut_down_ GUARDED_BY(mutex_) = false;
 
   /// Counters live in the registry (monotonic, lock-free increments; read
   /// back by stats() and exported by obs::to_prometheus). Owned registry

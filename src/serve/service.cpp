@@ -247,14 +247,16 @@ void GranuleService::promote_ram(const ProductKey& key,
 }
 
 void GranuleService::wait_disk_writebacks() {
-  std::unique_lock lock(writeback_mutex_);
-  writeback_cv_.wait(lock, [this] { return writebacks_pending_ == 0; });
+  util::MutexLock lock(writeback_mutex_);
+  // Explicit wait loop (not a predicate lambda): the thread-safety analysis
+  // only accepts guarded reads it can see under the held lock.
+  while (writebacks_pending_ != 0) writeback_cv_.wait(lock);
 }
 
 void GranuleService::schedule_writeback(const ProductKey& key,
                                         std::shared_ptr<const GranuleProduct> product) {
   {
-    std::lock_guard lock(writeback_mutex_);
+    util::MutexLock lock(writeback_mutex_);
     ++writebacks_pending_;
   }
   writeback_pool_->submit([this, key, product = std::move(product)] {
@@ -281,7 +283,7 @@ void GranuleService::schedule_writeback(const ProductKey& key,
       }
     }
     {
-      std::lock_guard lock(writeback_mutex_);
+      util::MutexLock lock(writeback_mutex_);
       --writebacks_pending_;
     }
     writeback_cv_.notify_all();
@@ -541,7 +543,7 @@ obs::RegistrySnapshot GranuleService::obs_snapshot() const {
   if (disk_) (void)disk_->stats();
   (void)scheduler_->stats();
   {
-    std::lock_guard lock(obs_sync_mutex_);
+    util::MutexLock lock(obs_sync_mutex_);
     const std::uint64_t batches = nn_backend_->batches();
     const std::uint64_t windows = nn_backend_->windows();
     inference_batches_total_->inc(batches - exported_batches_);

@@ -40,12 +40,10 @@
 
 #include <algorithm>
 #include <cmath>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <utility>
@@ -65,7 +63,9 @@
 #include "serve/node.hpp"
 #include "serve/product_cache.hpp"
 #include "serve/scheduler.hpp"
+#include "util/mutex.hpp"
 #include "util/stats.hpp"
+#include "util/thread_annotations.hpp"
 #include "util/thread_pool.hpp"
 
 namespace is2::serve {
@@ -275,9 +275,9 @@ class GranuleService : public NodeHandle {
   obs::Counter* inference_windows_total_ = nullptr;
   /// Serializes the lazy inference-counter sync in obs_snapshot() (two
   /// concurrent snapshots must not double-count one delta).
-  mutable std::mutex obs_sync_mutex_;
-  mutable std::uint64_t exported_batches_ = 0;
-  mutable std::uint64_t exported_windows_ = 0;
+  mutable util::Mutex obs_sync_mutex_;
+  mutable std::uint64_t exported_batches_ GUARDED_BY(obs_sync_mutex_) = 0;
+  mutable std::uint64_t exported_windows_ GUARDED_BY(obs_sync_mutex_) = 0;
 
   pipeline::ProductBuilder builder_;  ///< the one pipeline implementation
   /// Classifier backends, selected per request. The nn backend owns the
@@ -295,9 +295,9 @@ class GranuleService : public NodeHandle {
 
   // Asynchronous disk write-back: one thread so cold builds never wait for
   // serialization + fsync-ish IO, with a drain counter for orderly restarts.
-  std::mutex writeback_mutex_;
-  std::condition_variable writeback_cv_;
-  std::size_t writebacks_pending_ = 0;
+  util::Mutex writeback_mutex_;
+  util::CondVar writeback_cv_;
+  std::size_t writebacks_pending_ GUARDED_BY(writeback_mutex_) = 0;
   std::unique_ptr<util::ThreadPool> writeback_pool_;
 
   std::unique_ptr<BatchScheduler> scheduler_;  ///< last: destroyed first

@@ -17,7 +17,7 @@ void arm(Plan* plan) { detail::g_armed.store(plan, std::memory_order_release); }
 Plan::Plan(std::uint64_t seed, obs::Registry* registry) : seed_(seed), registry_(registry) {}
 
 Plan& Plan::on(const std::string& site, SiteConfig cfg) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   Rule rule;
   rule.site = site;
   rule.cfg = cfg;
@@ -37,7 +37,7 @@ Plan& Plan::on(const std::string& site, SiteConfig cfg) {
 }
 
 std::uint64_t Plan::hits(const std::string& site) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::uint64_t n = 0;
   for (const Rule& r : rules_)
     if (r.site == site) n += r.hits;
@@ -45,7 +45,7 @@ std::uint64_t Plan::hits(const std::string& site) const {
 }
 
 std::uint64_t Plan::failures(const std::string& site) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::uint64_t n = 0;
   for (const Rule& r : rules_)
     if (r.site == site) n += r.failures;
@@ -57,7 +57,7 @@ void Plan::visit(const char* site, int instance) {
   bool fail = false;
   std::uint64_t fail_hit = 0;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     for (Rule& r : rules_) {
       if (r.site != site) continue;
       if (r.cfg.instance >= 0 && r.cfg.instance != instance) continue;

@@ -27,10 +27,12 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <vector>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace is2::obs {
 class Registry;
@@ -94,8 +96,8 @@ class Plan {
 
   std::uint64_t seed_;
   obs::Registry* registry_;
-  mutable std::mutex mutex_;
-  std::vector<Rule> rules_;
+  mutable Mutex mutex_;
+  std::vector<Rule> rules_ GUARDED_BY(mutex_);
 };
 
 namespace detail {

@@ -3,8 +3,9 @@
 #include <atomic>
 #include <cstdio>
 #include <cstring>
-#include <mutex>
 
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
 #include "util/timer.hpp"
 
 namespace is2::util {
@@ -15,8 +16,8 @@ std::atomic<LogLevel> g_level{LogLevel::Warn};
 // Sink swap is rare (tests); logf checks the atomic flag first so the
 // stderr path never touches the mutex-guarded std::function.
 std::atomic<bool> g_has_sink{false};
-std::mutex g_sink_mutex;
-LogSink& sink_storage() {
+Mutex g_sink_mutex;
+LogSink& sink_storage() REQUIRES(g_sink_mutex) {
   static LogSink* sink = new LogSink();  // leaked: usable during static dtors
   return *sink;
 }
@@ -47,7 +48,7 @@ void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_rela
 LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
 void set_log_sink(LogSink sink) {
-  std::lock_guard lock(g_sink_mutex);
+  MutexLock lock(g_sink_mutex);
   const bool has = static_cast<bool>(sink);
   sink_storage() = std::move(sink);
   g_has_sink.store(has, std::memory_order_release);
@@ -88,7 +89,7 @@ void logf(LogLevel level, const char* fmt, ...) {
   if (m > 0) n = std::min(n + m, static_cast<int>(sizeof buf) - 1);
 
   if (g_has_sink.load(std::memory_order_acquire)) {
-    std::lock_guard lock(g_sink_mutex);
+    MutexLock lock(g_sink_mutex);
     if (sink_storage()) {
       sink_storage()(level, std::string_view(buf, static_cast<std::size_t>(n)));
       return;

@@ -1,0 +1,96 @@
+// Annotated lock primitives: the only place in the repo allowed to name
+// std::mutex / std::condition_variable (tools/lint_invariants.py rule R4).
+//
+// util::Mutex, util::MutexLock and util::CondVar wrap the std primitives
+// 1:1 — same semantics, same cost (everything inlines to the underlying
+// std calls) — but carry the Clang thread-safety capability attributes from
+// util/thread_annotations.hpp, so `-Werror=thread-safety` can prove that
+// every GUARDED_BY field is only touched with its mutex held and every
+// REQUIRES helper is only called from under the right lock.
+//
+// Threading contract: Mutex and CondVar are thread-safe by construction;
+// MutexLock is a single-thread RAII guard (never share one across threads).
+// CondVar::wait takes the MutexLock by reference and, like
+// std::condition_variable, must be called with that lock held; callers are
+// expected to re-check their predicate in a `while` loop around the wait —
+// the analysis cannot see through predicate lambdas, so the repo spells
+// every wait as an explicit loop (docs/static-analysis.md#condvars).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.hpp"
+
+namespace is2::util {
+
+class CondVar;
+
+/// A std::mutex declared as a thread-safety capability. Prefer MutexLock;
+/// bare lock()/unlock() is for the rare hand-over-hand or adopt cases.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() { m_.lock(); }
+  void unlock() RELEASE() { m_.unlock(); }
+  bool try_lock() TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+ private:
+  friend class MutexLock;
+  std::mutex m_;
+};
+
+/// Scoped lock over a Mutex (RAII std::unique_lock underneath). Supports
+/// mid-scope unlock()/lock() — the analysis tracks both — and is what
+/// CondVar waits on.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : lock_(mu.m_) {}
+  ~MutexLock() RELEASE() {}  // unique_lock unlocks iff still owned
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  void unlock() RELEASE() { lock_.unlock(); }
+  void lock() ACQUIRE() { lock_.lock(); }
+
+ private:
+  friend class CondVar;
+  std::unique_lock<std::mutex> lock_;
+};
+
+/// std::condition_variable over util::Mutex. No capability attributes of its
+/// own: wait() atomically releases and reacquires the caller's MutexLock, so
+/// from the analysis' point of view the lock is held across the call — which
+/// is exactly the contract guarded predicates rely on.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(MutexLock& lock) { cv_.wait(lock.lock_); }
+
+  template <class Rep, class Period>
+  std::cv_status wait_for(MutexLock& lock,
+                          const std::chrono::duration<Rep, Period>& dur) {
+    return cv_.wait_for(lock.lock_, dur);
+  }
+
+  template <class Clock, class Duration>
+  std::cv_status wait_until(MutexLock& lock,
+                            const std::chrono::time_point<Clock, Duration>& tp) {
+    return cv_.wait_until(lock.lock_, tp);
+  }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace is2::util

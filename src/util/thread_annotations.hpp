@@ -1,0 +1,57 @@
+// Clang thread-safety-analysis attribute shim (docs/static-analysis.md).
+//
+// These macros attach Clang's `-Wthread-safety` capability attributes to
+// declarations; under any other compiler (gcc builds this repo locally and in
+// the main CI job) every macro expands to nothing, so the annotations are
+// pure documentation there and carry zero runtime or ABI cost everywhere.
+// The dedicated clang CI job compiles with `-Werror=thread-safety`, turning
+// each annotation into an enforced contract, and
+// tests/thread_safety_negative/ proves the analysis is actually live (the
+// shim can never silently rot into no-ops on clang).
+//
+// Conventions used across the repo:
+//   - Fields:           `T x_ GUARDED_BY(mutex_);`
+//   - `_locked` helpers: `void f_locked() REQUIRES(mutex_);`
+//   - "never call with the lock held" entry points: `EXCLUDES(mutex_)`
+//   - Lock wrappers (util/mutex.hpp) carry CAPABILITY / SCOPED_CAPABILITY /
+//     ACQUIRE / RELEASE / TRY_ACQUIRE so user code rarely needs more than
+//     GUARDED_BY + REQUIRES + EXCLUDES.
+//
+// Threading: this header defines macros only; it has no state.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define IS2_TSA_ATTR(x) __attribute__((x))
+#endif
+#endif
+#ifndef IS2_TSA_ATTR
+#define IS2_TSA_ATTR(x)  // not clang (or too old): annotations are comments
+#endif
+
+#define CAPABILITY(x) IS2_TSA_ATTR(capability(x))
+#define SCOPED_CAPABILITY IS2_TSA_ATTR(scoped_lockable)
+#define GUARDED_BY(x) IS2_TSA_ATTR(guarded_by(x))
+#define PT_GUARDED_BY(x) IS2_TSA_ATTR(pt_guarded_by(x))
+#define ACQUIRED_BEFORE(...) IS2_TSA_ATTR(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) IS2_TSA_ATTR(acquired_after(__VA_ARGS__))
+#define REQUIRES(...) IS2_TSA_ATTR(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) IS2_TSA_ATTR(requires_shared_capability(__VA_ARGS__))
+#define ACQUIRE(...) IS2_TSA_ATTR(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) IS2_TSA_ATTR(acquire_shared_capability(__VA_ARGS__))
+#define RELEASE(...) IS2_TSA_ATTR(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) IS2_TSA_ATTR(release_shared_capability(__VA_ARGS__))
+#define TRY_ACQUIRE(...) IS2_TSA_ATTR(try_acquire_capability(__VA_ARGS__))
+#define EXCLUDES(...) IS2_TSA_ATTR(locks_excluded(__VA_ARGS__))
+#define ASSERT_CAPABILITY(x) IS2_TSA_ATTR(assert_capability(x))
+#define RETURN_CAPABILITY(x) IS2_TSA_ATTR(lock_returned(x))
+#define NO_THREAD_SAFETY_ANALYSIS IS2_TSA_ATTR(no_thread_safety_analysis)
+
+// Escape hatch for deliberate, documented data races (the obs trace ring's
+// seqlock payload — docs/static-analysis.md#suppressions). Supported by both
+// gcc and clang, so the TSan job sees it regardless of toolchain.
+#if defined(__clang__) || defined(__GNUC__)
+#define IS2_NO_SANITIZE_THREAD __attribute__((no_sanitize("thread")))
+#else
+#define IS2_NO_SANITIZE_THREAD
+#endif

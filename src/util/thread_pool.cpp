@@ -19,7 +19,7 @@ ThreadPool::ThreadPool(std::size_t num_threads, std::string name) : name_(std::m
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     stopping_ = true;
   }
   cv_.notify_all();
@@ -31,8 +31,10 @@ void ThreadPool::worker_loop(std::size_t ordinal) {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      MutexLock lock(mutex_);
+      // Explicit loop, not a predicate lambda: the thread-safety analysis
+      // can only see guarded reads spelled where the lock is held.
+      while (!stopping_ && tasks_.empty()) cv_.wait(lock);
       if (stopping_ && tasks_.empty()) return;
       task = std::move(tasks_.front());
       tasks_.pop();
@@ -50,7 +52,7 @@ void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_
   // dangling counter forever, hanging the pool destructor's join).
   std::atomic<bool> failed{false};
   std::exception_ptr first_error;
-  std::mutex error_mutex;
+  Mutex error_mutex;
   const std::size_t num_workers = std::min(n, workers_.size());
   std::vector<std::future<void>> futures;
   futures.reserve(num_workers);
@@ -64,7 +66,7 @@ void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_
           fn(i);
         } catch (...) {
           {
-            std::lock_guard lock(error_mutex);
+            MutexLock lock(error_mutex);
             if (!first_error) first_error = std::current_exception();
           }
           failed.store(true, std::memory_order_relaxed);

@@ -1,0 +1,38 @@
+// MUST NOT compile under `clang -Werror=thread-safety`: calls an
+// EXCLUDES(mutex_) function while holding that mutex. This is the
+// self-deadlock shape Cluster::routing_hash documents ("takes mutex_ —
+// never call while holding it"); the annotation turns the comment into a
+// compile-time contract.
+#include <cstdint>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace {
+
+class Router {
+ public:
+  std::uint64_t rebalance() EXCLUDES(mutex_) {
+    is2::util::MutexLock lock(mutex_);
+    return ++epoch_;
+  }
+
+  void on_failure() {
+    is2::util::MutexLock lock(mutex_);
+    // VIOLATION: rebalance() re-acquires mutex_ — deadlock at runtime,
+    // compile error under the analysis.
+    (void)rebalance();
+  }
+
+ private:
+  mutable is2::util::Mutex mutex_;
+  std::uint64_t epoch_ GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Router r;
+  r.on_failure();
+  return 0;
+}

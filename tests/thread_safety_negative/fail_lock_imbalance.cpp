@@ -1,0 +1,33 @@
+// MUST NOT compile under `clang -Werror=thread-safety`: releases a scoped
+// lock mid-scope and then touches the guarded field anyway — the
+// unlock()/relock() escape hatch on util::MutexLock is tracked by the
+// analysis, so "forgot to re-lock" is a compile error, not a data race.
+#include <cstdint>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace {
+
+class Queue {
+ public:
+  void drain() {
+    is2::util::MutexLock lock(mutex_);
+    pending_ = 0;
+    lock.unlock();
+    // VIOLATION: guarded write after the mid-scope unlock, never re-locked.
+    pending_ = 1;
+  }
+
+ private:
+  is2::util::Mutex mutex_;
+  std::uint64_t pending_ GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Queue q;
+  q.drain();
+  return 0;
+}

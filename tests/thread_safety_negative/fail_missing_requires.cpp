@@ -1,0 +1,29 @@
+// MUST NOT compile under `clang -Werror=thread-safety`: calls a
+// REQUIRES(mutex_) helper without holding the mutex — the exact bug class
+// the `_locked()` suffix convention in src/serve/ exists to prevent.
+#include <cstdint>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace {
+
+class Ledger {
+ public:
+  void reset_locked() REQUIRES(mutex_) { total_ = 0; }
+
+  // VIOLATION: locked-suffix helper called without the lock.
+  void reset() { reset_locked(); }
+
+ private:
+  mutable is2::util::Mutex mutex_;
+  std::uint64_t total_ GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Ledger l;
+  l.reset();
+  return 0;
+}

@@ -1,0 +1,33 @@
+// MUST NOT compile under `clang -Werror=thread-safety`: reads a
+// GUARDED_BY field without holding its mutex. If this TU ever compiles
+// under the analysis, the annotation pipeline is broken (macro shim inert,
+// flags dropped) and the ctest WILL_FAIL registration catches it.
+#include <cstdint>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace {
+
+class Counter {
+ public:
+  void inc() {
+    is2::util::MutexLock lock(mutex_);
+    ++value_;
+  }
+
+  // VIOLATION: guarded read with no lock held.
+  std::uint64_t value() const { return value_; }
+
+ private:
+  mutable is2::util::Mutex mutex_;
+  std::uint64_t value_ GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.inc();
+  return static_cast<int>(c.value());
+}

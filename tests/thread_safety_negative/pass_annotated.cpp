@@ -1,0 +1,55 @@
+// Positive control for the thread-safety negative-compile suite: correctly
+// locked code over the annotated util wrappers. Must compile with ZERO
+// diagnostics under `clang -Wthread-safety -Werror=thread-safety` (proving
+// the fail_*.cpp rejections are the analysis rejecting the *violations*,
+// not the harness rejecting everything) and under any non-Clang compiler
+// (proving the macro shim is a true no-op there). Registered by the root
+// CMakeLists.txt; see docs/static-analysis.md.
+#include <cstdint>
+
+#include "util/mutex.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace {
+
+class Account {
+ public:
+  void deposit(std::int64_t amount) {
+    is2::util::MutexLock lock(mutex_);
+    balance_ += amount;
+  }
+
+  std::int64_t balance() const {
+    is2::util::MutexLock lock(mutex_);
+    return balance_;
+  }
+
+  // REQUIRES contract: the caller holds the lock; the analysis checks both
+  // sides — this body may touch balance_, and callers must lock first.
+  void apply_fee_locked(std::int64_t fee) REQUIRES(mutex_) { balance_ -= fee; }
+
+  void apply_fee(std::int64_t fee) {
+    is2::util::MutexLock lock(mutex_);
+    apply_fee_locked(fee);
+  }
+
+  // EXCLUDES contract: documented lock-free entry point (it locks inside).
+  void settle() EXCLUDES(mutex_) {
+    is2::util::MutexLock lock(mutex_);
+    balance_ = 0;
+  }
+
+ private:
+  mutable is2::util::Mutex mutex_;
+  std::int64_t balance_ GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account a;
+  a.deposit(10);
+  a.apply_fee(1);
+  a.settle();
+  return a.balance() == 0 ? 0 : 1;
+}
